@@ -1,0 +1,241 @@
+//! The encrypted-cloud alternative the paper contrasts the attic with.
+//!
+//! §IV-A: "Another alternative would be to simply let the cloud store
+//! user data in encrypted form. The home network would then provide the
+//! external application the key to decrypt the data when an authorized
+//! user requests a particular service. The user would trust the
+//! application to not keep the key beyond the immediate use. While this
+//! indeed can help address the issue of data control, the data attic
+//! concept addresses additional issues — e.g., allowing changes and
+//! shared access by multiple actors, through multiple applications,
+//! while maintaining a single source for a file."
+//!
+//! [`EncryptedCloudStore`] implements that alternative faithfully so
+//! experiment E12 can measure the paper's argument: the cloud cannot
+//! mediate concurrent access (it only sees ciphertext — no ETags over
+//! plaintext semantics, no locks), and every authorized operation hands
+//! the decryption key to another party.
+
+use hpop_crypto::chacha20::ChaCha20;
+use hpop_crypto::sha256::Sha256;
+use std::collections::BTreeMap;
+
+/// An opaque blob as the cloud stores it.
+#[derive(Clone, Debug)]
+struct CloudObject {
+    ciphertext: Vec<u8>,
+    nonce: [u8; 12],
+    /// Upload generation (the only versioning the cloud can offer —
+    /// it cannot diff or merge what it cannot read).
+    generation: u64,
+}
+
+/// The cloud provider: stores ciphertext it cannot read.
+#[derive(Debug, Default)]
+pub struct EncryptedCloudStore {
+    objects: BTreeMap<String, CloudObject>,
+    /// Every party that has ever been handed the key (the paper's
+    /// "trust the application to not keep the key" exposure).
+    key_exposures: Vec<String>,
+    next_nonce: u64,
+}
+
+/// A checked-out plaintext copy an application works on.
+#[derive(Clone, Debug)]
+pub struct Checkout {
+    /// The object's name.
+    pub name: String,
+    /// The decrypted content, for local editing.
+    pub plaintext: Vec<u8>,
+    base_generation: u64,
+}
+
+/// Errors from the encrypted-cloud workflow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CloudError {
+    /// No such object.
+    NotFound,
+    /// The ciphertext failed to authenticate (wrong key or tampering).
+    BadKey,
+}
+
+impl std::fmt::Display for CloudError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CloudError::NotFound => write!(f, "object not found"),
+            CloudError::BadKey => write!(f, "decryption failed"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+impl EncryptedCloudStore {
+    /// An empty cloud account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn seal(&mut self, key: &[u8; 32], plaintext: &[u8]) -> ([u8; 12], Vec<u8>) {
+        self.next_nonce += 1;
+        let mut nonce = [0u8; 12];
+        nonce[..8].copy_from_slice(&self.next_nonce.to_le_bytes());
+        // Append a plaintext hash so decryption is authenticated.
+        let mut body = plaintext.to_vec();
+        body.extend_from_slice(Sha256::digest(plaintext).as_bytes());
+        (nonce, ChaCha20::encrypt(key, &nonce, &body))
+    }
+
+    fn open(obj: &CloudObject, key: &[u8; 32]) -> Result<Vec<u8>, CloudError> {
+        let plain = ChaCha20::decrypt(key, &obj.nonce, &obj.ciphertext);
+        if plain.len() < 32 {
+            return Err(CloudError::BadKey);
+        }
+        let (body, digest) = plain.split_at(plain.len() - 32);
+        if Sha256::digest(body).as_bytes() != digest {
+            return Err(CloudError::BadKey);
+        }
+        Ok(body.to_vec())
+    }
+
+    /// The home uploads an object (initial seeding).
+    pub fn upload(&mut self, name: &str, key: &[u8; 32], plaintext: &[u8]) {
+        let (nonce, ciphertext) = self.seal(key, plaintext);
+        let generation = self.objects.get(name).map_or(1, |o| o.generation + 1);
+        self.objects.insert(
+            name.to_owned(),
+            CloudObject {
+                ciphertext,
+                nonce,
+                generation,
+            },
+        );
+    }
+
+    /// An application checks an object out: the home hands it the key
+    /// (recorded as an exposure), the app downloads and decrypts.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::NotFound`] / [`CloudError::BadKey`].
+    pub fn checkout(
+        &mut self,
+        name: &str,
+        key: &[u8; 32],
+        application: &str,
+    ) -> Result<Checkout, CloudError> {
+        self.key_exposures.push(application.to_owned());
+        let obj = self.objects.get(name).ok_or(CloudError::NotFound)?;
+        let plaintext = Self::open(obj, key)?;
+        Ok(Checkout {
+            name: name.to_owned(),
+            plaintext,
+            base_generation: obj.generation,
+        })
+    }
+
+    /// The application re-encrypts its edited copy and uploads. The
+    /// cloud cannot check plaintext semantics; it replaces the blob
+    /// unconditionally. Returns `true` when this upload silently
+    /// overwrote a generation the application never saw — a lost update
+    /// the attic's ETags/locks would have refused.
+    pub fn checkin(&mut self, checkout: &Checkout, key: &[u8; 32], edited: &[u8]) -> bool {
+        let (nonce, ciphertext) = self.seal(key, edited);
+        let (lost_update, generation) = match self.objects.get(&checkout.name) {
+            Some(cur) => (
+                cur.generation != checkout.base_generation,
+                cur.generation + 1,
+            ),
+            None => (false, 1),
+        };
+        self.objects.insert(
+            checkout.name.clone(),
+            CloudObject {
+                ciphertext,
+                nonce,
+                generation,
+            },
+        );
+        lost_update
+    }
+
+    /// Reads the current plaintext (home-side convenience).
+    ///
+    /// # Errors
+    ///
+    /// As [`EncryptedCloudStore::checkout`], without the exposure.
+    pub fn read(&self, name: &str, key: &[u8; 32]) -> Result<Vec<u8>, CloudError> {
+        let obj = self.objects.get(name).ok_or(CloudError::NotFound)?;
+        Self::open(obj, key)
+    }
+
+    /// Every party the key was handed to, in order.
+    pub fn key_exposures(&self) -> &[String] {
+        &self.key_exposures
+    }
+
+    /// What the cloud operator can see of an object: length only.
+    pub fn operator_view(&self, name: &str) -> Option<usize> {
+        self.objects.get(name).map(|o| o.ciphertext.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 32] = [3u8; 32];
+
+    #[test]
+    fn roundtrip_and_operator_blindness() {
+        let mut cloud = EncryptedCloudStore::new();
+        cloud.upload("medical.json", &KEY, b"{\"dx\":\"sprain\"}");
+        assert_eq!(
+            cloud.read("medical.json", &KEY).unwrap(),
+            b"{\"dx\":\"sprain\"}"
+        );
+        // The operator sees only ciphertext length, never content.
+        let view = cloud.operator_view("medical.json").unwrap();
+        assert_eq!(view, b"{\"dx\":\"sprain\"}".len() + 32);
+        assert_eq!(
+            cloud.read("medical.json", &[9u8; 32]),
+            Err(CloudError::BadKey)
+        );
+    }
+
+    #[test]
+    fn concurrent_checkins_lose_updates_silently() {
+        // The paper's core argument: two applications edit concurrently;
+        // the cloud cannot mediate and the second checkin clobbers the
+        // first — reported only because our model instruments it.
+        let mut cloud = EncryptedCloudStore::new();
+        cloud.upload("doc", &KEY, b"base");
+        let a = cloud.checkout("doc", &KEY, "word-processor").unwrap();
+        let b = cloud.checkout("doc", &KEY, "cloud-editor").unwrap();
+        assert!(!cloud.checkin(&a, &KEY, b"base+A"));
+        // B never saw A's edit; its checkin replaces it wholesale.
+        let lost = cloud.checkin(&b, &KEY, b"base+B");
+        assert!(lost);
+        assert_eq!(cloud.read("doc", &KEY).unwrap(), b"base+B");
+    }
+
+    #[test]
+    fn every_access_exposes_the_key() {
+        let mut cloud = EncryptedCloudStore::new();
+        cloud.upload("doc", &KEY, b"x");
+        for app in ["editor", "viewer", "editor", "tax-tool"] {
+            let _ = cloud.checkout("doc", &KEY, app);
+        }
+        assert_eq!(cloud.key_exposures().len(), 4);
+        assert_eq!(cloud.key_exposures()[3], "tax-tool");
+    }
+
+    #[test]
+    fn missing_objects_reported() {
+        let mut cloud = EncryptedCloudStore::new();
+        assert_eq!(
+            cloud.checkout("ghost", &KEY, "app").unwrap_err(),
+            CloudError::NotFound
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! The provider-bootstrap grant (the QR-code payload).
+//!
+//! §IV-A: "the data attic will issue a QR code that includes all
+//! information needed to access the correct portion of the user's data
+//! attic — i.e., everything from the IP address of the data attic to the
+//! proper initial credentials to the location of the files within the
+//! attic. The QR code is then furnished to the medical provider."
+//!
+//! [`AccessGrant`] is exactly that tuple; [`AccessGrant::encode`]
+//! produces the string a QR code would carry.
+
+use hpop_core::auth::CapabilityToken;
+use hpop_http::url::Url;
+
+/// Everything a provider needs to reach its slice of a user's attic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessGrant {
+    /// The attic's public endpoint (resolved via the HPoP's reachability
+    /// plan — §III).
+    pub endpoint: Url,
+    /// The scoped, expiring credential.
+    pub token: CapabilityToken,
+}
+
+impl AccessGrant {
+    /// Bundles an endpoint and token into a grant.
+    pub fn new(endpoint: Url, token: CapabilityToken) -> AccessGrant {
+        AccessGrant { endpoint, token }
+    }
+
+    /// The attic path this grant covers (the token's scope).
+    pub fn path(&self) -> &str {
+        &self.token.scope
+    }
+
+    /// Serializes the grant to the QR payload string.
+    pub fn encode(&self) -> String {
+        format!("hpop-grant:v1|{}|{}", self.endpoint, self.token.encode())
+    }
+
+    /// Parses a QR payload back into a grant.
+    pub fn decode(payload: &str) -> Option<AccessGrant> {
+        let rest = payload.strip_prefix("hpop-grant:v1|")?;
+        let (endpoint_s, token_s) = rest.split_once('|')?;
+        let endpoint: Url = endpoint_s.parse().ok()?;
+        let token = CapabilityToken::decode(token_s)?;
+        Some(AccessGrant { endpoint, token })
+    }
+
+    /// The `Authorization` header value the provider sends.
+    pub fn authorization_header(&self) -> String {
+        format!("Capability {}", self.token.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpop_core::auth::{Permission, TokenVerifier};
+    use hpop_netsim::time::SimTime;
+
+    fn grant() -> (AccessGrant, TokenVerifier) {
+        let verifier = TokenVerifier::new([3u8; 32]);
+        let token = verifier.issue(
+            "st-marys-clinic",
+            "/health/st-marys",
+            Permission::ReadWrite,
+            SimTime::from_secs(86_400 * 30),
+        );
+        (
+            AccessGrant::new(
+                Url::https("doe-family.hpop.example", "/dav").with_port(8443),
+                token,
+            ),
+            verifier,
+        )
+    }
+
+    #[test]
+    fn qr_payload_roundtrip() {
+        let (g, verifier) = grant();
+        let payload = g.encode();
+        assert!(payload.starts_with("hpop-grant:v1|https://doe-family.hpop.example:8443"));
+        let back = AccessGrant::decode(&payload).unwrap();
+        assert_eq!(back, g);
+        assert!(verifier.verify(&back.token, SimTime::from_secs(1)));
+        assert_eq!(back.path(), "/health/st-marys");
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(AccessGrant::decode("").is_none());
+        assert!(AccessGrant::decode("hpop-grant:v1|").is_none());
+        assert!(AccessGrant::decode("hpop-grant:v1|notaurl|a|b|r|1|ff").is_none());
+        assert!(AccessGrant::decode("hpop-grant:v2|https://h/|x").is_none());
+    }
+
+    #[test]
+    fn authorization_header_shape() {
+        let (g, _) = grant();
+        let h = g.authorization_header();
+        assert!(h.starts_with("Capability st-marys-clinic|/health/st-marys|rw|"));
+    }
+}

@@ -1,0 +1,313 @@
+//! The §III "mundane services": contacts and calendar on the attic.
+//!
+//! "We envision the HPoP as an extensible and configurable platform that
+//! can also run myriad mundane services for the user and the household —
+//! e.g., a contacts server, a calendar server, or an email inbox … The
+//! HPoP provides seamless access to these services across various
+//! devices."
+//!
+//! Both services are thin, format-stable layers over the attic's
+//! [`ObjectStore`]: a contact is a vCard-style text file under
+//! `/personal/contacts/`, an event an iCal-style file under
+//! `/personal/calendar/`. Because they are ordinary attic files, every
+//! attic property applies for free — versions, locks, grants, offline
+//! replicas, encrypted peer backup.
+
+use crate::store::{ObjectStore, StoreError};
+use hpop_netsim::time::{SimDuration, SimTime};
+
+/// A household contact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Contact {
+    /// Stable identifier (file stem).
+    pub id: String,
+    /// Display name.
+    pub name: String,
+    /// Email address.
+    pub email: String,
+    /// Phone number.
+    pub phone: String,
+}
+
+impl Contact {
+    fn to_vcard(&self) -> String {
+        format!(
+            "BEGIN:VCARD\nVERSION:3.0\nFN:{}\nEMAIL:{}\nTEL:{}\nEND:VCARD\n",
+            self.name, self.email, self.phone
+        )
+    }
+
+    fn from_vcard(id: &str, text: &str) -> Option<Contact> {
+        let field = |key: &str| {
+            text.lines()
+                .find_map(|l| l.strip_prefix(key))
+                .map(str::to_owned)
+        };
+        Some(Contact {
+            id: id.to_owned(),
+            name: field("FN:")?,
+            email: field("EMAIL:")?,
+            phone: field("TEL:")?,
+        })
+    }
+}
+
+/// The contacts service.
+#[derive(Debug)]
+pub struct ContactsBook;
+
+const CONTACTS_DIR: &str = "/personal/contacts";
+
+impl ContactsBook {
+    /// Ensures the contacts collection exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors.
+    pub fn init(store: &mut ObjectStore) -> Result<(), StoreError> {
+        store.mkcol_recursive(CONTACTS_DIR)
+    }
+
+    /// Saves (or updates) a contact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors (e.g. service not initialized).
+    pub fn save(
+        store: &mut ObjectStore,
+        contact: &Contact,
+        now: SimTime,
+    ) -> Result<(), StoreError> {
+        store.put(
+            &format!("{CONTACTS_DIR}/{}.vcf", contact.id),
+            contact.to_vcard(),
+            now,
+        )?;
+        Ok(())
+    }
+
+    /// Loads a contact by id.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] for unknown ids.
+    pub fn load(store: &ObjectStore, id: &str) -> Result<Contact, StoreError> {
+        let v = store.get(&format!("{CONTACTS_DIR}/{id}.vcf"))?;
+        Contact::from_vcard(id, &String::from_utf8_lossy(&v.body)).ok_or(StoreError::Conflict)
+    }
+
+    /// All contacts, sorted by id.
+    pub fn list(store: &ObjectStore) -> Vec<Contact> {
+        store
+            .files_under(CONTACTS_DIR)
+            .iter()
+            .filter_map(|path| {
+                let id = path.rsplit('/').next()?.strip_suffix(".vcf")?;
+                ContactsBook::load(store, id).ok()
+            })
+            .collect()
+    }
+
+    /// Contacts whose name or email contains `query` (case-insensitive).
+    pub fn search(store: &ObjectStore, query: &str) -> Vec<Contact> {
+        let q = query.to_ascii_lowercase();
+        Self::list(store)
+            .into_iter()
+            .filter(|c| {
+                c.name.to_ascii_lowercase().contains(&q)
+                    || c.email.to_ascii_lowercase().contains(&q)
+            })
+            .collect()
+    }
+}
+
+/// A calendar event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CalendarEvent {
+    /// Stable identifier (file stem).
+    pub id: String,
+    /// Event title.
+    pub title: String,
+    /// Start instant.
+    pub start: SimTime,
+    /// Duration.
+    pub duration: SimDuration,
+}
+
+impl CalendarEvent {
+    /// The event's end instant.
+    pub fn end(&self) -> SimTime {
+        self.start + self.duration
+    }
+
+    fn to_ical(&self) -> String {
+        format!(
+            "BEGIN:VEVENT\nSUMMARY:{}\nDTSTART:{}\nDURATION:{}\nEND:VEVENT\n",
+            self.title,
+            self.start.as_nanos(),
+            self.duration.as_nanos()
+        )
+    }
+
+    fn from_ical(id: &str, text: &str) -> Option<CalendarEvent> {
+        let field = |key: &str| text.lines().find_map(|l| l.strip_prefix(key));
+        Some(CalendarEvent {
+            id: id.to_owned(),
+            title: field("SUMMARY:")?.to_owned(),
+            start: SimTime::from_nanos(field("DTSTART:")?.parse().ok()?),
+            duration: SimDuration::from_nanos(field("DURATION:")?.parse().ok()?),
+        })
+    }
+}
+
+/// The calendar service.
+#[derive(Debug)]
+pub struct Calendar;
+
+const CALENDAR_DIR: &str = "/personal/calendar";
+
+impl Calendar {
+    /// Ensures the calendar collection exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors.
+    pub fn init(store: &mut ObjectStore) -> Result<(), StoreError> {
+        store.mkcol_recursive(CALENDAR_DIR)
+    }
+
+    /// Saves (or updates) an event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors.
+    pub fn save(
+        store: &mut ObjectStore,
+        event: &CalendarEvent,
+        now: SimTime,
+    ) -> Result<(), StoreError> {
+        store.put(
+            &format!("{CALENDAR_DIR}/{}.ics", event.id),
+            event.to_ical(),
+            now,
+        )?;
+        Ok(())
+    }
+
+    /// All events, sorted by start time.
+    pub fn list(store: &ObjectStore) -> Vec<CalendarEvent> {
+        let mut events: Vec<CalendarEvent> = store
+            .files_under(CALENDAR_DIR)
+            .iter()
+            .filter_map(|path| {
+                let id = path.rsplit('/').next()?.strip_suffix(".ics")?;
+                let v = store.get(path).ok()?;
+                CalendarEvent::from_ical(id, &String::from_utf8_lossy(&v.body))
+            })
+            .collect();
+        events.sort_by_key(|e| (e.start, e.id.clone()));
+        events
+    }
+
+    /// Events overlapping `[from, from + horizon]`, soonest first.
+    pub fn upcoming(
+        store: &ObjectStore,
+        from: SimTime,
+        horizon: SimDuration,
+    ) -> Vec<CalendarEvent> {
+        let until = from + horizon;
+        Self::list(store)
+            .into_iter()
+            .filter(|e| e.end() > from && e.start < until)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn contact(id: &str, name: &str) -> Contact {
+        Contact {
+            id: id.into(),
+            name: name.into(),
+            email: format!("{id}@mail.example"),
+            phone: "555-0100".into(),
+        }
+    }
+
+    #[test]
+    fn contacts_roundtrip_and_search() {
+        let mut store = ObjectStore::new();
+        ContactsBook::init(&mut store).unwrap();
+        ContactsBook::save(&mut store, &contact("ada", "Ada Lovelace"), t(1)).unwrap();
+        ContactsBook::save(&mut store, &contact("alan", "Alan Turing"), t(2)).unwrap();
+        assert_eq!(ContactsBook::list(&store).len(), 2);
+        let got = ContactsBook::load(&store, "ada").unwrap();
+        assert_eq!(got.name, "Ada Lovelace");
+        let hits = ContactsBook::search(&store, "turing");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, "alan");
+        assert!(ContactsBook::search(&store, "nobody").is_empty());
+    }
+
+    #[test]
+    fn contact_updates_version_like_any_attic_file() {
+        let mut store = ObjectStore::new();
+        ContactsBook::init(&mut store).unwrap();
+        ContactsBook::save(&mut store, &contact("ada", "Ada"), t(1)).unwrap();
+        let mut updated = contact("ada", "Ada Lovelace");
+        updated.phone = "555-0199".into();
+        ContactsBook::save(&mut store, &updated, t(2)).unwrap();
+        assert_eq!(ContactsBook::load(&store, "ada").unwrap().phone, "555-0199");
+        // The attic's version history covers the service for free.
+        assert_eq!(
+            store.history("/personal/contacts/ada.vcf").unwrap().len(),
+            2
+        );
+    }
+
+    #[test]
+    fn calendar_upcoming_window() {
+        let mut store = ObjectStore::new();
+        Calendar::init(&mut store).unwrap();
+        let events = [
+            ("standup", 1_000u64, 600u64),
+            ("dentist", 5_000, 3_600),
+            ("trip", 100_000, 7_200),
+        ];
+        for (id, start, dur) in events {
+            Calendar::save(
+                &mut store,
+                &CalendarEvent {
+                    id: id.into(),
+                    title: id.to_uppercase(),
+                    start: t(start),
+                    duration: SimDuration::from_secs(dur),
+                },
+                t(0),
+            )
+            .unwrap();
+        }
+        let up = Calendar::upcoming(&store, t(1_200), SimDuration::from_secs(10_000));
+        // standup is still running at 1200; dentist starts inside the
+        // window; the trip is beyond it.
+        let ids: Vec<&str> = up.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(ids, ["standup", "dentist"]);
+        assert_eq!(Calendar::list(&store).len(), 3);
+    }
+
+    #[test]
+    fn unknown_contact_is_not_found() {
+        let mut store = ObjectStore::new();
+        ContactsBook::init(&mut store).unwrap();
+        assert_eq!(
+            ContactsBook::load(&store, "ghost"),
+            Err(StoreError::NotFound)
+        );
+    }
+}

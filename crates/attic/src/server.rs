@@ -1,0 +1,485 @@
+//! The attic's WebDAV-semantics HTTP server.
+//!
+//! The paper's prototype "implements a data attic as a WebDAV server"
+//! reachable over HTTP(S) for "decoupled communication between the
+//! external applications and the attic and ease of firewall traversal"
+//! (§IV-A). [`AtticServer`] dispatches the WebDAV verb set over the
+//! versioned store and lock table, enforcing capability grants on
+//! external requests.
+
+use crate::lock::{LockDepth, LockError, LockManager, LockScope, LockToken};
+use crate::store::{ObjectStore, StoreError};
+use hpop_core::auth::{CapabilityToken, TokenVerifier};
+use hpop_core::events::{Event, EventBus};
+use hpop_http::message::{Method, Request, Response, StatusCode};
+use hpop_netsim::time::{SimDuration, SimTime};
+
+/// The data attic server: store + locks + access control.
+///
+/// ```
+/// use hpop_attic::server::AtticServer;
+/// use hpop_core::auth::TokenVerifier;
+/// use hpop_http::message::Request;
+/// use hpop_http::url::Url;
+/// use hpop_netsim::time::SimTime;
+///
+/// let mut attic = AtticServer::new(TokenVerifier::new([7u8; 32]));
+/// let put = Request::put(Url::https("attic.home", "/note.txt"), &b"hi"[..]);
+/// let resp = attic.handle_local(&put, SimTime::ZERO);
+/// assert!(resp.status.is_success());
+/// ```
+pub struct AtticServer {
+    store: ObjectStore,
+    locks: LockManager,
+    verifier: TokenVerifier,
+    bus: Option<EventBus>,
+}
+
+impl std::fmt::Debug for AtticServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtticServer")
+            .field("files", &self.store.files_under("/").len())
+            .finish()
+    }
+}
+
+fn store_error_response(e: StoreError) -> Response {
+    let status = match e {
+        StoreError::NotFound => StatusCode::NOT_FOUND,
+        StoreError::MissingParent | StoreError::Conflict => StatusCode::CONFLICT,
+        StoreError::BadPath => StatusCode::BAD_REQUEST,
+        StoreError::DestinationExists => StatusCode::PRECONDITION_FAILED,
+    };
+    Response::new(status)
+}
+
+fn parse_lock_token(header: Option<&str>) -> Option<LockToken> {
+    header.and_then(LockToken::parse)
+}
+
+impl AtticServer {
+    /// Creates an attic bound to the appliance's token verifier.
+    pub fn new(verifier: TokenVerifier) -> AtticServer {
+        AtticServer {
+            store: ObjectStore::new(),
+            locks: LockManager::new(),
+            verifier,
+            bus: None,
+        }
+    }
+
+    /// Attaches the appliance event bus; writes publish `attic.write`.
+    pub fn with_bus(mut self, bus: EventBus) -> AtticServer {
+        self.bus = Some(bus);
+        self
+    }
+
+    /// Direct store access for in-home (trusted) tooling and tests.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Mutable direct store access (trusted local tooling).
+    pub fn store_mut(&mut self) -> &mut ObjectStore {
+        &mut self.store
+    }
+
+    /// Handles a request from inside the home (trusted; no grant needed).
+    pub fn handle_local(&mut self, req: &Request, now: SimTime) -> Response {
+        self.dispatch(req, now)
+    }
+
+    /// Handles a request from an external application: the request must
+    /// carry `Authorization: Capability <wire>` with a valid, unexpired
+    /// token whose scope covers the path and whose permission matches
+    /// the method.
+    pub fn handle_external(&mut self, req: &Request, now: SimTime) -> Response {
+        let Some(auth) = req.headers.get("authorization") else {
+            return Response::new(StatusCode::UNAUTHORIZED);
+        };
+        let Some(wire) = auth.strip_prefix("Capability ") else {
+            return Response::new(StatusCode::UNAUTHORIZED);
+        };
+        let Some(token) = CapabilityToken::decode(wire) else {
+            return Response::new(StatusCode::UNAUTHORIZED);
+        };
+        if !self.verifier.verify(&token, now) {
+            return Response::new(StatusCode::UNAUTHORIZED);
+        }
+        let path = req.url.path();
+        if !token.covers(path) {
+            return Response::new(StatusCode::FORBIDDEN);
+        }
+        let needs_write = !req.method.is_safe();
+        let allowed = if needs_write {
+            token.permission.allows_write()
+        } else {
+            token.permission.allows_read()
+        };
+        if !allowed {
+            return Response::new(StatusCode::FORBIDDEN);
+        }
+        self.dispatch(req, now)
+    }
+
+    fn dispatch(&mut self, req: &Request, now: SimTime) -> Response {
+        let path = req.url.path().to_owned();
+        match req.method {
+            Method::Get | Method::Head => self.get(&path, req),
+            Method::Put => self.put(&path, req, now),
+            Method::Delete => self.delete(&path, req, now),
+            Method::MkCol => match self.store.mkcol(&path) {
+                Ok(()) => Response::new(StatusCode::CREATED),
+                Err(e) => store_error_response(e),
+            },
+            Method::PropFind => self.propfind(&path, req),
+            Method::Copy | Method::Move => self.copy_move(&path, req, now),
+            Method::Lock => self.lock(&path, req, now),
+            Method::Unlock => self.unlock(&path, req, now),
+            Method::Options => Response::new(StatusCode::OK)
+                .with_header("dav", "1, 2")
+                .with_header(
+                    "allow",
+                    "GET, PUT, DELETE, MKCOL, PROPFIND, COPY, MOVE, LOCK, UNLOCK",
+                ),
+            _ => Response::new(StatusCode::METHOD_NOT_ALLOWED),
+        }
+    }
+
+    fn get(&mut self, path: &str, req: &Request) -> Response {
+        match self.store.get(path) {
+            Ok(v) => {
+                if req.headers.get("if-none-match") == Some(v.etag.as_str()) {
+                    return Response::new(StatusCode::NOT_MODIFIED)
+                        .with_header("etag", v.etag.clone());
+                }
+                let mut resp = Response::ok(v.body.clone()).with_header("etag", v.etag.clone());
+                if req.method == Method::Head {
+                    resp.body = bytes::Bytes::new();
+                }
+                resp
+            }
+            Err(e) => store_error_response(e),
+        }
+    }
+
+    fn put(&mut self, path: &str, req: &Request, now: SimTime) -> Response {
+        let token = parse_lock_token(req.headers.get("lock-token"));
+        if let Err(LockError::Locked { holder }) = self.locks.check_write(path, token, now) {
+            return Response::new(StatusCode::LOCKED).with_header("x-lock-holder", holder);
+        }
+        // Conditional write: If-Match guards against lost updates.
+        if let Some(expected) = req.headers.get("if-match") {
+            match self.store.get(path) {
+                Ok(v) if v.etag == expected => {}
+                _ => return Response::new(StatusCode::PRECONDITION_FAILED),
+            }
+        }
+        let created = !self.store.exists(path);
+        match self.store.put(path, req.body.clone(), now) {
+            Ok(etag) => {
+                if let Some(bus) = &self.bus {
+                    bus.publish(Event::new("attic.write", path.to_owned()));
+                }
+                let status = if created {
+                    StatusCode::CREATED
+                } else {
+                    StatusCode::NO_CONTENT
+                };
+                Response::new(status).with_header("etag", etag)
+            }
+            Err(e) => store_error_response(e),
+        }
+    }
+
+    fn delete(&mut self, path: &str, req: &Request, now: SimTime) -> Response {
+        let token = parse_lock_token(req.headers.get("lock-token"));
+        if let Err(LockError::Locked { holder }) = self.locks.check_write(path, token, now) {
+            return Response::new(StatusCode::LOCKED).with_header("x-lock-holder", holder);
+        }
+        match self.store.delete(path) {
+            Ok(_) => Response::new(StatusCode::NO_CONTENT),
+            Err(e) => store_error_response(e),
+        }
+    }
+
+    fn propfind(&mut self, path: &str, req: &Request) -> Response {
+        let depth = req.headers.get("depth").unwrap_or("1");
+        if depth == "0" {
+            return if self.store.exists(path) {
+                let kind = if self.store.is_collection(path) {
+                    "collection"
+                } else {
+                    "file"
+                };
+                Response::new(StatusCode::MULTI_STATUS).with_body(format!("{path} {kind}\n"))
+            } else {
+                Response::not_found()
+            };
+        }
+        match self.store.list(path) {
+            Ok(children) => {
+                let mut body = String::new();
+                for (name, is_col) in children {
+                    body.push_str(&format!(
+                        "{name} {}\n",
+                        if is_col { "collection" } else { "file" }
+                    ));
+                }
+                Response::new(StatusCode::MULTI_STATUS).with_body(body)
+            }
+            Err(e) => store_error_response(e),
+        }
+    }
+
+    fn copy_move(&mut self, path: &str, req: &Request, now: SimTime) -> Response {
+        let Some(dst) = req.headers.get("destination").map(str::to_owned) else {
+            return Response::new(StatusCode::BAD_REQUEST);
+        };
+        let token = parse_lock_token(req.headers.get("lock-token"));
+        if let Err(LockError::Locked { holder }) = self.locks.check_write(&dst, token, now) {
+            return Response::new(StatusCode::LOCKED).with_header("x-lock-holder", holder);
+        }
+        let result = if req.method == Method::Copy {
+            self.store.copy(path, &dst, now)
+        } else {
+            if let Err(LockError::Locked { holder }) = self.locks.check_write(path, token, now) {
+                return Response::new(StatusCode::LOCKED).with_header("x-lock-holder", holder);
+            }
+            self.store.rename(path, &dst, now)
+        };
+        match result {
+            Ok(()) => Response::new(StatusCode::CREATED),
+            Err(e) => store_error_response(e),
+        }
+    }
+
+    fn lock(&mut self, path: &str, req: &Request, now: SimTime) -> Response {
+        let owner = req.headers.get("x-lock-owner").unwrap_or("anonymous");
+        let scope = match req.headers.get("x-lock-scope") {
+            Some("shared") => LockScope::Shared,
+            _ => LockScope::Exclusive,
+        };
+        let depth = match req.headers.get("depth") {
+            Some("infinity") => LockDepth::Infinity,
+            _ => LockDepth::Zero,
+        };
+        let ttl = req
+            .headers
+            .get("timeout")
+            .and_then(|t| t.strip_prefix("Second-"))
+            .and_then(|s| s.parse().ok())
+            .map(SimDuration::from_secs)
+            .unwrap_or(SimDuration::from_secs(600));
+        match self.locks.lock(path, owner, scope, depth, ttl, now) {
+            Ok(token) => Response::new(StatusCode::OK).with_header("lock-token", token.to_string()),
+            Err(LockError::Locked { holder }) => {
+                Response::new(StatusCode::LOCKED).with_header("x-lock-holder", holder)
+            }
+            Err(LockError::BadToken) => Response::new(StatusCode::BAD_REQUEST),
+        }
+    }
+
+    fn unlock(&mut self, path: &str, req: &Request, now: SimTime) -> Response {
+        match parse_lock_token(req.headers.get("lock-token")) {
+            Some(token) => match self.locks.unlock(path, token, now) {
+                Ok(()) => Response::new(StatusCode::NO_CONTENT),
+                Err(_) => Response::new(StatusCode::CONFLICT),
+            },
+            None => Response::new(StatusCode::BAD_REQUEST),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpop_core::auth::Permission;
+    use hpop_http::url::Url;
+
+    fn server() -> AtticServer {
+        AtticServer::new(TokenVerifier::new([7u8; 32]))
+    }
+
+    fn url(p: &str) -> Url {
+        Url::https("attic.home", p)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn put_get_cycle_local() {
+        let mut s = server();
+        let put = Request::put(url("/note.txt"), &b"hello attic"[..]);
+        let r = s.handle_local(&put, t(0));
+        assert_eq!(r.status, StatusCode::CREATED);
+        let etag = r.headers.get("etag").unwrap().to_owned();
+        let get = s.handle_local(&Request::get(url("/note.txt")), t(1));
+        assert_eq!(get.status, StatusCode::OK);
+        assert_eq!(&get.body[..], b"hello attic");
+        // Conditional GET returns 304.
+        let cond = Request::get(url("/note.txt")).with_header("if-none-match", etag);
+        assert_eq!(s.handle_local(&cond, t(2)).status, StatusCode::NOT_MODIFIED);
+        // Re-PUT is 204.
+        assert_eq!(s.handle_local(&put, t(3)).status, StatusCode::NO_CONTENT);
+    }
+
+    #[test]
+    fn external_requires_valid_grant() {
+        let verifier = TokenVerifier::new([7u8; 32]);
+        let mut s = AtticServer::new(verifier.clone());
+        s.store_mut().mkcol_recursive("/health/clinic").unwrap();
+        let token = verifier.issue(
+            "clinic",
+            "/health/clinic",
+            Permission::ReadWrite,
+            t(1_000_000),
+        );
+        let auth = format!("Capability {}", token.encode());
+
+        // No auth header → 401.
+        let bare = Request::put(url("/health/clinic/r1.json"), &b"{}"[..]);
+        assert_eq!(
+            s.handle_external(&bare, t(0)).status,
+            StatusCode::UNAUTHORIZED
+        );
+
+        // Valid grant → 201.
+        let ok = bare.clone().with_header("authorization", auth.clone());
+        assert_eq!(s.handle_external(&ok, t(0)).status, StatusCode::CREATED);
+
+        // Out-of-scope path → 403.
+        let outside = Request::put(url("/finance/tax.pdf"), &b"x"[..])
+            .with_header("authorization", auth.clone());
+        assert_eq!(
+            s.handle_external(&outside, t(0)).status,
+            StatusCode::FORBIDDEN
+        );
+
+        // Expired token → 401.
+        assert_eq!(
+            s.handle_external(&ok, t(2_000_000)).status,
+            StatusCode::UNAUTHORIZED
+        );
+    }
+
+    #[test]
+    fn read_only_grant_cannot_write() {
+        let verifier = TokenVerifier::new([7u8; 32]);
+        let mut s = AtticServer::new(verifier.clone());
+        s.store_mut().mkcol("/shared").unwrap();
+        s.store_mut().put("/shared/doc", "v", t(0)).unwrap();
+        let token = verifier.issue("viewer", "/shared", Permission::Read, t(1000));
+        let auth = format!("Capability {}", token.encode());
+        let get = Request::get(url("/shared/doc")).with_header("authorization", auth.clone());
+        assert_eq!(s.handle_external(&get, t(1)).status, StatusCode::OK);
+        let put = Request::put(url("/shared/doc"), &b"evil"[..]).with_header("authorization", auth);
+        assert_eq!(s.handle_external(&put, t(1)).status, StatusCode::FORBIDDEN);
+    }
+
+    #[test]
+    fn locking_mediates_concurrent_writers() {
+        let mut s = server();
+        s.handle_local(&Request::put(url("/doc"), &b"v1"[..]), t(0));
+        // Word processor locks the file.
+        let lock = Request::new(Method::Lock, url("/doc"))
+            .with_header("x-lock-owner", "word-proc")
+            .with_header("timeout", "Second-300");
+        let lr = s.handle_local(&lock, t(1));
+        assert_eq!(lr.status, StatusCode::OK);
+        let token = lr.headers.get("lock-token").unwrap().to_owned();
+
+        // Another app's write bounces with 423.
+        let other = Request::put(url("/doc"), &b"v2"[..]);
+        let blocked = s.handle_local(&other, t(2));
+        assert_eq!(blocked.status, StatusCode::LOCKED);
+        assert_eq!(blocked.headers.get("x-lock-holder"), Some("word-proc"));
+
+        // The holder writes fine.
+        let own = Request::put(url("/doc"), &b"v2"[..]).with_header("lock-token", token.clone());
+        assert_eq!(s.handle_local(&own, t(3)).status, StatusCode::NO_CONTENT);
+
+        // Unlock; now anyone can write.
+        let unlock = Request::new(Method::Unlock, url("/doc")).with_header("lock-token", token);
+        assert_eq!(s.handle_local(&unlock, t(4)).status, StatusCode::NO_CONTENT);
+        assert_eq!(s.handle_local(&other, t(5)).status, StatusCode::NO_CONTENT);
+    }
+
+    #[test]
+    fn if_match_prevents_lost_updates() {
+        let mut s = server();
+        let r = s.handle_local(&Request::put(url("/doc"), &b"v1"[..]), t(0));
+        let etag = r.headers.get("etag").unwrap().to_owned();
+        // Stale etag → 412.
+        let stale = Request::put(url("/doc"), &b"v3"[..]).with_header("if-match", "\"bogus\"");
+        assert_eq!(
+            s.handle_local(&stale, t(1)).status,
+            StatusCode::PRECONDITION_FAILED
+        );
+        let fresh = Request::put(url("/doc"), &b"v2"[..]).with_header("if-match", etag);
+        assert_eq!(s.handle_local(&fresh, t(1)).status, StatusCode::NO_CONTENT);
+    }
+
+    #[test]
+    fn propfind_lists() {
+        let mut s = server();
+        s.store_mut().mkcol("/d").unwrap();
+        s.store_mut().put("/d/a", "1", t(0)).unwrap();
+        s.store_mut().put("/d/b", "2", t(0)).unwrap();
+        let pf = Request::new(Method::PropFind, url("/d"));
+        let r = s.handle_local(&pf, t(1));
+        assert_eq!(r.status, StatusCode::MULTI_STATUS);
+        let body = String::from_utf8(r.body.to_vec()).unwrap();
+        assert!(body.contains("/d/a file"));
+        assert!(body.contains("/d/b file"));
+        let pf0 = Request::new(Method::PropFind, url("/d")).with_header("depth", "0");
+        let r0 = s.handle_local(&pf0, t(1));
+        assert_eq!(
+            String::from_utf8(r0.body.to_vec()).unwrap(),
+            "/d collection\n"
+        );
+    }
+
+    #[test]
+    fn copy_and_move_verbs() {
+        let mut s = server();
+        s.handle_local(&Request::put(url("/a"), &b"x"[..]), t(0));
+        let cp = Request::new(Method::Copy, url("/a")).with_header("destination", "/b");
+        assert_eq!(s.handle_local(&cp, t(1)).status, StatusCode::CREATED);
+        let mv = Request::new(Method::Move, url("/a")).with_header("destination", "/c");
+        assert_eq!(s.handle_local(&mv, t(2)).status, StatusCode::CREATED);
+        assert_eq!(
+            s.handle_local(&Request::get(url("/a")), t(3)).status,
+            StatusCode::NOT_FOUND
+        );
+        assert_eq!(
+            s.handle_local(&Request::get(url("/c")), t(3)).status,
+            StatusCode::OK
+        );
+    }
+
+    #[test]
+    fn options_advertises_dav() {
+        let mut s = server();
+        let r = s.handle_local(&Request::new(Method::Options, url("/")), t(0));
+        assert_eq!(r.headers.get("dav"), Some("1, 2"));
+    }
+
+    #[test]
+    fn write_events_published() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Arc;
+        let bus = EventBus::new();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = hits.clone();
+        bus.subscribe("attic.write", move |e| {
+            assert_eq!(e.payload, "/doc");
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        let mut s = server().with_bus(bus);
+        s.handle_local(&Request::put(url("/doc"), &b"v"[..]), t(0));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}

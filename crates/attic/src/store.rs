@@ -1,0 +1,460 @@
+//! The attic's versioned object store.
+//!
+//! One canonical copy of every file ("maintaining a single source for a
+//! file", §IV-A), with linear version history, content ETags, and
+//! WebDAV-style collections (directories).
+
+use bytes::Bytes;
+use hpop_crypto::sha256::Sha256;
+use hpop_netsim::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from store operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The path does not exist.
+    NotFound,
+    /// A parent collection is missing (WebDAV `409 Conflict`).
+    MissingParent,
+    /// The path exists with the wrong kind (file vs collection).
+    Conflict,
+    /// Paths must be absolute and normalized.
+    BadPath,
+    /// Destination already exists (COPY/MOVE without overwrite).
+    DestinationExists,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            StoreError::NotFound => "path not found",
+            StoreError::MissingParent => "parent collection missing",
+            StoreError::Conflict => "path kind conflict",
+            StoreError::BadPath => "malformed path",
+            StoreError::DestinationExists => "destination exists",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A stored file version.
+#[derive(Clone, Debug)]
+pub struct Version {
+    /// Content bytes.
+    pub body: Bytes,
+    /// Content hash tag (strong ETag).
+    pub etag: String,
+    /// When this version was written.
+    pub modified_at: SimTime,
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Collection,
+    File { versions: Vec<Version> },
+}
+
+/// Computes the strong ETag of a body.
+pub fn etag_of(body: &[u8]) -> String {
+    format!("\"{}\"", &Sha256::digest(body).to_hex()[..16])
+}
+
+/// The versioned, hierarchical object store.
+#[derive(Clone, Debug)]
+pub struct ObjectStore {
+    nodes: BTreeMap<String, Node>,
+    writes: u64,
+}
+
+impl Default for ObjectStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn validate(path: &str) -> Result<(), StoreError> {
+    if !path.starts_with('/') || path.contains("//") || (path.ends_with('/') && path != "/") {
+        return Err(StoreError::BadPath);
+    }
+    Ok(())
+}
+
+fn parent_of(path: &str) -> Option<&str> {
+    if path == "/" {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(0) => Some("/"),
+        Some(i) => Some(&path[..i]),
+        None => None,
+    }
+}
+
+impl ObjectStore {
+    /// An empty store containing only the root collection.
+    pub fn new() -> ObjectStore {
+        let mut nodes = BTreeMap::new();
+        nodes.insert("/".to_owned(), Node::Collection);
+        ObjectStore { nodes, writes: 0 }
+    }
+
+    /// Whether `path` exists (file or collection).
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(path)
+    }
+
+    /// Whether `path` is a collection.
+    pub fn is_collection(&self, path: &str) -> bool {
+        matches!(self.nodes.get(path), Some(Node::Collection))
+    }
+
+    /// Creates a collection (WebDAV `MKCOL`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is malformed, the parent is missing, or the
+    /// path already exists.
+    pub fn mkcol(&mut self, path: &str) -> Result<(), StoreError> {
+        validate(path)?;
+        if self.nodes.contains_key(path) {
+            return Err(StoreError::Conflict);
+        }
+        let parent = parent_of(path).ok_or(StoreError::BadPath)?;
+        if !self.is_collection(parent) {
+            return Err(StoreError::MissingParent);
+        }
+        self.nodes.insert(path.to_owned(), Node::Collection);
+        Ok(())
+    }
+
+    /// Creates every missing collection along `path` (setup helper).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed paths or when a segment exists as a file.
+    pub fn mkcol_recursive(&mut self, path: &str) -> Result<(), StoreError> {
+        validate(path)?;
+        let mut at = String::new();
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            at.push('/');
+            at.push_str(seg);
+            match self.nodes.get(&at) {
+                Some(Node::Collection) => {}
+                Some(Node::File { .. }) => return Err(StoreError::Conflict),
+                None => {
+                    self.nodes.insert(at.clone(), Node::Collection);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes a file version (`PUT`): creates the file or appends to its
+    /// history. Returns the new version's ETag.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the parent collection is missing, the path names a
+    /// collection, or the path is malformed.
+    pub fn put(
+        &mut self,
+        path: &str,
+        body: impl Into<Bytes>,
+        now: SimTime,
+    ) -> Result<String, StoreError> {
+        validate(path)?;
+        let parent = parent_of(path).ok_or(StoreError::BadPath)?;
+        if !self.is_collection(parent) {
+            return Err(StoreError::MissingParent);
+        }
+        let body = body.into();
+        let etag = etag_of(&body);
+        let version = Version {
+            body,
+            etag: etag.clone(),
+            modified_at: now,
+        };
+        match self.nodes.get_mut(path) {
+            Some(Node::Collection) => return Err(StoreError::Conflict),
+            Some(Node::File { versions }) => versions.push(version),
+            None => {
+                self.nodes.insert(
+                    path.to_owned(),
+                    Node::File {
+                        versions: vec![version],
+                    },
+                );
+            }
+        }
+        self.writes += 1;
+        Ok(etag)
+    }
+
+    /// Reads the latest version of a file (`GET`).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if missing; [`StoreError::Conflict`] if
+    /// the path is a collection.
+    pub fn get(&self, path: &str) -> Result<&Version, StoreError> {
+        match self.nodes.get(path) {
+            Some(Node::File { versions }) => Ok(versions.last().expect("files have >= 1 version")),
+            Some(Node::Collection) => Err(StoreError::Conflict),
+            None => Err(StoreError::NotFound),
+        }
+    }
+
+    /// The full version history of a file, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// As [`ObjectStore::get`].
+    pub fn history(&self, path: &str) -> Result<&[Version], StoreError> {
+        match self.nodes.get(path) {
+            Some(Node::File { versions }) => Ok(versions),
+            Some(Node::Collection) => Err(StoreError::Conflict),
+            None => Err(StoreError::NotFound),
+        }
+    }
+
+    /// Deletes a file, or a collection and everything under it
+    /// (`DELETE`). Returns how many nodes were removed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if the path is missing; the root cannot
+    /// be deleted ([`StoreError::BadPath`]).
+    pub fn delete(&mut self, path: &str) -> Result<usize, StoreError> {
+        if path == "/" {
+            return Err(StoreError::BadPath);
+        }
+        if !self.nodes.contains_key(path) {
+            return Err(StoreError::NotFound);
+        }
+        let prefix = format!("{path}/");
+        let doomed: Vec<String> = self
+            .nodes
+            .keys()
+            .filter(|k| *k == path || k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        for k in &doomed {
+            self.nodes.remove(k);
+        }
+        Ok(doomed.len())
+    }
+
+    /// Lists the immediate children of a collection (`PROPFIND` depth 1),
+    /// as `(name, is_collection)` pairs in sorted order.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] / [`StoreError::Conflict`] as usual.
+    pub fn list(&self, path: &str) -> Result<Vec<(String, bool)>, StoreError> {
+        match self.nodes.get(path) {
+            Some(Node::Collection) => {}
+            Some(Node::File { .. }) => return Err(StoreError::Conflict),
+            None => return Err(StoreError::NotFound),
+        }
+        let prefix = if path == "/" {
+            "/".to_owned()
+        } else {
+            format!("{path}/")
+        };
+        Ok(self
+            .nodes
+            .iter()
+            .filter(|(k, _)| {
+                k.starts_with(&prefix) && k.len() > prefix.len() && !k[prefix.len()..].contains('/')
+            })
+            .map(|(k, n)| (k.clone(), matches!(n, Node::Collection)))
+            .collect())
+    }
+
+    /// Copies a file (`COPY`). The destination must not exist.
+    ///
+    /// # Errors
+    ///
+    /// Source must be a file; destination parent must exist.
+    pub fn copy(&mut self, src: &str, dst: &str, now: SimTime) -> Result<(), StoreError> {
+        if self.nodes.contains_key(dst) {
+            return Err(StoreError::DestinationExists);
+        }
+        let body = self.get(src)?.body.clone();
+        self.put(dst, body, now)?;
+        Ok(())
+    }
+
+    /// Moves a file (`MOVE`): copy then delete the source.
+    ///
+    /// # Errors
+    ///
+    /// As [`ObjectStore::copy`].
+    pub fn rename(&mut self, src: &str, dst: &str, now: SimTime) -> Result<(), StoreError> {
+        self.copy(src, dst, now)?;
+        self.delete(src)?;
+        Ok(())
+    }
+
+    /// All file paths under a prefix (the backup and health services
+    /// enumerate with this).
+    pub fn files_under(&self, prefix: &str) -> Vec<String> {
+        let want = if prefix == "/" {
+            "/".to_owned()
+        } else {
+            format!("{prefix}/")
+        };
+        self.nodes
+            .iter()
+            .filter(|(k, n)| {
+                matches!(n, Node::File { .. }) && (k.starts_with(&want) || *k == prefix)
+            })
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Total writes performed (experiment metric).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total bytes of latest versions (storage footprint).
+    pub fn latest_bytes(&self) -> u64 {
+        self.nodes
+            .values()
+            .map(|n| match n {
+                Node::File { versions } => versions.last().map_or(0, |v| v.body.len() as u64),
+                Node::Collection => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn put_get_roundtrip_with_versions() {
+        let mut s = ObjectStore::new();
+        let e1 = s.put("/a.txt", "v1", t(1)).unwrap();
+        let e2 = s.put("/a.txt", "v2", t(2)).unwrap();
+        assert_ne!(e1, e2);
+        let v = s.get("/a.txt").unwrap();
+        assert_eq!(&v.body[..], b"v2");
+        assert_eq!(v.etag, e2);
+        assert_eq!(s.history("/a.txt").unwrap().len(), 2);
+        assert_eq!(s.write_count(), 2);
+    }
+
+    #[test]
+    fn collections_gate_puts() {
+        let mut s = ObjectStore::new();
+        assert_eq!(
+            s.put("/docs/a.txt", "x", t(1)),
+            Err(StoreError::MissingParent)
+        );
+        s.mkcol("/docs").unwrap();
+        s.put("/docs/a.txt", "x", t(1)).unwrap();
+        assert!(s.is_collection("/docs"));
+        assert!(!s.is_collection("/docs/a.txt"));
+    }
+
+    #[test]
+    fn mkcol_errors() {
+        let mut s = ObjectStore::new();
+        assert_eq!(s.mkcol("/a/b"), Err(StoreError::MissingParent));
+        s.mkcol("/a").unwrap();
+        assert_eq!(s.mkcol("/a"), Err(StoreError::Conflict));
+        assert_eq!(s.mkcol("relative"), Err(StoreError::BadPath));
+        assert_eq!(s.mkcol("/a//b"), Err(StoreError::BadPath));
+        assert_eq!(s.mkcol("/a/"), Err(StoreError::BadPath));
+    }
+
+    #[test]
+    fn mkcol_recursive_builds_trees() {
+        let mut s = ObjectStore::new();
+        s.mkcol_recursive("/health/clinic/2026").unwrap();
+        assert!(s.is_collection("/health/clinic/2026"));
+        s.put("/health/clinic/2026/visit.json", "{}", t(1)).unwrap();
+        // A file blocking the path is a conflict.
+        assert_eq!(
+            s.mkcol_recursive("/health/clinic/2026/visit.json/deeper"),
+            Err(StoreError::Conflict)
+        );
+    }
+
+    #[test]
+    fn delete_is_recursive() {
+        let mut s = ObjectStore::new();
+        s.mkcol_recursive("/d/e").unwrap();
+        s.put("/d/a.txt", "x", t(1)).unwrap();
+        s.put("/d/e/b.txt", "y", t(1)).unwrap();
+        assert_eq!(s.delete("/d").unwrap(), 4);
+        assert!(!s.exists("/d/e/b.txt"));
+        assert_eq!(s.delete("/d"), Err(StoreError::NotFound));
+        assert_eq!(s.delete("/"), Err(StoreError::BadPath));
+    }
+
+    #[test]
+    fn list_immediate_children_only() {
+        let mut s = ObjectStore::new();
+        s.mkcol_recursive("/d/sub").unwrap();
+        s.put("/d/a.txt", "x", t(1)).unwrap();
+        s.put("/d/sub/deep.txt", "y", t(1)).unwrap();
+        let ls = s.list("/d").unwrap();
+        assert_eq!(
+            ls,
+            vec![("/d/a.txt".to_owned(), false), ("/d/sub".to_owned(), true)]
+        );
+        let root = s.list("/").unwrap();
+        assert_eq!(root, vec![("/d".to_owned(), true)]);
+        assert_eq!(s.list("/d/a.txt"), Err(StoreError::Conflict));
+    }
+
+    #[test]
+    fn copy_and_move() {
+        let mut s = ObjectStore::new();
+        s.put("/a.txt", "data", t(1)).unwrap();
+        s.copy("/a.txt", "/b.txt", t(2)).unwrap();
+        assert_eq!(&s.get("/b.txt").unwrap().body[..], b"data");
+        assert!(s.exists("/a.txt"));
+        assert_eq!(
+            s.copy("/a.txt", "/b.txt", t(3)),
+            Err(StoreError::DestinationExists)
+        );
+        s.rename("/a.txt", "/c.txt", t(3)).unwrap();
+        assert!(!s.exists("/a.txt"));
+        assert!(s.exists("/c.txt"));
+    }
+
+    #[test]
+    fn etag_is_content_derived() {
+        assert_eq!(etag_of(b"same"), etag_of(b"same"));
+        assert_ne!(etag_of(b"a"), etag_of(b"b"));
+        let mut s = ObjectStore::new();
+        s.put("/x", "same", t(1)).unwrap();
+        s.put("/y", "same", t(2)).unwrap();
+        assert_eq!(s.get("/x").unwrap().etag, s.get("/y").unwrap().etag);
+    }
+
+    #[test]
+    fn files_under_and_sizes() {
+        let mut s = ObjectStore::new();
+        s.mkcol_recursive("/h/c1").unwrap();
+        s.put("/h/c1/r1.json", "12345", t(1)).unwrap();
+        s.put("/h/c1/r2.json", "123", t(1)).unwrap();
+        s.put("/top.txt", "xy", t(1)).unwrap();
+        let files = s.files_under("/h");
+        assert_eq!(files.len(), 2);
+        assert_eq!(s.latest_bytes(), 10);
+        assert_eq!(s.files_under("/").len(), 3);
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the cryptographic and coding
+//! substrates every HPoP service leans on: SHA-256 (NoCDN object
+//! verification), HMAC (usage-record signing), ChaCha20 (attic backup
+//! encryption) and Reed–Solomon encode/reconstruct (peer backup).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hpop_crypto::chacha20::ChaCha20;
+use hpop_crypto::hmac::hmac_sha256;
+use hpop_crypto::sha256::Sha256;
+use hpop_erasure::rs::ReedSolomon;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha256");
+    for size in [1_024usize, 65_536, 1_048_576] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("digest/{size}"), |b| {
+            b.iter(|| Sha256::digest(black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let key = [7u8; 32];
+    let record = b"usage|3|12345|987654|7|42";
+    c.bench_function("hmac/usage_record", |b| {
+        b.iter(|| hmac_sha256(black_box(&key), black_box(record)))
+    });
+}
+
+fn bench_chacha20(c: &mut Criterion) {
+    let key = [9u8; 32];
+    let nonce = [1u8; 12];
+    let mut g = c.benchmark_group("chacha20");
+    for size in [4_096usize, 1_048_576] {
+        let data = vec![0x55u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("encrypt/{size}"), |b| {
+            b.iter(|| ChaCha20::encrypt(black_box(&key), black_box(&nonce), black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let rs = ReedSolomon::new(8, 4).expect("valid params");
+    let blob = vec![0x3cu8; 1_048_576];
+    let mut g = c.benchmark_group("reed_solomon");
+    g.throughput(Throughput::Bytes(blob.len() as u64));
+    g.bench_function("encode/RS(12,8)/1MiB", |b| {
+        b.iter(|| rs.encode_blob(black_box(&blob)).expect("encodes"))
+    });
+    let shards = rs.encode_blob(&blob).expect("encodes");
+    g.bench_function("reconstruct/RS(12,8)/1MiB/4lost", |b| {
+        b.iter(|| {
+            let mut s = shards.clone();
+            s[0] = None;
+            s[3] = None;
+            s[8] = None;
+            s[11] = None;
+            rs.reconstruct_blob(black_box(s), blob.len())
+                .expect("reconstructs")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac,
+    bench_chacha20,
+    bench_reed_solomon
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmarks over the simulator and the end-to-end
+//! experiment kernels: how fast the harness itself regenerates the
+//! paper's results (simulated seconds per wall-clock second).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hpop_bench::experiments::{
+    e02_tcp_rampup, e03_bottleneck_shift, e10_tunnel_tradeoff, e15_coop_cache, e16_nat_traversal,
+};
+use hpop_netsim::netsim::NetSim;
+use hpop_netsim::presets::{ccz, CczParams};
+use hpop_netsim::units::MB;
+
+fn bench_flow_sim(c: &mut Criterion) {
+    // 50 homes each pulling 100 MB through the shared uplink: one full
+    // max-min reallocation per flow event.
+    c.bench_function("netsim/ccz_50_homes_bulk", |b| {
+        b.iter(|| {
+            let net = ccz(&CczParams {
+                homes: 50,
+                ..CczParams::default()
+            });
+            let mut sim = NetSim::with_topology(net.topology.clone());
+            for h in 0..50 {
+                sim.start_transfer(net.server, net.homes[h], 100 * MB, |_, _| {});
+            }
+            sim.run();
+            black_box(sim.events_run())
+        })
+    });
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    c.bench_function("experiment/e02_rampup_tables", |b| {
+        b.iter(|| black_box(e02_tcp_rampup::rampup_table()))
+    });
+    c.bench_function("experiment/e03_bottleneck_20_homes", |b| {
+        b.iter(|| black_box(e03_bottleneck_shift::run(&[20])))
+    });
+    c.bench_function("experiment/e10_tunnel_sweep", |b| {
+        b.iter(|| black_box(e10_tunnel_tradeoff::run()))
+    });
+    c.bench_function("experiment/e15_coop_10_homes", |b| {
+        b.iter(|| black_box(e15_coop_cache::run(&[10], 100)))
+    });
+    c.bench_function("experiment/e16_nat_matrix", |b| {
+        b.iter(|| black_box(e16_nat_traversal::matrix_table()))
+    });
+}
+
+criterion_group!(benches, bench_flow_sim, bench_experiments);
+criterion_main!(benches);

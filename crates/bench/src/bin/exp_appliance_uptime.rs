@@ -1,0 +1,9 @@
+//! E17: attic service availability under home outages (extension).
+
+use hpop_bench::experiments::e17_appliance_uptime;
+
+fn main() {
+    for table in e17_appliance_uptime::run_default() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,9 @@
+//! E11: attic backup availability (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e11_attic_availability;
+
+fn main() {
+    for table in e11_attic_availability::run_default() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,9 @@
+//! E12: attic lock mediation and dual writes (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e12_attic_consistency;
+
+fn main() {
+    for table in e12_attic_consistency::run_default() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,9 @@
+//! E3: last-mile to aggregation bottleneck shift (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e03_bottleneck_shift;
+
+fn main() {
+    for table in e03_bottleneck_shift::run_default() {
+        println!("{table}");
+    }
+}

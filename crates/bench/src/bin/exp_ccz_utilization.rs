@@ -1,0 +1,9 @@
+//! E1: CCZ per-second link utilization (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e01_ccz_utilization;
+
+fn main() {
+    for table in e01_ccz_utilization::run_default() {
+        println!("{table}");
+    }
+}

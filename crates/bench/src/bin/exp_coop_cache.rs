@@ -1,0 +1,9 @@
+//! E15: cooperative neighborhood cache (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e15_coop_cache;
+
+fn main() {
+    for table in e15_coop_cache::run_default() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,9 @@
+//! E8: detour benefit via waypoints (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e08_dcol_detour;
+
+fn main() {
+    for table in e08_dcol_detour::run_default() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,9 @@
+//! E9: ACK-delay scheduler steering (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e09_dcol_steering;
+
+fn main() {
+    for table in e09_dcol_steering::run_default() {
+        println!("{table}");
+    }
+}

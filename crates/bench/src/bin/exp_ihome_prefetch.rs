@@ -1,0 +1,9 @@
+//! E13: Internet@home prefetch aggressiveness (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e13_ihome_prefetch;
+
+fn main() {
+    for table in e13_ihome_prefetch::run_default() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,9 @@
+//! E14: upstream demand smoothing (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e14_ihome_smoothing;
+
+fn main() {
+    for table in e14_ihome_smoothing::run_default() {
+        println!("{table}");
+    }
+}

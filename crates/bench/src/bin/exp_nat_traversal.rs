@@ -1,0 +1,9 @@
+//! E16: HPoP reachability across NAT types (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e16_nat_traversal;
+
+fn main() {
+    for table in e16_nat_traversal::run_default() {
+        println!("{table}");
+    }
+}

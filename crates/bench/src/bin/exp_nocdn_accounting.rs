@@ -1,0 +1,9 @@
+//! E6: NoCDN accounting and collusion detection (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e06_nocdn_accounting;
+
+fn main() {
+    for table in e06_nocdn_accounting::run_default() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,9 @@
+//! E7: chunked multi-peer downloads (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e07_nocdn_chunking;
+
+fn main() {
+    for table in e07_nocdn_chunking::run_default() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,9 @@
+//! E5: NoCDN content integrity (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e05_nocdn_integrity;
+
+fn main() {
+    for table in e05_nocdn_integrity::run_default() {
+        println!("{table}");
+    }
+}

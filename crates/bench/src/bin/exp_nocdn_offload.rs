@@ -1,0 +1,9 @@
+//! E4: NoCDN origin offload (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e04_nocdn_offload;
+
+fn main() {
+    for table in e04_nocdn_offload::run_default() {
+        println!("{table}");
+    }
+}

@@ -1,0 +1,9 @@
+//! E2: TCP slow-start ramp-up arithmetic (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e02_tcp_rampup;
+
+fn main() {
+    for table in e02_tcp_rampup::run_default() {
+        println!("{table}");
+    }
+}

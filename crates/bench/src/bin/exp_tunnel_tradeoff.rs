@@ -1,0 +1,9 @@
+//! E10: VPN vs NAT tunneling tradeoff (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e10_tunnel_tradeoff;
+
+fn main() {
+    for table in e10_tunnel_tradeoff::run_default() {
+        println!("{table}");
+    }
+}

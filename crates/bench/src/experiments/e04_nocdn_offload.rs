@@ -1,0 +1,235 @@
+//! E4 — NoCDN origin offload (Fig. 2, §IV-B).
+//!
+//! "This mechanism improves scalability of the origin site because it
+//! only has to deliver a small wrapper page … the rest of the page
+//! content fetched from the peer(s)." Sweep the client population and
+//! compare origin bytes with and without NoCDN, plus the peer-selection
+//! policy ablation.
+
+use crate::table::{f2, pct, Table};
+use hpop_nocdn::accounting::Accounting;
+use hpop_nocdn::loader::PageLoader;
+use hpop_nocdn::origin::{ContentProvider, PageSpec};
+use hpop_nocdn::peer::{NoCdnPeer, PeerId};
+use hpop_nocdn::select::{PeerDirectory, PeerInfo, SelectionPolicy};
+use hpop_nocdn::wrapper::WrapperPage;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+const MASTER: [u8; 32] = [42u8; 32];
+
+/// A provider with one typical page: 50 KB of markup plus 8 embedded
+/// objects (styles, scripts, images) totalling ~1.2 MB.
+fn provider() -> (ContentProvider, Vec<String>) {
+    let mut p = ContentProvider::new("news.example");
+    p.put_object("/index.html", vec![b'h'; 50_000]);
+    let mut objects = vec!["/index.html".to_owned()];
+    let sizes = [
+        30_000, 60_000, 90_000, 120_000, 150_000, 200_000, 250_000, 300_000,
+    ];
+    for (i, sz) in sizes.iter().enumerate() {
+        let path = format!("/asset{i}.bin");
+        p.put_object(&path, vec![b'a' + i as u8; *sz]);
+        objects.push(path);
+    }
+    p.put_page(PageSpec {
+        container: "/index.html".into(),
+        embedded: objects[1..].to_vec(),
+    });
+    (p, objects)
+}
+
+/// One full NoCDN run: `clients` page views over `peers` peers.
+struct RunResult {
+    origin_bytes: u64,
+    wrapper_bytes: u64,
+    peer_bytes: u64,
+    baseline_bytes: u64,
+}
+
+fn run_once(clients: usize, peer_count: u32, policy: SelectionPolicy, seed: u64) -> RunResult {
+    let (mut origin, objects) = provider();
+    let baseline_per_view = origin.page_bytes("/index.html").unwrap();
+    let mut peers: BTreeMap<PeerId, NoCdnPeer> = (0..peer_count)
+        .map(|i| (PeerId(i), NoCdnPeer::new(PeerId(i))))
+        .collect();
+    let mut dir = PeerDirectory::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..peer_count {
+        dir.recruit(
+            PeerId(i),
+            PeerInfo {
+                rtt_ms: 5.0 + (i as f64 * 7.0) % 40.0,
+                violations: 0,
+            },
+        );
+    }
+    let mut acct = Accounting::new();
+    let mut peer_bytes = 0u64;
+    for client in 0..clients {
+        let assignments = dir.assign(&objects, policy, &mut rng);
+        let wrapper = WrapperPage::generate(
+            &mut origin,
+            "/index.html",
+            client as u64,
+            &assignments,
+            &mut acct,
+            &MASTER,
+            client == 0, // loader script cached after the first view
+        );
+        let mut loader = PageLoader::new(client as u64);
+        let (report, _page) = loader.load(&wrapper, &mut peers, &mut origin);
+        peer_bytes += report.total_peer_bytes();
+    }
+    RunResult {
+        origin_bytes: origin.origin_bytes,
+        wrapper_bytes: origin.wrapper_bytes,
+        peer_bytes,
+        baseline_bytes: baseline_per_view * clients as u64,
+    }
+}
+
+/// Offload vs client count.
+pub fn offload_table(client_counts: &[usize], peers: u32) -> Table {
+    let mut t = Table::new(
+        "E4a",
+        format!("NoCDN origin offload vs page views ({peers} peers, random selection)"),
+        &[
+            "page views",
+            "origin bytes (no CDN)",
+            "origin bytes (NoCDN)",
+            "  of which wrappers",
+            "peer bytes",
+            "origin reduction",
+        ],
+    );
+    for &c in client_counts {
+        let r = run_once(c, peers, SelectionPolicy::Random, 7);
+        let total_origin = r.origin_bytes + r.wrapper_bytes;
+        t.push(vec![
+            c.to_string(),
+            r.baseline_bytes.to_string(),
+            total_origin.to_string(),
+            r.wrapper_bytes.to_string(),
+            r.peer_bytes.to_string(),
+            pct(1.0 - total_origin as f64 / r.baseline_bytes as f64),
+        ]);
+    }
+    t
+}
+
+/// Peer-selection policy ablation at fixed scale.
+pub fn policy_table(clients: usize, peers: u32) -> Table {
+    let mut t = Table::new(
+        "E4b",
+        format!("peer-selection ablation ({clients} views, {peers} peers)"),
+        &[
+            "policy",
+            "origin reduction",
+            "distinct serving peers",
+            "max peer load share",
+        ],
+    );
+    for (name, policy) in [
+        ("random", SelectionPolicy::Random),
+        ("round-robin", SelectionPolicy::RoundRobin),
+        ("proximity", SelectionPolicy::Proximity),
+        ("trust-weighted", SelectionPolicy::TrustWeighted),
+    ] {
+        let (mut origin, objects) = provider();
+        let mut peer_map: BTreeMap<PeerId, NoCdnPeer> = (0..peers)
+            .map(|i| (PeerId(i), NoCdnPeer::new(PeerId(i))))
+            .collect();
+        let mut dir = PeerDirectory::new();
+        for i in 0..peers {
+            dir.recruit(
+                PeerId(i),
+                PeerInfo {
+                    rtt_ms: 5.0 + (i as f64 * 7.0) % 40.0,
+                    violations: 0,
+                },
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut acct = Accounting::new();
+        for client in 0..clients {
+            let assignments = dir.assign(&objects, policy, &mut rng);
+            let wrapper = WrapperPage::generate(
+                &mut origin,
+                "/index.html",
+                client as u64,
+                &assignments,
+                &mut acct,
+                &MASTER,
+                client == 0,
+            );
+            let mut loader = PageLoader::new(client as u64);
+            let _ = loader.load(&wrapper, &mut peer_map, &mut origin);
+        }
+        let baseline = origin.page_bytes("/index.html").unwrap() * clients as u64;
+        let total_origin = origin.origin_bytes + origin.wrapper_bytes;
+        let served: Vec<u64> = peer_map.values().map(|p| p.bytes_served).collect();
+        let total_served: u64 = served.iter().sum();
+        let active = served.iter().filter(|&&b| b > 0).count();
+        let max_share =
+            served.iter().copied().max().unwrap_or(0) as f64 / total_served.max(1) as f64;
+        t.push(vec![
+            name.into(),
+            pct(1.0 - total_origin as f64 / baseline as f64),
+            format!("{active}/{peers}"),
+            f2(max_share),
+        ]);
+    }
+    t
+}
+
+/// Default-scale run.
+pub fn run_default() -> Vec<Table> {
+    vec![
+        offload_table(&[1, 10, 100, 1000], 20),
+        policy_table(200, 20),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offload_exceeds_95_percent_at_scale() {
+        // At small scale the peers' one-time cache fills dominate; at
+        // 1000 views they amortize and the reduction passes 95%.
+        let t = offload_table(&[100, 1000], 10);
+        let small: f64 = t.rows[0][5].trim_end_matches('%').parse().unwrap();
+        assert!(small > 85.0, "origin reduction {small}%");
+        let large: f64 = t.rows[1][5].trim_end_matches('%').parse().unwrap();
+        assert!(large > 95.0, "origin reduction {large}%");
+    }
+
+    #[test]
+    fn cache_warmup_amortizes_origin_fills() {
+        // With one view the peers all miss (origin fills); with many
+        // views the fills amortize.
+        let one = run_once(1, 5, SelectionPolicy::RoundRobin, 1);
+        let many = run_once(100, 5, SelectionPolicy::RoundRobin, 1);
+        let one_ratio = (one.origin_bytes + one.wrapper_bytes) as f64 / one.baseline_bytes as f64;
+        let many_ratio =
+            (many.origin_bytes + many.wrapper_bytes) as f64 / many.baseline_bytes as f64;
+        assert!(many_ratio < one_ratio / 5.0, "{one_ratio} -> {many_ratio}");
+    }
+
+    #[test]
+    fn policies_all_offload_but_differ_in_spread() {
+        let t = policy_table(50, 10);
+        assert_eq!(t.len(), 4);
+        for row in &t.rows {
+            let reduction: f64 = row[1].trim_end_matches('%').parse().unwrap();
+            assert!(reduction > 70.0, "{} reduction {reduction}%", row[0]);
+        }
+        // Proximity concentrates on fewer peers than round-robin.
+        let rr_active: usize = t.rows[1][2].split('/').next().unwrap().parse().unwrap();
+        let prox_active: usize = t.rows[2][2].split('/').next().unwrap().parse().unwrap();
+        assert!(prox_active <= rr_active);
+    }
+}

@@ -1,0 +1,159 @@
+//! E5 — NoCDN content integrity under untrusted peers (§IV-B).
+//!
+//! "NoCDN must include mechanisms that ensure content integrity despite
+//! untrusted peers." Sweep the malicious-peer fraction and verify that
+//! (a) every corrupted object is detected (the loader's SHA-256 check),
+//! (b) no page ever renders with bad bytes, and (c) the only cost is
+//! origin-fallback traffic proportional to the attacker share.
+
+use crate::table::{pct, Table};
+use hpop_nocdn::accounting::Accounting;
+use hpop_nocdn::loader::PageLoader;
+use hpop_nocdn::origin::{ContentProvider, PageSpec};
+use hpop_nocdn::peer::{NoCdnPeer, PeerBehavior, PeerId};
+use hpop_nocdn::select::{PeerDirectory, PeerInfo, SelectionPolicy};
+use hpop_nocdn::wrapper::WrapperPage;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+const MASTER: [u8; 32] = [42u8; 32];
+
+struct IntegrityResult {
+    objects_served: u64,
+    corrupted_detected: u64,
+    pages_clean: u64,
+    pages_total: u64,
+    fallback_bytes: u64,
+    peer_bytes: u64,
+}
+
+fn run_once(views: usize, peers: u32, malicious_fraction: f64, seed: u64) -> IntegrityResult {
+    let mut origin = ContentProvider::new("news.example");
+    origin.put_object("/index.html", vec![b'h'; 20_000]);
+    let mut objects = vec!["/index.html".to_owned()];
+    for i in 0..6 {
+        let path = format!("/a{i}.bin");
+        origin.put_object(&path, vec![b'x'; 80_000 + i * 10_000]);
+        objects.push(path);
+    }
+    origin.put_page(PageSpec {
+        container: "/index.html".into(),
+        embedded: objects[1..].to_vec(),
+    });
+
+    let malicious = (peers as f64 * malicious_fraction).round() as u32;
+    let mut peer_map: BTreeMap<PeerId, NoCdnPeer> = (0..peers)
+        .map(|i| {
+            let b = if i < malicious {
+                PeerBehavior::CorruptsContent
+            } else {
+                PeerBehavior::Honest
+            };
+            (PeerId(i), NoCdnPeer::with_behavior(PeerId(i), b))
+        })
+        .collect();
+    let mut dir = PeerDirectory::new();
+    for i in 0..peers {
+        dir.recruit(PeerId(i), PeerInfo::default());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acct = Accounting::new();
+    let mut res = IntegrityResult {
+        objects_served: 0,
+        corrupted_detected: 0,
+        pages_clean: 0,
+        pages_total: 0,
+        fallback_bytes: 0,
+        peer_bytes: 0,
+    };
+    let authentic = origin.page_bytes("/index.html").unwrap();
+    for client in 0..views {
+        let assignments = dir.assign(&objects, SelectionPolicy::Random, &mut rng);
+        let wrapper = WrapperPage::generate(
+            &mut origin,
+            "/index.html",
+            client as u64,
+            &assignments,
+            &mut acct,
+            &MASTER,
+            false,
+        );
+        let mut loader = PageLoader::new(client as u64);
+        let (report, page) = loader.load(&wrapper, &mut peer_map, &mut origin);
+        res.objects_served += objects.len() as u64;
+        res.corrupted_detected += report.corrupted.len() as u64;
+        res.pages_total += 1;
+        if page.len() as u64 == authentic {
+            res.pages_clean += 1;
+        }
+        res.fallback_bytes += report.bytes_from_origin;
+        res.peer_bytes += report.total_peer_bytes();
+    }
+    res
+}
+
+/// Runs the malicious-fraction sweep.
+pub fn run(views: usize, peers: u32, fractions: &[f64]) -> Table {
+    let mut t = Table::new(
+        "E5",
+        format!("content integrity vs malicious peers ({views} views, {peers} peers)"),
+        &[
+            "malicious peers",
+            "objects corrupted",
+            "detected",
+            "pages assembled clean",
+            "fallback traffic share",
+        ],
+    );
+    for &frac in fractions {
+        let r = run_once(views, peers, frac, 11);
+        let total = r.peer_bytes + r.fallback_bytes;
+        t.push(vec![
+            pct(frac),
+            r.corrupted_detected.to_string(),
+            if r.corrupted_detected > 0 || frac == 0.0 {
+                "100.00%".into()
+            } else {
+                "n/a".into()
+            },
+            format!("{}/{}", r.pages_clean, r.pages_total),
+            pct(r.fallback_bytes as f64 / total.max(1) as f64),
+        ]);
+    }
+    t
+}
+
+/// Default-scale run.
+pub fn run_default() -> Vec<Table> {
+    vec![run(200, 20, &[0.0, 0.10, 0.25, 0.50])]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_page_assembles_clean_even_at_50_percent_malicious() {
+        let r = run_once(50, 10, 0.5, 3);
+        assert_eq!(r.pages_clean, r.pages_total);
+        assert!(r.corrupted_detected > 0);
+    }
+
+    #[test]
+    fn fallback_share_tracks_attacker_share() {
+        let low = run_once(100, 20, 0.1, 5);
+        let high = run_once(100, 20, 0.5, 5);
+        let share = |r: &IntegrityResult| {
+            r.fallback_bytes as f64 / (r.fallback_bytes + r.peer_bytes) as f64
+        };
+        assert!(share(&high) > share(&low) + 0.2);
+    }
+
+    #[test]
+    fn no_malicious_no_fallback() {
+        let r = run_once(50, 10, 0.0, 3);
+        assert_eq!(r.corrupted_detected, 0);
+        assert_eq!(r.fallback_bytes, 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! E6 — accurate accounting and collusion detection (§IV-B).
+//!
+//! "An unscrupulous peer has an incentive to inflate the contribution
+//! they report … NoCDN must be able to protect content providers from
+//! such behavior" and "a NoCDN peer and a client collude to download
+//! content — or claim to download content — for the sole purpose of
+//! coaxing payment." Three attacker profiles against the accounting
+//! pipeline: record inflation (defeated by HMAC), replayed records
+//! (defeated by nonces), and peer/client collusion (surfaced by anomaly
+//! scoring).
+
+use crate::table::{f2, Table};
+use hpop_crypto::nonce::Nonce;
+use hpop_nocdn::accounting::{Accounting, RejectReason, UsageRecord};
+use hpop_nocdn::loader::PageLoader;
+use hpop_nocdn::origin::{ContentProvider, PageSpec};
+use hpop_nocdn::peer::{NoCdnPeer, PeerBehavior, PeerId};
+use hpop_nocdn::select::{PeerDirectory, PeerInfo, SelectionPolicy};
+use hpop_nocdn::wrapper::WrapperPage;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+const MASTER: [u8; 32] = [42u8; 32];
+
+/// Scenario A: honest + inflating peers through the full pipeline.
+pub fn inflation_table(views: usize) -> Table {
+    let mut origin = ContentProvider::new("news.example");
+    origin.put_object("/index.html", vec![b'h'; 10_000]);
+    origin.put_object("/a.bin", vec![b'x'; 90_000]);
+    origin.put_page(PageSpec {
+        container: "/index.html".into(),
+        embedded: vec!["/a.bin".into()],
+    });
+    let objects = vec!["/index.html".to_owned(), "/a.bin".to_owned()];
+    let mut peer_map: BTreeMap<PeerId, NoCdnPeer> = BTreeMap::new();
+    peer_map.insert(PeerId(0), NoCdnPeer::new(PeerId(0)));
+    peer_map.insert(
+        PeerId(1),
+        NoCdnPeer::with_behavior(PeerId(1), PeerBehavior::InflatesUsage(10)),
+    );
+    let mut dir = PeerDirectory::new();
+    dir.recruit(PeerId(0), PeerInfo::default());
+    dir.recruit(PeerId(1), PeerInfo::default());
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut acct = Accounting::new();
+    let mut ground_truth: BTreeMap<PeerId, u64> = BTreeMap::new();
+    for client in 0..views {
+        let assignments = dir.assign(&objects, SelectionPolicy::RoundRobin, &mut rng);
+        let wrapper = WrapperPage::generate(
+            &mut origin,
+            "/index.html",
+            client as u64,
+            &assignments,
+            &mut acct,
+            &MASTER,
+            false,
+        );
+        let mut loader = PageLoader::new(client as u64);
+        let (report, _) = loader.load(&wrapper, &mut peer_map, &mut origin);
+        for (&p, &b) in &report.bytes_from_peers {
+            *ground_truth.entry(PeerId(p)).or_default() += b;
+        }
+    }
+    let mut claimed: BTreeMap<PeerId, u64> = BTreeMap::new();
+    for (_, peer) in peer_map.iter_mut() {
+        for record in peer.upload_records() {
+            *claimed.entry(record.peer).or_default() += record.bytes;
+            let _ = acct.settle(&record);
+        }
+    }
+    let mut t = Table::new(
+        "E6a",
+        format!("usage-record inflation ({views} page views, peer 1 inflates 10x)"),
+        &["peer", "actually served", "claimed", "paid", "rejections"],
+    );
+    for p in [PeerId(0), PeerId(1)] {
+        t.push(vec![
+            format!("peer {}{}", p.0, if p.0 == 1 { " (inflating)" } else { "" }),
+            ground_truth.get(&p).copied().unwrap_or(0).to_string(),
+            claimed.get(&p).copied().unwrap_or(0).to_string(),
+            acct.payable_bytes(p).to_string(),
+            acct.rejection_count(p).to_string(),
+        ]);
+    }
+    t
+}
+
+/// Scenario B: replay and forgery attempts, by defense layer.
+pub fn replay_table() -> Table {
+    let mut acct = Accounting::new();
+    let key = acct.issue(1, PeerId(0), 100_000, &MASTER);
+    let record = UsageRecord::sign(&key, PeerId(0), 1, 90_000, 3, Nonce(1));
+    let first = acct.settle(&record);
+    let replay = acct.settle(&record);
+    let mut forged = record.clone();
+    forged.bytes = 99_999;
+    let forge = acct.settle(&forged);
+    let overclaim = UsageRecord::sign(&key, PeerId(0), 1, 200_000, 3, Nonce(2));
+    let over = acct.settle(&overclaim);
+    let unknown = UsageRecord::sign(&key, PeerId(9), 5, 10, 1, Nonce(3));
+    let unk = acct.settle(&unknown);
+
+    let fmt = |r: Result<(), RejectReason>| match r {
+        Ok(()) => "accepted".to_owned(),
+        Err(e) => format!("rejected ({e:?})"),
+    };
+    let mut t = Table::new("E6b", "accounting defense layers", &["attack", "outcome"]);
+    t.push(vec!["honest record".into(), fmt(first)]);
+    t.push(vec!["replayed record".into(), fmt(replay)]);
+    t.push(vec!["bytes altered after signing".into(), fmt(forge)]);
+    t.push(vec!["claim above issued work".into(), fmt(over)]);
+    t.push(vec!["record without issuance".into(), fmt(unk)]);
+    t
+}
+
+/// Scenario C: collusion anomaly scores.
+pub fn collusion_table(honest_peers: u32) -> Table {
+    let mut acct = Accounting::new();
+    // Honest population: realistic mixed workloads, ~40% of issued work.
+    let mut rng = StdRng::seed_from_u64(4);
+    use rand::Rng;
+    let mut nonce = 0u64;
+    for p in 0..honest_peers {
+        for c in 0..20u64 {
+            nonce += 1;
+            let client = c * 1000 + p as u64;
+            let max = 100_000;
+            let used = rng.gen_range(20_000..60_000);
+            let key = acct.issue(client, PeerId(p), max, &MASTER);
+            let r = UsageRecord::sign(&key, PeerId(p), client, used, 3, Nonce(nonce as u128));
+            acct.settle(&r).expect("honest records settle");
+        }
+    }
+    // The colluding clique: claims the full issued work every time.
+    let colluder = PeerId(honest_peers);
+    for c in 0..60u64 {
+        nonce += 1;
+        let client = 900_000 + c;
+        let key = acct.issue(client, colluder, 100_000, &MASTER);
+        let r = UsageRecord::sign(&key, colluder, client, 100_000, 3, Nonce(nonce as u128));
+        acct.settle(&r)
+            .expect("collusion is cryptographically valid");
+    }
+    let scores = acct.anomaly_scores();
+    let flagged = acct.flag_anomalies(2.0);
+    let mut t = Table::new(
+        "E6c",
+        format!("collusion anomaly scores ({honest_peers} honest peers + 1 colluding clique)"),
+        &["peer", "score (vs median)", "flagged (>2.0)"],
+    );
+    for (p, s) in scores {
+        let is_colluder = p == colluder;
+        let label = if is_colluder {
+            format!("peer {} (colluding)", p.0)
+        } else {
+            format!("peer {}", p.0)
+        };
+        t.push(vec![
+            label,
+            f2(s),
+            if flagged.contains(&p) { "YES" } else { "no" }.into(),
+        ]);
+    }
+    t
+}
+
+/// Default-scale run.
+pub fn run_default() -> Vec<Table> {
+    vec![inflation_table(200), replay_table(), collusion_table(8)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflating_peer_earns_nothing() {
+        let t = inflation_table(50);
+        // peer 1 row: claimed 10x served, paid 0.
+        let served: u64 = t.rows[1][1].parse().unwrap();
+        let claimed: u64 = t.rows[1][2].parse().unwrap();
+        let paid: u64 = t.rows[1][3].parse().unwrap();
+        assert_eq!(claimed, served * 10);
+        assert_eq!(paid, 0);
+        // honest peer is paid exactly what it served.
+        let h_served: u64 = t.rows[0][1].parse().unwrap();
+        let h_paid: u64 = t.rows[0][3].parse().unwrap();
+        assert_eq!(h_served, h_paid);
+    }
+
+    #[test]
+    fn all_defense_layers_fire() {
+        let t = replay_table();
+        assert!(t.rows[0][1].contains("accepted"));
+        assert!(t.rows[1][1].contains("Replay"));
+        assert!(t.rows[2][1].contains("BadSignature"));
+        assert!(t.rows[3][1].contains("ExceedsIssuedWork"));
+        assert!(t.rows[4][1].contains("UnknownIssuance"));
+    }
+
+    #[test]
+    fn only_the_colluder_is_flagged() {
+        let t = collusion_table(8);
+        let flagged: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[2] == "YES").collect();
+        assert_eq!(flagged.len(), 1);
+        assert!(flagged[0][0].contains("colluding"));
+    }
+}

@@ -1,0 +1,158 @@
+//! E11 — attic backup availability (§IV-A "Data Availability").
+//!
+//! "This latter may involve replicating the entire HPoP to attics
+//! belonging to friends and relatives, or redundantly encoding the
+//! contents — e.g., using erasure codes — and storing pieces with a
+//! variety of peers." Closed-form availability across peer-failure
+//! probabilities and schemes, cross-checked by Monte-Carlo restores of
+//! actual encrypted [`hpop_attic::backup::BackupSet`]s.
+
+use crate::table::{f4, Table};
+use hpop_attic::backup::{BackupPlan, BackupSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const KEY: [u8; 32] = [5u8; 32];
+
+/// Monte-Carlo availability: `trials` random loss patterns at peer
+/// failure probability `p`.
+fn monte_carlo(plan: BackupPlan, p: f64, trials: u32, seed: u64) -> f64 {
+    let blob: Vec<u8> = (0..4096u32).map(|i| (i % 256) as u8).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ok = 0u32;
+    for _ in 0..trials {
+        let mut set = BackupSet::create(&blob, &KEY, "mc", plan).expect("valid plan");
+        for peer in 0..plan.peers() {
+            if rng.gen::<f64>() < p {
+                set.lose_peer(peer);
+            }
+        }
+        if set.restore(&KEY, "mc").map(|b| b == blob).unwrap_or(false) {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+/// The scheme-comparison sweep.
+pub fn run(trials: u32) -> Table {
+    let plans: [(&str, BackupPlan); 5] = [
+        ("replicate x2", BackupPlan::Replication { copies: 2 }),
+        ("replicate x3", BackupPlan::Replication { copies: 3 }),
+        ("RS(6,4)", BackupPlan::Erasure { data: 4, parity: 2 }),
+        ("RS(10,8)", BackupPlan::Erasure { data: 8, parity: 2 }),
+        ("RS(12,8)", BackupPlan::Erasure { data: 8, parity: 4 }),
+    ];
+    let mut t = Table::new(
+        "E11",
+        format!("backup availability vs peer failure probability ({trials} Monte-Carlo trials)"),
+        &[
+            "scheme",
+            "overhead",
+            "p=0.01 (exact)",
+            "p=0.05 (exact)",
+            "p=0.20 (exact)",
+            "p=0.20 (MC)",
+            "p=0.50 (exact)",
+        ],
+    );
+    for (i, (name, plan)) in plans.iter().enumerate() {
+        t.push(vec![
+            name.to_string(),
+            format!("{:.2}x", plan.overhead()),
+            f4(plan.availability(0.01)),
+            f4(plan.availability(0.05)),
+            f4(plan.availability(0.20)),
+            f4(monte_carlo(*plan, 0.20, trials, 100 + i as u64)),
+            f4(plan.availability(0.50)),
+        ]);
+    }
+    t
+}
+
+/// The efficiency view: storage needed per scheme to reach three nines
+/// at a given failure probability.
+pub fn efficiency_table() -> Table {
+    let mut t = Table::new(
+        "E11b",
+        "cheapest scheme reaching 99.9% availability",
+        &[
+            "peer failure prob",
+            "replication (overhead)",
+            "erasure (overhead)",
+        ],
+    );
+    for p in [0.05, 0.10, 0.20] {
+        // Smallest replication factor reaching 99.9%.
+        let rep = (1..=12u32)
+            .map(|r| BackupPlan::Replication { copies: r })
+            .find(|pl| pl.availability(p) >= 0.999)
+            .expect("some replication factor suffices");
+        // Cheapest RS with k = 8 reaching 99.9%.
+        let rs = (1..=12u32)
+            .map(|m| BackupPlan::Erasure { data: 8, parity: m })
+            .find(|pl| pl.availability(p) >= 0.999)
+            .expect("some parity count suffices");
+        t.push(vec![
+            format!("{p:.2}"),
+            format!("x{} ({:.2}x)", rep.peers(), rep.overhead()),
+            format!("RS({},8) ({:.2}x)", rs.peers(), rs.overhead()),
+        ]);
+    }
+    t
+}
+
+/// Default-scale run.
+pub fn run_default() -> Vec<Table> {
+    vec![run(2000), efficiency_table()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monte_carlo_matches_closed_form() {
+        let plan = BackupPlan::Erasure { data: 4, parity: 2 };
+        let exact = plan.availability(0.2);
+        let mc = monte_carlo(plan, 0.2, 3000, 7);
+        assert!((mc - exact).abs() < 0.03, "mc {mc} vs exact {exact}");
+    }
+
+    #[test]
+    fn erasure_cheaper_than_replication_for_same_nines() {
+        let t = efficiency_table();
+        for row in &t.rows {
+            let rep_overhead: f64 = row[1]
+                .split('(')
+                .nth(1)
+                .unwrap()
+                .trim_end_matches("x)")
+                .parse()
+                .unwrap();
+            let rs_overhead: f64 = row[2]
+                .split('(')
+                .nth(2)
+                .unwrap()
+                .trim_end_matches("x)")
+                .parse()
+                .unwrap();
+            assert!(
+                rs_overhead < rep_overhead,
+                "p={}: rs {rs_overhead} !< rep {rep_overhead}",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn availability_table_shape() {
+        let t = run(200);
+        assert_eq!(t.len(), 5);
+        // Everything is highly available at p=0.01.
+        for row in &t.rows {
+            let a: f64 = row[2].parse().unwrap();
+            assert!(a > 0.99, "{}: {a}", row[0]);
+        }
+    }
+}

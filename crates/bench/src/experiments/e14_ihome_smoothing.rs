@@ -1,0 +1,115 @@
+//! E14 — demand smoothing (§IV-D "Demand Smoothing").
+//!
+//! "Obtaining content ahead of actual use also brings flexibility to
+//! schedule content acquisition at an opportune time. This can smooth
+//! the demand on Internet servers and core networks." Refresh tasks
+//! derived from a realistic prefetch plan, scheduled at-deadline vs
+//! smoothed, against the household's diurnal demand curve.
+
+use crate::table::{f2, Table};
+use hpop_internet_home::smoothing::{DemandSmoother, HourlyLoad, RefreshTask};
+use hpop_netsim::time::SimTime;
+use hpop_workloads::diurnal::DiurnalCurve;
+use hpop_workloads::zipf::WebUniverse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the day's refresh tasks from a universe sample: objects whose
+/// TTLs expire through the day, each refetchable from one TTL earlier.
+fn day_tasks(objects: usize, seed: u64) -> Vec<RefreshTask> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let universe = WebUniverse::generate(objects, 1.0, 100_000, &mut rng);
+    let curve = DiurnalCurve::residential();
+    universe
+        .objects()
+        .iter()
+        .map(|o| {
+            // Copies tend to expire when they were last refreshed by
+            // use — biased toward busy hours.
+            let deadline = curve.sample_time(1, &mut rng);
+            let earliest = SimTime::from_nanos(
+                deadline
+                    .as_nanos()
+                    .saturating_sub(o.ttl_secs * 1_000_000_000),
+            );
+            RefreshTask {
+                bytes: o.bytes,
+                deadline,
+                earliest,
+            }
+        })
+        .collect()
+}
+
+/// Converts the user demand curve to absolute bytes/hour.
+fn user_demand(scale_mb: f64) -> HourlyLoad {
+    let curve = DiurnalCurve::residential();
+    let mut l = HourlyLoad::default();
+    for h in 0..24 {
+        l.bytes[h] = curve.weight(h) * scale_mb * 1e6;
+    }
+    l
+}
+
+/// Runs the comparison at several prefetch scales.
+pub fn run(object_counts: &[usize]) -> Table {
+    let mut t = Table::new(
+        "E14",
+        "upstream demand smoothing: refresh-at-deadline vs scheduled (bytes/hour)",
+        &[
+            "refresh objects",
+            "baseline peak (MB/h)",
+            "smoothed peak (MB/h)",
+            "baseline peak/mean",
+            "smoothed peak/mean",
+            "peak reduction",
+        ],
+    );
+    let demand = user_demand(20.0);
+    for &n in object_counts {
+        let tasks = day_tasks(n, 31);
+        let base = DemandSmoother::at_deadline(&tasks, &demand);
+        let smooth = DemandSmoother::smoothed(&tasks, &demand);
+        t.push(vec![
+            n.to_string(),
+            f2(base.peak() / 1e6),
+            f2(smooth.peak() / 1e6),
+            f2(base.peak_to_mean()),
+            f2(smooth.peak_to_mean()),
+            format!("{:.1}%", (1.0 - smooth.peak() / base.peak()) * 100.0),
+        ]);
+    }
+    t
+}
+
+/// Default-scale run.
+pub fn run_default() -> Vec<Table> {
+    vec![run(&[100, 500, 2000])]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoothing_reduces_peak_without_losing_bytes() {
+        let demand = user_demand(20.0);
+        let tasks = day_tasks(500, 1);
+        let base = DemandSmoother::at_deadline(&tasks, &demand);
+        let smooth = DemandSmoother::smoothed(&tasks, &demand);
+        assert!((base.total() - smooth.total()).abs() < 1.0);
+        assert!(smooth.peak() < base.peak());
+        assert!(smooth.peak_to_mean() < base.peak_to_mean());
+    }
+
+    #[test]
+    fn bigger_refresh_sets_benefit_more_in_absolute_terms() {
+        let t = run(&[100, 2000]);
+        let saved = |i: usize| -> f64 {
+            let b: f64 = t.rows[i][1].parse().unwrap();
+            let s: f64 = t.rows[i][2].parse().unwrap();
+            b - s
+        };
+        assert!(saved(1) > saved(0), "{} vs {}", saved(1), saved(0));
+    }
+}

@@ -1,0 +1,119 @@
+//! E15 — the cooperative neighborhood cache (§IV-D "A Cooperative
+//! Cache").
+//!
+//! "Neighboring HPoPs can link together to coordinate their content
+//! gathering activities and avoid duplicate retrievals and storage of
+//! content in an effort to save aggregate capacity to the
+//! neighborhood." Sweep the neighborhood size with a shared Zipf
+//! workload and compare cooperative vs independent caches on uplink
+//! bytes, origin fetches and duplicate storage.
+
+use crate::table::{f2, pct, Table};
+use hpop_http::url::Url;
+use hpop_internet_home::coop::CoopCache;
+use hpop_workloads::zipf::WebUniverse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct RunOut {
+    coop_uplink: u64,
+    indep_uplink: u64,
+    coop_origin: u64,
+    indep_origin: u64,
+    coop_storage: usize,
+    indep_storage: usize,
+    containment: f64,
+}
+
+fn run_once(homes: u32, requests_per_home: usize, seed: u64) -> RunOut {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let universe = WebUniverse::generate(1000, 1.0, 100_000, &mut rng);
+    let mut coop = CoopCache::new(homes);
+    let mut indep = CoopCache::new(homes).independent();
+    // Interleave requests across homes (neighbors share interests — the
+    // same Zipf distribution).
+    for round in 0..requests_per_home {
+        for home in 0..homes {
+            let _ = round;
+            let obj = universe.sample(&mut rng);
+            let url = Url::https("web.example", &obj.path);
+            coop.request(home, &url, obj.bytes);
+            indep.request(home, &url, obj.bytes);
+        }
+    }
+    RunOut {
+        coop_uplink: coop.stats().uplink_bytes,
+        indep_uplink: indep.stats().uplink_bytes,
+        coop_origin: coop.stats().origin_fetches,
+        indep_origin: indep.stats().origin_fetches,
+        coop_storage: coop.stored_objects(),
+        indep_storage: indep.stored_objects(),
+        containment: coop.stats().containment(),
+    }
+}
+
+/// Runs the neighborhood-size sweep.
+pub fn run(sizes: &[u32], requests_per_home: usize) -> Table {
+    let mut t = Table::new(
+        "E15",
+        format!("cooperative neighborhood cache ({requests_per_home} requests/home, Zipf(1.0) x 1000 objects)"),
+        &[
+            "HPoPs",
+            "uplink MB (indep)",
+            "uplink MB (coop)",
+            "uplink saving",
+            "origin fetches (indep/coop)",
+            "stored objects (indep/coop)",
+            "containment",
+        ],
+    );
+    for &n in sizes {
+        let r = run_once(n, requests_per_home, 13);
+        t.push(vec![
+            n.to_string(),
+            f2(r.indep_uplink as f64 / 1e6),
+            f2(r.coop_uplink as f64 / 1e6),
+            pct(1.0 - r.coop_uplink as f64 / r.indep_uplink.max(1) as f64),
+            format!("{}/{}", r.indep_origin, r.coop_origin),
+            format!("{}/{}", r.indep_storage, r.coop_storage),
+            pct(r.containment),
+        ]);
+    }
+    t
+}
+
+/// Default-scale run.
+pub fn run_default() -> Vec<Table> {
+    vec![run(&[1, 2, 5, 10, 20, 50], 200)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_grow_with_neighborhood_size() {
+        let t = run(&[2, 10, 50], 100);
+        let saving = |i: usize| -> f64 { t.rows[i][3].trim_end_matches('%').parse().unwrap() };
+        assert!(saving(1) > saving(0), "{} !> {}", saving(1), saving(0));
+        assert!(saving(2) > saving(1), "{} !> {}", saving(2), saving(1));
+        // A 50-home neighborhood sharing Zipf interests saves most
+        // uplink traffic.
+        assert!(saving(2) > 50.0, "saving {}%", saving(2));
+    }
+
+    #[test]
+    fn no_duplicate_storage_under_cooperation() {
+        let r = run_once(10, 100, 3);
+        assert!(r.coop_storage < r.indep_storage);
+        // Cooperative stores at most one copy per distinct object.
+        assert!(r.coop_storage <= 1000);
+    }
+
+    #[test]
+    fn single_home_gains_nothing() {
+        let r = run_once(1, 100, 3);
+        assert_eq!(r.coop_uplink, r.indep_uplink);
+        assert_eq!(r.coop_origin, r.indep_origin);
+    }
+}

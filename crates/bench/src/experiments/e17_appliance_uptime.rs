@@ -1,0 +1,149 @@
+//! E17 (extension) — attic *service* availability under home outages.
+//!
+//! §IV-A ("Data Availability"): "users could either decide that
+//! occasional unavailability is an inherent reality of home utilities —
+//! similar to electric power — or add replication mechanisms. For
+//! instance, this latter may involve replicating the entire HPoP to
+//! attics belonging to friends and relatives."
+//!
+//! E11 covered *durability* (is the data recoverable); this extension
+//! covers *availability* (is the service reachable right now). Each
+//! appliance alternates up/down as a renewal process (exponential MTBF /
+//! MTTR); a household's attic is available when any of its replicas is
+//! up. The simulation is validated against the closed form
+//! `1 - (1 - a)^r` with `a = MTBF / (MTBF + MTTR)`.
+
+use crate::table::{f4, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Steady-state availability of one appliance.
+fn single_availability(mtbf_h: f64, mttr_h: f64) -> f64 {
+    mtbf_h / (mtbf_h + mttr_h)
+}
+
+/// Simulates `replicas` independent appliances over `years` and returns
+/// the fraction of time at least one was up.
+fn simulate(replicas: usize, mtbf_h: f64, mttr_h: f64, years: f64, seed: u64) -> f64 {
+    let horizon = years * 365.0 * 24.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut exp = |mean: f64| -> f64 {
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        -mean * u.ln()
+    };
+    // Per-replica alternating up/down interval lists, merged by sweep.
+    let mut events: Vec<(f64, i32)> = Vec::new(); // (time, +1 up / -1 down)
+    for _ in 0..replicas {
+        let mut t = 0.0;
+        let mut up = true;
+        events.push((0.0, 1));
+        while t < horizon {
+            let dur = if up { exp(mtbf_h) } else { exp(mttr_h) };
+            t += dur;
+            if t >= horizon {
+                break;
+            }
+            events.push((t, if up { -1 } else { 1 }));
+            up = !up;
+        }
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    let mut up_count = 0i32;
+    let mut last = 0.0;
+    let mut available = 0.0;
+    for (t, delta) in events {
+        if up_count > 0 {
+            available += t - last;
+        }
+        last = t;
+        up_count += delta;
+    }
+    if up_count > 0 {
+        available += horizon - last;
+    }
+    available / horizon
+}
+
+/// Runs the MTTR × replication sweep.
+pub fn run(years: f64) -> Table {
+    let mtbf_h = 30.0 * 24.0; // a home outage (power/ISP/reboot) every ~30 days
+    let mut t = Table::new(
+        "E17",
+        format!("attic service availability: home outages every ~30 days, {years} simulated years"),
+        &[
+            "repair time",
+            "replicas",
+            "availability (exact)",
+            "availability (simulated)",
+            "downtime / year",
+        ],
+    );
+    for mttr_h in [1.0f64, 12.0, 48.0] {
+        let a = single_availability(mtbf_h, mttr_h);
+        for replicas in [1usize, 2, 3] {
+            let exact = 1.0 - (1.0 - a).powi(replicas as i32);
+            let sim = simulate(replicas, mtbf_h, mttr_h, years, 7 + replicas as u64);
+            let downtime_h = (1.0 - exact) * 365.0 * 24.0;
+            let downtime = if downtime_h >= 1.0 {
+                format!("{downtime_h:.1}h")
+            } else {
+                format!("{:.1}min", downtime_h * 60.0)
+            };
+            t.push(vec![
+                format!("{mttr_h:.0}h"),
+                replicas.to_string(),
+                f4(exact),
+                f4(sim),
+                downtime,
+            ]);
+        }
+    }
+    t
+}
+
+/// Default-scale run.
+pub fn run_default() -> Vec<Table> {
+    vec![run(60.0)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_matches_closed_form() {
+        for replicas in [1usize, 2] {
+            let exact = 1.0 - (1.0 - single_availability(720.0, 12.0)).powi(replicas as i32);
+            let sim = simulate(replicas, 720.0, 12.0, 200.0, 3);
+            assert!(
+                (sim - exact).abs() < 0.005,
+                "r={replicas}: sim {sim} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn replication_to_friends_buys_nines() {
+        let t = run(20.0);
+        // 12h repairs: one appliance ~98.4%; three replicas >99.999%.
+        let exact = |row: usize| -> f64 { t.rows[row][2].parse().unwrap() };
+        assert!(exact(3) < 0.99); // 12h MTTR, 1 replica
+        assert!(exact(5) > 0.9999); // 12h MTTR, 3 replicas
+                                    // Availability is monotone in replicas within each MTTR block
+                                    // (>= because the table rounds to 4 decimals and the 1h block
+                                    // saturates at 1.0000).
+        for block in 0..3 {
+            for i in 0..2 {
+                assert!(exact(block * 3 + i + 1) >= exact(block * 3 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn electric_power_analogy_holds_for_fast_repairs() {
+        // 1h repairs on a single appliance ≈ 99.86% — the paper's "an
+        // inherent reality of home utilities" level.
+        let a = single_availability(720.0, 1.0);
+        assert!((0.995..0.9999).contains(&a), "{a}");
+    }
+}

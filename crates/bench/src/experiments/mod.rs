@@ -1,0 +1,44 @@
+//! The per-experiment implementations (DESIGN.md index E1–E16).
+
+pub mod e01_ccz_utilization;
+pub mod e02_tcp_rampup;
+pub mod e03_bottleneck_shift;
+pub mod e04_nocdn_offload;
+pub mod e05_nocdn_integrity;
+pub mod e06_nocdn_accounting;
+pub mod e07_nocdn_chunking;
+pub mod e08_dcol_detour;
+pub mod e09_dcol_steering;
+pub mod e10_tunnel_tradeoff;
+pub mod e11_attic_availability;
+pub mod e12_attic_consistency;
+pub mod e13_ihome_prefetch;
+pub mod e14_ihome_smoothing;
+pub mod e15_coop_cache;
+pub mod e16_nat_traversal;
+pub mod e17_appliance_uptime;
+
+use crate::table::Table;
+
+/// Runs every experiment at its default scale, in index order.
+pub fn run_all() -> Vec<Table> {
+    let mut out = Vec::new();
+    out.extend(e01_ccz_utilization::run_default());
+    out.extend(e02_tcp_rampup::run_default());
+    out.extend(e03_bottleneck_shift::run_default());
+    out.extend(e04_nocdn_offload::run_default());
+    out.extend(e05_nocdn_integrity::run_default());
+    out.extend(e06_nocdn_accounting::run_default());
+    out.extend(e07_nocdn_chunking::run_default());
+    out.extend(e08_dcol_detour::run_default());
+    out.extend(e09_dcol_steering::run_default());
+    out.extend(e10_tunnel_tradeoff::run_default());
+    out.extend(e11_attic_availability::run_default());
+    out.extend(e12_attic_consistency::run_default());
+    out.extend(e13_ihome_prefetch::run_default());
+    out.extend(e14_ihome_smoothing::run_default());
+    out.extend(e15_coop_cache::run_default());
+    out.extend(e16_nat_traversal::run_default());
+    out.extend(e17_appliance_uptime::run_default());
+    out
+}

@@ -1,0 +1,18 @@
+//! # hpop-bench — the experiment harness
+//!
+//! One module per experiment in DESIGN.md's index (E1–E16). Each
+//! experiment exposes `run(…) -> Table` producing the rows the paper's
+//! claims predict; the `exp_*` binaries print them, `exp_all`
+//! regenerates the complete EXPERIMENTS.md data, and `benches/` holds
+//! criterion timing benches over the same code paths.
+//!
+//! Everything is seeded and deterministic: running any experiment twice
+//! prints identical tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

@@ -1,0 +1,143 @@
+//! Plain-text result tables (the "rows the paper reports").
+
+use std::fmt;
+
+/// A titled, column-aligned result table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment id (`"E4"`).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &'static str, title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            id,
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width mismatch in table {}",
+            self.id
+        );
+        self.rows.push(row);
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as GitHub-flavored Markdown (for EXPERIMENTS.md).
+    pub fn to_markdown(&self) -> String {
+        let mut s = format!("### {} — {}\n\n", self.id, self.title);
+        s.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        s.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            s.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", line(&self.headers))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", line(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimals (table-cell helper).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 4 decimals.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a fraction as a percentage with 2 decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_renders() {
+        let mut t = Table::new("E0", "demo", &["a", "bee"]);
+        assert!(t.is_empty());
+        t.push(vec!["1".into(), "2".into()]);
+        t.push(vec!["10".into(), "20".into()]);
+        assert_eq!(t.len(), 2);
+        let s = t.to_string();
+        assert!(s.contains("E0 — demo"));
+        assert!(s.contains("bee"));
+        let md = t.to_markdown();
+        assert!(md.starts_with("### E0"));
+        assert!(md.contains("| 10 | 20 |"));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f4(0.12345), "0.1235");
+        assert_eq!(pct(0.1234), "12.34%");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut t = Table::new("E0", "demo", &["a"]);
+        t.push(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,197 @@
+//! A synchronous topic bus connecting appliance services.
+//!
+//! §IV-D ("Leveraging the Data Attic"): "the HPoP will provide a generic
+//! modular framework such that many forms of information within the data
+//! attic can trigger data collection". The bus is that framework: the
+//! attic publishes `attic.write` events; Internet@home subscribes and
+//! turns them into prefetch hints.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// An event on the bus.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Dotted topic (`"attic.write"`, `"service.failed"`).
+    pub topic: String,
+    /// Free-form payload (services define their own mini-schemas).
+    pub payload: String,
+}
+
+impl Event {
+    /// Creates an event.
+    pub fn new(topic: impl Into<String>, payload: impl Into<String>) -> Event {
+        Event {
+            topic: topic.into(),
+            payload: payload.into(),
+        }
+    }
+}
+
+type Subscriber = Box<dyn FnMut(&Event) + Send>;
+
+struct BusInner {
+    subscribers: BTreeMap<String, Vec<Subscriber>>,
+    published: u64,
+    delivered: u64,
+}
+
+/// A cheaply cloneable synchronous pub/sub bus.
+///
+/// Delivery is immediate and in subscription order; a subscriber matches
+/// an event if its pattern equals the topic or is a `prefix.*` glob.
+#[derive(Clone)]
+pub struct EventBus {
+    inner: Arc<Mutex<BusInner>>,
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("EventBus")
+            .field("topics", &inner.subscribers.keys().collect::<Vec<_>>())
+            .field("published", &inner.published)
+            .finish()
+    }
+}
+
+impl Default for EventBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        EventBus {
+            inner: Arc::new(Mutex::new(BusInner {
+                subscribers: BTreeMap::new(),
+                published: 0,
+                delivered: 0,
+            })),
+        }
+    }
+
+    /// Subscribes to a topic, or to a subtree with a `prefix.*` pattern.
+    pub fn subscribe(&self, pattern: &str, f: impl FnMut(&Event) + Send + 'static) {
+        self.inner
+            .lock()
+            .subscribers
+            .entry(pattern.to_owned())
+            .or_default()
+            .push(Box::new(f));
+    }
+
+    /// Publishes an event, delivering synchronously to every matching
+    /// subscriber. Returns the number of deliveries.
+    pub fn publish(&self, event: Event) -> usize {
+        let mut inner = self.inner.lock();
+        inner.published += 1;
+        // Collect matching patterns first to appease the borrow checker.
+        let patterns: Vec<String> = inner
+            .subscribers
+            .keys()
+            .filter(|p| Self::matches(p, &event.topic))
+            .cloned()
+            .collect();
+        let mut count = 0;
+        for p in patterns {
+            if let Some(subs) = inner.subscribers.get_mut(&p) {
+                for s in subs.iter_mut() {
+                    s(&event);
+                    count += 1;
+                }
+            }
+        }
+        inner.delivered += count as u64;
+        count
+    }
+
+    fn matches(pattern: &str, topic: &str) -> bool {
+        if let Some(prefix) = pattern.strip_suffix(".*") {
+            topic.starts_with(prefix)
+                && topic.len() > prefix.len()
+                && topic.as_bytes()[prefix.len()] == b'.'
+        } else {
+            pattern == topic
+        }
+    }
+
+    /// (published, delivered) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock();
+        (inner.published, inner.delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn exact_topic_delivery() {
+        let bus = EventBus::new();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = hits.clone();
+        bus.subscribe("attic.write", move |e| {
+            assert_eq!(e.payload, "records/2026.json");
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        let n = bus.publish(Event::new("attic.write", "records/2026.json"));
+        assert_eq!(n, 1);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(bus.publish(Event::new("attic.read", "x")), 0);
+    }
+
+    #[test]
+    fn glob_subscriptions() {
+        let bus = EventBus::new();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = hits.clone();
+        bus.subscribe("attic.*", move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        bus.publish(Event::new("attic.write", ""));
+        bus.publish(Event::new("attic.lock.acquired", ""));
+        bus.publish(Event::new("atticology", "")); // must NOT match
+        bus.publish(Event::new("attic", "")); // bare prefix: no dot segment
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn multiple_subscribers_all_fire() {
+        let bus = EventBus::new();
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..3 {
+            let h = hits.clone();
+            bus.subscribe("t", move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(bus.publish(Event::new("t", "")), 3);
+    }
+
+    #[test]
+    fn stats_track() {
+        let bus = EventBus::new();
+        bus.subscribe("a", |_| {});
+        bus.publish(Event::new("a", ""));
+        bus.publish(Event::new("b", ""));
+        assert_eq!(bus.stats(), (2, 1));
+    }
+
+    #[test]
+    fn clones_share_subscribers() {
+        let bus = EventBus::new();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = hits.clone();
+        bus.clone().subscribe("x", move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        bus.publish(Event::new("x", ""));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+}

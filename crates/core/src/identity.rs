@@ -1,0 +1,239 @@
+//! Household, user and device identity.
+//!
+//! §III: the HPoP serves "the users in the house regardless of where they
+//! are physically located". A [`Household`] owns users; each [`User`]
+//! owns devices which may be at home or roaming — the distinction the
+//! reachability planner and the attic's access checks care about.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies a user within a household.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct UserId(pub u32);
+
+/// Identifies a device within a household.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DeviceId(pub u32);
+
+/// A household member.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct User {
+    /// Display name.
+    pub name: String,
+    /// Whether this user may administer the appliance (grant access,
+    /// enroll providers, manage backups).
+    pub admin: bool,
+}
+
+/// Where a device currently is, relative to the home network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DeviceLocation {
+    /// On the home LAN.
+    #[default]
+    Home,
+    /// Outside; reaches the HPoP through its public presence.
+    Roaming,
+}
+
+/// A user's device (phone, laptop, set-top box …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Device {
+    /// Display name.
+    pub name: String,
+    /// Owner.
+    pub owner: UserId,
+    /// Current location.
+    pub location: DeviceLocation,
+}
+
+/// The household an appliance serves.
+#[derive(Clone, Debug, Default)]
+pub struct Household {
+    name: String,
+    users: BTreeMap<UserId, User>,
+    devices: BTreeMap<DeviceId, Device>,
+    next_user: u32,
+    next_device: u32,
+}
+
+impl Household {
+    /// Creates an empty household.
+    pub fn new(name: impl Into<String>) -> Household {
+        Household {
+            name: name.into(),
+            ..Household::default()
+        }
+    }
+
+    /// The household name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a user; the first user added becomes an admin automatically
+    /// (someone must be able to administer a fresh appliance).
+    pub fn add_user(&mut self, name: impl Into<String>) -> UserId {
+        let id = UserId(self.next_user);
+        self.next_user += 1;
+        let admin = self.users.is_empty();
+        self.users.insert(
+            id,
+            User {
+                name: name.into(),
+                admin,
+            },
+        );
+        id
+    }
+
+    /// Looks up a user.
+    pub fn user(&self, id: UserId) -> Option<&User> {
+        self.users.get(&id)
+    }
+
+    /// Grants or revokes admin rights. Returns `false` for unknown users
+    /// or when revoking would leave no admin.
+    pub fn set_admin(&mut self, id: UserId, admin: bool) -> bool {
+        if !self.users.contains_key(&id) {
+            return false;
+        }
+        if !admin {
+            let other_admins = self
+                .users
+                .iter()
+                .filter(|(uid, u)| **uid != id && u.admin)
+                .count();
+            if other_admins == 0 {
+                return false;
+            }
+        }
+        self.users.get_mut(&id).expect("checked").admin = admin;
+        true
+    }
+
+    /// Registers a device for a user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owner is unknown.
+    pub fn add_device(&mut self, owner: UserId, name: impl Into<String>) -> DeviceId {
+        assert!(self.users.contains_key(&owner), "unknown owner {owner:?}");
+        let id = DeviceId(self.next_device);
+        self.next_device += 1;
+        self.devices.insert(
+            id,
+            Device {
+                name: name.into(),
+                owner,
+                location: DeviceLocation::Home,
+            },
+        );
+        id
+    }
+
+    /// Looks up a device.
+    pub fn device(&self, id: DeviceId) -> Option<&Device> {
+        self.devices.get(&id)
+    }
+
+    /// Moves a device between home and roaming. Returns `false` for
+    /// unknown devices.
+    pub fn set_location(&mut self, id: DeviceId, location: DeviceLocation) -> bool {
+        match self.devices.get_mut(&id) {
+            Some(d) => {
+                d.location = location;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Iterates over users.
+    pub fn users(&self) -> impl Iterator<Item = (UserId, &User)> {
+        self.users.iter().map(|(&id, u)| (id, u))
+    }
+
+    /// Iterates over devices.
+    pub fn devices(&self) -> impl Iterator<Item = (DeviceId, &Device)> {
+        self.devices.iter().map(|(&id, d)| (id, d))
+    }
+}
+
+impl fmt::Display for Household {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "household '{}' ({} users, {} devices)",
+            self.name,
+            self.users.len(),
+            self.devices.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_user_is_admin() {
+        let mut h = Household::new("doe");
+        let alice = h.add_user("alice");
+        let bob = h.add_user("bob");
+        assert!(h.user(alice).unwrap().admin);
+        assert!(!h.user(bob).unwrap().admin);
+    }
+
+    #[test]
+    fn cannot_remove_last_admin() {
+        let mut h = Household::new("doe");
+        let alice = h.add_user("alice");
+        let bob = h.add_user("bob");
+        assert!(!h.set_admin(alice, false));
+        assert!(h.set_admin(bob, true));
+        assert!(h.set_admin(alice, false));
+        assert!(!h.user(alice).unwrap().admin);
+    }
+
+    #[test]
+    fn devices_belong_to_users_and_roam() {
+        let mut h = Household::new("doe");
+        let alice = h.add_user("alice");
+        let phone = h.add_device(alice, "alice-phone");
+        assert_eq!(h.device(phone).unwrap().location, DeviceLocation::Home);
+        assert!(h.set_location(phone, DeviceLocation::Roaming));
+        assert_eq!(h.device(phone).unwrap().location, DeviceLocation::Roaming);
+        assert!(!h.set_location(DeviceId(99), DeviceLocation::Home));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown owner")]
+    fn device_needs_valid_owner() {
+        let mut h = Household::new("doe");
+        h.add_device(UserId(3), "ghost-phone");
+    }
+
+    #[test]
+    fn counts_and_display() {
+        let mut h = Household::new("doe");
+        let a = h.add_user("a");
+        h.add_device(a, "d1");
+        h.add_device(a, "d2");
+        assert_eq!(h.user_count(), 1);
+        assert_eq!(h.device_count(), 2);
+        assert_eq!(h.to_string(), "household 'doe' (1 users, 2 devices)");
+        assert_eq!(h.users().count(), 1);
+        assert_eq!(h.devices().count(), 2);
+    }
+}

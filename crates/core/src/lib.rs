@@ -1,0 +1,50 @@
+//! # hpop-core — the Home Point of Presence appliance platform
+//!
+//! §III: the HPoP is "an extensible and configurable platform that can
+//! also run myriad mundane services for the user and the household",
+//! "operational as long as there is power and online as long as there is
+//! Internet connectivity". This crate is that platform; the four paper
+//! services (attic, NoCDN peer, DCol waypoint, Internet@home) plug into
+//! it as [`service::Service`] implementations.
+//!
+//! - [`clock`] — a time source abstraction so the same appliance code
+//!   runs inside the deterministic simulator and in real processes.
+//! - [`identity`] — households, users and devices.
+//! - [`service`] — the service registry and lifecycle (start/stop/fail,
+//!   uptime accounting — the "always-on" property §II leans on).
+//! - [`events`] — a synchronous topic bus connecting services (e.g. the
+//!   attic notifies Internet@home when new data suggests new content to
+//!   gather, §IV-D "Leveraging the Data Attic").
+//! - [`vault`] — the encrypted credential vault that lets the HPoP
+//!   collect deep-web content on the user's behalf (§IV-D: "the HPoP
+//!   will hold user credentials").
+//! - [`auth`] — HMAC-signed capability tokens scoping external access
+//!   (the mechanism behind the attic's provider grants).
+//! - [`appliance`] — the assembled [`Appliance`].
+//!
+//! ```
+//! use hpop_core::{Appliance, HouseholdConfig};
+//!
+//! let mut hpop = Appliance::new(HouseholdConfig::named("doe-family"));
+//! hpop.power_on();
+//! assert!(hpop.is_online());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appliance;
+pub mod auth;
+pub mod clock;
+pub mod events;
+pub mod identity;
+pub mod service;
+pub mod vault;
+
+pub use appliance::{Appliance, HouseholdConfig};
+pub use auth::{CapabilityToken, Permission, TokenVerifier};
+pub use clock::{Clock, ManualClock};
+pub use events::{Event, EventBus};
+pub use identity::{Device, DeviceId, Household, User, UserId};
+pub use service::{Service, ServiceRegistry, ServiceStatus};
+pub use vault::{CredentialVault, SiteCredential};

@@ -1,0 +1,344 @@
+//! Service registry and lifecycle.
+//!
+//! The HPoP "can run myriad mundane services … a contacts server, a
+//! calendar server, or an email inbox" (§III). Services register here;
+//! the registry tracks state transitions and accumulates uptime — the
+//! "always-on" property the paper's services assume, and the quantity
+//! the availability experiments measure.
+
+use crate::clock::Clock;
+use hpop_netsim::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A service's lifecycle state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServiceStatus {
+    /// Registered but never started.
+    Stopped,
+    /// Running.
+    Running,
+    /// Crashed/failed; must be restarted explicitly.
+    Failed,
+}
+
+/// A pluggable appliance service.
+pub trait Service {
+    /// Stable service name (registry key), e.g. `"data-attic"`.
+    fn name(&self) -> &str;
+
+    /// Called when the registry starts the service. Errors leave the
+    /// service in [`ServiceStatus::Failed`].
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a human-readable reason on startup failure.
+    fn start(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+
+    /// Called when the registry stops the service.
+    fn stop(&mut self) {}
+}
+
+struct Registered {
+    service: Box<dyn Service>,
+    status: ServiceStatus,
+    started_at: Option<SimTime>,
+    accumulated_uptime: SimDuration,
+    starts: u32,
+    failures: u32,
+}
+
+/// The appliance's table of services.
+pub struct ServiceRegistry {
+    services: BTreeMap<String, Registered>,
+}
+
+impl fmt::Debug for ServiceRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceRegistry")
+            .field("services", &self.services.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl Default for ServiceRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ServiceRegistry {
+            services: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a service (initially stopped). Replaces any service of
+    /// the same name, stopping the old one first.
+    pub fn register(&mut self, service: impl Service + 'static) {
+        let name = service.name().to_owned();
+        if let Some(mut old) = self.services.remove(&name) {
+            if old.status == ServiceStatus::Running {
+                old.service.stop();
+            }
+        }
+        self.services.insert(
+            name,
+            Registered {
+                service: Box::new(service),
+                status: ServiceStatus::Stopped,
+                started_at: None,
+                accumulated_uptime: SimDuration::ZERO,
+                starts: 0,
+                failures: 0,
+            },
+        );
+    }
+
+    /// Starts a service. Returns `Err` with the failure reason if the
+    /// service's `start` failed, or if it is unknown.
+    ///
+    /// # Errors
+    ///
+    /// Unknown service names and startup failures are reported as
+    /// strings suitable for the appliance log.
+    pub fn start(&mut self, name: &str, clock: &dyn Clock) -> Result<(), String> {
+        let reg = self
+            .services
+            .get_mut(name)
+            .ok_or_else(|| format!("unknown service '{name}'"))?;
+        if reg.status == ServiceStatus::Running {
+            return Ok(());
+        }
+        match reg.service.start() {
+            Ok(()) => {
+                reg.status = ServiceStatus::Running;
+                reg.started_at = Some(clock.now());
+                reg.starts += 1;
+                Ok(())
+            }
+            Err(e) => {
+                reg.status = ServiceStatus::Failed;
+                reg.failures += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Stops a running service; no-op otherwise. Returns whether the
+    /// service exists.
+    pub fn stop(&mut self, name: &str, clock: &dyn Clock) -> bool {
+        match self.services.get_mut(name) {
+            Some(reg) => {
+                if reg.status == ServiceStatus::Running {
+                    reg.service.stop();
+                    reg.status = ServiceStatus::Stopped;
+                    if let Some(t0) = reg.started_at.take() {
+                        reg.accumulated_uptime += clock.now().saturating_since(t0);
+                    }
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Marks a running service failed (crash injection in experiments).
+    /// Returns whether the service exists and was running.
+    pub fn fail(&mut self, name: &str, clock: &dyn Clock) -> bool {
+        match self.services.get_mut(name) {
+            Some(reg) if reg.status == ServiceStatus::Running => {
+                reg.service.stop();
+                reg.status = ServiceStatus::Failed;
+                reg.failures += 1;
+                if let Some(t0) = reg.started_at.take() {
+                    reg.accumulated_uptime += clock.now().saturating_since(t0);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// A service's current status.
+    pub fn status(&self, name: &str) -> Option<ServiceStatus> {
+        self.services.get(name).map(|r| r.status)
+    }
+
+    /// Total accumulated uptime (including the current run).
+    pub fn uptime(&self, name: &str, clock: &dyn Clock) -> Option<SimDuration> {
+        let reg = self.services.get(name)?;
+        let mut up = reg.accumulated_uptime;
+        if let Some(t0) = reg.started_at {
+            up += clock.now().saturating_since(t0);
+        }
+        Some(up)
+    }
+
+    /// (starts, failures) counters for a service.
+    pub fn counters(&self, name: &str) -> Option<(u32, u32)> {
+        self.services.get(name).map(|r| (r.starts, r.failures))
+    }
+
+    /// Starts every registered service; returns names that failed.
+    pub fn start_all(&mut self, clock: &dyn Clock) -> Vec<String> {
+        let names: Vec<String> = self.services.keys().cloned().collect();
+        names
+            .into_iter()
+            .filter(|n| self.start(n, clock).is_err())
+            .collect()
+    }
+
+    /// Stops every running service.
+    pub fn stop_all(&mut self, clock: &dyn Clock) {
+        let names: Vec<String> = self.services.keys().cloned().collect();
+        for n in names {
+            self.stop(&n, clock);
+        }
+    }
+
+    /// Names of registered services.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.services.keys().map(String::as_str)
+    }
+
+    /// Number of registered services.
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// True when no services are registered.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    struct Dummy {
+        name: String,
+        fail_start: bool,
+    }
+
+    impl Service for Dummy {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn start(&mut self) -> Result<(), String> {
+            if self.fail_start {
+                Err("refused".into())
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    fn dummy(name: &str) -> Dummy {
+        Dummy {
+            name: name.into(),
+            fail_start: false,
+        }
+    }
+
+    #[test]
+    fn lifecycle_and_uptime() {
+        let clock = ManualClock::new();
+        let mut reg = ServiceRegistry::new();
+        reg.register(dummy("attic"));
+        assert_eq!(reg.status("attic"), Some(ServiceStatus::Stopped));
+        reg.start("attic", &clock).unwrap();
+        assert_eq!(reg.status("attic"), Some(ServiceStatus::Running));
+        clock.advance(SimDuration::from_secs(100));
+        assert_eq!(
+            reg.uptime("attic", &clock),
+            Some(SimDuration::from_secs(100))
+        );
+        reg.stop("attic", &clock);
+        clock.advance(SimDuration::from_secs(50));
+        // Uptime frozen while stopped.
+        assert_eq!(
+            reg.uptime("attic", &clock),
+            Some(SimDuration::from_secs(100))
+        );
+        // Restart accumulates.
+        reg.start("attic", &clock).unwrap();
+        clock.advance(SimDuration::from_secs(10));
+        assert_eq!(
+            reg.uptime("attic", &clock),
+            Some(SimDuration::from_secs(110))
+        );
+        assert_eq!(reg.counters("attic"), Some((2, 0)));
+    }
+
+    #[test]
+    fn failed_start_reports_reason() {
+        let clock = ManualClock::new();
+        let mut reg = ServiceRegistry::new();
+        reg.register(Dummy {
+            name: "bad".into(),
+            fail_start: true,
+        });
+        assert_eq!(reg.start("bad", &clock), Err("refused".to_owned()));
+        assert_eq!(reg.status("bad"), Some(ServiceStatus::Failed));
+        assert_eq!(reg.counters("bad"), Some((0, 1)));
+    }
+
+    #[test]
+    fn unknown_service_errors() {
+        let clock = ManualClock::new();
+        let mut reg = ServiceRegistry::new();
+        assert!(reg.start("ghost", &clock).is_err());
+        assert!(!reg.stop("ghost", &clock));
+        assert_eq!(reg.status("ghost"), None);
+    }
+
+    #[test]
+    fn fail_injection() {
+        let clock = ManualClock::new();
+        let mut reg = ServiceRegistry::new();
+        reg.register(dummy("nocdn-peer"));
+        assert!(!reg.fail("nocdn-peer", &clock)); // not running yet
+        reg.start("nocdn-peer", &clock).unwrap();
+        clock.advance(SimDuration::from_secs(5));
+        assert!(reg.fail("nocdn-peer", &clock));
+        assert_eq!(reg.status("nocdn-peer"), Some(ServiceStatus::Failed));
+        assert_eq!(
+            reg.uptime("nocdn-peer", &clock),
+            Some(SimDuration::from_secs(5))
+        );
+    }
+
+    #[test]
+    fn start_all_and_stop_all() {
+        let clock = ManualClock::new();
+        let mut reg = ServiceRegistry::new();
+        reg.register(dummy("a"));
+        reg.register(Dummy {
+            name: "b".into(),
+            fail_start: true,
+        });
+        let failed = reg.start_all(&clock);
+        assert_eq!(failed, vec!["b".to_owned()]);
+        reg.stop_all(&clock);
+        assert_eq!(reg.status("a"), Some(ServiceStatus::Stopped));
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn idempotent_start_does_not_double_count() {
+        let clock = ManualClock::new();
+        let mut reg = ServiceRegistry::new();
+        reg.register(dummy("x"));
+        reg.start("x", &clock).unwrap();
+        reg.start("x", &clock).unwrap();
+        assert_eq!(reg.counters("x"), Some((1, 0)));
+    }
+}

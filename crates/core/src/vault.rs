@@ -1,0 +1,250 @@
+//! The encrypted credential vault.
+//!
+//! §IV-D ("Deep Web Content"): "the HPoP will hold user credentials so it
+//! can copy deep web content … providing these to a device in a user's
+//! own house and ultimately under their control is much more palatable"
+//! than giving them to a third party. Credentials are sealed at rest
+//! with ChaCha20 under the appliance master key, and every access is
+//! recorded in an audit log the household can inspect.
+
+use crate::identity::UserId;
+use hpop_crypto::chacha20::ChaCha20;
+use hpop_crypto::sha256::Sha256;
+use std::collections::BTreeMap;
+
+/// A credential for one external site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SiteCredential {
+    /// Account/login name.
+    pub username: String,
+    /// Secret (password, token, cookie …).
+    pub secret: String,
+}
+
+#[derive(Clone)]
+struct Sealed {
+    owner: UserId,
+    username: String,
+    ciphertext: Vec<u8>,
+    nonce: [u8; 12],
+}
+
+/// One audit-log entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// The site whose credential was touched.
+    pub site: String,
+    /// What happened (`"store"`, `"access"`, `"revoke"`, `"denied"`).
+    pub action: String,
+    /// Who (or which service) did it.
+    pub actor: String,
+}
+
+/// Encrypted-at-rest credential store with per-user ownership and an
+/// audit trail.
+pub struct CredentialVault {
+    master_key: [u8; 32],
+    sealed: BTreeMap<String, Sealed>,
+    audit: Vec<AuditEntry>,
+    nonce_counter: u64,
+}
+
+impl std::fmt::Debug for CredentialVault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CredentialVault")
+            .field("sites", &self.sealed.keys().collect::<Vec<_>>())
+            .field("audit_entries", &self.audit.len())
+            .finish()
+    }
+}
+
+impl CredentialVault {
+    /// Creates a vault sealed under `master_key` (derived from the
+    /// appliance's identity at provisioning time).
+    pub fn new(master_key: [u8; 32]) -> CredentialVault {
+        CredentialVault {
+            master_key,
+            sealed: BTreeMap::new(),
+            audit: Vec::new(),
+            nonce_counter: 0,
+        }
+    }
+
+    /// Derives a vault from a passphrase (convenience for examples).
+    pub fn from_passphrase(passphrase: &str) -> CredentialVault {
+        Self::new(*Sha256::digest(passphrase.as_bytes()).as_bytes())
+    }
+
+    fn next_nonce(&mut self) -> [u8; 12] {
+        self.nonce_counter += 1;
+        let mut n = [0u8; 12];
+        n[..8].copy_from_slice(&self.nonce_counter.to_le_bytes());
+        n
+    }
+
+    /// Stores (or replaces) a credential owned by `owner`.
+    pub fn store(&mut self, owner: UserId, site: &str, cred: SiteCredential, actor: &str) {
+        let nonce = self.next_nonce();
+        let ciphertext = ChaCha20::encrypt(&self.master_key, &nonce, cred.secret.as_bytes());
+        self.sealed.insert(
+            site.to_owned(),
+            Sealed {
+                owner,
+                username: cred.username,
+                ciphertext,
+                nonce,
+            },
+        );
+        self.audit.push(AuditEntry {
+            site: site.to_owned(),
+            action: "store".into(),
+            actor: actor.to_owned(),
+        });
+    }
+
+    /// Retrieves a credential on behalf of `requester`. Only the owner
+    /// may access it; denials are audited too.
+    pub fn access(&mut self, requester: UserId, site: &str, actor: &str) -> Option<SiteCredential> {
+        let entry = self.sealed.get(site)?;
+        if entry.owner != requester {
+            self.audit.push(AuditEntry {
+                site: site.to_owned(),
+                action: "denied".into(),
+                actor: actor.to_owned(),
+            });
+            return None;
+        }
+        let plain = ChaCha20::decrypt(&self.master_key, &entry.nonce, &entry.ciphertext);
+        let cred = SiteCredential {
+            username: entry.username.clone(),
+            secret: String::from_utf8(plain).expect("vault stores UTF-8 secrets"),
+        };
+        self.audit.push(AuditEntry {
+            site: site.to_owned(),
+            action: "access".into(),
+            actor: actor.to_owned(),
+        });
+        Some(cred)
+    }
+
+    /// Removes a credential (owner only). Returns whether it existed and
+    /// was removed.
+    pub fn revoke(&mut self, requester: UserId, site: &str, actor: &str) -> bool {
+        match self.sealed.get(site) {
+            Some(e) if e.owner == requester => {
+                self.sealed.remove(site);
+                self.audit.push(AuditEntry {
+                    site: site.to_owned(),
+                    action: "revoke".into(),
+                    actor: actor.to_owned(),
+                });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Sites with stored credentials.
+    pub fn sites(&self) -> impl Iterator<Item = &str> {
+        self.sealed.keys().map(String::as_str)
+    }
+
+    /// The audit trail, oldest first.
+    pub fn audit_log(&self) -> &[AuditEntry] {
+        &self.audit
+    }
+
+    /// Number of stored credentials.
+    pub fn len(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// True when the vault is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sealed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vault() -> CredentialVault {
+        CredentialVault::from_passphrase("household-secret")
+    }
+
+    const ALICE: UserId = UserId(0);
+    const BOB: UserId = UserId(1);
+
+    fn cred() -> SiteCredential {
+        SiteCredential {
+            username: "alice@mail.example".into(),
+            secret: "hunter2".into(),
+        }
+    }
+
+    #[test]
+    fn store_access_roundtrip() {
+        let mut v = vault();
+        v.store(ALICE, "mail.example", cred(), "setup");
+        let got = v.access(ALICE, "mail.example", "internet-home").unwrap();
+        assert_eq!(got, cred());
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let mut v = vault();
+        v.store(ALICE, "mail.example", cred(), "setup");
+        let sealed = v.sealed.get("mail.example").unwrap();
+        assert_ne!(sealed.ciphertext, b"hunter2".to_vec());
+    }
+
+    #[test]
+    fn nonces_are_unique_per_store() {
+        let mut v = vault();
+        v.store(ALICE, "a", cred(), "s");
+        v.store(ALICE, "b", cred(), "s");
+        let na = v.sealed.get("a").unwrap().nonce;
+        let nb = v.sealed.get("b").unwrap().nonce;
+        assert_ne!(na, nb);
+    }
+
+    #[test]
+    fn other_users_are_denied_and_audited() {
+        let mut v = vault();
+        v.store(ALICE, "mail.example", cred(), "setup");
+        assert!(v.access(BOB, "mail.example", "snoop").is_none());
+        let last = v.audit_log().last().unwrap();
+        assert_eq!(last.action, "denied");
+        assert_eq!(last.actor, "snoop");
+    }
+
+    #[test]
+    fn revoke_requires_ownership() {
+        let mut v = vault();
+        v.store(ALICE, "mail.example", cred(), "setup");
+        assert!(!v.revoke(BOB, "mail.example", "snoop"));
+        assert!(v.revoke(ALICE, "mail.example", "alice-phone"));
+        assert!(v.is_empty());
+        assert!(v.access(ALICE, "mail.example", "x").is_none());
+    }
+
+    #[test]
+    fn audit_log_orders_events() {
+        let mut v = vault();
+        v.store(ALICE, "s", cred(), "a1");
+        v.access(ALICE, "s", "a2");
+        v.revoke(ALICE, "s", "a3");
+        let actions: Vec<&str> = v.audit_log().iter().map(|e| e.action.as_str()).collect();
+        assert_eq!(actions, ["store", "access", "revoke"]);
+    }
+
+    #[test]
+    fn unknown_site_is_none_without_audit() {
+        let mut v = vault();
+        assert!(v.access(ALICE, "ghost", "x").is_none());
+        assert!(v.audit_log().is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.sites().count(), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! ChaCha20 stream cipher (RFC 8439).
+//!
+//! The data attic encrypts content before peer backup (§IV-A, "Data
+//! Availability": "backup the encrypted data ... with a variety of
+//! peers"). ChaCha20 is the cipher: simple to implement from spec,
+//! fast in pure Rust, and nonce-misuse is easy to audit in tests.
+
+/// ChaCha20 keystream generator / stream cipher.
+///
+/// Encryption and decryption are the same XOR operation:
+///
+/// ```
+/// use hpop_crypto::ChaCha20;
+/// let key = [7u8; 32];
+/// let nonce = [9u8; 12];
+/// let mut ct = b"attic backup block".to_vec();
+/// ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut ct);
+/// assert_ne!(&ct[..], b"attic backup block");
+/// ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut ct);
+/// assert_eq!(&ct[..], b"attic backup block");
+/// ```
+#[derive(Clone, Debug)]
+pub struct ChaCha20 {
+    state: [u32; 16],
+}
+
+impl ChaCha20 {
+    /// Creates a cipher from a 256-bit key, 96-bit nonce and initial
+    /// 32-bit block counter (RFC 8439 layout).
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] =
+                u32::from_le_bytes([key[i * 4], key[i * 4 + 1], key[i * 4 + 2], key[i * 4 + 3]]);
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] = u32::from_le_bytes([
+                nonce[i * 4],
+                nonce[i * 4 + 1],
+                nonce[i * 4 + 2],
+                nonce[i * 4 + 3],
+            ]);
+        }
+        ChaCha20 { state }
+    }
+
+    #[inline]
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    /// Produces the next 64-byte keystream block and advances the counter.
+    fn next_block(&mut self) -> [u8; 64] {
+        let mut work = self.state;
+        for _ in 0..10 {
+            // column rounds
+            Self::quarter_round(&mut work, 0, 4, 8, 12);
+            Self::quarter_round(&mut work, 1, 5, 9, 13);
+            Self::quarter_round(&mut work, 2, 6, 10, 14);
+            Self::quarter_round(&mut work, 3, 7, 11, 15);
+            // diagonal rounds
+            Self::quarter_round(&mut work, 0, 5, 10, 15);
+            Self::quarter_round(&mut work, 1, 6, 11, 12);
+            Self::quarter_round(&mut work, 2, 7, 8, 13);
+            Self::quarter_round(&mut work, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let v = work[i].wrapping_add(self.state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+        self.state[12] = self.state[12].wrapping_add(1);
+        out
+    }
+
+    /// XORs the keystream into `data` in place (encrypt or decrypt).
+    pub fn apply_keystream(&mut self, data: &mut [u8]) {
+        for chunk in data.chunks_mut(64) {
+            let ks = self.next_block();
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    /// Convenience: returns an encrypted copy of `data`.
+    pub fn encrypt(key: &[u8; 32], nonce: &[u8; 12], data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        ChaCha20::new(key, nonce, 0).apply_keystream(&mut out);
+        out
+    }
+
+    /// Convenience: returns a decrypted copy of `data` (same as encrypt).
+    pub fn decrypt(key: &[u8; 32], nonce: &[u8; 12], data: &[u8]) -> Vec<u8> {
+        Self::encrypt(key, nonce, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 block-function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut c = ChaCha20::new(&key, &nonce, 1);
+        let block = c.next_block();
+        let expect_start = [0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15];
+        assert_eq!(&block[..8], &expect_start);
+        let expect_end = [0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e];
+        assert_eq!(&block[56..], &expect_end);
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        ChaCha20::new(&key, &nonce, 1).apply_keystream(&mut data);
+        assert_eq!(
+            &data[..16],
+            &[
+                0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80, 0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d,
+                0x69, 0x81
+            ]
+        );
+        assert_eq!(data.len(), plaintext.len());
+        // Round-trips.
+        ChaCha20::new(&key, &nonce, 1).apply_keystream(&mut data);
+        assert_eq!(&data[..], plaintext);
+    }
+
+    #[test]
+    fn different_nonces_give_different_streams() {
+        let key = [1u8; 32];
+        let a = ChaCha20::encrypt(&key, &[0u8; 12], b"same plaintext");
+        let b = ChaCha20::encrypt(&key, &[1u8; 12], b"same plaintext");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_various_lengths() {
+        let key = [42u8; 32];
+        let nonce = [7u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let ct = ChaCha20::encrypt(&key, &nonce, &data);
+            assert_eq!(ChaCha20::decrypt(&key, &nonce, &ct), data, "len {len}");
+            if len > 0 {
+                assert_ne!(ct, data, "len {len} ciphertext equals plaintext");
+            }
+        }
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let key = [3u8; 32];
+        let nonce = [5u8; 12];
+        let mut c = ChaCha20::new(&key, &nonce, 0);
+        let b0 = c.next_block();
+        let b1 = c.next_block();
+        assert_ne!(b0, b1);
+        // A cipher starting at counter 1 produces b1 first.
+        let mut c2 = ChaCha20::new(&key, &nonce, 1);
+        assert_eq!(c2.next_block(), b1);
+    }
+}

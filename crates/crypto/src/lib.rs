@@ -1,0 +1,70 @@
+//! # hpop-crypto — cryptographic primitives for HPoP services
+//!
+//! NoCDN (§IV-B) needs content hashes and HMAC-signed usage records; the
+//! data attic (§IV-A) needs encryption-at-rest for peer backup. The
+//! sanctioned offline dependency set contains no crypto crate, so the
+//! primitives are implemented here from their specifications:
+//!
+//! - [`sha256`] — SHA-256 (FIPS 180-4), with incremental hashing.
+//! - [`hmac`] — HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//! - [`chacha20`] — the ChaCha20 stream cipher (RFC 8439).
+//! - [`nonce`] — a replay-protection registry for signed usage records.
+//! - [`constant_time_eq`] — timing-safe comparison for MAC verification.
+//!
+//! Every primitive is validated against official test vectors in its
+//! module tests. These implementations favour clarity over speed; they are
+//! *not* hardened against side channels beyond constant-time comparison
+//! and are intended for the simulation/research context of this crate.
+//!
+//! ```
+//! use hpop_crypto::{sha256, hmac};
+//!
+//! let digest = sha256::Sha256::digest(b"hello world");
+//! assert_eq!(digest.to_hex().len(), 64);
+//!
+//! let tag = hmac::hmac_sha256(b"secret key", b"usage record");
+//! assert!(hmac::verify_hmac_sha256(b"secret key", b"usage record", &tag));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(test)]
+mod proptests;
+
+pub mod chacha20;
+pub mod hmac;
+pub mod nonce;
+pub mod sha256;
+
+pub use chacha20::ChaCha20;
+pub use hmac::{hmac_sha256, verify_hmac_sha256, HmacTag};
+pub use nonce::{Nonce, NonceRegistry};
+pub use sha256::{Digest, Sha256};
+
+/// Compares two byte slices in time independent of their contents
+/// (assuming equal lengths); unequal lengths return `false` immediately,
+/// which leaks only the length — public for MACs and digests.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_time_eq_basic() {
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"abcd"));
+        assert!(constant_time_eq(b"", b""));
+    }
+}

@@ -1,0 +1,163 @@
+//! Replay protection for signed usage records.
+//!
+//! §IV-B: NoCDN usage reports "include a nonce to prevent replay". The
+//! [`NonceRegistry`] is the provider-side dedup set: a nonce is accepted
+//! exactly once per scope (peer), with an optional sliding window to
+//! bound memory over long deployments.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A 128-bit nonce carried in a usage record.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Nonce(pub u128);
+
+impl Nonce {
+    /// Derives a nonce deterministically from a counter and scope id —
+    /// used by simulated clients, which draw the counter from the
+    /// experiment's seeded RNG.
+    pub fn from_parts(scope: u64, counter: u64) -> Nonce {
+        Nonce(((scope as u128) << 64) | counter as u128)
+    }
+}
+
+/// Accepts each (scope, nonce) pair at most once.
+///
+/// ```
+/// use hpop_crypto::nonce::{Nonce, NonceRegistry};
+/// let mut reg = NonceRegistry::new();
+/// let n = Nonce(7);
+/// assert!(reg.accept("peer-1", n));
+/// assert!(!reg.accept("peer-1", n));   // replay rejected
+/// assert!(reg.accept("peer-2", n));    // different scope is fine
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct NonceRegistry {
+    seen: BTreeMap<String, BTreeSet<Nonce>>,
+    order: VecDeque<(String, Nonce)>,
+    capacity: Option<usize>,
+    rejected: u64,
+}
+
+impl NonceRegistry {
+    /// Creates an unbounded registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a registry that remembers only the most recent `capacity`
+    /// nonces (across all scopes). Older nonces are forgotten FIFO; a
+    /// record replayed after eviction would be re-accepted, so size the
+    /// window to cover the records' validity period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        NonceRegistry {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// Registers a nonce for a scope. Returns `true` if it was fresh,
+    /// `false` on replay.
+    pub fn accept(&mut self, scope: &str, nonce: Nonce) -> bool {
+        let set = self.seen.entry(scope.to_owned()).or_default();
+        if !set.insert(nonce) {
+            self.rejected += 1;
+            return false;
+        }
+        if let Some(cap) = self.capacity {
+            self.order.push_back((scope.to_owned(), nonce));
+            while self.order.len() > cap {
+                let (s, n) = self.order.pop_front().expect("len > cap > 0");
+                if let Some(set) = self.seen.get_mut(&s) {
+                    set.remove(&n);
+                    if set.is_empty() {
+                        self.seen.remove(&s);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether a nonce has been seen (without registering it).
+    pub fn contains(&self, scope: &str, nonce: Nonce) -> bool {
+        self.seen.get(scope).is_some_and(|s| s.contains(&nonce))
+    }
+
+    /// Number of currently remembered nonces.
+    pub fn len(&self) -> usize {
+        self.seen.values().map(BTreeSet::len).sum()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Total replays rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_once_per_scope() {
+        let mut r = NonceRegistry::new();
+        assert!(r.accept("a", Nonce(1)));
+        assert!(!r.accept("a", Nonce(1)));
+        assert!(r.accept("b", Nonce(1)));
+        assert_eq!(r.rejected(), 1);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn contains_does_not_register() {
+        let mut r = NonceRegistry::new();
+        assert!(!r.contains("a", Nonce(9)));
+        r.accept("a", Nonce(9));
+        assert!(r.contains("a", Nonce(9)));
+        assert!(!r.contains("b", Nonce(9)));
+    }
+
+    #[test]
+    fn bounded_registry_evicts_fifo() {
+        let mut r = NonceRegistry::with_capacity(2);
+        r.accept("p", Nonce(1));
+        r.accept("p", Nonce(2));
+        r.accept("p", Nonce(3)); // evicts Nonce(1)
+        assert!(!r.contains("p", Nonce(1)));
+        assert!(r.contains("p", Nonce(2)));
+        assert!(r.contains("p", Nonce(3)));
+        assert_eq!(r.len(), 2);
+        // Evicted nonce would (by design) be re-accepted.
+        assert!(r.accept("p", Nonce(1)));
+    }
+
+    #[test]
+    fn from_parts_is_injective_over_scope_and_counter() {
+        assert_ne!(Nonce::from_parts(1, 2), Nonce::from_parts(2, 1));
+        assert_eq!(Nonce::from_parts(1, 2), Nonce::from_parts(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = NonceRegistry::with_capacity(0);
+    }
+
+    #[test]
+    fn empty_registry() {
+        let r = NonceRegistry::new();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.rejected(), 0);
+    }
+}

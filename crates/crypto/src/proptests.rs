@@ -1,0 +1,69 @@
+//! Property-based tests of the cryptographic primitives.
+
+use crate::chacha20::ChaCha20;
+use crate::hmac::{hmac_sha256, verify_hmac_sha256};
+use crate::sha256::{Digest, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing equals one-shot for any split of any input.
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        splits in proptest::collection::vec(any::<prop::sample::Index>(), 0..4),
+    ) {
+        let want = Sha256::digest(&data);
+        let mut points: Vec<usize> = splits.iter().map(|i| i.index(data.len() + 1)).collect();
+        points.sort_unstable();
+        let mut h = Sha256::new();
+        let mut at = 0;
+        for p in points {
+            h.update(&data[at..p]);
+            at = p;
+        }
+        h.update(&data[at..]);
+        prop_assert_eq!(h.finalize(), want);
+    }
+
+    /// Hex rendering round-trips.
+    #[test]
+    fn digest_hex_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let d = Sha256::digest(&data);
+        prop_assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+    }
+
+    /// ChaCha20 decryption inverts encryption for any key/nonce/input.
+    #[test]
+    fn chacha20_roundtrip(
+        key in proptest::array::uniform32(any::<u8>()),
+        nonce in proptest::collection::vec(any::<u8>(), 12),
+        data in proptest::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let nonce: [u8; 12] = nonce.try_into().expect("12 bytes");
+        let ct = ChaCha20::encrypt(&key, &nonce, &data);
+        prop_assert_eq!(ChaCha20::decrypt(&key, &nonce, &ct), data);
+    }
+
+    /// HMAC verifies with the right key and rejects any single-bit key
+    /// or message flip.
+    #[test]
+    fn hmac_rejects_bit_flips(
+        key in proptest::collection::vec(any::<u8>(), 1..80),
+        msg in proptest::collection::vec(any::<u8>(), 1..200),
+        flip_key in any::<bool>(),
+        byte in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let tag = hmac_sha256(&key, &msg);
+        prop_assert!(verify_hmac_sha256(&key, &msg, &tag));
+        let (mut k2, mut m2) = (key.clone(), msg.clone());
+        if flip_key {
+            let i = byte.index(k2.len());
+            k2[i] ^= 1 << bit;
+        } else {
+            let i = byte.index(m2.len());
+            m2[i] ^= 1 << bit;
+        }
+        prop_assert!(!verify_hmac_sha256(&k2, &m2, &tag));
+    }
+}

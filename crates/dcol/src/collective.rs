@@ -1,0 +1,182 @@
+//! Cooperative membership.
+//!
+//! §IV-C: members "agree to serve as waypoints to each other"; a
+//! "misbehaving peer can be expelled from the collective to avoid future
+//! issues". The collective tracks who is in, which netsim node hosts
+//! their HPoP, and a record of observed misbehavior.
+
+use hpop_netsim::topology::NodeId;
+use std::collections::BTreeMap;
+
+/// Identifies a collective member.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MemberId(pub u32);
+
+#[derive(Clone, Debug)]
+struct Member {
+    node: NodeId,
+    /// Misbehavior strikes (packet dropping, corruption …).
+    strikes: u32,
+    expelled: bool,
+}
+
+/// The waypoint cooperative.
+#[derive(Clone, Debug, Default)]
+pub struct DetourCollective {
+    members: BTreeMap<MemberId, Member>,
+    next_id: u32,
+    /// Strikes at which a member is expelled automatically.
+    strike_limit: u32,
+}
+
+impl DetourCollective {
+    /// A collective expelling members at 3 strikes.
+    pub fn new() -> DetourCollective {
+        DetourCollective {
+            strike_limit: 3,
+            ..DetourCollective::default()
+        }
+    }
+
+    /// Overrides the expulsion threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn with_strike_limit(mut self, limit: u32) -> DetourCollective {
+        assert!(limit > 0, "strike limit must be positive");
+        self.strike_limit = limit;
+        self
+    }
+
+    /// Enrolls an HPoP (at netsim node `node`) as a member.
+    pub fn join(&mut self, node: NodeId) -> MemberId {
+        let id = MemberId(self.next_id);
+        self.next_id += 1;
+        self.members.insert(
+            id,
+            Member {
+                node,
+                strikes: 0,
+                expelled: false,
+            },
+        );
+        id
+    }
+
+    /// Voluntary departure. Returns whether the member existed.
+    pub fn leave(&mut self, id: MemberId) -> bool {
+        self.members.remove(&id).is_some()
+    }
+
+    /// Records misbehavior; at the strike limit the member is expelled.
+    /// Returns whether this strike caused expulsion.
+    pub fn strike(&mut self, id: MemberId) -> bool {
+        let Some(m) = self.members.get_mut(&id) else {
+            return false;
+        };
+        if m.expelled {
+            return false;
+        }
+        m.strikes += 1;
+        if m.strikes >= self.strike_limit {
+            m.expelled = true;
+            return true;
+        }
+        false
+    }
+
+    /// Whether a member is in good standing.
+    pub fn in_good_standing(&self, id: MemberId) -> bool {
+        self.members.get(&id).is_some_and(|m| !m.expelled)
+    }
+
+    /// A member's node, if in good standing.
+    pub fn node_of(&self, id: MemberId) -> Option<NodeId> {
+        self.members
+            .get(&id)
+            .filter(|m| !m.expelled)
+            .map(|m| m.node)
+    }
+
+    /// Waypoints available to `client` (every other member in good
+    /// standing).
+    pub fn waypoints_for(&self, client: MemberId) -> Vec<(MemberId, NodeId)> {
+        self.members
+            .iter()
+            .filter(|(&id, m)| id != client && !m.expelled)
+            .map(|(&id, m)| (id, m.node))
+            .collect()
+    }
+
+    /// Members in good standing.
+    pub fn active_count(&self) -> usize {
+        self.members.values().filter(|m| !m.expelled).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: u32) -> NodeId {
+        // NodeIds are opaque; build them through a topology.
+        use hpop_netsim::topology::TopologyBuilder;
+        let mut b = TopologyBuilder::new();
+        let mut last = b.add_node("n0");
+        for k in 1..=i {
+            last = b.add_node(format!("n{k}"));
+        }
+        last
+    }
+
+    #[test]
+    fn join_and_waypoints() {
+        let mut c = DetourCollective::new();
+        let a = c.join(node(0));
+        let b = c.join(node(1));
+        let d = c.join(node(2));
+        assert_eq!(c.active_count(), 3);
+        let wps = c.waypoints_for(a);
+        assert_eq!(wps.len(), 2);
+        assert!(wps.iter().all(|(id, _)| *id == b || *id == d));
+    }
+
+    #[test]
+    fn strikes_lead_to_expulsion() {
+        let mut c = DetourCollective::new();
+        let a = c.join(node(0));
+        assert!(!c.strike(a));
+        assert!(!c.strike(a));
+        assert!(c.strike(a)); // third strike expels
+        assert!(!c.in_good_standing(a));
+        assert_eq!(c.node_of(a), None);
+        assert_eq!(c.active_count(), 0);
+        // Further strikes are no-ops.
+        assert!(!c.strike(a));
+    }
+
+    #[test]
+    fn expelled_members_are_not_waypoints() {
+        let mut c = DetourCollective::new().with_strike_limit(1);
+        let a = c.join(node(0));
+        let b = c.join(node(1));
+        assert!(c.strike(b));
+        assert!(c.waypoints_for(a).is_empty());
+    }
+
+    #[test]
+    fn leave_removes() {
+        let mut c = DetourCollective::new();
+        let a = c.join(node(0));
+        assert!(c.leave(a));
+        assert!(!c.leave(a));
+        assert!(!c.in_good_standing(a));
+    }
+
+    #[test]
+    #[should_panic(expected = "strike limit must be positive")]
+    fn zero_strike_limit_rejected() {
+        let _ = DetourCollective::new().with_strike_limit(0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # hpop-dcol — the Detour Collective (paper §IV-C)
+//!
+//! "Our approach — termed the 'Detour Collective' (DCol) — calls for
+//! users forming cooperatives in which members agree to serve as
+//! waypoints to each other. We leverage multipath TCP (MPTCP) to make
+//! detours transparent to applications … The waypoint then mimics an
+//! MPTCP subflow to the server, making the server oblivious to the
+//! overlay detour."
+//!
+//! - [`collective`] — cooperative membership: join, leave, and the
+//!   expulsion of misbehaving waypoints.
+//! - [`tunnel`] — the two client↔waypoint tunneling mechanisms the
+//!   prototype explored: VPN (36 bytes/packet overhead, one-time join,
+//!   `/26` private subnets from `10.0.0.0/8`) and NAT (zero overhead,
+//!   per-destination signaling).
+//! - [`explorer`] — "trial and error" detour selection: probe candidate
+//!   waypoints, rank by predicted benefit, retain the good ones.
+//! - [`session`] — an MPTCP transfer through chosen waypoints, with the
+//!   client-side steering (withdraw / ACK-delay) wired up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collective;
+pub mod explorer;
+pub mod session;
+pub mod tunnel;
+
+pub use collective::{DetourCollective, MemberId};
+pub use explorer::{rank_waypoints, DetourEstimate};
+pub use session::DcolSession;
+pub use tunnel::{SubnetAllocator, TunnelState, TunnelType};

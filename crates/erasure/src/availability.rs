@@ -1,0 +1,166 @@
+//! Closed-form availability/durability math for peer backup schemes.
+//!
+//! §IV-A weighs "replicating the entire HPoP to attics belonging to
+//! friends and relatives" against "redundantly encoding the contents …
+//! and storing pieces with a variety of peers". With independent peer
+//! failure probability `p`:
+//!
+//! - full replication across `r` peers survives unless *all* replicas
+//!   fail: `A = 1 - p^r`, at storage overhead `r`;
+//! - `RS(n, k)` survives when at least `k` of `n` shards survive:
+//!   `A = Σ_{j=k..n} C(n,j) (1-p)^j p^(n-j)`, at overhead `n/k`.
+//!
+//! Experiment E11 sweeps these against each other.
+
+/// Binomial coefficient as f64 (exact for the small n used here).
+fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Availability of `r`-way full replication with independent peer
+/// failure probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `r` is zero.
+pub fn replication_availability(r: u32, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    assert!(r > 0, "need at least one replica");
+    1.0 - p.powi(r as i32)
+}
+
+/// Availability of an `RS(n = k + m, k)` code with independent shard
+/// (peer) failure probability `p`: the probability that at least `k`
+/// shards survive.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `k == 0` or `k > n`.
+pub fn erasure_availability(n: u32, k: u32, p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+    assert!(k > 0 && k <= n, "need 0 < k <= n");
+    let q = 1.0 - p;
+    let mut a = 0.0;
+    for j in k..=n {
+        a += binomial(n as u64, j as u64) * q.powi(j as i32) * p.powi((n - j) as i32);
+    }
+    a.clamp(0.0, 1.0)
+}
+
+/// "Nines" of availability: `-log10(1 - a)`, capped at 15 for a = 1.
+pub fn nines(a: f64) -> f64 {
+    if a >= 1.0 {
+        15.0
+    } else {
+        (-(1.0 - a).log10()).clamp(0.0, 15.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(10, 3), 120.0);
+        assert_eq!(binomial(3, 4), 0.0);
+    }
+
+    #[test]
+    fn replication_math() {
+        assert!((replication_availability(1, 0.1) - 0.9).abs() < 1e-12);
+        assert!((replication_availability(3, 0.1) - 0.999).abs() < 1e-12);
+        assert_eq!(replication_availability(2, 0.0), 1.0);
+        assert_eq!(replication_availability(2, 1.0), 0.0);
+    }
+
+    #[test]
+    fn erasure_reduces_to_replication_when_k_is_1() {
+        // RS(n,1) is n-way replication.
+        for p in [0.0, 0.05, 0.3, 0.9] {
+            let a = erasure_availability(4, 1, p);
+            let b = replication_availability(4, p);
+            assert!((a - b).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn erasure_no_redundancy_needs_all_shards() {
+        // RS(k,k): all shards must survive.
+        let a = erasure_availability(4, 4, 0.1);
+        assert!((a - 0.9f64.powi(4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rs_6_4_beats_2x_replication_overhead_for_same_target() {
+        // At p = 0.05: RS(6,4) has overhead 1.5 and availability
+        // comparable to 2x replication (overhead 2.0) — the paper's
+        // efficiency argument for erasure codes.
+        let rs = erasure_availability(6, 4, 0.05);
+        let rep2 = replication_availability(2, 0.05);
+        assert!(rs > rep2, "rs={rs} rep2={rep2}");
+    }
+
+    #[test]
+    fn monotonic_in_parity() {
+        let mut last = 0.0;
+        for m in 1..6 {
+            let a = erasure_availability(4 + m, 4, 0.2);
+            assert!(a > last);
+            last = a;
+        }
+    }
+
+    #[test]
+    fn monotonic_in_failure_probability() {
+        let mut last = 1.1;
+        for i in 0..=10 {
+            let p = i as f64 / 10.0;
+            let a = erasure_availability(6, 4, p);
+            assert!(a < last + 1e-12);
+            last = a;
+        }
+    }
+
+    #[test]
+    fn nines_scale() {
+        assert!((nines(0.999) - 3.0).abs() < 1e-9);
+        assert_eq!(nines(1.0), 15.0);
+        assert_eq!(nines(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bad_probability_panics() {
+        let _ = erasure_availability(4, 2, 1.5);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Erasure availability is a probability and never below the
+            /// all-shards-required floor nor above the any-shard ceiling.
+            #[test]
+            fn availability_bounds(n in 1u32..20, k_off in 0u32..19, p in 0.0f64..1.0) {
+                let k = 1 + k_off % n;
+                let a = erasure_availability(n, k, p);
+                prop_assert!((0.0..=1.0).contains(&a));
+                let floor = (1.0 - p).powi(n as i32);
+                prop_assert!(a >= floor - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Arithmetic in GF(2^8) modulo the polynomial x^8 + x^4 + x^3 + x^2 + 1
+//! (0x11d), the field conventional for Reed–Solomon codes.
+//!
+//! Multiplication uses exp/log tables generated at first use from the
+//! generator element 2, so all operations are table lookups.
+
+/// Precomputed exp/log tables for GF(2^8).
+struct Tables {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        #[allow(clippy::needless_range_loop)] // exp and log fill in lockstep
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= 0x11d;
+            }
+        }
+        // Duplicate so exp[a+b] never needs a modulo.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { exp, log }
+    })
+}
+
+/// Addition in GF(2^8) (bitwise XOR; identical to subtraction).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication in GF(2^8).
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics on zero, which has no inverse.
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert!(a != 0, "zero has no inverse in GF(256)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Division: `a / b`.
+///
+/// # Panics
+///
+/// Panics if `b` is zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    assert!(b != 0, "division by zero in GF(256)");
+    if a == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + 255 - t.log[b as usize] as usize]
+}
+
+/// Exponentiation: `base^power` with `0^0 = 1`.
+pub fn pow(base: u8, power: usize) -> u8 {
+    if power == 0 {
+        return 1;
+    }
+    if base == 0 {
+        return 0;
+    }
+    let t = tables();
+    let l = t.log[base as usize] as usize * (power % 255);
+    t.exp[l % 255]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_xor_and_self_inverse() {
+        assert_eq!(add(0x53, 0xca), 0x99);
+        for a in 0..=255u8 {
+            assert_eq!(add(a, a), 0);
+        }
+    }
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn known_products() {
+        // 2 * 2 = 4; 0x80 * 2 = 0x1d (reduction kicks in).
+        assert_eq!(mul(2, 2), 4);
+        assert_eq!(mul(0x80, 2), 0x1d);
+        assert_eq!(mul(0xb6, 0x53), 0xee);
+    }
+
+    #[test]
+    fn mul_is_commutative_and_associative() {
+        for a in [1u8, 3, 7, 0x53, 0xca, 0xff] {
+            for b in [2u8, 5, 0x11, 0x80] {
+                assert_eq!(mul(a, b), mul(b, a));
+                for c in [4u8, 9, 0xfe] {
+                    assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributive_law() {
+        for a in [3u8, 0x53, 0xff] {
+            for b in [5u8, 0x80] {
+                for c in [7u8, 0x1d] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a={a}");
+            assert_eq!(div(a, a), 1);
+        }
+    }
+
+    #[test]
+    fn div_matches_mul_by_inverse() {
+        for a in [0u8, 1, 17, 0x53] {
+            for b in [1u8, 2, 0x80, 0xff] {
+                assert_eq!(div(a, b), mul(a, inv(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn pow_basics() {
+        assert_eq!(pow(2, 0), 1);
+        assert_eq!(pow(0, 0), 1);
+        assert_eq!(pow(0, 5), 0);
+        assert_eq!(pow(2, 8), 0x1d); // 2^8 reduces by the field polynomial
+                                     // Fermat: a^255 = 1 for nonzero a.
+        for a in [1u8, 2, 3, 0x53, 0xff] {
+            assert_eq!(pow(a, 255), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn inv_zero_panics() {
+        let _ = inv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_zero_panics() {
+        let _ = div(1, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # hpop-erasure — Reed–Solomon erasure coding for attic peer backup
+//!
+//! §IV-A ("Data Availability") proposes "redundantly encoding the
+//! contents — e.g., using erasure codes — and storing pieces with a
+//! variety of peers". This crate provides that substrate:
+//!
+//! - [`gf256`] — arithmetic in GF(2^8) with the AES/RS polynomial 0x11d.
+//! - [`matrix`] — small dense matrices over GF(2^8) with inversion.
+//! - [`rs`] — a systematic Reed–Solomon erasure code: `k` data shards,
+//!   `m` parity shards, any `k` of the `n = k + m` reconstruct the data.
+//! - [`availability`] — closed-form durability math used by experiment
+//!   E11 (availability vs peer-failure probability, replication vs RS).
+//!
+//! ```
+//! use hpop_erasure::rs::ReedSolomon;
+//!
+//! # fn main() -> Result<(), hpop_erasure::rs::RsError> {
+//! let code = ReedSolomon::new(4, 2)?;                 // RS(6,4)
+//! let mut shards = code.encode_blob(b"family photos 2026")?;
+//! shards[0] = None;                                   // two peers offline
+//! shards[5] = None;
+//! let recovered = code.reconstruct_blob(shards, 18)?;
+//! assert_eq!(recovered, b"family photos 2026");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod gf256;
+pub mod matrix;
+pub mod rs;
+
+pub use availability::{erasure_availability, replication_availability};
+pub use rs::{ReedSolomon, RsError};

@@ -1,0 +1,251 @@
+//! Small dense matrices over GF(2^8), sufficient for Reed–Solomon
+//! encode/decode matrix construction and inversion.
+
+use crate::gf256;
+use std::fmt;
+
+/// A row-major matrix over GF(2^8).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix({}x{})", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:02x} ", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl Matrix {
+    /// A zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// The n×n identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// A Vandermonde matrix: element (r, c) = r^c. Any square submatrix
+    /// formed from distinct rows is invertible — the property RS relies
+    /// on for reconstruction from any k shards.
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, gf256::pow(r as u8, c));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of one row.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a shape mismatch.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "shape mismatch in matrix multiply");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for c in 0..rhs.cols {
+                let mut acc = 0u8;
+                for k in 0..self.cols {
+                    acc = gf256::add(acc, gf256::mul(self.get(r, k), rhs.get(k, c)));
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    /// A new matrix from a subset of this one's rows.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            for c in 0..self.cols {
+                out.set(i, c, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Inverse by Gauss–Jordan elimination; `None` if singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalize the pivot row.
+            let p = a.get(col, col);
+            let pinv = gf256::inv(p);
+            for c in 0..n {
+                a.set(col, c, gf256::mul(a.get(col, c), pinv));
+                inv.set(col, c, gf256::mul(inv.get(col, c), pinv));
+            }
+            // Eliminate the column elsewhere.
+            for r in 0..n {
+                if r != col && a.get(r, col) != 0 {
+                    let f = a.get(r, col);
+                    for c in 0..n {
+                        let av = gf256::add(a.get(r, c), gf256::mul(f, a.get(col, c)));
+                        a.set(r, c, av);
+                        let iv = gf256::add(inv.get(r, c), gf256::mul(f, inv.get(col, c)));
+                        inv.set(r, c, iv);
+                    }
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let t = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_anything() {
+        let v = Matrix::vandermonde(3, 3);
+        let i = Matrix::identity(3);
+        assert_eq!(i.mul(&v), v);
+        assert_eq!(v.mul(&i), v);
+    }
+
+    #[test]
+    fn vandermonde_values() {
+        let v = Matrix::vandermonde(3, 3);
+        assert_eq!(v.row(0), &[1, 0, 0]); // 0^0=1, 0^1=0, 0^2=0
+        assert_eq!(v.row(1), &[1, 1, 1]);
+        assert_eq!(v.row(2), &[1, 2, 4]);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        // Vandermonde rows 1..n are distinct and nonzero → invertible.
+        let v = Matrix::vandermonde(5, 4).select_rows(&[1, 2, 3, 4]);
+        let inv = v.inverse().expect("invertible");
+        let prod = v.mul(&inv);
+        assert_eq!(prod, Matrix::identity(4));
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let mut m = Matrix::zero(2, 2);
+        m.set(0, 0, 3);
+        m.set(0, 1, 5);
+        m.set(1, 0, 3);
+        m.set(1, 1, 5);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn select_rows_picks() {
+        let v = Matrix::vandermonde(4, 2);
+        let s = v.select_rows(&[3, 1]);
+        assert_eq!(s.row(0), v.row(3));
+        assert_eq!(s.row(1), v.row(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mul_shape_checked() {
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(2, 3);
+        let _ = a.mul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dims_rejected() {
+        let _ = Matrix::zero(0, 3);
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Any set of distinct Vandermonde rows is invertible — the
+            /// exact property Reed–Solomon reconstruction depends on.
+            #[test]
+            fn distinct_vandermonde_rows_invert(rows in proptest::collection::btree_set(0usize..20, 3)) {
+                let rows: Vec<usize> = rows.iter().copied().collect();
+                let v = Matrix::vandermonde(20, 3).select_rows(&rows);
+                let inv = v.inverse().expect("distinct Vandermonde rows must invert");
+                prop_assert_eq!(v.mul(&inv), Matrix::identity(3));
+            }
+        }
+    }
+}

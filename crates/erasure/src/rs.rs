@@ -1,0 +1,412 @@
+//! Systematic Reed–Solomon erasure coding.
+//!
+//! `RS(n = k + m, k)`: a blob is split into `k` data shards; `m` parity
+//! shards are computed; **any** `k` surviving shards reconstruct the
+//! original. The attic backup service stores one shard per peer, so the
+//! data survives the loss of any `m` peers (§IV-A).
+//!
+//! The encoding matrix is a Vandermonde matrix normalized so its top
+//! `k×k` block is the identity (systematic: data shards are stored
+//! verbatim). Any `k` rows of the normalized matrix remain invertible,
+//! which is what reconstruction relies on.
+
+use crate::gf256;
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// Errors from Reed–Solomon configuration, encoding or reconstruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RsError {
+    /// Shard counts out of range (need `k ≥ 1`, `m ≥ 1`, `k + m ≤ 256`).
+    BadShardCounts {
+        /// Requested data shards.
+        data: usize,
+        /// Requested parity shards.
+        parity: usize,
+    },
+    /// The shards passed in differ in length or count.
+    ShapeMismatch,
+    /// Fewer than `k` shards are present; the data is unrecoverable.
+    TooFewShards {
+        /// Shards present.
+        have: usize,
+        /// Shards required.
+        need: usize,
+    },
+    /// Requested blob length exceeds what the shards contain.
+    BadBlobLength,
+}
+
+impl fmt::Display for RsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsError::BadShardCounts { data, parity } => write!(
+                f,
+                "invalid shard counts: {data} data + {parity} parity (need k>=1, m>=1, k+m<=256)"
+            ),
+            RsError::ShapeMismatch => write!(f, "shards differ in length or count"),
+            RsError::TooFewShards { have, need } => {
+                write!(f, "only {have} shards present, {need} required")
+            }
+            RsError::BadBlobLength => write!(f, "blob length exceeds shard contents"),
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// A systematic Reed–Solomon erasure code with fixed `(k, m)`.
+#[derive(Clone, Debug)]
+pub struct ReedSolomon {
+    data_shards: usize,
+    parity_shards: usize,
+    /// n×k encoding matrix whose top k×k block is the identity.
+    encode_matrix: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates an `RS(k + m, k)` code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsError::BadShardCounts`] unless `k ≥ 1`, `m ≥ 1` and
+    /// `k + m ≤ 256` (the field size bounds the shard count).
+    pub fn new(data_shards: usize, parity_shards: usize) -> Result<Self, RsError> {
+        if data_shards == 0 || parity_shards == 0 || data_shards + parity_shards > 256 {
+            return Err(RsError::BadShardCounts {
+                data: data_shards,
+                parity: parity_shards,
+            });
+        }
+        let n = data_shards + parity_shards;
+        let v = Matrix::vandermonde(n, data_shards);
+        let top = v.select_rows(&(0..data_shards).collect::<Vec<_>>());
+        let top_inv = top
+            .inverse()
+            .expect("leading Vandermonde block is always invertible");
+        let encode_matrix = v.mul(&top_inv);
+        Ok(ReedSolomon {
+            data_shards,
+            parity_shards,
+            encode_matrix,
+        })
+    }
+
+    /// Number of data shards (`k`).
+    pub fn data_shards(&self) -> usize {
+        self.data_shards
+    }
+
+    /// Number of parity shards (`m`).
+    pub fn parity_shards(&self) -> usize {
+        self.parity_shards
+    }
+
+    /// Total shards (`n = k + m`).
+    pub fn total_shards(&self) -> usize {
+        self.data_shards + self.parity_shards
+    }
+
+    /// Storage overhead factor `n / k` (experiment E11 reports this
+    /// against availability).
+    pub fn overhead(&self) -> f64 {
+        self.total_shards() as f64 / self.data_shards as f64
+    }
+
+    /// Computes the `m` parity shards for `k` equal-length data shards.
+    ///
+    /// # Errors
+    ///
+    /// [`RsError::ShapeMismatch`] if the count or lengths are wrong.
+    pub fn encode(&self, data: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, RsError> {
+        if data.len() != self.data_shards {
+            return Err(RsError::ShapeMismatch);
+        }
+        let shard_len = data[0].len();
+        if data.iter().any(|s| s.len() != shard_len) {
+            return Err(RsError::ShapeMismatch);
+        }
+        let mut parity = vec![vec![0u8; shard_len]; self.parity_shards];
+        for (p, out) in parity.iter_mut().enumerate() {
+            let row = self.encode_matrix.row(self.data_shards + p);
+            for (coef, shard) in row.iter().zip(data.iter()) {
+                if *coef == 0 {
+                    continue;
+                }
+                for (o, &b) in out.iter_mut().zip(shard.iter()) {
+                    *o = gf256::add(*o, gf256::mul(*coef, b));
+                }
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Reconstructs **all** `n` shards from any `k` survivors.
+    ///
+    /// `shards[i]` is `Some` if shard `i` survived. On success every entry
+    /// of the returned vector is filled in.
+    ///
+    /// # Errors
+    ///
+    /// [`RsError::TooFewShards`] if fewer than `k` survive;
+    /// [`RsError::ShapeMismatch`] on inconsistent lengths/counts.
+    pub fn reconstruct(&self, shards: Vec<Option<Vec<u8>>>) -> Result<Vec<Vec<u8>>, RsError> {
+        if shards.len() != self.total_shards() {
+            return Err(RsError::ShapeMismatch);
+        }
+        let present: Vec<usize> = shards
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .collect();
+        if present.len() < self.data_shards {
+            return Err(RsError::TooFewShards {
+                have: present.len(),
+                need: self.data_shards,
+            });
+        }
+        let shard_len = shards[present[0]].as_ref().expect("present").len();
+        if present
+            .iter()
+            .any(|&i| shards[i].as_ref().expect("present").len() != shard_len)
+        {
+            return Err(RsError::ShapeMismatch);
+        }
+
+        // Select k surviving rows of the encode matrix; invert; multiply by
+        // the surviving shards to recover the data shards.
+        let use_rows: Vec<usize> = present.iter().copied().take(self.data_shards).collect();
+        let sub = self.encode_matrix.select_rows(&use_rows);
+        let dec = sub
+            .inverse()
+            .expect("any k rows of the systematic Vandermonde matrix are invertible");
+
+        let mut data: Vec<Vec<u8>> = vec![vec![0u8; shard_len]; self.data_shards];
+        for (r, out) in data.iter_mut().enumerate() {
+            for (c, &src_row) in use_rows.iter().enumerate() {
+                let coef = dec.get(r, c);
+                if coef == 0 {
+                    continue;
+                }
+                let src = shards[src_row].as_ref().expect("present");
+                for (o, &b) in out.iter_mut().zip(src.iter()) {
+                    *o = gf256::add(*o, gf256::mul(coef, b));
+                }
+            }
+        }
+
+        // Re-derive parity and assemble the full shard set.
+        let parity = self.encode(&data)?;
+        let mut all = data;
+        all.extend(parity);
+        Ok(all)
+    }
+
+    /// Splits a blob into `k` padded data shards and appends parity:
+    /// returns all `n` shards wrapped in `Some` (ready for storage and
+    /// selective loss in tests/experiments).
+    ///
+    /// The shard length is `ceil(len / k)` (minimum 1 so empty blobs work).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RsError::ShapeMismatch`] (unreachable for this input
+    /// construction, but kept honest).
+    pub fn encode_blob(&self, blob: &[u8]) -> Result<Vec<Option<Vec<u8>>>, RsError> {
+        let shard_len = blob.len().div_ceil(self.data_shards).max(1);
+        let mut data: Vec<Vec<u8>> = Vec::with_capacity(self.data_shards);
+        for i in 0..self.data_shards {
+            let start = (i * shard_len).min(blob.len());
+            let end = ((i + 1) * shard_len).min(blob.len());
+            let mut shard = blob[start..end].to_vec();
+            shard.resize(shard_len, 0);
+            data.push(shard);
+        }
+        let parity = self.encode(&data)?;
+        Ok(data.into_iter().chain(parity).map(Some).collect())
+    }
+
+    /// Reassembles a blob of `original_len` bytes from (a subset of) its
+    /// shards.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReedSolomon::reconstruct`], plus [`RsError::BadBlobLength`]
+    /// if `original_len` exceeds the reconstructed capacity.
+    pub fn reconstruct_blob(
+        &self,
+        shards: Vec<Option<Vec<u8>>>,
+        original_len: usize,
+    ) -> Result<Vec<u8>, RsError> {
+        let all = self.reconstruct(shards)?;
+        let capacity = all[0].len() * self.data_shards;
+        if original_len > capacity {
+            return Err(RsError::BadBlobLength);
+        }
+        let mut blob = Vec::with_capacity(original_len);
+        for shard in all.iter().take(self.data_shards) {
+            blob.extend_from_slice(shard);
+        }
+        blob.truncate(original_len);
+        Ok(blob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| (0..len).map(|j| ((i * 131 + j * 7) % 256) as u8).collect())
+            .collect()
+    }
+
+    #[test]
+    fn encode_produces_parity() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 64);
+        let parity = rs.encode(&data).unwrap();
+        assert_eq!(parity.len(), 2);
+        assert!(parity.iter().all(|p| p.len() == 64));
+    }
+
+    #[test]
+    fn reconstruct_with_no_loss_is_identity() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let data = sample_data(3, 16);
+        let parity = rs.encode(&data).unwrap();
+        let shards: Vec<Option<Vec<u8>>> = data
+            .iter()
+            .chain(parity.iter())
+            .cloned()
+            .map(Some)
+            .collect();
+        let all = rs.reconstruct(shards).unwrap();
+        assert_eq!(&all[..3], &data[..]);
+        assert_eq!(&all[3..], &parity[..]);
+    }
+
+    #[test]
+    fn survives_any_m_losses() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 32);
+        let parity = rs.encode(&data).unwrap();
+        let full: Vec<Vec<u8>> = data.iter().chain(parity.iter()).cloned().collect();
+        // Try every pair of losses.
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                let mut shards: Vec<Option<Vec<u8>>> = full.iter().cloned().map(Some).collect();
+                shards[i] = None;
+                shards[j] = None;
+                let rec = rs.reconstruct(shards).unwrap();
+                assert_eq!(rec, full, "losing shards {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn fails_with_more_than_m_losses() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let shards = rs.encode_blob(&[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let mut shards = shards;
+        shards[0] = None;
+        shards[1] = None;
+        shards[2] = None;
+        assert_eq!(
+            rs.reconstruct(shards),
+            Err(RsError::TooFewShards { have: 3, need: 4 })
+        );
+    }
+
+    #[test]
+    fn blob_roundtrip_various_sizes() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        for len in [0usize, 1, 4, 5, 23, 100, 1001] {
+            let blob: Vec<u8> = (0..len).map(|i| (i % 256) as u8).collect();
+            let mut shards = rs.encode_blob(&blob).unwrap();
+            // Drop three arbitrary shards (= m).
+            shards[1] = None;
+            shards[4] = None;
+            shards[7] = None;
+            let rec = rs.reconstruct_blob(shards, len).unwrap();
+            assert_eq!(rec, blob, "len {len}");
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(ReedSolomon::new(0, 2).is_err());
+        assert!(ReedSolomon::new(2, 0).is_err());
+        assert!(ReedSolomon::new(200, 57).is_err());
+        assert!(ReedSolomon::new(200, 56).is_ok());
+    }
+
+    #[test]
+    fn shape_mismatches_detected() {
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        assert_eq!(rs.encode(&sample_data(3, 8)), Err(RsError::ShapeMismatch));
+        let ragged = vec![vec![0u8; 4], vec![0u8; 5]];
+        assert_eq!(rs.encode(&ragged), Err(RsError::ShapeMismatch));
+        assert_eq!(
+            rs.reconstruct(vec![Some(vec![0u8; 4]); 2]),
+            Err(RsError::ShapeMismatch)
+        );
+    }
+
+    #[test]
+    fn overhead_factor() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        assert!((rs.overhead() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_blob_length_detected() {
+        let rs = ReedSolomon::new(2, 1).unwrap();
+        let shards = rs.encode_blob(b"xy").unwrap();
+        assert_eq!(
+            rs.reconstruct_blob(shards, 100),
+            Err(RsError::BadBlobLength)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = RsError::TooFewShards { have: 1, need: 3 };
+        assert_eq!(e.to_string(), "only 1 shards present, 3 required");
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Round-trip invariant: for random blobs, (k, m) and loss
+            /// patterns with ≤ m losses, reconstruction is exact.
+            #[test]
+            fn rs_roundtrip(
+                blob in proptest::collection::vec(any::<u8>(), 0..300),
+                k in 1usize..8,
+                m in 1usize..5,
+                seed in any::<u64>(),
+            ) {
+                let rs = ReedSolomon::new(k, m).unwrap();
+                let mut shards = rs.encode_blob(&blob).unwrap();
+                // Deterministically drop up to m shards.
+                let n = k + m;
+                let mut dropped = 0;
+                let mut s = seed;
+                while dropped < m {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let idx = (s >> 33) as usize % n;
+                    if shards[idx].is_some() {
+                        shards[idx] = None;
+                        dropped += 1;
+                    }
+                }
+                let rec = rs.reconstruct_blob(shards, blob.len()).unwrap();
+                prop_assert_eq!(rec, blob);
+            }
+        }
+    }
+}

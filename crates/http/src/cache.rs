@@ -1,0 +1,418 @@
+//! HTTP caching semantics: freshness, validators, and an LRU object
+//! cache driven by simulated time.
+//!
+//! Internet@home (§IV-D) is built on exactly these mechanics: "whether to
+//! keep content fresh by fetching a new copy as a cached version expires"
+//! and "decreasing the frequency of content pre-validation". The cache
+//! here tracks hits, misses and validations so the prefetch experiments
+//! can report the paper's tradeoff curves.
+
+use crate::message::{Request, Response, StatusCode};
+use crate::url::Url;
+use bytes::Bytes;
+use hpop_netsim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Parsed `Cache-Control` directives (the subset the services use).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FreshnessPolicy {
+    /// `max-age=N` in seconds.
+    pub max_age: Option<SimDuration>,
+    /// `no-store`: never cache.
+    pub no_store: bool,
+    /// `no-cache`: cache but revalidate every use.
+    pub no_cache: bool,
+}
+
+impl FreshnessPolicy {
+    /// Parses a `Cache-Control` header value.
+    pub fn parse(header: &str) -> FreshnessPolicy {
+        let mut p = FreshnessPolicy::default();
+        for directive in header.split(',') {
+            let d = directive.trim().to_ascii_lowercase();
+            if d == "no-store" {
+                p.no_store = true;
+            } else if d == "no-cache" {
+                p.no_cache = true;
+            } else if let Some(v) = d.strip_prefix("max-age=") {
+                if let Ok(secs) = v.parse::<u64>() {
+                    p.max_age = Some(SimDuration::from_secs(secs));
+                }
+            }
+        }
+        p
+    }
+
+    /// Renders the directives back to a header value.
+    pub fn to_header(&self) -> String {
+        let mut parts = Vec::new();
+        if self.no_store {
+            parts.push("no-store".to_owned());
+        }
+        if self.no_cache {
+            parts.push("no-cache".to_owned());
+        }
+        if let Some(ma) = self.max_age {
+            parts.push(format!("max-age={}", ma.as_nanos() / 1_000_000_000));
+        }
+        parts.join(", ")
+    }
+}
+
+/// A cached object.
+#[derive(Clone, Debug)]
+pub struct CacheEntry {
+    /// The object bytes.
+    pub body: Bytes,
+    /// Entity tag for conditional revalidation.
+    pub etag: Option<String>,
+    /// Time-to-live from the moment of storage/validation.
+    pub ttl: SimDuration,
+    /// When the entry was stored or last validated.
+    pub validated_at: SimTime,
+}
+
+impl CacheEntry {
+    /// Creates an entry validated `now`.
+    pub fn new(body: impl Into<Bytes>, ttl: SimDuration, now: SimTime) -> CacheEntry {
+        CacheEntry {
+            body: body.into(),
+            etag: None,
+            ttl,
+            validated_at: now,
+        }
+    }
+
+    /// Builder-style ETag setter.
+    pub fn with_etag(mut self, etag: impl Into<String>) -> CacheEntry {
+        self.etag = Some(etag.into());
+        self
+    }
+
+    /// Whether the entry is still fresh at `now`.
+    pub fn is_fresh(&self, now: SimTime) -> bool {
+        now.saturating_since(self.validated_at) < self.ttl
+    }
+
+    /// When the entry expires.
+    pub fn expires_at(&self) -> SimTime {
+        self.validated_at + self.ttl
+    }
+}
+
+/// The outcome of a cache lookup.
+#[derive(Clone, Debug)]
+pub enum CacheDecision {
+    /// Fresh hit: serve locally, no upstream traffic.
+    Fresh(CacheEntry),
+    /// Stale hit: serve after revalidating upstream (a small conditional
+    /// request; `304` re-arms freshness without a body transfer).
+    Stale(CacheEntry),
+    /// Not cached: full upstream fetch required.
+    Miss,
+}
+
+/// Hit/miss statistics of an [`HttpCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Fresh hits served locally.
+    pub hits: u64,
+    /// Stale hits needing revalidation.
+    pub stale: u64,
+    /// Misses needing a full fetch.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Fresh-hit ratio over all lookups; zero with no lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.stale + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A byte-budgeted LRU cache of HTTP objects keyed by URL.
+#[derive(Debug)]
+pub struct HttpCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    entries: HashMap<Url, (CacheEntry, u64)>, // (entry, lru stamp)
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl HttpCache {
+    /// Creates a cache bounded to `capacity_bytes` of body data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero.
+    pub fn new(capacity_bytes: u64) -> HttpCache {
+        assert!(capacity_bytes > 0, "cache capacity must be positive");
+        HttpCache {
+            capacity_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks a URL up, classifying the result and recording statistics.
+    pub fn lookup(&mut self, url: &Url, now: SimTime) -> CacheDecision {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(url) {
+            Some((entry, stamp)) => {
+                *stamp = clock;
+                if entry.is_fresh(now) {
+                    self.stats.hits += 1;
+                    CacheDecision::Fresh(entry.clone())
+                } else {
+                    self.stats.stale += 1;
+                    CacheDecision::Stale(entry.clone())
+                }
+            }
+            None => {
+                self.stats.misses += 1;
+                CacheDecision::Miss
+            }
+        }
+    }
+
+    /// Inserts (or replaces) an entry, evicting LRU entries if the byte
+    /// budget would be exceeded. Objects larger than the whole cache are
+    /// not stored.
+    pub fn insert(&mut self, url: Url, entry: CacheEntry) {
+        let size = entry.body.len() as u64;
+        if size > self.capacity_bytes {
+            return;
+        }
+        if let Some((old, _)) = self.entries.remove(&url) {
+            self.used_bytes -= old.body.len() as u64;
+        }
+        while self.used_bytes + size > self.capacity_bytes {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("used_bytes > 0 implies entries exist");
+            let (old, _) = self.entries.remove(&lru).expect("chosen above");
+            self.used_bytes -= old.body.len() as u64;
+            self.stats.evictions += 1;
+        }
+        self.clock += 1;
+        self.used_bytes += size;
+        self.entries.insert(url, (entry, self.clock));
+    }
+
+    /// Marks an entry revalidated at `now` (a `304` came back). No-op for
+    /// unknown URLs.
+    pub fn revalidate(&mut self, url: &Url, now: SimTime) {
+        if let Some((entry, _)) = self.entries.get_mut(url) {
+            entry.validated_at = now;
+        }
+    }
+
+    /// Removes an entry.
+    pub fn remove(&mut self, url: &Url) -> Option<CacheEntry> {
+        let (entry, _) = self.entries.remove(url)?;
+        self.used_bytes -= entry.body.len() as u64;
+        Some(entry)
+    }
+
+    /// Bytes currently stored.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// Server-side conditional-request handling: if the request's
+/// `If-None-Match` matches `etag`, answer `304 Not Modified` (tiny);
+/// otherwise a full `200` with the body and validators.
+pub fn serve_with_validators(
+    req: &Request,
+    body: &Bytes,
+    etag: &str,
+    ttl: SimDuration,
+) -> Response {
+    let policy = FreshnessPolicy {
+        max_age: Some(ttl),
+        ..FreshnessPolicy::default()
+    };
+    if req.headers.get("if-none-match") == Some(etag) {
+        return Response::new(StatusCode::NOT_MODIFIED)
+            .with_header("etag", etag.to_owned())
+            .with_header("cache-control", policy.to_header());
+    }
+    Response::ok(body.clone())
+        .with_header("etag", etag.to_owned())
+        .with_header("cache-control", policy.to_header())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Method;
+
+    fn url(p: &str) -> Url {
+        Url::https("origin.example", p)
+    }
+
+    #[test]
+    fn freshness_policy_parse_roundtrip() {
+        let p = FreshnessPolicy::parse("max-age=60, no-cache");
+        assert_eq!(p.max_age, Some(SimDuration::from_secs(60)));
+        assert!(p.no_cache);
+        assert!(!p.no_store);
+        assert_eq!(FreshnessPolicy::parse(&p.to_header()), p);
+        assert!(FreshnessPolicy::parse("no-store").no_store);
+        assert_eq!(FreshnessPolicy::parse("max-age=bogus").max_age, None);
+    }
+
+    #[test]
+    fn entry_freshness() {
+        let e = CacheEntry::new("x", SimDuration::from_secs(10), SimTime::ZERO);
+        assert!(e.is_fresh(SimTime::from_secs(9)));
+        assert!(!e.is_fresh(SimTime::from_secs(10)));
+        assert_eq!(e.expires_at(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn lookup_classifies_fresh_stale_miss() {
+        let mut c = HttpCache::new(1_000);
+        let u = url("/a");
+        assert!(matches!(c.lookup(&u, SimTime::ZERO), CacheDecision::Miss));
+        c.insert(
+            u.clone(),
+            CacheEntry::new("aaaa", SimDuration::from_secs(5), SimTime::ZERO),
+        );
+        assert!(matches!(
+            c.lookup(&u, SimTime::from_secs(1)),
+            CacheDecision::Fresh(_)
+        ));
+        assert!(matches!(
+            c.lookup(&u, SimTime::from_secs(6)),
+            CacheDecision::Stale(_)
+        ));
+        let s = c.stats();
+        assert_eq!((s.hits, s.stale, s.misses), (1, 1, 1));
+        assert!((s.hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn revalidation_re_arms_freshness() {
+        let mut c = HttpCache::new(1_000);
+        let u = url("/a");
+        c.insert(
+            u.clone(),
+            CacheEntry::new("aaaa", SimDuration::from_secs(5), SimTime::ZERO),
+        );
+        c.revalidate(&u, SimTime::from_secs(100));
+        assert!(matches!(
+            c.lookup(&u, SimTime::from_secs(104)),
+            CacheDecision::Fresh(_)
+        ));
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_budget() {
+        let mut c = HttpCache::new(10);
+        let ttl = SimDuration::from_secs(100);
+        c.insert(url("/a"), CacheEntry::new(vec![0u8; 4], ttl, SimTime::ZERO));
+        c.insert(url("/b"), CacheEntry::new(vec![0u8; 4], ttl, SimTime::ZERO));
+        // Touch /a so /b becomes LRU.
+        let _ = c.lookup(&url("/a"), SimTime::ZERO);
+        c.insert(url("/c"), CacheEntry::new(vec![0u8; 4], ttl, SimTime::ZERO));
+        assert!(c.len() == 2);
+        assert!(matches!(
+            c.lookup(&url("/b"), SimTime::ZERO),
+            CacheDecision::Miss
+        ));
+        assert!(matches!(
+            c.lookup(&url("/a"), SimTime::ZERO),
+            CacheDecision::Fresh(_)
+        ));
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.used_bytes() <= 10);
+    }
+
+    #[test]
+    fn oversized_objects_not_cached() {
+        let mut c = HttpCache::new(10);
+        c.insert(
+            url("/big"),
+            CacheEntry::new(vec![0u8; 100], SimDuration::from_secs(1), SimTime::ZERO),
+        );
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn replacing_entry_updates_bytes() {
+        let mut c = HttpCache::new(100);
+        let ttl = SimDuration::from_secs(1);
+        c.insert(
+            url("/a"),
+            CacheEntry::new(vec![0u8; 50], ttl, SimTime::ZERO),
+        );
+        c.insert(
+            url("/a"),
+            CacheEntry::new(vec![0u8; 20], ttl, SimTime::ZERO),
+        );
+        assert_eq!(c.used_bytes(), 20);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.remove(&url("/a")).unwrap().body.len(), 20);
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn conditional_serving() {
+        let body = Bytes::from_static(b"content body");
+        let ttl = SimDuration::from_secs(30);
+        let plain = Request::new(Method::Get, url("/x"));
+        let full = serve_with_validators(&plain, &body, "\"v1\"", ttl);
+        assert_eq!(full.status, StatusCode::OK);
+        assert_eq!(full.headers.get("etag"), Some("\"v1\""));
+
+        let cond = Request::new(Method::Get, url("/x")).with_header("if-none-match", "\"v1\"");
+        let nm = serve_with_validators(&cond, &body, "\"v1\"", ttl);
+        assert_eq!(nm.status, StatusCode::NOT_MODIFIED);
+        assert!(nm.body.is_empty());
+        // A 304 is far smaller on the wire than the full object.
+        assert!(nm.wire_size() < full.wire_size());
+
+        let stale_tag = Request::new(Method::Get, url("/x")).with_header("if-none-match", "\"v0\"");
+        assert_eq!(
+            serve_with_validators(&stale_tag, &body, "\"v1\"", ttl).status,
+            StatusCode::OK
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = HttpCache::new(0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of the HTTP substrate.
+
+use crate::cache::FreshnessPolicy;
+use crate::message::Headers;
+use crate::range::ByteRange;
+use crate::url::Url;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any URL built from sane parts survives a display/parse round trip.
+    #[test]
+    fn url_roundtrip(
+        host in "[a-z][a-z0-9.-]{0,20}[a-z0-9]",
+        path in "(/[a-zA-Z0-9._-]{1,12}){0,5}",
+        port in proptest::option::of(1u16..),
+    ) {
+        let mut u = Url::https(&host, if path.is_empty() { "/" } else { &path });
+        if let Some(p) = port {
+            u = u.with_port(p);
+        }
+        let parsed: Url = u.to_string().parse().expect("displayed URLs parse");
+        prop_assert_eq!(parsed, u);
+    }
+
+    /// Range splitting covers `total` exactly, contiguously, in order.
+    #[test]
+    fn range_split_partitions(total in 1u64..1_000_000, n in 1usize..64) {
+        let ranges = ByteRange::split(total, n);
+        prop_assert!(!ranges.is_empty());
+        prop_assert_eq!(ranges[0].start, 0);
+        prop_assert_eq!(ranges.last().expect("non-empty").end, total - 1);
+        let sum: u64 = ranges.iter().map(ByteRange::len).sum();
+        prop_assert_eq!(sum, total);
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[1].start, w[0].end + 1);
+        }
+        prop_assert!(ranges.len() <= n);
+    }
+
+    /// Range header formatting round-trips.
+    #[test]
+    fn range_header_roundtrip(start in 0u64..1_000_000, len in 1u64..1_000_000) {
+        let r = ByteRange::new(start, start + len - 1);
+        prop_assert_eq!(ByteRange::parse(&format!("bytes={r}")), Some(r));
+        prop_assert_eq!(ByteRange::parse(&r.to_header()), Some(r));
+    }
+
+    /// Header names are case-insensitive and last-write-wins.
+    #[test]
+    fn headers_case_insensitivity(
+        name in "[A-Za-z][A-Za-z0-9-]{0,15}",
+        v1 in "[ -~]{0,20}",
+        v2 in "[ -~]{0,20}",
+    ) {
+        let mut h = Headers::new();
+        h.set(&name, v1);
+        h.set(&name.to_ascii_uppercase(), v2.clone());
+        prop_assert_eq!(h.len(), 1);
+        prop_assert_eq!(h.get(&name.to_ascii_lowercase()), Some(v2.as_str()));
+    }
+
+    /// Cache-Control parse/format round-trips on the supported subset.
+    #[test]
+    fn freshness_policy_roundtrip(
+        max_age in proptest::option::of(0u64..1_000_000),
+        no_store in any::<bool>(),
+        no_cache in any::<bool>(),
+    ) {
+        let p = FreshnessPolicy {
+            max_age: max_age.map(hpop_netsim::time::SimDuration::from_secs),
+            no_store,
+            no_cache,
+        };
+        prop_assert_eq!(FreshnessPolicy::parse(&p.to_header()), p);
+    }
+}

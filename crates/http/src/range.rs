@@ -1,0 +1,185 @@
+//! Byte-range requests (RFC 7233 subset).
+//!
+//! §IV-B "Leveraging Redundancy": "clients could download objects in
+//! chunks (e.g., using HTTP range requests) from disparate peers instead
+//! of as entire objects". [`ByteRange`] is the chunking primitive NoCDN's
+//! multi-peer fetch uses.
+
+use crate::message::{Response, StatusCode};
+use bytes::Bytes;
+use std::fmt;
+
+/// An inclusive byte range `start-end` (both bounded, per the chunked
+/// multi-peer use case).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ByteRange {
+    /// First byte offset (inclusive).
+    pub start: u64,
+    /// Last byte offset (inclusive).
+    pub end: u64,
+}
+
+impl ByteRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: u64, end: u64) -> ByteRange {
+        assert!(end >= start, "inverted byte range {start}-{end}");
+        ByteRange { start, end }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start + 1
+    }
+
+    /// Ranges are never empty (inclusive ends); kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Splits `total` bytes into `n` near-equal contiguous ranges — the
+    /// NoCDN chunk map. The last range absorbs the remainder. Returns an
+    /// empty vector when `total == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn split(total: u64, n: usize) -> Vec<ByteRange> {
+        assert!(n > 0, "cannot split into zero chunks");
+        if total == 0 {
+            return Vec::new();
+        }
+        let n = (n as u64).min(total);
+        let base = total / n;
+        let mut out = Vec::with_capacity(n as usize);
+        let mut start = 0;
+        for i in 0..n {
+            let mut end = start + base - 1;
+            if i == n - 1 {
+                end = total - 1;
+            }
+            out.push(ByteRange::new(start, end));
+            start = end + 1;
+        }
+        out
+    }
+
+    /// Parses a `Range:` header value of the form `bytes=a-b`.
+    pub fn parse(header: &str) -> Option<ByteRange> {
+        let spec = header.strip_prefix("bytes=")?;
+        let (a, b) = spec.split_once('-')?;
+        let start = a.trim().parse().ok()?;
+        let end = b.trim().parse().ok()?;
+        if end < start {
+            return None;
+        }
+        Some(ByteRange { start, end })
+    }
+
+    /// The `Range:` header value for this range.
+    pub fn to_header(&self) -> String {
+        format!("bytes={}-{}", self.start, self.end)
+    }
+
+    /// Slices a body according to this range, producing either a
+    /// `206 Partial Content` (with `Content-Range`) or
+    /// `416 Range Not Satisfiable`.
+    pub fn apply(&self, body: &Bytes) -> Response {
+        let total = body.len() as u64;
+        if self.start >= total {
+            return Response::new(StatusCode::RANGE_NOT_SATISFIABLE)
+                .with_header("content-range", format!("bytes */{total}"));
+        }
+        let end = self.end.min(total - 1);
+        let slice = body.slice(self.start as usize..=end as usize);
+        Response::new(StatusCode::PARTIAL_CONTENT)
+            .with_body(slice)
+            .with_header(
+                "content-range",
+                format!("bytes {}-{}/{}", self.start, end, total),
+            )
+    }
+}
+
+impl fmt::Display for ByteRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_everything_contiguously() {
+        for (total, n) in [(100u64, 3usize), (7, 7), (1, 5), (1000, 1)] {
+            let ranges = ByteRange::split(total, n);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, total - 1);
+            let sum: u64 = ranges.iter().map(ByteRange::len).sum();
+            assert_eq!(sum, total, "total={total} n={n}");
+            for w in ranges.windows(2) {
+                assert_eq!(w[1].start, w[0].end + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn split_zero_total() {
+        assert!(ByteRange::split(0, 4).is_empty());
+    }
+
+    #[test]
+    fn split_caps_chunks_at_total() {
+        // 3 bytes into 10 chunks: only 3 chunks of 1 byte.
+        let r = ByteRange::split(3, 10);
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|x| x.len() == 1));
+    }
+
+    #[test]
+    fn parse_and_format() {
+        let r = ByteRange::parse("bytes=0-499").unwrap();
+        assert_eq!(r, ByteRange::new(0, 499));
+        assert_eq!(r.len(), 500);
+        assert_eq!(r.to_header(), "bytes=0-499");
+        assert!(ByteRange::parse("bytes=5-2").is_none());
+        assert!(ByteRange::parse("items=0-1").is_none());
+        assert!(ByteRange::parse("bytes=a-b").is_none());
+    }
+
+    #[test]
+    fn apply_produces_206() {
+        let body = Bytes::from_static(b"0123456789");
+        let resp = ByteRange::new(2, 5).apply(&body);
+        assert_eq!(resp.status, StatusCode::PARTIAL_CONTENT);
+        assert_eq!(&resp.body[..], b"2345");
+        assert_eq!(resp.headers.get("content-range"), Some("bytes 2-5/10"));
+    }
+
+    #[test]
+    fn apply_clamps_overlong_end() {
+        let body = Bytes::from_static(b"0123456789");
+        let resp = ByteRange::new(8, 100).apply(&body);
+        assert_eq!(&resp.body[..], b"89");
+        assert_eq!(resp.headers.get("content-range"), Some("bytes 8-9/10"));
+    }
+
+    #[test]
+    fn apply_unsatisfiable() {
+        let body = Bytes::from_static(b"abc");
+        let resp = ByteRange::new(10, 20).apply(&body);
+        assert_eq!(resp.status, StatusCode::RANGE_NOT_SATISFIABLE);
+        assert_eq!(resp.headers.get("content-range"), Some("bytes */3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted byte range")]
+    fn inverted_range_panics() {
+        let _ = ByteRange::new(5, 2);
+    }
+}

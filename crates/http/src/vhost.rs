@@ -1,0 +1,132 @@
+//! Virtual hosting: route requests by `Host:` header to handlers.
+//!
+//! §IV-B: the NoCDN peer runs a reverse proxy "with virtual hosting — to
+//! allow a peer to sign up for content delivery with multiple content
+//! providers". [`VirtualHosts`] is that dispatch table.
+
+use crate::message::{Request, Response, StatusCode};
+use std::collections::BTreeMap;
+
+/// A request handler: anything that turns a request into a response.
+///
+/// Implemented for closures so tests and services can register handlers
+/// inline.
+pub trait Handler {
+    /// Handles one request.
+    fn handle(&mut self, req: &Request) -> Response;
+}
+
+impl<F: FnMut(&Request) -> Response> Handler for F {
+    fn handle(&mut self, req: &Request) -> Response {
+        self(req)
+    }
+}
+
+/// Routes requests to per-host handlers; unknown hosts get a
+/// `502 Bad Gateway` (the proxy has no mapping for them).
+#[derive(Default)]
+pub struct VirtualHosts {
+    hosts: BTreeMap<String, Box<dyn Handler>>,
+}
+
+impl std::fmt::Debug for VirtualHosts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualHosts")
+            .field("hosts", &self.hosts.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl VirtualHosts {
+    /// An empty routing table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the handler for `host`.
+    pub fn register(&mut self, host: &str, handler: impl Handler + 'static) {
+        self.hosts
+            .insert(host.to_ascii_lowercase(), Box::new(handler));
+    }
+
+    /// Removes a host's handler; returns whether one existed.
+    pub fn unregister(&mut self, host: &str) -> bool {
+        self.hosts.remove(&host.to_ascii_lowercase()).is_some()
+    }
+
+    /// Hosts currently served.
+    pub fn hosts(&self) -> impl Iterator<Item = &str> {
+        self.hosts.keys().map(String::as_str)
+    }
+
+    /// Number of registered hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when no hosts are registered.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Dispatches a request by its `Host:` header.
+    pub fn dispatch(&mut self, req: &Request) -> Response {
+        let host = req.host().to_ascii_lowercase();
+        match self.hosts.get_mut(&host) {
+            Some(h) => h.handle(req),
+            None => Response::new(StatusCode::BAD_GATEWAY),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Method;
+    use crate::url::Url;
+
+    #[test]
+    fn dispatch_by_host() {
+        let mut v = VirtualHosts::new();
+        v.register("a.example", |_req: &Request| Response::ok("from-a"));
+        v.register("b.example", |_req: &Request| Response::ok("from-b"));
+        let ra = v.dispatch(&Request::get(Url::https("a.example", "/")));
+        assert_eq!(&ra.body[..], b"from-a");
+        let rb = v.dispatch(&Request::get(Url::https("B.EXAMPLE", "/")));
+        assert_eq!(&rb.body[..], b"from-b");
+    }
+
+    #[test]
+    fn unknown_host_is_bad_gateway() {
+        let mut v = VirtualHosts::new();
+        let r = v.dispatch(&Request::get(Url::https("nowhere.example", "/")));
+        assert_eq!(r.status, StatusCode::BAD_GATEWAY);
+    }
+
+    #[test]
+    fn register_replace_unregister() {
+        let mut v = VirtualHosts::new();
+        assert!(v.is_empty());
+        v.register("x", |_: &Request| Response::ok("1"));
+        v.register("x", |_: &Request| Response::ok("2"));
+        assert_eq!(v.len(), 1);
+        let r = v.dispatch(&Request::new(Method::Get, Url::https("x", "/")));
+        assert_eq!(&r.body[..], b"2");
+        assert!(v.unregister("X"));
+        assert!(!v.unregister("x"));
+    }
+
+    #[test]
+    fn handlers_can_be_stateful() {
+        let mut v = VirtualHosts::new();
+        let mut count = 0u32;
+        v.register("counter", move |_: &Request| {
+            count += 1;
+            Response::ok(count.to_string())
+        });
+        let u = Url::https("counter", "/");
+        v.dispatch(&Request::get(u.clone()));
+        let r = v.dispatch(&Request::get(u));
+        assert_eq!(&r.body[..], b"2");
+    }
+}

@@ -1,0 +1,274 @@
+//! Deep-web gathering with vault credentials and attic hints.
+//!
+//! §IV-D ("Deep Web Content"): "the HPoP will hold user credentials so
+//! it can copy deep web content, e.g., constantly collect comments on
+//! user's Facebook page … While divulging credentials for web mail or
+//! social networking services to some generic web proxy would be
+//! unthinkable, providing these to a device in a user's own house … is
+//! much more palatable."
+//!
+//! And ("Leveraging the Data Attic"): "by gathering stock ticker symbols
+//! from tax documents the HPoP can maintain fresh stock quotes that are
+//! germane to the users. The HPoP will provide a generic modular
+//! framework such that many forms of information within the data attic
+//! can trigger data collection."
+//!
+//! [`DeepWebCollector`] subscribes to `attic.write` events, runs
+//! registered *hint extractors* over written content, and fetches both
+//! credentialed and hint-derived URLs.
+
+use hpop_core::events::{Event, EventBus};
+use hpop_core::identity::UserId;
+use hpop_core::vault::CredentialVault;
+use hpop_http::url::Url;
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Extracts follow-up URLs from content written into the attic.
+/// (The paper's example: tax document → stock tickers → quote URLs.)
+pub type HintExtractor = Box<dyn Fn(&str, &str) -> Vec<Url> + Send>;
+
+/// A site the collector gathers on a schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeepWebSource {
+    /// The site's credential key in the vault.
+    pub site: String,
+    /// The owning user (vault access control).
+    pub owner: UserId,
+    /// The URL collected once credentials are presented.
+    pub url: Url,
+}
+
+/// What one collection pass gathered.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CollectionReport {
+    /// Credentialed URLs fetched successfully.
+    pub fetched: Vec<Url>,
+    /// Sources skipped because the vault denied access.
+    pub denied: Vec<String>,
+}
+
+/// The deep-web + hint-driven collector.
+pub struct DeepWebCollector {
+    sources: Vec<DeepWebSource>,
+    extractors: Vec<HintExtractor>,
+    /// URLs queued by attic hints, de-duplicated.
+    hint_queue: Arc<Mutex<BTreeSet<Url>>>,
+}
+
+impl std::fmt::Debug for DeepWebCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeepWebCollector")
+            .field("sources", &self.sources.len())
+            .field("extractors", &self.extractors.len())
+            .field("queued_hints", &self.hint_queue.lock().len())
+            .finish()
+    }
+}
+
+impl Default for DeepWebCollector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DeepWebCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        DeepWebCollector {
+            sources: Vec::new(),
+            extractors: Vec::new(),
+            hint_queue: Arc::new(Mutex::new(BTreeSet::new())),
+        }
+    }
+
+    /// Registers a credentialed source.
+    pub fn add_source(&mut self, source: DeepWebSource) {
+        self.sources.push(source);
+    }
+
+    /// Registers a hint extractor run over every attic write.
+    pub fn add_extractor(&mut self, f: impl Fn(&str, &str) -> Vec<Url> + Send + 'static) {
+        self.extractors.push(Box::new(f));
+    }
+
+    /// Wires the collector to the appliance bus: `attic.write` events
+    /// carry the written path; the attic content is looked up via
+    /// `read_attic` and run through the built-in ticker extractor (the
+    /// subscription cannot borrow `self`; use
+    /// [`DeepWebCollector::ingest_attic_write`] to route content through
+    /// custom extractors).
+    pub fn attach(
+        &self,
+        bus: &EventBus,
+        read_attic: impl Fn(&str) -> Option<String> + Send + 'static,
+    ) {
+        let queue = self.hint_queue.clone();
+        bus.subscribe("attic.write", move |event: &Event| {
+            if let Some(content) = read_attic(&event.payload) {
+                let mut q = queue.lock();
+                for url in builtin_ticker_extractor(&event.payload, &content) {
+                    q.insert(url);
+                }
+            }
+        });
+    }
+
+    /// Queues hints from a piece of attic content through all registered
+    /// extractors (direct entry point; `attach` wires the built-in
+    /// ticker extractor to the bus).
+    pub fn ingest_attic_write(&self, path: &str, content: &str) {
+        let mut q = self.hint_queue.lock();
+        for ex in &self.extractors {
+            for url in ex(path, content) {
+                q.insert(url);
+            }
+        }
+    }
+
+    /// Drains the queued hint URLs (the scheduler fetches them).
+    pub fn take_hints(&self) -> Vec<Url> {
+        let mut q = self.hint_queue.lock();
+        let out: Vec<Url> = q.iter().cloned().collect();
+        q.clear();
+        out
+    }
+
+    /// Runs one credentialed collection pass: for each source, access
+    /// the credential as `actor` and — when the vault allows — fetch the
+    /// URL via `fetch` (which receives the credential secret).
+    pub fn collect(
+        &self,
+        vault: &mut CredentialVault,
+        actor: &str,
+        mut fetch: impl FnMut(&Url, &str) -> bool,
+    ) -> CollectionReport {
+        let mut report = CollectionReport::default();
+        for src in &self.sources {
+            match vault.access(src.owner, &src.site, actor) {
+                Some(cred) => {
+                    if fetch(&src.url, &cred.secret) {
+                        report.fetched.push(src.url.clone());
+                    }
+                }
+                None => report.denied.push(src.site.clone()),
+            }
+        }
+        report
+    }
+}
+
+/// The paper's worked example as a built-in extractor: find
+/// `TICKER:XYZ` markers in attic documents and emit quote URLs.
+pub fn builtin_ticker_extractor(_path: &str, content: &str) -> Vec<Url> {
+    let mut out = Vec::new();
+    for token in content.split_whitespace() {
+        if let Some(sym) = token.strip_prefix("TICKER:") {
+            let sym: String = sym
+                .chars()
+                .take_while(|c| c.is_ascii_alphabetic())
+                .collect();
+            if !sym.is_empty() && sym.len() <= 5 {
+                out.push(Url::https("quotes.example", &format!("/q/{sym}")));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpop_core::vault::SiteCredential;
+
+    const ALICE: UserId = UserId(0);
+    const BOB: UserId = UserId(1);
+
+    fn vault_with_alice_mail() -> CredentialVault {
+        let mut v = CredentialVault::from_passphrase("house");
+        v.store(
+            ALICE,
+            "mail.example",
+            SiteCredential {
+                username: "alice".into(),
+                secret: "s3cret".into(),
+            },
+            "setup",
+        );
+        v
+    }
+
+    #[test]
+    fn credentialed_collection_uses_vault() {
+        let mut vault = vault_with_alice_mail();
+        let mut c = DeepWebCollector::new();
+        c.add_source(DeepWebSource {
+            site: "mail.example".into(),
+            owner: ALICE,
+            url: Url::https("mail.example", "/inbox"),
+        });
+        let mut seen_secret = String::new();
+        let report = c.collect(&mut vault, "internet-home", |_, secret| {
+            seen_secret = secret.to_owned();
+            true
+        });
+        assert_eq!(report.fetched.len(), 1);
+        assert_eq!(seen_secret, "s3cret");
+        // The vault audit shows the access by the collector.
+        assert!(vault
+            .audit_log()
+            .iter()
+            .any(|e| e.actor == "internet-home" && e.action == "access"));
+    }
+
+    #[test]
+    fn wrong_owner_is_denied_and_reported() {
+        let mut vault = vault_with_alice_mail();
+        let mut c = DeepWebCollector::new();
+        c.add_source(DeepWebSource {
+            site: "mail.example".into(),
+            owner: BOB, // Bob doesn't own this credential
+            url: Url::https("mail.example", "/inbox"),
+        });
+        let report = c.collect(&mut vault, "internet-home", |_, _| true);
+        assert!(report.fetched.is_empty());
+        assert_eq!(report.denied, vec!["mail.example".to_owned()]);
+    }
+
+    #[test]
+    fn ticker_extractor_finds_symbols() {
+        let urls = builtin_ticker_extractor(
+            "/finance/tax-2026.txt",
+            "dividends from TICKER:ACME and TICKER:ZORG, ignore TICKER:toolongsym",
+        );
+        assert_eq!(urls.len(), 2);
+        assert!(urls.contains(&Url::https("quotes.example", "/q/ACME")));
+        assert!(urls.contains(&Url::https("quotes.example", "/q/ZORG")));
+    }
+
+    #[test]
+    fn ingest_runs_registered_extractors_and_dedups() {
+        let mut c = DeepWebCollector::new();
+        c.add_extractor(builtin_ticker_extractor);
+        c.ingest_attic_write("/finance/a.txt", "TICKER:ACME TICKER:ACME");
+        c.ingest_attic_write("/finance/b.txt", "TICKER:ACME");
+        let hints = c.take_hints();
+        assert_eq!(hints, vec![Url::https("quotes.example", "/q/ACME")]);
+        // Queue drained.
+        assert!(c.take_hints().is_empty());
+    }
+
+    #[test]
+    fn attic_events_trigger_hint_collection() {
+        let bus = EventBus::new();
+        let c = DeepWebCollector::new();
+        c.attach(&bus, |path| {
+            (path == "/finance/tax.txt").then(|| "TICKER:ACME owns us".to_owned())
+        });
+        bus.publish(Event::new("attic.write", "/finance/tax.txt"));
+        bus.publish(Event::new("attic.write", "/photos/cat.jpg"));
+        let hints = c.take_hints();
+        assert_eq!(hints, vec![Url::https("quotes.example", "/q/ACME")]);
+    }
+}

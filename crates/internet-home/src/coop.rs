@@ -1,0 +1,359 @@
+//! The cooperative neighborhood cache.
+//!
+//! §IV-D ("A Cooperative Cache"): "neighboring HPoPs can link together
+//! to coordinate their content gathering activities and avoid duplicate
+//! retrievals and storage of content in an effort to save aggregate
+//! capacity to the neighborhood. Content can then be shared by all
+//! hosts within the community in a peer-to-peer manner."
+//!
+//! Each object has one *owner* HPoP (highest-random-weight hashing, so
+//! membership changes move a minimal share of objects). A request tries
+//! the local cache, then the owner over the (cheap, lateral) gigabit
+//! neighborhood links, and only then the origin over the (shared,
+//! scarce) aggregation uplink. [`CoopStats`] splits traffic across
+//! those three tiers — experiment E15's metric.
+
+use hpop_crypto::sha256::Sha256;
+use hpop_http::url::Url;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a request was satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FetchTier {
+    /// The requesting HPoP's own cache.
+    Local,
+    /// Another HPoP in the neighborhood (lateral gigabit).
+    Neighbor,
+    /// The origin, over the shared aggregation uplink.
+    Origin,
+}
+
+/// Aggregate traffic statistics across the neighborhood.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoopStats {
+    /// Requests served from the requester's own cache.
+    pub local_hits: u64,
+    /// Requests served laterally by a neighbor.
+    pub neighbor_hits: u64,
+    /// Requests that crossed the aggregation uplink to the origin.
+    pub origin_fetches: u64,
+    /// Bytes that crossed the aggregation uplink.
+    pub uplink_bytes: u64,
+    /// Bytes that moved laterally between HPoPs.
+    pub lateral_bytes: u64,
+}
+
+impl CoopStats {
+    /// Fraction of requests kept inside the neighborhood.
+    pub fn containment(&self) -> f64 {
+        let total = self.local_hits + self.neighbor_hits + self.origin_fetches;
+        if total == 0 {
+            0.0
+        } else {
+            (self.local_hits + self.neighbor_hits) as f64 / total as f64
+        }
+    }
+}
+
+/// A neighborhood of cooperating HPoP caches.
+///
+/// ```
+/// use hpop_internet_home::coop::{CoopCache, FetchTier};
+/// use hpop_http::url::Url;
+///
+/// let mut hood = CoopCache::new(4);
+/// let url = Url::https("web.example", "/news");
+/// // First request in the neighborhood crosses the uplink once…
+/// assert_eq!(hood.request(0, &url, 50_000), FetchTier::Origin);
+/// // …after which any member gets it laterally or locally.
+/// assert_ne!(hood.request(1, &url, 50_000), FetchTier::Origin);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CoopCache {
+    /// member id → cached object set (sizes tracked separately).
+    members: BTreeMap<u32, BTreeSet<Url>>,
+    /// Whether cooperation is enabled (off = independent caches, the
+    /// baseline ablation).
+    cooperative: bool,
+    stats: CoopStats,
+}
+
+impl CoopCache {
+    /// A neighborhood of `n` HPoPs with cooperation enabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u32) -> CoopCache {
+        assert!(n > 0, "a neighborhood needs at least one HPoP");
+        CoopCache {
+            members: (0..n).map(|i| (i, BTreeSet::new())).collect(),
+            cooperative: true,
+            stats: CoopStats::default(),
+        }
+    }
+
+    /// Disables lateral sharing (independent-caches baseline).
+    pub fn independent(mut self) -> CoopCache {
+        self.cooperative = false;
+        self
+    }
+
+    /// Number of member HPoPs.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The owner HPoP of a URL (highest-random-weight hash over the
+    /// current membership).
+    pub fn owner_of(&self, url: &Url) -> u32 {
+        let key = url.to_string();
+        self.members
+            .keys()
+            .copied()
+            .max_by_key(|m| {
+                let d = Sha256::digest(format!("{m}|{key}").as_bytes());
+                u64::from_be_bytes(d.as_bytes()[..8].try_into().expect("8 bytes"))
+            })
+            .expect("members is non-empty")
+    }
+
+    /// `member` requests `url` (`bytes` large). Resolution order: local
+    /// cache → owner's cache (cooperative mode) → origin. Fetched
+    /// content is cached at the owner (cooperative) or locally
+    /// (independent); lateral copies are *not* duplicated — the paper's
+    /// "avoid duplicate retrievals and storage".
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown members.
+    pub fn request(&mut self, member: u32, url: &Url, bytes: u64) -> FetchTier {
+        assert!(
+            self.members.contains_key(&member),
+            "unknown member {member}"
+        );
+        if self.members[&member].contains(url) {
+            self.stats.local_hits += 1;
+            return FetchTier::Local;
+        }
+        if self.cooperative {
+            let owner = self.owner_of(url);
+            if owner != member && self.members[&owner].contains(url) {
+                self.stats.neighbor_hits += 1;
+                self.stats.lateral_bytes += bytes;
+                return FetchTier::Neighbor;
+            }
+            // Origin fetch, stored at the owner for the whole
+            // neighborhood; if the requester isn't the owner the bytes
+            // also cross the lateral network once.
+            self.stats.origin_fetches += 1;
+            self.stats.uplink_bytes += bytes;
+            self.members
+                .get_mut(&owner)
+                .expect("member exists")
+                .insert(url.clone());
+            if owner != member {
+                self.stats.lateral_bytes += bytes;
+            }
+            FetchTier::Origin
+        } else {
+            self.stats.origin_fetches += 1;
+            self.stats.uplink_bytes += bytes;
+            self.members
+                .get_mut(&member)
+                .expect("member exists")
+                .insert(url.clone());
+            FetchTier::Origin
+        }
+    }
+
+    /// A new HPoP joins the neighborhood (a family moves in). Returns
+    /// its member id. Ownership of a `1/(n+1)` share of the object space
+    /// migrates to it — highest-random-weight hashing moves nothing
+    /// else, so existing cached copies mostly stay useful.
+    pub fn add_member(&mut self) -> u32 {
+        let id = self.members.keys().next_back().map_or(0, |m| m + 1);
+        self.members.insert(id, BTreeSet::new());
+        id
+    }
+
+    /// An HPoP leaves (moves away, dies). Its cached objects are lost;
+    /// ownership of its share redistributes across the survivors.
+    /// Returns how many cached objects were lost with it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when removing the last member (a neighborhood of zero
+    /// cannot serve requests).
+    pub fn remove_member(&mut self, member: u32) -> usize {
+        assert!(
+            self.members.len() > 1,
+            "cannot remove the last HPoP in the neighborhood"
+        );
+        self.members
+            .remove(&member)
+            .map(|objs| objs.len())
+            .unwrap_or(0)
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> CoopStats {
+        self.stats
+    }
+
+    /// Total objects stored across the neighborhood (duplicate-storage
+    /// metric).
+    pub fn stored_objects(&self) -> usize {
+        self.members.values().map(BTreeSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(i: u32) -> Url {
+        Url::https("web.example", &format!("/obj{i}"))
+    }
+
+    #[test]
+    fn owner_is_stable_and_balanced() {
+        let coop = CoopCache::new(8);
+        let mut counts = BTreeMap::new();
+        for i in 0..800 {
+            let o = coop.owner_of(&u(i));
+            assert_eq!(o, coop.owner_of(&u(i)), "stability");
+            *counts.entry(o).or_insert(0u32) += 1;
+        }
+        // Each of 8 members owns roughly 100 of 800 objects.
+        for (&m, &c) in &counts {
+            assert!((60..=140).contains(&c), "member {m} owns {c}");
+        }
+    }
+
+    #[test]
+    fn second_requester_hits_neighbor_not_origin() {
+        let mut coop = CoopCache::new(4);
+        let url = u(1);
+        assert_eq!(coop.request(0, &url, 1000), FetchTier::Origin);
+        // A different member: lateral hit, no second uplink crossing.
+        let owner = coop.owner_of(&url);
+        let other = (0..4).find(|&m| m != owner).unwrap();
+        assert_eq!(coop.request(other, &url, 1000), FetchTier::Neighbor);
+        let s = coop.stats();
+        assert_eq!(s.origin_fetches, 1);
+        assert_eq!(s.uplink_bytes, 1000);
+        assert_eq!(s.neighbor_hits, 1);
+    }
+
+    #[test]
+    fn owner_requesting_again_is_local() {
+        let mut coop = CoopCache::new(4);
+        let url = u(2);
+        let owner = coop.owner_of(&url);
+        assert_eq!(coop.request(owner, &url, 500), FetchTier::Origin);
+        assert_eq!(coop.request(owner, &url, 500), FetchTier::Local);
+    }
+
+    #[test]
+    fn independent_caches_fetch_repeatedly() {
+        let mut indep = CoopCache::new(4).independent();
+        let url = u(3);
+        for m in 0..4 {
+            assert_eq!(indep.request(m, &url, 1000), FetchTier::Origin);
+        }
+        let s = indep.stats();
+        assert_eq!(s.origin_fetches, 4);
+        assert_eq!(s.uplink_bytes, 4000);
+        assert_eq!(s.neighbor_hits, 0);
+        // …and stores four duplicate copies.
+        assert_eq!(indep.stored_objects(), 4);
+    }
+
+    #[test]
+    fn cooperation_saves_uplink_bytes_and_storage() {
+        let mut coop = CoopCache::new(10);
+        let mut indep = CoopCache::new(10).independent();
+        // Every member requests the same 20 objects.
+        for obj in 0..20 {
+            for m in 0..10 {
+                coop.request(m, &u(obj), 10_000);
+                indep.request(m, &u(obj), 10_000);
+            }
+        }
+        assert_eq!(coop.stats().origin_fetches, 20);
+        assert_eq!(indep.stats().origin_fetches, 200);
+        assert!(coop.stats().uplink_bytes * 9 <= indep.stats().uplink_bytes);
+        assert_eq!(coop.stored_objects(), 20);
+        assert_eq!(indep.stored_objects(), 200);
+        assert!(coop.stats().containment() > 0.85);
+    }
+
+    #[test]
+    fn join_moves_minimal_ownership() {
+        let mut coop = CoopCache::new(10);
+        let before: Vec<u32> = (0..1000).map(|i| coop.owner_of(&u(i))).collect();
+        let newbie = coop.add_member();
+        assert_eq!(newbie, 10);
+        let mut moved = 0;
+        let mut moved_to_newbie = 0;
+        for (i, &old) in before.iter().enumerate() {
+            let now = coop.owner_of(&u(i as u32));
+            if now != old {
+                moved += 1;
+                if now == newbie {
+                    moved_to_newbie += 1;
+                }
+            }
+        }
+        // HRW: everything that moves, moves to the newcomer, and the
+        // moved share is ~1/11 of the object space.
+        assert_eq!(moved, moved_to_newbie);
+        assert!((50..=140).contains(&moved), "moved {moved} of 1000");
+    }
+
+    #[test]
+    fn leave_redistributes_only_the_departed_share() {
+        let mut coop = CoopCache::new(10);
+        let before: Vec<u32> = (0..1000).map(|i| coop.owner_of(&u(i))).collect();
+        // Warm the departing member's cache.
+        let victim = 3u32;
+        let mut victim_owned = 0;
+        for i in 0..1000u32 {
+            if coop.owner_of(&u(i)) == victim {
+                coop.request(victim, &u(i), 100);
+                victim_owned += 1;
+            }
+        }
+        let lost = coop.remove_member(victim);
+        assert_eq!(lost, victim_owned);
+        for (i, &old) in before.iter().enumerate() {
+            let now = coop.owner_of(&u(i as u32));
+            if old != victim {
+                assert_eq!(now, old, "object {i} moved needlessly");
+            } else {
+                assert_ne!(now, victim);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "last HPoP")]
+    fn cannot_empty_the_neighborhood() {
+        let mut coop = CoopCache::new(1);
+        coop.remove_member(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown member")]
+    fn unknown_member_panics() {
+        let mut coop = CoopCache::new(2);
+        coop.request(7, &u(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one HPoP")]
+    fn empty_neighborhood_rejected() {
+        let _ = CoopCache::new(0);
+    }
+}

@@ -1,0 +1,179 @@
+//! The household's long-term browsing profile.
+//!
+//! §IV-D ("Aggressiveness"): "We aim to leverage users' long-term
+//! history to copy the portion of the Internet the users visit and are
+//! likely to visit." The profile aggregates visits per URL, scores each
+//! by frequency and recency, and exposes the ranked slice the prefetch
+//! planner copies.
+
+use hpop_http::url::Url;
+use hpop_netsim::time::SimTime;
+use std::collections::HashMap;
+
+/// Aggregate statistics for one URL.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SiteStats {
+    /// Total visits recorded.
+    pub visits: u64,
+    /// Instant of the most recent visit.
+    pub last_visit: SimTime,
+    /// Mean seconds between visits (0 until two visits exist).
+    pub mean_interarrival_secs: f64,
+}
+
+/// The browsing-history profiler.
+#[derive(Clone, Debug, Default)]
+pub struct HistoryProfile {
+    sites: HashMap<Url, SiteStats>,
+    total_visits: u64,
+}
+
+impl HistoryProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one visit.
+    pub fn record_visit(&mut self, url: &Url, at: SimTime) {
+        let s = self.sites.entry(url.clone()).or_default();
+        if s.visits > 0 {
+            let gap = at.saturating_since(s.last_visit).as_secs_f64();
+            // Running mean over the (visits - 1) gaps seen so far.
+            let gaps = s.visits as f64;
+            s.mean_interarrival_secs = (s.mean_interarrival_secs * (gaps - 1.0) + gap) / gaps;
+        }
+        s.visits += 1;
+        s.last_visit = at;
+        self.total_visits += 1;
+    }
+
+    /// Stats for a URL, if ever visited.
+    pub fn stats(&self, url: &Url) -> Option<&SiteStats> {
+        self.sites.get(url)
+    }
+
+    /// Total visits recorded.
+    pub fn total_visits(&self) -> u64 {
+        self.total_visits
+    }
+
+    /// Number of distinct URLs seen.
+    pub fn distinct_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The fraction of past visits going to `url` — the planner's
+    /// estimate of the probability the *next* visit hits it.
+    pub fn visit_probability(&self, url: &Url) -> f64 {
+        if self.total_visits == 0 {
+            return 0.0;
+        }
+        self.sites
+            .get(url)
+            .map_or(0.0, |s| s.visits as f64 / self.total_visits as f64)
+    }
+
+    /// URLs ranked by visit count (descending; ties broken by URL order
+    /// for determinism), truncated to `k`.
+    pub fn top_sites(&self, k: usize) -> Vec<(Url, u64)> {
+        let mut v: Vec<(Url, u64)> = self
+            .sites
+            .iter()
+            .map(|(u, s)| (u.clone(), s.visits))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Cumulative fraction of visits covered by the top `k` sites — the
+    /// quantity that makes "approximating the Internet for this
+    /// residence" tractable (Zipf traffic concentrates).
+    pub fn coverage_of_top(&self, k: usize) -> f64 {
+        if self.total_visits == 0 {
+            return 0.0;
+        }
+        let covered: u64 = self.top_sites(k).iter().map(|&(_, v)| v).sum();
+        covered as f64 / self.total_visits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(p: &str) -> Url {
+        Url::https("web.example", p)
+    }
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_and_ranks() {
+        let mut h = HistoryProfile::new();
+        for i in 0..10 {
+            h.record_visit(&u("/news"), t(i * 100));
+        }
+        for i in 0..3 {
+            h.record_visit(&u("/mail"), t(i * 100 + 7));
+        }
+        h.record_visit(&u("/once"), t(5));
+        assert_eq!(h.total_visits(), 14);
+        assert_eq!(h.distinct_sites(), 3);
+        let top = h.top_sites(2);
+        assert_eq!(top[0].0, u("/news"));
+        assert_eq!(top[0].1, 10);
+        assert_eq!(top[1].0, u("/mail"));
+    }
+
+    #[test]
+    fn visit_probability_sums_to_one_over_all_sites() {
+        let mut h = HistoryProfile::new();
+        h.record_visit(&u("/a"), t(0));
+        h.record_visit(&u("/a"), t(1));
+        h.record_visit(&u("/b"), t(2));
+        assert!((h.visit_probability(&u("/a")) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((h.visit_probability(&u("/b")) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.visit_probability(&u("/never")), 0.0);
+    }
+
+    #[test]
+    fn interarrival_tracking() {
+        let mut h = HistoryProfile::new();
+        h.record_visit(&u("/a"), t(0));
+        h.record_visit(&u("/a"), t(100));
+        h.record_visit(&u("/a"), t(300));
+        let s = h.stats(&u("/a")).unwrap();
+        // Gaps: 100, 200 → mean 150.
+        assert!((s.mean_interarrival_secs - 150.0).abs() < 1e-9);
+        assert_eq!(s.last_visit, t(300));
+    }
+
+    #[test]
+    fn coverage_concentrates_under_zipf_like_traffic() {
+        let mut h = HistoryProfile::new();
+        // Visits proportional to 1/rank.
+        for rank in 1..=100u64 {
+            for v in 0..(100 / rank) {
+                h.record_visit(&u(&format!("/site{rank}")), t(rank * 1000 + v));
+            }
+        }
+        let c10 = h.coverage_of_top(10);
+        let c100 = h.coverage_of_top(100);
+        assert!(c10 > 0.5, "top-10 coverage {c10}");
+        assert!((c100 - 1.0).abs() < 1e-12);
+        assert!(h.coverage_of_top(0) == 0.0);
+    }
+
+    #[test]
+    fn empty_profile_edge_cases() {
+        let h = HistoryProfile::new();
+        assert_eq!(h.visit_probability(&u("/x")), 0.0);
+        assert_eq!(h.coverage_of_top(5), 0.0);
+        assert!(h.top_sites(5).is_empty());
+        assert!(h.stats(&u("/x")).is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # hpop-internet-home — Internet@home (paper §IV-D)
+//!
+//! "We envision a more radical notion: keeping a local copy of the
+//! entire Internet. Instead of retrieving content on-demand over the
+//! wide-area network, users will access a local copy cached in the HPoP
+//! … a key task is in approximating an exact copy of the Internet for
+//! the given residence."
+//!
+//! - [`history`] — the long-term browsing profile driving
+//!   "aggressiveness": which slice of the web this household actually
+//!   lives in.
+//! - [`prefetch`] — the scope-vs-freshness planner: how much to gather
+//!   and how often to revalidate, with the upstream-load consequences
+//!   the paper says the HPoP should measure from its vantage point.
+//! - [`collector`] — deep-web gathering with vault-held credentials and
+//!   data-attic hints ("gathering stock ticker symbols from tax
+//!   documents").
+//! - [`smoothing`] — demand smoothing: prefetching ahead of use lets
+//!   the HPoP schedule acquisition at opportune times, flattening the
+//!   upstream peak.
+//! - [`coop`] — the cooperative neighborhood cache: adjacent HPoPs
+//!   partition gathering duties and share content laterally, saving the
+//!   shared aggregation uplink.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod coop;
+pub mod executor;
+pub mod history;
+pub mod prefetch;
+pub mod smoothing;
+
+pub use collector::DeepWebCollector;
+pub use coop::CoopCache;
+pub use executor::{PrefetchExecutor, ServedFrom, SimulatedOrigin};
+pub use history::{HistoryProfile, SiteStats};
+pub use prefetch::{PrefetchPlan, PrefetchPlanner};
+pub use smoothing::{DemandSmoother, HourlyLoad};

@@ -1,0 +1,217 @@
+//! Demand smoothing.
+//!
+//! §IV-D ("Demand Smoothing"): "obtaining content ahead of actual use
+//! also brings flexibility to schedule content acquisition at an
+//! opportune time. This can smooth the demand on Internet servers and
+//! core networks." The smoother takes refresh tasks (each with a
+//! deadline — the moment the cached copy would go stale) and packs them
+//! into the least-loaded hours at or before their deadlines;
+//! experiment E14 compares the resulting hourly load profile against
+//! fetch-at-deadline.
+
+use hpop_netsim::time::SimTime;
+
+/// Upstream load per hour-of-day, in bytes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HourlyLoad {
+    /// `bytes[h]` = upstream bytes scheduled in hour `h` (0–23).
+    pub bytes: [f64; 24],
+}
+
+impl HourlyLoad {
+    /// Peak hour's load.
+    pub fn peak(&self) -> f64 {
+        self.bytes.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean hourly load.
+    pub fn mean(&self) -> f64 {
+        self.bytes.iter().sum::<f64>() / 24.0
+    }
+
+    /// Peak-to-mean ratio (1.0 = perfectly flat); 0 for an empty day.
+    pub fn peak_to_mean(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.peak() / m
+        }
+    }
+
+    /// Total bytes in the day.
+    pub fn total(&self) -> f64 {
+        self.bytes.iter().sum()
+    }
+}
+
+/// A refresh task: `bytes` must be fetched no later than `deadline`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RefreshTask {
+    /// Bytes to transfer.
+    pub bytes: u64,
+    /// The copy expires at this instant; fetching after it leaves a
+    /// stale window.
+    pub deadline: SimTime,
+    /// The earliest useful fetch time (fetching earlier would just
+    /// expire earlier). Defaults to one TTL before the deadline.
+    pub earliest: SimTime,
+}
+
+fn hour_of(t: SimTime) -> usize {
+    ((t.as_nanos() / 1_000_000_000 / 3600) % 24) as usize
+}
+
+/// The §IV-D demand scheduler.
+#[derive(Clone, Debug, Default)]
+pub struct DemandSmoother;
+
+impl DemandSmoother {
+    /// Baseline: every task fetches exactly at its deadline (on-expiry
+    /// refresh, no scheduling freedom).
+    pub fn at_deadline(tasks: &[RefreshTask], user_demand: &HourlyLoad) -> HourlyLoad {
+        let mut load = user_demand.clone();
+        for t in tasks {
+            load.bytes[hour_of(t.deadline)] += t.bytes as f64;
+        }
+        load
+    }
+
+    /// Smoothed: each task is placed in the least-loaded hour of its
+    /// feasible window `[earliest, deadline]` (inclusive, wrapping), on
+    /// top of the anticipated user demand. Tasks are placed largest
+    /// first (classic LPT heuristic).
+    pub fn smoothed(tasks: &[RefreshTask], user_demand: &HourlyLoad) -> HourlyLoad {
+        let mut load = user_demand.clone();
+        let mut ordered: Vec<&RefreshTask> = tasks.iter().collect();
+        ordered.sort_by_key(|t| std::cmp::Reverse(t.bytes));
+        for t in ordered {
+            let h0 = hour_of(t.earliest);
+            let h1 = hour_of(t.deadline);
+            // Feasible hours walking forward from earliest to deadline.
+            let span = if h1 >= h0 { h1 - h0 } else { 24 - h0 + h1 };
+            let candidates: Vec<usize> = (0..=span).map(|i| (h0 + i) % 24).collect();
+            let best = candidates
+                .into_iter()
+                .min_by(|&a, &b| {
+                    load.bytes[a]
+                        .partial_cmp(&load.bytes[b])
+                        .expect("loads are finite")
+                })
+                .expect("window is never empty");
+            load.bytes[best] += t.bytes as f64;
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at_hour(h: u64) -> SimTime {
+        SimTime::from_secs(h * 3600)
+    }
+
+    /// A diurnal user-demand curve: heavy evenings, quiet nights.
+    fn diurnal() -> HourlyLoad {
+        let mut l = HourlyLoad::default();
+        for h in 0..24 {
+            l.bytes[h] = match h {
+                19..=22 => 10_000.0, // evening peak
+                7..=18 => 4_000.0,   // daytime
+                _ => 500.0,          // night
+            };
+        }
+        l
+    }
+
+    /// Tasks that all expire during the evening peak but could fetch any
+    /// time from the previous night.
+    fn evening_tasks(n: usize) -> Vec<RefreshTask> {
+        (0..n)
+            .map(|i| RefreshTask {
+                bytes: 5_000,
+                deadline: at_hour(20) + hpop_netsim::time::SimDuration::from_secs(i as u64),
+                earliest: at_hour(2),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn smoothing_flattens_the_peak() {
+        let demand = diurnal();
+        let tasks = evening_tasks(10);
+        let baseline = DemandSmoother::at_deadline(&tasks, &demand);
+        let smoothed = DemandSmoother::smoothed(&tasks, &demand);
+        // Same total bytes either way.
+        assert!((baseline.total() - smoothed.total()).abs() < 1e-6);
+        // The baseline piles 50 KB onto the evening peak; smoothing
+        // pushes it into the night hours.
+        assert!(
+            smoothed.peak() < baseline.peak(),
+            "smoothed peak {} vs baseline {}",
+            smoothed.peak(),
+            baseline.peak()
+        );
+        assert!(smoothed.peak_to_mean() < baseline.peak_to_mean());
+    }
+
+    #[test]
+    fn deadline_is_respected() {
+        let demand = HourlyLoad::default();
+        // Feasible window: hours 2..=5 only.
+        let tasks = vec![RefreshTask {
+            bytes: 100,
+            deadline: at_hour(5),
+            earliest: at_hour(2),
+        }];
+        let smoothed = DemandSmoother::smoothed(&tasks, &demand);
+        let placed: Vec<usize> = (0..24).filter(|&h| smoothed.bytes[h] > 0.0).collect();
+        assert_eq!(placed.len(), 1);
+        assert!((2..=5).contains(&placed[0]), "placed at {}", placed[0]);
+    }
+
+    #[test]
+    fn wrapping_window_works() {
+        let demand = HourlyLoad::default();
+        // Window from 22:00 to 03:00 (wraps midnight).
+        let tasks = vec![RefreshTask {
+            bytes: 100,
+            deadline: at_hour(27), // = hour 3 next day
+            earliest: at_hour(22),
+        }];
+        let smoothed = DemandSmoother::smoothed(&tasks, &demand);
+        let placed: Vec<usize> = (0..24).filter(|&h| smoothed.bytes[h] > 0.0).collect();
+        assert_eq!(placed.len(), 1);
+        assert!(placed[0] >= 22 || placed[0] <= 3, "placed at {}", placed[0]);
+    }
+
+    #[test]
+    fn loads_spread_across_the_window() {
+        let demand = HourlyLoad::default();
+        let tasks: Vec<RefreshTask> = (0..8)
+            .map(|_| RefreshTask {
+                bytes: 100,
+                deadline: at_hour(10),
+                earliest: at_hour(3),
+            })
+            .collect();
+        let smoothed = DemandSmoother::smoothed(&tasks, &demand);
+        // 8 equal tasks over an 8-hour window: one per hour (flat).
+        let used: Vec<f64> = (3..=10).map(|h| smoothed.bytes[h]).collect();
+        assert!(used.iter().all(|&b| (b - 100.0).abs() < 1e-9), "{used:?}");
+    }
+
+    #[test]
+    fn hourly_load_stats() {
+        let mut l = HourlyLoad::default();
+        assert_eq!(l.peak_to_mean(), 0.0);
+        l.bytes[0] = 48.0;
+        l.bytes[1] = 0.0;
+        assert_eq!(l.peak(), 48.0);
+        assert_eq!(l.mean(), 2.0);
+        assert_eq!(l.peak_to_mean(), 24.0);
+        assert_eq!(l.total(), 48.0);
+    }
+}

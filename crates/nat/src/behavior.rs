@@ -1,0 +1,166 @@
+//! NAT mapping and filtering behaviors (RFC 4787 terminology) and the
+//! classic NAT-type presets they combine into.
+
+use std::fmt;
+
+/// How a NAT allocates external ports for internal endpoints.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MappingBehavior {
+    /// One external port per internal endpoint regardless of destination
+    /// — the behavior STUN hole punching requires.
+    EndpointIndependent,
+    /// A new mapping per destination address.
+    AddressDependent,
+    /// A new mapping per destination address *and* port ("symmetric").
+    AddressAndPortDependent,
+}
+
+/// Which inbound packets a NAT lets through an existing mapping.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FilteringBehavior {
+    /// Anyone may send to the mapped port ("full cone").
+    EndpointIndependent,
+    /// Only hosts the internal endpoint has contacted.
+    AddressDependent,
+    /// Only exact (host, port) pairs the internal endpoint has contacted.
+    AddressAndPortDependent,
+}
+
+/// A NAT device's observable personality.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct NatProfile {
+    /// Port-mapping behavior.
+    pub mapping: MappingBehavior,
+    /// Inbound-filtering behavior.
+    pub filtering: FilteringBehavior,
+    /// Whether the device honors UPnP port-mapping requests (home
+    /// routers commonly do; carrier-grade NATs never do).
+    pub supports_upnp: bool,
+    /// Whether this is an ISP-operated carrier-grade NAT.
+    pub carrier_grade: bool,
+}
+
+impl NatProfile {
+    /// Classic "full cone": EI mapping and filtering, UPnP available.
+    pub fn full_cone() -> NatProfile {
+        NatProfile {
+            mapping: MappingBehavior::EndpointIndependent,
+            filtering: FilteringBehavior::EndpointIndependent,
+            supports_upnp: true,
+            carrier_grade: false,
+        }
+    }
+
+    /// "(Address-)restricted cone": EI mapping, address-dependent filter.
+    pub fn restricted_cone() -> NatProfile {
+        NatProfile {
+            mapping: MappingBehavior::EndpointIndependent,
+            filtering: FilteringBehavior::AddressDependent,
+            supports_upnp: true,
+            carrier_grade: false,
+        }
+    }
+
+    /// "Port-restricted cone": EI mapping, address+port-dependent filter.
+    pub fn port_restricted_cone() -> NatProfile {
+        NatProfile {
+            mapping: MappingBehavior::EndpointIndependent,
+            filtering: FilteringBehavior::AddressAndPortDependent,
+            supports_upnp: true,
+            carrier_grade: false,
+        }
+    }
+
+    /// "Symmetric": address+port-dependent mapping and filtering — the
+    /// NAT type that defeats hole punching.
+    pub fn symmetric() -> NatProfile {
+        NatProfile {
+            mapping: MappingBehavior::AddressAndPortDependent,
+            filtering: FilteringBehavior::AddressAndPortDependent,
+            supports_upnp: true,
+            carrier_grade: false,
+        }
+    }
+
+    /// A typical carrier-grade NAT: endpoint-independent mapping (per
+    /// RFC 6888 REQ-1) but no UPnP control for subscribers.
+    pub fn carrier_grade() -> NatProfile {
+        NatProfile {
+            mapping: MappingBehavior::EndpointIndependent,
+            filtering: FilteringBehavior::AddressAndPortDependent,
+            supports_upnp: false,
+            carrier_grade: true,
+        }
+    }
+
+    /// A hostile CGN with symmetric mapping (observed in the wild despite
+    /// RFC 6888) — forces TURN.
+    pub fn carrier_grade_symmetric() -> NatProfile {
+        NatProfile {
+            mapping: MappingBehavior::AddressAndPortDependent,
+            filtering: FilteringBehavior::AddressAndPortDependent,
+            supports_upnp: false,
+            carrier_grade: true,
+        }
+    }
+
+    /// Whether STUN-style hole punching can work through this device
+    /// (requires endpoint-independent mapping so the externally observed
+    /// port is reusable toward a different peer).
+    pub fn hole_punchable(&self) -> bool {
+        self.mapping == MappingBehavior::EndpointIndependent
+    }
+}
+
+impl fmt::Display for NatProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match (self.mapping, self.filtering) {
+            (MappingBehavior::EndpointIndependent, FilteringBehavior::EndpointIndependent) => {
+                "full-cone"
+            }
+            (MappingBehavior::EndpointIndependent, FilteringBehavior::AddressDependent) => {
+                "restricted-cone"
+            }
+            (MappingBehavior::EndpointIndependent, FilteringBehavior::AddressAndPortDependent) => {
+                "port-restricted-cone"
+            }
+            _ => "symmetric",
+        };
+        if self.carrier_grade {
+            write!(f, "cgn-{kind}")
+        } else {
+            write!(f, "{kind}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_punchability() {
+        assert!(NatProfile::full_cone().hole_punchable());
+        assert!(NatProfile::restricted_cone().hole_punchable());
+        assert!(NatProfile::port_restricted_cone().hole_punchable());
+        assert!(!NatProfile::symmetric().hole_punchable());
+        assert!(NatProfile::carrier_grade().hole_punchable());
+        assert!(!NatProfile::carrier_grade_symmetric().hole_punchable());
+    }
+
+    #[test]
+    fn cgn_refuses_upnp() {
+        assert!(!NatProfile::carrier_grade().supports_upnp);
+        assert!(NatProfile::full_cone().supports_upnp);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(NatProfile::full_cone().to_string(), "full-cone");
+        assert_eq!(NatProfile::symmetric().to_string(), "symmetric");
+        assert_eq!(
+            NatProfile::carrier_grade().to_string(),
+            "cgn-port-restricted-cone"
+        );
+    }
+}

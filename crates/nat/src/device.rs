@@ -1,0 +1,287 @@
+//! A behavioral NAT device: bindings, filtering and port allocation.
+//!
+//! Traversal outcomes in [`crate::traversal`] are derived by actually
+//! sending simulated packets through these devices, so the classic
+//! "which NAT combinations can hole-punch" matrix is an emergent result,
+//! not a lookup table.
+
+use crate::behavior::{FilteringBehavior, MappingBehavior, NatProfile};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A transport endpoint: abstract host id + port.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Endpoint {
+    /// Abstract host identifier (an "IP address").
+    pub host: u64,
+    /// Port number.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Creates an endpoint.
+    pub fn new(host: u64, port: u16) -> Endpoint {
+        Endpoint { host, port }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.host, self.port)
+    }
+}
+
+/// Key a mapping is stored under, per the device's mapping behavior.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct MapKey {
+    internal: Endpoint,
+    dst_host: Option<u64>,
+    dst_port: Option<u16>,
+}
+
+#[derive(Clone, Debug)]
+struct Binding {
+    internal: Endpoint,
+    /// Destinations this binding has sent to (feeds filtering decisions).
+    contacted: BTreeSet<Endpoint>,
+}
+
+/// A NAT middlebox with a public address, translating between an inside
+/// network and the outside.
+#[derive(Clone, Debug)]
+pub struct NatDevice {
+    profile: NatProfile,
+    public_host: u64,
+    next_port: u16,
+    /// mapping key → external port
+    mappings: BTreeMap<MapKey, u16>,
+    /// external port → binding state
+    bindings: BTreeMap<u16, Binding>,
+    /// explicit UPnP port forwards: external port → internal endpoint
+    forwards: BTreeMap<u16, Endpoint>,
+}
+
+impl NatDevice {
+    /// Creates a NAT with the given behavior profile and public address.
+    pub fn new(profile: NatProfile, public_host: u64) -> NatDevice {
+        NatDevice {
+            profile,
+            public_host,
+            next_port: 40_000,
+            mappings: BTreeMap::new(),
+            bindings: BTreeMap::new(),
+            forwards: BTreeMap::new(),
+        }
+    }
+
+    /// The device's behavior profile.
+    pub fn profile(&self) -> NatProfile {
+        self.profile
+    }
+
+    /// The device's public host id.
+    pub fn public_host(&self) -> u64 {
+        self.public_host
+    }
+
+    fn map_key(&self, internal: Endpoint, dst: Endpoint) -> MapKey {
+        match self.profile.mapping {
+            MappingBehavior::EndpointIndependent => MapKey {
+                internal,
+                dst_host: None,
+                dst_port: None,
+            },
+            MappingBehavior::AddressDependent => MapKey {
+                internal,
+                dst_host: Some(dst.host),
+                dst_port: None,
+            },
+            MappingBehavior::AddressAndPortDependent => MapKey {
+                internal,
+                dst_host: Some(dst.host),
+                dst_port: Some(dst.port),
+            },
+        }
+    }
+
+    /// Translates an outbound packet from `internal` toward `dst`;
+    /// returns the external (public) source endpoint the outside world
+    /// sees, creating or reusing a binding.
+    pub fn outbound(&mut self, internal: Endpoint, dst: Endpoint) -> Endpoint {
+        let key = self.map_key(internal, dst);
+        let port = match self.mappings.get(&key) {
+            Some(&p) => p,
+            None => {
+                let p = self.alloc_port();
+                self.mappings.insert(key, p);
+                self.bindings.insert(
+                    p,
+                    Binding {
+                        internal,
+                        contacted: BTreeSet::new(),
+                    },
+                );
+                p
+            }
+        };
+        self.bindings
+            .get_mut(&port)
+            .expect("binding created above")
+            .contacted
+            .insert(dst);
+        Endpoint::new(self.public_host, port)
+    }
+
+    /// Processes an inbound packet from `src` addressed to external port
+    /// `ext_port`; returns the internal endpoint it is delivered to, or
+    /// `None` if the NAT filters it.
+    pub fn inbound(&self, src: Endpoint, ext_port: u16) -> Option<Endpoint> {
+        if let Some(&fwd) = self.forwards.get(&ext_port) {
+            return Some(fwd); // UPnP forwards bypass filtering
+        }
+        let b = self.bindings.get(&ext_port)?;
+        let allowed = match self.profile.filtering {
+            FilteringBehavior::EndpointIndependent => true,
+            FilteringBehavior::AddressDependent => b.contacted.iter().any(|e| e.host == src.host),
+            FilteringBehavior::AddressAndPortDependent => b.contacted.contains(&src),
+        };
+        allowed.then_some(b.internal)
+    }
+
+    /// Requests a UPnP port mapping: external `ext_port` → `internal`.
+    /// Returns `false` (and does nothing) if the device does not support
+    /// UPnP or the port is taken.
+    pub fn upnp_map(&mut self, ext_port: u16, internal: Endpoint) -> bool {
+        if !self.profile.supports_upnp
+            || self.forwards.contains_key(&ext_port)
+            || self.bindings.contains_key(&ext_port)
+        {
+            return false;
+        }
+        self.forwards.insert(ext_port, internal);
+        true
+    }
+
+    /// Removes a UPnP mapping; returns whether one existed.
+    pub fn upnp_unmap(&mut self, ext_port: u16) -> bool {
+        self.forwards.remove(&ext_port).is_some()
+    }
+
+    /// Number of live dynamic bindings.
+    pub fn binding_count(&self) -> usize {
+        self.bindings.len()
+    }
+
+    fn alloc_port(&mut self) -> u16 {
+        loop {
+            let p = self.next_port;
+            self.next_port = self.next_port.checked_add(1).unwrap_or(40_000);
+            if !self.bindings.contains_key(&p) && !self.forwards.contains_key(&p) {
+                return p;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SERVER_A: Endpoint = Endpoint {
+        host: 900,
+        port: 80,
+    };
+    const SERVER_B: Endpoint = Endpoint {
+        host: 901,
+        port: 80,
+    };
+    const INSIDE: Endpoint = Endpoint {
+        host: 10,
+        port: 5000,
+    };
+
+    #[test]
+    fn ei_mapping_reuses_port_across_destinations() {
+        let mut nat = NatDevice::new(NatProfile::full_cone(), 77);
+        let e1 = nat.outbound(INSIDE, SERVER_A);
+        let e2 = nat.outbound(INSIDE, SERVER_B);
+        assert_eq!(e1, e2);
+        assert_eq!(e1.host, 77);
+        assert_eq!(nat.binding_count(), 1);
+    }
+
+    #[test]
+    fn symmetric_mapping_differs_per_destination() {
+        let mut nat = NatDevice::new(NatProfile::symmetric(), 77);
+        let e1 = nat.outbound(INSIDE, SERVER_A);
+        let e2 = nat.outbound(INSIDE, SERVER_B);
+        assert_ne!(e1.port, e2.port);
+        assert_eq!(nat.binding_count(), 2);
+        // Same destination reuses the same mapping.
+        assert_eq!(nat.outbound(INSIDE, SERVER_A), e1);
+    }
+
+    #[test]
+    fn full_cone_accepts_anyone() {
+        let mut nat = NatDevice::new(NatProfile::full_cone(), 77);
+        let ext = nat.outbound(INSIDE, SERVER_A);
+        let stranger = Endpoint::new(555, 1234);
+        assert_eq!(nat.inbound(stranger, ext.port), Some(INSIDE));
+    }
+
+    #[test]
+    fn restricted_cone_requires_contacted_host() {
+        let mut nat = NatDevice::new(NatProfile::restricted_cone(), 77);
+        let ext = nat.outbound(INSIDE, SERVER_A);
+        // Same host, different port: allowed.
+        assert_eq!(
+            nat.inbound(Endpoint::new(SERVER_A.host, 9999), ext.port),
+            Some(INSIDE)
+        );
+        // Different host: filtered.
+        assert_eq!(nat.inbound(SERVER_B, ext.port), None);
+    }
+
+    #[test]
+    fn port_restricted_requires_exact_endpoint() {
+        let mut nat = NatDevice::new(NatProfile::port_restricted_cone(), 77);
+        let ext = nat.outbound(INSIDE, SERVER_A);
+        assert_eq!(nat.inbound(SERVER_A, ext.port), Some(INSIDE));
+        assert_eq!(
+            nat.inbound(Endpoint::new(SERVER_A.host, 9999), ext.port),
+            None
+        );
+    }
+
+    #[test]
+    fn unknown_port_is_dropped() {
+        let nat = NatDevice::new(NatProfile::full_cone(), 77);
+        assert_eq!(nat.inbound(SERVER_A, 40_000), None);
+    }
+
+    #[test]
+    fn upnp_forward_bypasses_filtering() {
+        let mut nat = NatDevice::new(NatProfile::port_restricted_cone(), 77);
+        assert!(nat.upnp_map(8443, INSIDE));
+        let stranger = Endpoint::new(12345, 999);
+        assert_eq!(nat.inbound(stranger, 8443), Some(INSIDE));
+        assert!(nat.upnp_unmap(8443));
+        assert_eq!(nat.inbound(stranger, 8443), None);
+    }
+
+    #[test]
+    fn upnp_refused_by_cgn_and_on_conflicts() {
+        let mut cgn = NatDevice::new(NatProfile::carrier_grade(), 88);
+        assert!(!cgn.upnp_map(8443, INSIDE));
+        let mut nat = NatDevice::new(NatProfile::full_cone(), 77);
+        assert!(nat.upnp_map(8443, INSIDE));
+        assert!(!nat.upnp_map(8443, Endpoint::new(11, 1))); // taken
+    }
+
+    #[test]
+    fn distinct_internal_endpoints_get_distinct_ports() {
+        let mut nat = NatDevice::new(NatProfile::full_cone(), 77);
+        let a = nat.outbound(Endpoint::new(10, 1000), SERVER_A);
+        let b = nat.outbound(Endpoint::new(11, 1000), SERVER_A);
+        assert_ne!(a.port, b.port);
+    }
+}

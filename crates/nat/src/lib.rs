@@ -1,0 +1,30 @@
+//! # hpop-nat — NAT models and HPoP reachability
+//!
+//! §III: "a preliminary issue that we must address is HPoP reachability
+//! in the presence of (potentially multiple levels of) address
+//! translation". The paper's plan: UPnP port mapping where the home NAT
+//! is the only translator; STUN hole punching through carrier-grade NAT
+//! where the NAT behavior allows it; TURN relaying (with reduced
+//! functionality) where it does not.
+//!
+//! - [`behavior`] — RFC 4787 mapping/filtering behaviors and the classic
+//!   NAT-type presets (full cone … symmetric, CGN).
+//! - [`device`] — a behavioral NAT device: bindings, filtering, port
+//!   allocation; traversal outcomes *emerge* from packet simulation
+//!   rather than a hard-coded matrix.
+//! - [`traversal`] — UPnP/STUN/TURN procedures run against device
+//!   chains, and the reachability planner the HPoP appliance uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(test)]
+mod proptests;
+
+pub mod behavior;
+pub mod device;
+pub mod traversal;
+
+pub use behavior::{FilteringBehavior, MappingBehavior, NatProfile};
+pub use device::{Endpoint, NatDevice};
+pub use traversal::{plan_reachability, HolePunchOutcome, ReachabilityPlan, Traversal};

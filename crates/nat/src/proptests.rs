@@ -1,0 +1,88 @@
+//! Property-based tests of the NAT traversal machinery.
+
+use crate::behavior::{FilteringBehavior, MappingBehavior, NatProfile};
+use crate::device::{Endpoint, NatDevice};
+use crate::traversal::{hole_punch, plan_reachability, Traversal};
+use proptest::prelude::*;
+
+fn profile_strategy() -> impl Strategy<Value = NatProfile> {
+    let mapping = prop_oneof![
+        Just(MappingBehavior::EndpointIndependent),
+        Just(MappingBehavior::AddressDependent),
+        Just(MappingBehavior::AddressAndPortDependent),
+    ];
+    let filtering = prop_oneof![
+        Just(FilteringBehavior::EndpointIndependent),
+        Just(FilteringBehavior::AddressDependent),
+        Just(FilteringBehavior::AddressAndPortDependent),
+    ];
+    (mapping, filtering, any::<bool>(), any::<bool>()).prop_map(
+        |(mapping, filtering, supports_upnp, carrier_grade)| NatProfile {
+            mapping,
+            filtering,
+            supports_upnp: supports_upnp && !carrier_grade,
+            carrier_grade,
+        },
+    )
+}
+
+proptest! {
+    /// Hole punching is symmetric in its arguments: if A can rendezvous
+    /// with B, B can rendezvous with A.
+    #[test]
+    fn hole_punch_is_symmetric(a in profile_strategy(), b in profile_strategy()) {
+        prop_assert_eq!(
+            hole_punch(&[a], &[b]).succeeded(),
+            hole_punch(&[b], &[a]).succeeded()
+        );
+    }
+
+    /// Both sides endpoint-independent in mapping ⇒ punching always
+    /// succeeds (the classic sufficiency condition).
+    #[test]
+    fn ei_mapping_is_sufficient(
+        a in profile_strategy().prop_map(|mut p| {
+            p.mapping = MappingBehavior::EndpointIndependent;
+            p
+        }),
+        b in profile_strategy().prop_map(|mut p| {
+            p.mapping = MappingBehavior::EndpointIndependent;
+            p
+        }),
+    ) {
+        prop_assert!(hole_punch(&[a], &[b]).succeeded());
+    }
+
+    /// The planner never strands an HPoP: every chain yields a method,
+    /// and only TURN is allowed to limit functionality.
+    #[test]
+    fn planner_is_total(chain in proptest::collection::vec(profile_strategy(), 0..4)) {
+        let plan = plan_reachability(&chain);
+        if plan.method != Traversal::TurnRelay {
+            prop_assert!(plan.full_functionality);
+        }
+        if chain.is_empty() {
+            prop_assert_eq!(plan.method, Traversal::Direct);
+        }
+    }
+
+    /// A NAT device's translations are internally consistent: an
+    /// outbound packet always yields a mapping on the device's public
+    /// host, and the contacted destination can immediately reply
+    /// through it.
+    #[test]
+    fn outbound_then_reply_works(
+        profile in profile_strategy(),
+        int_port in 1024u16..60_000,
+        dst_host in 1u64..1_000,
+        dst_port in 1u16..60_000,
+    ) {
+        let mut nat = NatDevice::new(profile, 42);
+        let inside = Endpoint::new(7, int_port);
+        let dst = Endpoint::new(dst_host, dst_port);
+        let ext = nat.outbound(inside, dst);
+        prop_assert_eq!(ext.host, 42);
+        // The exact destination just contacted may always reply.
+        prop_assert_eq!(nat.inbound(dst, ext.port), Some(inside));
+    }
+}

@@ -1,0 +1,315 @@
+//! NAT traversal procedures and the HPoP reachability planner.
+//!
+//! §III prescribes: UPnP for home-NAT-only deployments, STUN hole
+//! punching behind carrier-grade NAT ("not all NAT devices have the
+//! behavior required for hole-punching to work"), and TURN relaying
+//! "with limited functionality" as the fallback. [`hole_punch`] runs the
+//! actual STUN rendezvous against behavioral [`NatDevice`] chains, so
+//! success and failure emerge from the devices' mapping/filtering rules.
+
+use crate::behavior::NatProfile;
+use crate::device::{Endpoint, NatDevice};
+
+/// How an HPoP is reached from the outside.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Traversal {
+    /// Public address; no NAT in the way.
+    Direct,
+    /// UPnP port mapping on the home NAT (§III's first choice).
+    UpnpPortMap,
+    /// STUN-style hole punching through CGN.
+    StunHolePunch,
+    /// TURN relay: always works, but costs an extra network leg and
+    /// relay capacity ("limited functionality").
+    TurnRelay,
+}
+
+/// The planner's decision for one home network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReachabilityPlan {
+    /// Chosen traversal method.
+    pub method: Traversal,
+    /// Whether the HPoP gets full inbound functionality (TURN does not:
+    /// all traffic transits the relay).
+    pub full_functionality: bool,
+}
+
+/// Chooses a traversal method for an HPoP behind `chain` (innermost NAT
+/// first; empty = publicly addressed). Follows the paper's §III order:
+/// UPnP where every translator honors it, then STUN where every
+/// translator's mapping allows punching, else TURN.
+pub fn plan_reachability(chain: &[NatProfile]) -> ReachabilityPlan {
+    if chain.is_empty() {
+        return ReachabilityPlan {
+            method: Traversal::Direct,
+            full_functionality: true,
+        };
+    }
+    if chain.iter().all(|p| p.supports_upnp) {
+        return ReachabilityPlan {
+            method: Traversal::UpnpPortMap,
+            full_functionality: true,
+        };
+    }
+    if chain.iter().all(|p| p.hole_punchable()) {
+        return ReachabilityPlan {
+            method: Traversal::StunHolePunch,
+            full_functionality: true,
+        };
+    }
+    ReachabilityPlan {
+        method: Traversal::TurnRelay,
+        full_functionality: false,
+    }
+}
+
+/// The result of a hole-punch attempt.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HolePunchOutcome {
+    /// Both directions deliver after the given number of send rounds.
+    Success {
+        /// Rounds of simultaneous sends needed (1 = first packets passed,
+        /// 2 = first packets opened the filters for the second round).
+        rounds: u32,
+    },
+    /// The rendezvous cannot succeed with these NATs.
+    Failure,
+}
+
+impl HolePunchOutcome {
+    /// True on success.
+    pub fn succeeded(&self) -> bool {
+        matches!(self, HolePunchOutcome::Success { .. })
+    }
+}
+
+/// One host behind a chain of NATs (innermost first).
+struct NattedHost {
+    internal: Endpoint,
+    chain: Vec<NatDevice>,
+}
+
+impl NattedHost {
+    fn new(internal: Endpoint, profiles: &[NatProfile], first_public_host: u64) -> NattedHost {
+        let chain = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| NatDevice::new(p, first_public_host + i as u64))
+            .collect();
+        NattedHost { internal, chain }
+    }
+
+    /// Sends a packet to `dst`, installing bindings along the chain;
+    /// returns the source endpoint the destination observes.
+    fn send(&mut self, dst: Endpoint) -> Endpoint {
+        let mut src = self.internal;
+        for nat in &mut self.chain {
+            src = nat.outbound(src, dst);
+        }
+        src
+    }
+
+    /// Delivers a packet from `src` addressed to `ext`; returns whether
+    /// it reaches the internal host.
+    fn receive(&self, src: Endpoint, ext: Endpoint) -> bool {
+        // Outermost NAT first on the way in.
+        let mut addr = ext;
+        for nat in self.chain.iter().rev() {
+            if nat.public_host() != addr.host {
+                return false;
+            }
+            match nat.inbound(src, addr.port) {
+                Some(inner) => addr = inner,
+                None => return false,
+            }
+        }
+        addr == self.internal
+    }
+}
+
+/// Runs the STUN rendezvous between two NATed hosts:
+///
+/// 1. both contact the STUN server, learning their external mappings;
+/// 2. mappings are exchanged out of band (the collective's signaling);
+/// 3. both sides send to the learned endpoints simultaneously, up to two
+///    rounds (round one may be eaten by the peer's filter but opens the
+///    sender's own filter).
+///
+/// Returns how (or whether) connectivity was established.
+pub fn hole_punch(a_profiles: &[NatProfile], b_profiles: &[NatProfile]) -> HolePunchOutcome {
+    let stun = Endpoint::new(1, 3478);
+    let mut a = NattedHost::new(Endpoint::new(100, 5000), a_profiles, 200);
+    let mut b = NattedHost::new(Endpoint::new(101, 5000), b_profiles, 300);
+
+    // Step 1: observed external mappings toward the STUN server.
+    let a_ext = a.send(stun);
+    let b_ext = b.send(stun);
+
+    // Step 2-3: simultaneous sends to the exchanged endpoints. Like ICE
+    // connectivity checks, each side re-targets the *observed* source of
+    // any packet it receives — this is what lets a cone NAT talk to a
+    // symmetric one whose real mapping differs from the advertised one.
+    let mut a_target = b_ext;
+    let mut b_target = a_ext;
+    for round in 1..=3u32 {
+        let a_src_toward_b = a.send(a_target);
+        let b_src_toward_a = b.send(b_target);
+        let a_to_b = b.receive(a_src_toward_b, a_target);
+        let b_to_a = a.receive(b_src_toward_a, b_target);
+        if a_to_b && b_to_a {
+            return HolePunchOutcome::Success { rounds: round };
+        }
+        if a_to_b {
+            b_target = a_src_toward_b;
+        }
+        if b_to_a {
+            a_target = b_src_toward_a;
+        }
+    }
+    HolePunchOutcome::Failure
+}
+
+/// Attempts UPnP mappings down a NAT chain for the given internal
+/// endpoint; returns the externally reachable endpoint on success.
+/// Fails if any device (e.g. a CGN) refuses UPnP.
+pub fn upnp_establish(
+    profiles: &[NatProfile],
+    internal: Endpoint,
+    ext_port: u16,
+) -> Option<Endpoint> {
+    let mut chain: Vec<NatDevice> = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| NatDevice::new(p, 500 + i as u64))
+        .collect();
+    let mut hop = internal;
+    for nat in &mut chain {
+        if !nat.upnp_map(ext_port, hop) {
+            return None;
+        }
+        hop = Endpoint::new(nat.public_host(), ext_port);
+    }
+    // Verify an arbitrary outside host can actually get in.
+    let outside = Endpoint::new(9999, 1);
+    let mut addr = hop;
+    for nat in chain.iter().rev() {
+        addr = nat.inbound(outside, addr.port)?;
+    }
+    (addr == internal).then_some(hop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planner_prefers_direct_then_upnp_then_stun_then_turn() {
+        assert_eq!(plan_reachability(&[]).method, Traversal::Direct);
+        assert_eq!(
+            plan_reachability(&[NatProfile::full_cone()]).method,
+            Traversal::UpnpPortMap
+        );
+        assert_eq!(
+            plan_reachability(&[NatProfile::full_cone(), NatProfile::carrier_grade()]).method,
+            Traversal::StunHolePunch
+        );
+        let plan = plan_reachability(&[
+            NatProfile::full_cone(),
+            NatProfile::carrier_grade_symmetric(),
+        ]);
+        assert_eq!(plan.method, Traversal::TurnRelay);
+        assert!(!plan.full_functionality);
+    }
+
+    #[test]
+    fn cone_to_cone_punches() {
+        for a in [
+            NatProfile::full_cone(),
+            NatProfile::restricted_cone(),
+            NatProfile::port_restricted_cone(),
+        ] {
+            for b in [
+                NatProfile::full_cone(),
+                NatProfile::restricted_cone(),
+                NatProfile::port_restricted_cone(),
+            ] {
+                let out = hole_punch(&[a], &[b]);
+                assert!(out.succeeded(), "{a} <-> {b} failed: {out:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_to_port_restricted_fails() {
+        let out = hole_punch(
+            &[NatProfile::symmetric()],
+            &[NatProfile::port_restricted_cone()],
+        );
+        assert_eq!(out, HolePunchOutcome::Failure);
+    }
+
+    #[test]
+    fn symmetric_to_full_cone_succeeds() {
+        // The full-cone side accepts any source, so even the symmetric
+        // side's unpredictable mapping gets through; replies then pass
+        // the symmetric filter because the symmetric host sent first.
+        let out = hole_punch(&[NatProfile::symmetric()], &[NatProfile::full_cone()]);
+        assert!(out.succeeded(), "{out:?}");
+    }
+
+    #[test]
+    fn symmetric_both_sides_fails() {
+        assert_eq!(
+            hole_punch(&[NatProfile::symmetric()], &[NatProfile::symmetric()]),
+            HolePunchOutcome::Failure
+        );
+    }
+
+    #[test]
+    fn punching_through_double_nat_works_when_both_layers_ei() {
+        let chain = [NatProfile::full_cone(), NatProfile::carrier_grade()];
+        let out = hole_punch(&chain, &[NatProfile::port_restricted_cone()]);
+        assert!(out.succeeded(), "{out:?}");
+    }
+
+    #[test]
+    fn unnatted_host_reaches_anyone_punchable() {
+        let out = hole_punch(&[], &[NatProfile::port_restricted_cone()]);
+        assert!(out.succeeded());
+    }
+
+    #[test]
+    fn upnp_succeeds_on_home_nat_only() {
+        let inside = Endpoint::new(10, 8443);
+        let ext = upnp_establish(&[NatProfile::port_restricted_cone()], inside, 8443);
+        assert!(ext.is_some());
+        assert_eq!(ext.unwrap().port, 8443);
+    }
+
+    #[test]
+    fn upnp_fails_behind_cgn() {
+        let inside = Endpoint::new(10, 8443);
+        assert_eq!(
+            upnp_establish(
+                &[NatProfile::full_cone(), NatProfile::carrier_grade()],
+                inside,
+                8443
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn restricted_cones_need_two_rounds() {
+        // Port-restricted on both sides: the first simultaneous packets
+        // are filtered but open the pinholes; round two passes.
+        let out = hole_punch(
+            &[NatProfile::port_restricted_cone()],
+            &[NatProfile::port_restricted_cone()],
+        );
+        match out {
+            HolePunchOutcome::Success { rounds } => assert!(rounds <= 2),
+            HolePunchOutcome::Failure => panic!("should punch"),
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Max-min fair bandwidth allocation (progressive filling) with rate caps.
+//!
+//! Flow-level simulation's core primitive: given the set of active flows
+//! (each a list of directed links it crosses, plus an optional rate cap
+//! imposed by its transport's congestion window), divide every link's
+//! capacity so that no flow can gain rate without a more-starved flow
+//! losing some. This is the classic water-filling algorithm extended with
+//! per-flow caps.
+
+use crate::topology::{DirLinkId, Topology};
+use crate::units::Bandwidth;
+
+/// One flow's demand for the allocator.
+#[derive(Clone, Debug)]
+pub struct Demand {
+    /// Directed links this flow crosses (empty = node-local, unbounded).
+    pub links: Vec<DirLinkId>,
+    /// Optional upper bound on the flow's rate (e.g. cwnd/RTT).
+    pub cap: Option<Bandwidth>,
+}
+
+/// Computes the max-min fair rate (bits/sec) of each demand.
+///
+/// Progressive filling: repeatedly find the most-constrained link (least
+/// residual capacity per unfixed flow), freeze the flows crossing it at
+/// that fair share, remove their consumption, and repeat. A flow whose cap
+/// is lower than the current global fair share is frozen at its cap first.
+///
+/// Complexity is `O(F * (F + L))` per call — fine at experiment scale
+/// (hundreds of flows); calls happen only when the flow set changes.
+pub fn max_min_rates(topo: &Topology, demands: &[Demand]) -> Vec<f64> {
+    let nl = topo.dir_link_count();
+    let mut residual: Vec<f64> = (0..nl)
+        .map(|i| topo.dir_capacity(DirLinkId(i as u32)).bits_per_sec())
+        .collect();
+    let mut active_on_link = vec![0usize; nl];
+    let mut fixed = vec![false; demands.len()];
+    let mut rate = vec![0.0f64; demands.len()];
+
+    for d in demands {
+        for &l in &d.links {
+            active_on_link[l.index()] += 1;
+        }
+    }
+
+    // Unconstrained flows (no links) get their cap, or effectively
+    // infinite rate (represented as f64::INFINITY; callers treat local
+    // transfers as instantaneous-at-cap).
+    for (i, d) in demands.iter().enumerate() {
+        if d.links.is_empty() {
+            rate[i] = d.cap.map_or(f64::INFINITY, |c| c.bits_per_sec());
+            fixed[i] = true;
+        }
+    }
+
+    loop {
+        // Fair share currently offered by each link with unfixed flows.
+        let mut bottleneck_share = f64::INFINITY;
+        for l in 0..nl {
+            if active_on_link[l] > 0 {
+                let share = (residual[l] / active_on_link[l] as f64).max(0.0);
+                if share < bottleneck_share {
+                    bottleneck_share = share;
+                }
+            }
+        }
+        if bottleneck_share == f64::INFINITY {
+            break; // no unfixed flows remain
+        }
+
+        // Lowest cap among unfixed flows, if any cap undercuts the share.
+        let mut min_cap = f64::INFINITY;
+        for (i, d) in demands.iter().enumerate() {
+            if !fixed[i] {
+                if let Some(c) = d.cap {
+                    min_cap = min_cap.min(c.bits_per_sec());
+                }
+            }
+        }
+
+        if min_cap < bottleneck_share {
+            // Freeze all cap-limited flows at or below this level.
+            for (i, d) in demands.iter().enumerate() {
+                if fixed[i] {
+                    continue;
+                }
+                let Some(c) = d.cap else { continue };
+                let c = c.bits_per_sec();
+                if c <= min_cap {
+                    rate[i] = c;
+                    fixed[i] = true;
+                    for &l in &d.links {
+                        residual[l.index()] = (residual[l.index()] - c).max(0.0);
+                        active_on_link[l.index()] -= 1;
+                    }
+                }
+            }
+        } else {
+            // Freeze every unfixed flow crossing a bottleneck link.
+            let eps = bottleneck_share * 1e-12 + 1e-9;
+            let mut bottleneck = vec![false; nl];
+            for l in 0..nl {
+                if active_on_link[l] > 0
+                    && residual[l] / active_on_link[l] as f64 <= bottleneck_share + eps
+                {
+                    bottleneck[l] = true;
+                }
+            }
+            let mut froze_any = false;
+            for (i, d) in demands.iter().enumerate() {
+                if fixed[i] || d.links.iter().all(|l| !bottleneck[l.index()]) {
+                    continue;
+                }
+                rate[i] = bottleneck_share;
+                fixed[i] = true;
+                froze_any = true;
+                for &l in &d.links {
+                    residual[l.index()] = (residual[l.index()] - bottleneck_share).max(0.0);
+                    active_on_link[l.index()] -= 1;
+                }
+            }
+            debug_assert!(froze_any, "progressive filling failed to make progress");
+            if !froze_any {
+                break;
+            }
+        }
+    }
+
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use crate::topology::TopologyBuilder;
+
+    fn dumbbell(n: usize, edge_gbps: f64, core_gbps: f64) -> (Topology, Vec<Demand>) {
+        // n sources, n sinks, one shared core link; every flow crosses the core.
+        let mut b = TopologyBuilder::new();
+        let left = b.add_node("left-agg");
+        let right = b.add_node("right-agg");
+        let core = b.add_link(
+            left,
+            right,
+            Bandwidth::gbps(core_gbps),
+            SimDuration::from_millis(5),
+        );
+        let mut demands = Vec::new();
+        for i in 0..n {
+            let s = b.add_node(format!("src{i}"));
+            let d = b.add_node(format!("dst{i}"));
+            let ls = b.add_link(
+                s,
+                left,
+                Bandwidth::gbps(edge_gbps),
+                SimDuration::from_millis(1),
+            );
+            let ld = b.add_link(
+                right,
+                d,
+                Bandwidth::gbps(edge_gbps),
+                SimDuration::from_millis(1),
+            );
+            demands.push(Demand {
+                links: vec![ls.forward(), core.forward(), ld.forward()],
+                cap: None,
+            });
+        }
+        (b.build(), demands)
+    }
+
+    #[test]
+    fn equal_flows_share_bottleneck_equally() {
+        let (t, d) = dumbbell(4, 1.0, 1.0);
+        let r = max_min_rates(&t, &d);
+        for &x in &r {
+            assert!((x - 0.25e9).abs() < 1.0, "rate {x}");
+        }
+    }
+
+    #[test]
+    fn edge_limited_when_core_is_fat() {
+        // 10 Gbps core, 1 Gbps edges, 4 flows: each edge-limited at 1 Gbps.
+        let (t, d) = dumbbell(4, 1.0, 10.0);
+        let r = max_min_rates(&t, &d);
+        for &x in &r {
+            assert!((x - 1e9).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn core_limited_when_oversubscribed() {
+        // The paper's CCZ arithmetic: >10 homes at 1 Gbps saturate 10 Gbps.
+        let (t, d) = dumbbell(20, 1.0, 10.0);
+        let r = max_min_rates(&t, &d);
+        for &x in &r {
+            assert!((x - 0.5e9).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn caps_are_respected_and_redistributed() {
+        let (t, mut d) = dumbbell(2, 1.0, 1.0);
+        d[0].cap = Some(Bandwidth::mbps(100.0));
+        let r = max_min_rates(&t, &d);
+        assert!((r[0] - 100e6).abs() < 1.0);
+        // The freed capacity goes to the other flow.
+        assert!((r[1] - 900e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn linkless_flows_get_cap_or_infinity() {
+        let (t, _) = dumbbell(1, 1.0, 1.0);
+        let d = vec![
+            Demand {
+                links: vec![],
+                cap: None,
+            },
+            Demand {
+                links: vec![],
+                cap: Some(Bandwidth::mbps(3.0)),
+            },
+        ];
+        let r = max_min_rates(&t, &d);
+        assert!(r[0].is_infinite());
+        assert!((r[1] - 3e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn unequal_path_lengths_still_max_min() {
+        // Two flows share link L1; one also crosses a private link. Shares
+        // on the common bottleneck must be equal.
+        let mut b = TopologyBuilder::new();
+        let a = b.add_node("a");
+        let m = b.add_node("m");
+        let z = b.add_node("z");
+        let l1 = b.add_link(a, m, Bandwidth::gbps(1.0), SimDuration::from_millis(1));
+        let l2 = b.add_link(m, z, Bandwidth::gbps(10.0), SimDuration::from_millis(1));
+        let t = b.build();
+        let d = vec![
+            Demand {
+                links: vec![l1.forward()],
+                cap: None,
+            },
+            Demand {
+                links: vec![l1.forward(), l2.forward()],
+                cap: None,
+            },
+        ];
+        let r = max_min_rates(&t, &d);
+        assert!((r[0] - 0.5e9).abs() < 1.0);
+        assert!((r[1] - 0.5e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        // Opposite-direction flows on a full-duplex link don't contend.
+        let mut b = TopologyBuilder::new();
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        let l = b.add_link(x, y, Bandwidth::gbps(1.0), SimDuration::from_millis(1));
+        let t = b.build();
+        let d = vec![
+            Demand {
+                links: vec![l.forward()],
+                cap: None,
+            },
+            Demand {
+                links: vec![l.reverse()],
+                cap: None,
+            },
+        ];
+        let r = max_min_rates(&t, &d);
+        assert!((r[0] - 1e9).abs() < 1.0);
+        assert!((r[1] - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_demand_set_is_fine() {
+        let (t, _) = dumbbell(1, 1.0, 1.0);
+        assert!(max_min_rates(&t, &[]).is_empty());
+    }
+}

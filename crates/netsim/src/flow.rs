@@ -1,0 +1,419 @@
+//! The active-flow set: rate allocation and progress bookkeeping.
+//!
+//! [`FlowNet`] tracks every in-flight transfer, its path, remaining bytes
+//! and current max-min fair rate. Rates only change when the flow set (or
+//! a rate cap) changes, so the simulator advances analytically between
+//! such events — the key to simulating years of HPoP uptime in
+//! milliseconds of wall-clock time.
+
+use crate::fairshare::{max_min_rates, Demand};
+use crate::routing::{Path, RoutingTable};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use crate::units::Bandwidth;
+use std::collections::BTreeMap;
+
+/// Identifies an active (or completed) flow.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(u64);
+
+impl FlowId {
+    /// The raw id (monotonically increasing per [`FlowNet`]).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct Flow {
+    path: Path,
+    total_bytes: u64,
+    remaining: f64,
+    cap: Option<Bandwidth>,
+    rate_bps: f64,
+    started_at: SimTime,
+}
+
+/// The set of active flows over a topology, with max-min fair rates.
+///
+/// `FlowNet` is driven by a scheduler (see [`crate::netsim::NetSim`]):
+/// the owner calls [`FlowNet::advance`] to progress transfers to the
+/// current instant before any mutation, then asks for the next completion.
+#[derive(Debug)]
+pub struct FlowNet {
+    topo: Topology,
+    routing: RoutingTable,
+    flows: BTreeMap<FlowId, Flow>,
+    next_id: u64,
+    clock: SimTime,
+    /// Cumulative bytes carried per directed link (metrics).
+    link_bytes: Vec<f64>,
+}
+
+impl FlowNet {
+    /// Creates an empty flow network over `topo`.
+    pub fn new(topo: Topology) -> Self {
+        let link_bytes = vec![0.0; topo.dir_link_count()];
+        FlowNet {
+            routing: RoutingTable::new(&topo),
+            topo,
+            flows: BTreeMap::new(),
+            next_id: 0,
+            clock: SimTime::ZERO,
+            link_bytes,
+        }
+    }
+
+    /// The topology flows run over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Mutable access to the routing table (native + detour routes).
+    pub fn routing(&mut self) -> &mut RoutingTable {
+        &mut self.routing
+    }
+
+    /// Number of currently active flows.
+    pub fn active_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Starts a flow along the native (latency-shortest) route.
+    ///
+    /// Returns `None` if `src` and `dst` are disconnected.
+    pub fn start(
+        &mut self,
+        src: crate::topology::NodeId,
+        dst: crate::topology::NodeId,
+        bytes: u64,
+        cap: Option<Bandwidth>,
+        now: SimTime,
+    ) -> Option<FlowId> {
+        let path = self.routing.route(src, dst)?;
+        Some(self.start_on_path(path, bytes, cap, now))
+    }
+
+    /// Starts a flow along an explicit path (e.g. a detour).
+    pub fn start_on_path(
+        &mut self,
+        path: Path,
+        bytes: u64,
+        cap: Option<Bandwidth>,
+        now: SimTime,
+    ) -> FlowId {
+        self.advance(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                path,
+                total_bytes: bytes,
+                remaining: bytes as f64,
+                cap,
+                rate_bps: 0.0,
+                started_at: now,
+            },
+        );
+        self.reallocate();
+        id
+    }
+
+    /// Updates a flow's rate cap (the transport model's cwnd ceiling).
+    /// No-op for unknown/completed flows.
+    pub fn set_cap(&mut self, id: FlowId, cap: Option<Bandwidth>, now: SimTime) {
+        self.advance(now);
+        if let Some(f) = self.flows.get_mut(&id) {
+            f.cap = cap;
+            self.reallocate();
+        }
+    }
+
+    /// Aborts a flow, returning its unfinished byte count (`None` if the
+    /// flow is unknown or already complete).
+    pub fn cancel(&mut self, id: FlowId, now: SimTime) -> Option<u64> {
+        self.advance(now);
+        let f = self.flows.remove(&id)?;
+        self.reallocate();
+        Some(f.remaining.ceil() as u64)
+    }
+
+    /// The current allocated rate of a flow.
+    pub fn rate(&self, id: FlowId) -> Option<Bandwidth> {
+        self.flows.get(&id).map(|f| {
+            if f.rate_bps.is_finite() {
+                Bandwidth::from_bps(f.rate_bps)
+            } else {
+                Bandwidth::from_bps(f64::MAX / 1e3)
+            }
+        })
+    }
+
+    /// Remaining bytes of a flow.
+    pub fn remaining(&self, id: FlowId) -> Option<u64> {
+        self.flows.get(&id).map(|f| f.remaining.ceil() as u64)
+    }
+
+    /// The path a flow follows.
+    pub fn path(&self, id: FlowId) -> Option<&Path> {
+        self.flows.get(&id).map(|f| &f.path)
+    }
+
+    /// Cumulative bytes carried by a directed link since the start.
+    pub fn link_bytes(&self, dir: crate::topology::DirLinkId) -> f64 {
+        self.link_bytes[dir.index()]
+    }
+
+    /// Progresses every flow to `now` at its current rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is before the internal clock (a driver bug).
+    pub fn advance(&mut self, now: SimTime) {
+        assert!(now >= self.clock, "FlowNet clock moved backwards");
+        let dt = now.since(self.clock).as_secs_f64();
+        self.clock = now;
+        if dt == 0.0 && self.flows.values().all(|f| f.rate_bps.is_finite()) {
+            return;
+        }
+        for f in self.flows.values_mut() {
+            if f.rate_bps.is_infinite() {
+                // Node-local flow: completes the instant it starts.
+                for &l in f.path.hops() {
+                    self.link_bytes[l.index()] += f.remaining;
+                }
+                f.remaining = 0.0;
+                continue;
+            }
+            let sent = (f.rate_bps / 8.0 * dt).min(f.remaining);
+            f.remaining -= sent;
+            if f.remaining < 0.5 {
+                f.remaining = 0.0;
+            }
+            for &l in f.path.hops() {
+                self.link_bytes[l.index()] += sent;
+            }
+        }
+    }
+
+    /// The instant and id of the next flow to finish, given current rates.
+    /// Completion times are rounded *up* to the next nanosecond so that
+    /// advancing to the returned instant always drains the flow.
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        let mut best: Option<(SimTime, FlowId)> = None;
+        for (&id, f) in &self.flows {
+            let t = if f.remaining <= 0.0 || f.rate_bps.is_infinite() {
+                self.clock
+            } else if f.rate_bps <= 0.0 {
+                continue; // starved; cannot finish until rates change
+            } else {
+                let secs = f.remaining * 8.0 / f.rate_bps;
+                self.clock + duration_ceil(secs)
+            };
+            if best.is_none_or(|(bt, _)| t < bt) {
+                best = Some((t, id));
+            }
+        }
+        best
+    }
+
+    /// Removes and returns flows that have finished (zero bytes left),
+    /// in id order.
+    pub fn take_completed(&mut self) -> Vec<(FlowId, CompletedFlow)> {
+        let done: Vec<FlowId> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= 0.0)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut out = Vec::with_capacity(done.len());
+        for id in done {
+            let f = self.flows.remove(&id).expect("listed above");
+            out.push((
+                id,
+                CompletedFlow {
+                    path: f.path,
+                    total_bytes: f.total_bytes,
+                    started_at: f.started_at,
+                    completed_at: self.clock,
+                },
+            ));
+        }
+        if !out.is_empty() {
+            self.reallocate();
+        }
+        out
+    }
+
+    /// Recomputes every flow's max-min fair rate. Called automatically on
+    /// any flow-set or cap mutation.
+    fn reallocate(&mut self) {
+        let demands: Vec<Demand> = self
+            .flows
+            .values()
+            .map(|f| Demand {
+                links: f.path.hops().to_vec(),
+                cap: f.cap,
+            })
+            .collect();
+        let rates = max_min_rates(&self.topo, &demands);
+        for (f, r) in self.flows.values_mut().zip(rates) {
+            f.rate_bps = r;
+        }
+    }
+}
+
+/// Summary of a finished flow.
+#[derive(Clone, Debug)]
+pub struct CompletedFlow {
+    /// The path the flow followed.
+    pub path: Path,
+    /// Total bytes transferred.
+    pub total_bytes: u64,
+    /// When the flow started.
+    pub started_at: SimTime,
+    /// When the last byte was delivered.
+    pub completed_at: SimTime,
+}
+
+impl CompletedFlow {
+    /// Mean throughput over the flow's lifetime.
+    pub fn mean_rate(&self) -> Bandwidth {
+        let dt = self.completed_at.since(self.started_at).as_secs_f64();
+        if dt <= 0.0 {
+            Bandwidth::ZERO
+        } else {
+            Bandwidth::from_bps(self.total_bytes as f64 * 8.0 / dt)
+        }
+    }
+}
+
+/// Converts fractional seconds to a duration, rounding up to the next
+/// nanosecond (so scheduled completions never undershoot).
+fn duration_ceil(secs: f64) -> SimDuration {
+    if !secs.is_finite() || secs <= 0.0 {
+        return SimDuration::ZERO;
+    }
+    let ns = (secs * 1e9).ceil();
+    if ns >= u64::MAX as f64 {
+        SimDuration::MAX
+    } else {
+        SimDuration::from_nanos(ns as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+    use crate::units::MB;
+
+    fn line() -> (FlowNet, crate::topology::NodeId, crate::topology::NodeId) {
+        let mut b = TopologyBuilder::new();
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        b.add_link(x, y, Bandwidth::gbps(1.0), SimDuration::from_millis(1));
+        (FlowNet::new(b.build()), x, y)
+    }
+
+    #[test]
+    fn single_flow_completion_time() {
+        let (mut net, x, y) = line();
+        let id = net.start(x, y, 125 * MB, None, SimTime::ZERO).unwrap();
+        let (t, fid) = net.next_completion().unwrap();
+        assert_eq!(fid, id);
+        // 125 MB at 1 Gbps = 1 s (ceil rounding adds at most 1 ns).
+        assert!(t >= SimTime::from_secs(1));
+        assert!(t <= SimTime::from_secs(1) + SimDuration::from_nanos(2));
+        net.advance(t);
+        let done = net.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].1.total_bytes, 125 * MB);
+        assert_eq!(net.active_count(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        let (mut net, x, y) = line();
+        let a = net.start(x, y, 125 * MB, None, SimTime::ZERO).unwrap();
+        let b = net.start(x, y, 125 * MB, None, SimTime::ZERO).unwrap();
+        assert!((net.rate(a).unwrap().bits_per_sec() - 0.5e9).abs() < 1.0);
+        // Cancel one; the survivor reclaims the full link.
+        net.cancel(a, SimTime::from_nanos(100_000_000));
+        assert!((net.rate(b).unwrap().bits_per_sec() - 1e9).abs() < 1.0);
+        // b moved 100ms * 62.5MB/s = 6.25 MB so far.
+        let rem = net.remaining(b).unwrap();
+        assert!((rem as f64 - (125.0 - 6.25) * 1e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn caps_slow_flows_down() {
+        let (mut net, x, y) = line();
+        let id = net
+            .start(x, y, 10 * MB, Some(Bandwidth::mbps(80.0)), SimTime::ZERO)
+            .unwrap();
+        assert!((net.rate(id).unwrap().bits_per_sec() - 80e6).abs() < 1.0);
+        net.set_cap(id, None, SimTime::ZERO);
+        assert!((net.rate(id).unwrap().bits_per_sec() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let (mut net, x, y) = line();
+        net.start(x, y, 0, None, SimTime::ZERO).unwrap();
+        let (t, _) = net.next_completion().unwrap();
+        assert_eq!(t, SimTime::ZERO);
+        net.advance(t);
+        assert_eq!(net.take_completed().len(), 1);
+    }
+
+    #[test]
+    fn local_flow_is_instant() {
+        let (mut net, x, _) = line();
+        net.start(x, x, 500 * MB, None, SimTime::ZERO).unwrap();
+        let (t, _) = net.next_completion().unwrap();
+        assert_eq!(t, SimTime::ZERO);
+        net.advance(SimTime::ZERO);
+        assert_eq!(net.take_completed().len(), 1);
+    }
+
+    #[test]
+    fn link_byte_accounting() {
+        let (mut net, x, y) = line();
+        net.start(x, y, 10 * MB, None, SimTime::ZERO).unwrap();
+        let (t, _) = net.next_completion().unwrap();
+        net.advance(t);
+        net.take_completed();
+        let topo = net.topology().clone();
+        let mut rt = RoutingTable::new(&topo);
+        let hop = rt.route(x, y).unwrap().hops()[0];
+        assert!((net.link_bytes(hop) - 10e6).abs() < 1.0);
+        assert_eq!(net.link_bytes(hop.reversed()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock moved backwards")]
+    fn clock_cannot_reverse() {
+        let (mut net, x, y) = line();
+        net.start(x, y, MB, None, SimTime::from_secs(5)).unwrap();
+        net.advance(SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn cancel_unknown_flow_is_none() {
+        let (mut net, _, _) = line();
+        assert!(net.cancel(FlowId(42), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn mean_rate_of_completed_flow() {
+        let (mut net, x, y) = line();
+        net.start(x, y, 125 * MB, None, SimTime::ZERO).unwrap();
+        let (t, _) = net.next_completion().unwrap();
+        net.advance(t);
+        let (_, done) = net.take_completed().pop().unwrap();
+        let r = done.mean_rate().bits_per_sec();
+        assert!((r - 1e9).abs() < 1e3);
+    }
+}

@@ -1,0 +1,291 @@
+//! Measurement helpers for the experiment harness: counters, time series
+//! and empirical CDFs (the paper's CCZ study reports per-second rate
+//! percentiles; [`Cdf`] reproduces that style of result).
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// A monotonically increasing event/byte counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A fresh zero counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.add(1);
+    }
+
+    /// The current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A timestamped sequence of samples.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample. Timestamps should be non-decreasing; out-of-order
+    /// pushes are accepted but make [`TimeSeries::rate_between`] meaningless.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        self.samples.push((at, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// The values only.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().map(|&(_, v)| v)
+    }
+
+    /// Arithmetic mean of the values; zero for an empty series.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.values().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest value; zero for an empty series.
+    pub fn max(&self) -> f64 {
+        self.values().fold(0.0, f64::max)
+    }
+
+    /// Peak-to-mean ratio — the demand-smoothing experiment's headline
+    /// metric (§IV-D). Zero if the mean is zero.
+    pub fn peak_to_mean(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.max() / m
+        }
+    }
+
+    /// Average growth rate between first and last sample, per second of
+    /// simulated time (e.g. bytes/sec when samples are cumulative bytes).
+    pub fn rate_between(&self) -> Option<f64> {
+        let (t0, v0) = *self.samples.first()?;
+        let (t1, v1) = *self.samples.last()?;
+        let dt = t1.saturating_since(t0).as_secs_f64();
+        if dt <= 0.0 {
+            None
+        } else {
+            Some((v1 - v0) / dt)
+        }
+    }
+}
+
+/// An empirical distribution supporting quantiles and exceedance
+/// fractions — `fraction_above(x)` answers the paper's "CCZ users exceed
+/// 10 Mbps only 0.1% of the time" style of question directly.
+#[derive(Clone, Debug, Default)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+    dirty: bool,
+}
+
+impl Cdf {
+    /// An empty distribution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a distribution from an iterator of samples.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut c = Cdf::new();
+        for s in samples {
+            c.push(s);
+        }
+        c
+    }
+
+    /// Adds a sample. Non-finite samples are ignored.
+    pub fn push(&mut self, v: f64) {
+        if v.is_finite() {
+            self.sorted.push(v);
+            self.dirty = true;
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if self.dirty {
+            self.sorted
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.dirty = false;
+        }
+    }
+
+    /// The `q`-quantile (q in `[0,1]`), by nearest-rank; `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        self.ensure_sorted();
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize)
+            .saturating_sub(1)
+            .min(self.sorted.len() - 1);
+        Some(self.sorted[idx])
+    }
+
+    /// The median.
+    pub fn median(&mut self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples strictly greater than `x`; zero when empty.
+    pub fn fraction_above(&mut self, x: f64) -> f64 {
+        self.ensure_sorted();
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let first_above = self.sorted.partition_point(|&v| v <= x);
+        (self.sorted.len() - first_above) as f64 / self.sorted.len() as f64
+    }
+
+    /// Arithmetic mean; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        assert_eq!(c.to_string(), "42");
+    }
+
+    #[test]
+    fn series_stats() {
+        let mut s = TimeSeries::new();
+        for i in 0..5u64 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.max(), 4.0);
+        assert_eq!(s.peak_to_mean(), 2.0);
+        assert_eq!(s.rate_between(), Some(1.0));
+    }
+
+    #[test]
+    fn series_edge_cases() {
+        let s = TimeSeries::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.peak_to_mean(), 0.0);
+        assert_eq!(s.rate_between(), None);
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let mut c = Cdf::from_samples((1..=100).map(|i| i as f64));
+        assert_eq!(c.quantile(0.0), Some(1.0));
+        assert_eq!(c.median(), Some(50.0));
+        assert_eq!(c.quantile(0.99), Some(99.0));
+        assert_eq!(c.quantile(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn cdf_fraction_above_matches_paper_style_query() {
+        // 999 samples at 1 Mbps, 1 sample at 50 Mbps: exceeds 10 Mbps 0.1%
+        // of the time — the shape of the CCZ utilization claim.
+        let mut c = Cdf::new();
+        for _ in 0..999 {
+            c.push(1.0);
+        }
+        c.push(50.0);
+        assert!((c.fraction_above(10.0) - 0.001).abs() < 1e-12);
+        assert_eq!(c.fraction_above(50.0), 0.0);
+        assert_eq!(c.fraction_above(0.5), 1.0);
+    }
+
+    #[test]
+    fn cdf_ignores_non_finite() {
+        let mut c = Cdf::new();
+        c.push(f64::NAN);
+        c.push(f64::INFINITY);
+        c.push(3.0);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.mean(), 3.0);
+    }
+
+    #[test]
+    fn cdf_empty() {
+        let mut c = Cdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.quantile(0.5), None);
+        assert_eq!(c.fraction_above(1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn bad_quantile_panics() {
+        let mut c = Cdf::from_samples([1.0]);
+        let _ = c.quantile(1.5);
+    }
+}

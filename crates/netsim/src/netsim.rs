@@ -1,0 +1,317 @@
+//! [`NetSim`]: the event engine and flow network glued together.
+//!
+//! `NetSim` is a [`Sim`] whose state is a [`FlowNet`] plus per-flow
+//! completion handlers. Starting a transfer schedules (and keeps
+//! rescheduling, via an epoch counter) a single "next completion" event;
+//! when it fires, finished flows are drained and their handlers run with
+//! full access to the simulation — so a handler can immediately start the
+//! next request of a session, which is how the workload drivers operate.
+
+use crate::engine::Sim;
+use crate::flow::{CompletedFlow, FlowId, FlowNet};
+use crate::routing::Path;
+use crate::time::SimTime;
+use crate::topology::{NodeId, Topology};
+use crate::units::Bandwidth;
+use std::collections::HashMap;
+
+/// Handler invoked when a transfer completes.
+pub type TransferHandler = Box<dyn FnOnce(&mut NetSim, TransferInfo)>;
+
+/// Completion details passed to a transfer's handler.
+#[derive(Clone, Debug)]
+pub struct TransferInfo {
+    /// The finished flow's id.
+    pub flow: FlowId,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// When the transfer started.
+    pub started_at: SimTime,
+    /// When the last byte arrived.
+    pub completed_at: SimTime,
+    /// Mean throughput over the transfer.
+    pub mean_rate: Bandwidth,
+}
+
+impl TransferInfo {
+    fn from_completed(flow: FlowId, c: &CompletedFlow) -> Self {
+        TransferInfo {
+            flow,
+            bytes: c.total_bytes,
+            started_at: c.started_at,
+            completed_at: c.completed_at,
+            mean_rate: c.mean_rate(),
+        }
+    }
+}
+
+/// The network-simulation state carried inside the event engine.
+pub struct NetState {
+    /// The active-flow network.
+    pub net: FlowNet,
+    handlers: HashMap<u64, TransferHandler>,
+    epoch: u64,
+}
+
+impl std::fmt::Debug for NetState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetState")
+            .field("active_flows", &self.net.active_count())
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+/// A network simulation: the event engine specialised to a [`FlowNet`].
+pub type NetSim = Sim<NetState>;
+
+impl Sim<NetState> {
+    /// Creates a network simulation over `topo`, clock at zero.
+    pub fn with_topology(topo: Topology) -> NetSim {
+        Sim::new(NetState {
+            net: FlowNet::new(topo),
+            handlers: HashMap::new(),
+            epoch: 0,
+        })
+    }
+
+    /// Starts a transfer on the native route and registers a completion
+    /// handler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` are disconnected (a topology bug in the
+    /// experiment, not a runtime condition).
+    pub fn start_transfer(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        on_done: impl FnOnce(&mut NetSim, TransferInfo) + 'static,
+    ) -> FlowId {
+        self.start_transfer_capped(src, dst, bytes, None, on_done)
+    }
+
+    /// Starts a rate-capped transfer on the native route.
+    pub fn start_transfer_capped(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        cap: Option<Bandwidth>,
+        on_done: impl FnOnce(&mut NetSim, TransferInfo) + 'static,
+    ) -> FlowId {
+        let now = self.now();
+        let id = self
+            .state
+            .net
+            .start(src, dst, bytes, cap, now)
+            .unwrap_or_else(|| panic!("no route between {src:?} and {dst:?}"));
+        self.state.handlers.insert(id.raw(), Box::new(on_done));
+        self.reschedule_completion();
+        id
+    }
+
+    /// Starts a transfer along an explicit [`Path`] (e.g. a detour leg).
+    pub fn start_transfer_on_path(
+        &mut self,
+        path: Path,
+        bytes: u64,
+        cap: Option<Bandwidth>,
+        on_done: impl FnOnce(&mut NetSim, TransferInfo) + 'static,
+    ) -> FlowId {
+        let now = self.now();
+        let id = self.state.net.start_on_path(path, bytes, cap, now);
+        self.state.handlers.insert(id.raw(), Box::new(on_done));
+        self.reschedule_completion();
+        id
+    }
+
+    /// Adjusts a flow's rate cap mid-transfer (cwnd evolution).
+    pub fn set_flow_cap(&mut self, id: FlowId, cap: Option<Bandwidth>) {
+        let now = self.now();
+        self.state.net.set_cap(id, cap, now);
+        self.reschedule_completion();
+    }
+
+    /// Cancels a flow; its handler is dropped without running. Returns the
+    /// unfinished byte count, or `None` if unknown/complete.
+    pub fn cancel_transfer(&mut self, id: FlowId) -> Option<u64> {
+        let now = self.now();
+        let left = self.state.net.cancel(id, now)?;
+        self.state.handlers.remove(&id.raw());
+        self.reschedule_completion();
+        Some(left)
+    }
+
+    /// Invalidates any pending completion event and schedules a fresh one
+    /// at the earliest completion instant.
+    fn reschedule_completion(&mut self) {
+        self.state.epoch += 1;
+        let epoch = self.state.epoch;
+        let now = self.now();
+        if let Some((t, _)) = self.state.net.next_completion() {
+            let at = t.max(now);
+            self.schedule_at(at, move |sim| {
+                if sim.state.epoch != epoch {
+                    return; // superseded by a later flow-set change
+                }
+                sim.drain_completions();
+            });
+        }
+    }
+
+    fn drain_completions(&mut self) {
+        let now = self.now();
+        self.state.net.advance(now);
+        let done = self.state.net.take_completed();
+        let infos: Vec<(FlowId, TransferInfo)> = done
+            .iter()
+            .map(|(id, c)| (*id, TransferInfo::from_completed(*id, c)))
+            .collect();
+        // Reschedule *before* running handlers: handlers may start flows,
+        // which reschedules again with a fresher epoch.
+        self.reschedule_completion();
+        for (id, info) in infos {
+            if let Some(h) = self.state.handlers.remove(&id.raw()) {
+                h(self, info);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use crate::topology::TopologyBuilder;
+    use crate::units::MB;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn pair_sim() -> (NetSim, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        b.add_link(x, y, Bandwidth::gbps(1.0), SimDuration::from_millis(1));
+        (NetSim::with_topology(b.build()), x, y)
+    }
+
+    #[test]
+    fn transfer_completes_and_reports() {
+        let (mut sim, x, y) = pair_sim();
+        let seen = Rc::new(RefCell::new(None));
+        let s2 = seen.clone();
+        sim.start_transfer(x, y, 125 * MB, move |_, info| {
+            *s2.borrow_mut() = Some(info);
+        });
+        sim.run();
+        let info = seen.borrow().clone().unwrap();
+        assert_eq!(info.bytes, 125 * MB);
+        assert!(info.completed_at >= SimTime::from_secs(1));
+        assert!((info.mean_rate.bits_per_sec() - 1e9).abs() < 1e4);
+    }
+
+    #[test]
+    fn handler_can_chain_transfers() {
+        let (mut sim, x, y) = pair_sim();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l2 = log.clone();
+        sim.start_transfer(x, y, 125 * MB, move |sim, info| {
+            l2.borrow_mut().push(info.completed_at);
+            let l3 = l2.clone();
+            sim.start_transfer(y, x, 125 * MB, move |_, info| {
+                l3.borrow_mut().push(info.completed_at);
+            });
+        });
+        sim.run();
+        let log = log.borrow();
+        assert_eq!(log.len(), 2);
+        assert!(log[1] > log[0]);
+        // Each leg is ~1s (125MB at 1Gbps).
+        assert!(log[1].as_secs_f64() > 1.9 && log[1].as_secs_f64() < 2.1);
+    }
+
+    #[test]
+    fn concurrent_transfers_slow_each_other() {
+        let (mut sim, x, y) = pair_sim();
+        let times = Rc::new(RefCell::new(Vec::new()));
+        for _ in 0..2 {
+            let t2 = times.clone();
+            sim.start_transfer(x, y, 125 * MB, move |_, info| {
+                t2.borrow_mut().push(info.completed_at.as_secs_f64());
+            });
+        }
+        sim.run();
+        // Both share the link: each finishes at ~2s, not 1s.
+        for &t in times.borrow().iter() {
+            assert!(t > 1.9 && t < 2.1, "finish at {t}");
+        }
+    }
+
+    #[test]
+    fn staggered_arrivals_reallocate() {
+        let (mut sim, x, y) = pair_sim();
+        let t_first = Rc::new(RefCell::new(0.0));
+        let tf = t_first.clone();
+        // First flow alone for 0.5s, then shares for the remainder.
+        sim.start_transfer(x, y, 125 * MB, move |_, info| {
+            *tf.borrow_mut() = info.completed_at.as_secs_f64();
+        });
+        sim.schedule_in(SimDuration::from_nanos(500_000_000), move |sim| {
+            sim.start_transfer(x, y, 125 * MB, |_, _| {});
+        });
+        sim.run();
+        // First flow: 62.5MB in 0.5s alone, then 62.5MB at 0.5Gbps = 1.0s more.
+        let t = *t_first.borrow();
+        assert!((t - 1.5).abs() < 0.01, "first finished at {t}");
+    }
+
+    #[test]
+    fn cancel_drops_handler() {
+        let (mut sim, x, y) = pair_sim();
+        let ran = Rc::new(RefCell::new(false));
+        let r2 = ran.clone();
+        let id = sim.start_transfer(x, y, 125 * MB, move |_, _| {
+            *r2.borrow_mut() = true;
+        });
+        let left = sim.cancel_transfer(id).unwrap();
+        assert_eq!(left, 125 * MB);
+        sim.run();
+        assert!(!*ran.borrow());
+    }
+
+    #[test]
+    fn cap_changes_mid_flight() {
+        let (mut sim, x, y) = pair_sim();
+        let done = Rc::new(RefCell::new(0.0));
+        let d2 = done.clone();
+        let id = sim.start_transfer_capped(
+            x,
+            y,
+            125 * MB,
+            Some(Bandwidth::mbps(500.0)),
+            move |_, info| {
+                *d2.borrow_mut() = info.completed_at.as_secs_f64();
+            },
+        );
+        // After 1s at 500 Mbps (62.5 MB done), lift the cap.
+        sim.schedule_in(SimDuration::from_secs(1), move |sim| {
+            sim.set_flow_cap(id, None);
+        });
+        sim.run();
+        // Remaining 62.5MB at 1Gbps = 0.5s: total 1.5s.
+        let t = *done.borrow();
+        assert!((t - 1.5).abs() < 0.01, "finished at {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn disconnected_transfer_panics() {
+        let mut b = TopologyBuilder::new();
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        let mut sim = NetSim::with_topology(b.build());
+        sim.start_transfer(x, y, MB, |_, _| {});
+    }
+}

@@ -1,0 +1,294 @@
+//! Canonical topologies from the paper.
+//!
+//! - [`ccz`]: the Case Connection Zone — N homes on bi-directional 1 Gbps
+//!   fiber, aggregated onto a shared uplink to the Internet core (§II).
+//! - [`dumbbell`]: the classic shared-bottleneck shape used for the
+//!   bottleneck-shift experiment.
+//! - [`detour_triangle`]: a client/waypoint/server triangle whose direct
+//!   path violates the triangle inequality — the §IV-C detour setting.
+
+use crate::time::SimDuration;
+use crate::topology::{NodeId, Topology, TopologyBuilder};
+use crate::units::Bandwidth;
+
+/// A built CCZ-style neighborhood: node handles for experiments.
+#[derive(Clone, Debug)]
+pub struct CczNetwork {
+    /// The topology itself.
+    pub topology: Topology,
+    /// One node per home (each hosts an HPoP).
+    pub homes: Vec<NodeId>,
+    /// The neighborhood aggregation switch.
+    pub aggregation: NodeId,
+    /// The wide-area Internet core.
+    pub core: NodeId,
+    /// A representative remote content server beyond the core.
+    pub server: NodeId,
+}
+
+/// Parameters for [`ccz`]. Defaults follow the paper: 100 homes × 1 Gbps
+/// onto a shared 10 Gbps aggregation link, 25 ms to a remote server.
+#[derive(Clone, Debug)]
+pub struct CczParams {
+    /// Number of homes in the neighborhood.
+    pub homes: usize,
+    /// Per-home access capacity (symmetric FTTH).
+    pub home_capacity: Bandwidth,
+    /// Shared neighborhood uplink capacity.
+    pub aggregation_capacity: Bandwidth,
+    /// Core→server link capacity (the server farm's limit).
+    pub server_capacity: Bandwidth,
+    /// One-way home↔aggregation latency.
+    pub access_latency: SimDuration,
+    /// One-way aggregation↔core latency.
+    pub metro_latency: SimDuration,
+    /// One-way core↔server latency (the WAN distance).
+    pub wan_latency: SimDuration,
+}
+
+impl Default for CczParams {
+    fn default() -> Self {
+        CczParams {
+            homes: 100,
+            home_capacity: Bandwidth::gbps(1.0),
+            aggregation_capacity: Bandwidth::gbps(10.0),
+            server_capacity: Bandwidth::gbps(40.0),
+            access_latency: SimDuration::from_micros(500),
+            metro_latency: SimDuration::from_millis(2),
+            wan_latency: SimDuration::from_millis(22),
+        }
+    }
+}
+
+/// Builds a CCZ-style FTTH neighborhood.
+///
+/// ```
+/// use hpop_netsim::presets::{ccz, CczParams};
+/// let net = ccz(&CczParams::default());
+/// assert_eq!(net.homes.len(), 100);
+/// ```
+pub fn ccz(params: &CczParams) -> CczNetwork {
+    let mut b = TopologyBuilder::new();
+    let aggregation = b.add_node("aggregation");
+    let core = b.add_node("core");
+    let server = b.add_node("server");
+    b.add_link(
+        aggregation,
+        core,
+        params.aggregation_capacity,
+        params.metro_latency,
+    );
+    b.add_link(core, server, params.server_capacity, params.wan_latency);
+    let homes = (0..params.homes)
+        .map(|i| {
+            let h = b.add_node(format!("home{i:03}"));
+            b.add_link(h, aggregation, params.home_capacity, params.access_latency);
+            h
+        })
+        .collect();
+    CczNetwork {
+        topology: b.build(),
+        homes,
+        aggregation,
+        core,
+        server,
+    }
+}
+
+/// A built dumbbell: `pairs` source/sink pairs across one shared link.
+#[derive(Clone, Debug)]
+pub struct Dumbbell {
+    /// The topology itself.
+    pub topology: Topology,
+    /// Source nodes (left side).
+    pub sources: Vec<NodeId>,
+    /// Sink nodes (right side).
+    pub sinks: Vec<NodeId>,
+}
+
+/// Builds a dumbbell with `pairs` flows' worth of endpoints, `edge`
+/// capacity per access link and `core` capacity on the shared link.
+pub fn dumbbell(
+    pairs: usize,
+    edge: Bandwidth,
+    core: Bandwidth,
+    core_latency: SimDuration,
+) -> Dumbbell {
+    let mut b = TopologyBuilder::new();
+    let left = b.add_node("left");
+    let right = b.add_node("right");
+    b.add_link(left, right, core, core_latency);
+    let mut sources = Vec::with_capacity(pairs);
+    let mut sinks = Vec::with_capacity(pairs);
+    for i in 0..pairs {
+        let s = b.add_node(format!("src{i}"));
+        let d = b.add_node(format!("dst{i}"));
+        b.add_link(s, left, edge, SimDuration::from_micros(100));
+        b.add_link(right, d, edge, SimDuration::from_micros(100));
+        sources.push(s);
+        sinks.push(d);
+    }
+    Dumbbell {
+        topology: b.build(),
+        sources,
+        sinks,
+    }
+}
+
+/// A detour triangle for §IV-C experiments.
+#[derive(Clone, Debug)]
+pub struct DetourTriangle {
+    /// The topology itself.
+    pub topology: Topology,
+    /// The client (an MPTCP-capable host in an ultrabroadband home).
+    pub client: NodeId,
+    /// The cooperative waypoint (another member's HPoP).
+    pub waypoint: NodeId,
+    /// The remote content server.
+    pub server: NodeId,
+}
+
+/// Parameters for [`detour_triangle`].
+#[derive(Clone, Debug)]
+pub struct DetourParams {
+    /// Direct client↔server latency (the inflated native route).
+    pub direct_latency: SimDuration,
+    /// Direct path capacity.
+    pub direct_capacity: Bandwidth,
+    /// Direct path loss probability.
+    pub direct_loss: f64,
+    /// Client↔waypoint latency.
+    pub leg1_latency: SimDuration,
+    /// Waypoint↔server latency.
+    pub leg2_latency: SimDuration,
+    /// Detour leg capacity (both legs).
+    pub leg_capacity: Bandwidth,
+    /// Detour leg loss probability (both legs).
+    pub leg_loss: f64,
+}
+
+impl Default for DetourParams {
+    fn default() -> Self {
+        // A triangle-inequality violation of the magnitude detour studies
+        // report: the native route takes 80 ms with 2% loss; via the
+        // waypoint it is 25+25 ms and clean.
+        DetourParams {
+            direct_latency: SimDuration::from_millis(80),
+            direct_capacity: Bandwidth::mbps(200.0),
+            direct_loss: 0.02,
+            leg1_latency: SimDuration::from_millis(25),
+            leg2_latency: SimDuration::from_millis(25),
+            leg_capacity: Bandwidth::gbps(1.0),
+            leg_loss: 0.0,
+        }
+    }
+}
+
+/// Builds a client/waypoint/server triangle.
+pub fn detour_triangle(p: &DetourParams) -> DetourTriangle {
+    let mut b = TopologyBuilder::new();
+    let client = b.add_node("client");
+    let waypoint = b.add_node("waypoint");
+    let server = b.add_node("server");
+    // The direct link is what native (policy) routing picks — weight 1 —
+    // even though its latency/loss are worse than the detour. This is
+    // the triangle-inequality violation detour routing exploits.
+    b.add_link_weighted(
+        client,
+        server,
+        p.direct_capacity,
+        p.direct_capacity,
+        p.direct_latency,
+        p.direct_loss,
+        1,
+    );
+    b.add_link_full(
+        client,
+        waypoint,
+        p.leg_capacity,
+        p.leg_capacity,
+        p.leg1_latency,
+        p.leg_loss,
+    );
+    b.add_link_full(
+        waypoint,
+        server,
+        p.leg_capacity,
+        p.leg_capacity,
+        p.leg2_latency,
+        p.leg_loss,
+    );
+    DetourTriangle {
+        topology: b.build(),
+        client,
+        waypoint,
+        server,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RoutingTable;
+
+    #[test]
+    fn ccz_shape() {
+        let net = ccz(&CczParams::default());
+        assert_eq!(net.homes.len(), 100);
+        // homes + aggregation + core + server
+        assert_eq!(net.topology.node_count(), 103);
+        assert_eq!(net.topology.link_count(), 102);
+    }
+
+    #[test]
+    fn ccz_home_to_server_route() {
+        let net = ccz(&CczParams::default());
+        let mut rt = RoutingTable::new(&net.topology);
+        let p = rt.route(net.homes[0], net.server).unwrap();
+        assert_eq!(p.hop_count(), 3);
+        // 0.5ms + 2ms + 22ms one-way = 49ms RTT.
+        assert_eq!(p.rtt(&net.topology), SimDuration::from_millis(49));
+        assert_eq!(p.bottleneck(&net.topology).unwrap(), Bandwidth::gbps(1.0));
+    }
+
+    #[test]
+    fn ccz_lateral_bandwidth() {
+        // §II: neighbors have dedicated gigabit to each other via the
+        // aggregation switch, bypassing the shared uplink.
+        let net = ccz(&CczParams::default());
+        let mut rt = RoutingTable::new(&net.topology);
+        let p = rt.route(net.homes[0], net.homes[1]).unwrap();
+        assert_eq!(p.hop_count(), 2);
+        assert_eq!(p.bottleneck(&net.topology).unwrap(), Bandwidth::gbps(1.0));
+        // The route does not touch the aggregation→core uplink.
+        assert!(p.hops().iter().all(|h| net.topology.dir_to(*h) != net.core));
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let d = dumbbell(
+            5,
+            Bandwidth::gbps(1.0),
+            Bandwidth::gbps(10.0),
+            SimDuration::from_millis(5),
+        );
+        assert_eq!(d.sources.len(), 5);
+        assert_eq!(d.topology.link_count(), 11);
+    }
+
+    #[test]
+    fn detour_triangle_violates_triangle_inequality() {
+        let t = detour_triangle(&DetourParams::default());
+        let mut rt = RoutingTable::new(&t.topology);
+        // Native (policy) routing picks the direct link despite its
+        // worse latency and loss…
+        let native = rt.route(t.client, t.server).unwrap();
+        assert_eq!(native.hop_count(), 1);
+        assert_eq!(native.latency(&t.topology), SimDuration::from_millis(80));
+        assert!(native.loss(&t.topology) > 0.0);
+        // …while the waypoint detour is strictly better: the violation.
+        let via = rt.route_via(t.client, t.waypoint, t.server).unwrap();
+        assert!(via.latency(&t.topology) < native.latency(&t.topology));
+        assert_eq!(via.loss(&t.topology), 0.0);
+    }
+}

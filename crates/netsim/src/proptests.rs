@@ -1,0 +1,131 @@
+//! Property-based tests of the simulator's core invariants.
+
+use crate::fairshare::{max_min_rates, Demand};
+use crate::routing::RoutingTable;
+use crate::time::SimDuration;
+use crate::topology::{Topology, TopologyBuilder};
+use crate::units::Bandwidth;
+use proptest::prelude::*;
+
+/// Builds a dumbbell with the given per-pair edge capacities (Mbps) and
+/// a shared core, returning per-flow demands crossing the core.
+fn dumbbell(edges_mbps: &[u32], core_mbps: u32) -> (Topology, Vec<Demand>) {
+    let mut b = TopologyBuilder::new();
+    let left = b.add_node("l");
+    let right = b.add_node("r");
+    let core = b.add_link(
+        left,
+        right,
+        Bandwidth::mbps(core_mbps as f64),
+        SimDuration::from_millis(5),
+    );
+    let mut demands = Vec::new();
+    for (i, &e) in edges_mbps.iter().enumerate() {
+        let s = b.add_node(format!("s{i}"));
+        let d = b.add_node(format!("d{i}"));
+        let ls = b.add_link(
+            s,
+            left,
+            Bandwidth::mbps(e as f64),
+            SimDuration::from_millis(1),
+        );
+        let ld = b.add_link(
+            right,
+            d,
+            Bandwidth::mbps(e as f64),
+            SimDuration::from_millis(1),
+        );
+        demands.push(Demand {
+            links: vec![ls.forward(), core.forward(), ld.forward()],
+            cap: None,
+        });
+    }
+    (b.build(), demands)
+}
+
+proptest! {
+    /// Max-min fairness never oversubscribes any link, and every flow is
+    /// bottlenecked somewhere (work conservation).
+    #[test]
+    fn fairshare_feasible_and_work_conserving(
+        edges in proptest::collection::vec(1u32..2_000, 1..12),
+        core in 1u32..20_000,
+    ) {
+        let (topo, demands) = dumbbell(&edges, core);
+        let rates = max_min_rates(&topo, &demands);
+        // Feasibility: per-directed-link usage within capacity.
+        let mut usage = vec![0.0f64; topo.dir_link_count()];
+        for (d, &r) in demands.iter().zip(&rates) {
+            for &l in &d.links {
+                usage[l.index()] += r;
+            }
+        }
+        for (i, &u) in usage.iter().enumerate() {
+            let cap = topo.dir_capacity(crate::topology::DirLinkId(i as u32)).bits_per_sec();
+            prop_assert!(u <= cap * (1.0 + 1e-9) + 1.0, "link {i}: {u} > {cap}");
+        }
+        // Work conservation: every flow saturates at least one of its
+        // links (otherwise it could grow — not max-min).
+        for (d, &r) in demands.iter().zip(&rates) {
+            let saturated = d.links.iter().any(|&l| {
+                let cap = topo.dir_capacity(l).bits_per_sec();
+                usage[l.index()] >= cap * (1.0 - 1e-6)
+            });
+            prop_assert!(saturated, "flow at {r} has slack on every link");
+        }
+    }
+
+    /// Per-flow caps are hard limits, and capping one flow never reduces
+    /// another flow's rate.
+    #[test]
+    fn caps_are_respected_and_never_hurt_others(
+        edges in proptest::collection::vec(100u32..1_000, 2..8),
+        cap_mbps in 1u32..500,
+    ) {
+        let (topo, mut demands) = dumbbell(&edges, 1_000);
+        let before = max_min_rates(&topo, &demands);
+        demands[0].cap = Some(Bandwidth::mbps(cap_mbps as f64));
+        let after = max_min_rates(&topo, &demands);
+        prop_assert!(after[0] <= cap_mbps as f64 * 1e6 * (1.0 + 1e-9));
+        for i in 1..demands.len() {
+            prop_assert!(
+                after[i] >= before[i] * (1.0 - 1e-6),
+                "flow {i} shrank: {} -> {}", before[i], after[i]
+            );
+        }
+    }
+
+    /// Shortest-path routing produces connected, loop-free paths whose
+    /// latency is at most any single-link alternative.
+    #[test]
+    fn routing_paths_are_contiguous(seed_links in proptest::collection::vec((0usize..8, 0usize..8, 1u64..100), 4..20)) {
+        let mut b = TopologyBuilder::new();
+        let nodes: Vec<_> = (0..8).map(|i| b.add_node(format!("n{i}"))).collect();
+        let mut any = false;
+        for (x, y, lat) in seed_links {
+            if x != y {
+                b.add_link(
+                    nodes[x],
+                    nodes[y],
+                    Bandwidth::mbps(100.0),
+                    SimDuration::from_millis(lat),
+                );
+                any = true;
+            }
+        }
+        prop_assume!(any);
+        let topo = b.build();
+        let mut rt = RoutingTable::new(&topo);
+        for &src in &nodes {
+            for &dst in &nodes {
+                if let Some(p) = rt.route(src, dst) {
+                    // Path::new validates contiguity internally; check
+                    // endpoints and loop-freedom via hop count bound.
+                    prop_assert_eq!(p.src(), src);
+                    prop_assert_eq!(p.dst(), dst);
+                    prop_assert!(p.hop_count() < topo.node_count());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Usage records and provider-side accounting.
+//!
+//! §IV-B: "the script transfers a usage record to each peer. The usage
+//! report is secured via a cryptographic signature using the secret key
+//! furnished by the content provider and includes a nonce to prevent
+//! replay. The NoCDN peers accumulate usage records and periodically
+//! upload them to the content provider for payment." And: "an
+//! unscrupulous peer has an incentive to inflate the contribution they
+//! report … NoCDN must be able to protect content providers from such
+//! behavior."
+//!
+//! Protection layers implemented here:
+//! 1. **HMAC signatures** under per-(client, peer) short-term keys — a
+//!    peer cannot forge or alter a record without detection.
+//! 2. **Nonce registry** — replayed records are rejected.
+//! 3. **Work cross-check** — the provider knows what it mapped to each
+//!    peer, so a record claiming more bytes than the issued work is
+//!    rejected.
+//! 4. **Anomaly scoring** — collusion (peer + client inventing traffic)
+//!    is surfaced by comparing per-peer payment rates against the
+//!    population median (the paper's "anomalous behavior detection").
+
+use crate::peer::PeerId;
+use hpop_crypto::hmac::{hmac_sha256, verify_hmac_sha256, HmacTag};
+use hpop_crypto::nonce::{Nonce, NonceRegistry};
+use std::collections::BTreeMap;
+
+/// A client-signed record of bytes served by one peer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UsageRecord {
+    /// The serving peer.
+    pub peer: PeerId,
+    /// The client the bytes were served to.
+    pub client: u64,
+    /// Goodput bytes the client verified from this peer.
+    pub bytes: u64,
+    /// Objects delivered.
+    pub objects: u32,
+    /// Anti-replay nonce.
+    pub nonce: Nonce,
+    tag: HmacTag,
+}
+
+impl UsageRecord {
+    fn message(peer: PeerId, client: u64, bytes: u64, objects: u32, nonce: Nonce) -> Vec<u8> {
+        format!("usage|{}|{client}|{bytes}|{objects}|{}", peer.0, nonce.0).into_bytes()
+    }
+
+    /// Signs a record with the provider-issued short-term key.
+    pub fn sign(
+        key: &[u8; 32],
+        peer: PeerId,
+        client: u64,
+        bytes: u64,
+        objects: u32,
+        nonce: Nonce,
+    ) -> UsageRecord {
+        let tag = hmac_sha256(key, &Self::message(peer, client, bytes, objects, nonce));
+        UsageRecord {
+            peer,
+            client,
+            bytes,
+            objects,
+            nonce,
+            tag,
+        }
+    }
+
+    /// Verifies the record against a key.
+    pub fn verify(&self, key: &[u8; 32]) -> bool {
+        verify_hmac_sha256(
+            key,
+            &Self::message(self.peer, self.client, self.bytes, self.objects, self.nonce),
+            &self.tag,
+        )
+    }
+
+    /// An unsigned record for unit tests of non-crypto paths.
+    #[doc(hidden)]
+    pub fn unsigned_for_tests(peer: PeerId, bytes: u64) -> UsageRecord {
+        UsageRecord {
+            peer,
+            client: 0,
+            bytes,
+            objects: 1,
+            nonce: Nonce(0),
+            tag: HmacTag([0u8; 32]),
+        }
+    }
+}
+
+/// Why a record was rejected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RejectReason {
+    /// HMAC verification failed (forged or altered).
+    BadSignature,
+    /// Nonce already seen (replay).
+    Replay,
+    /// Claims more bytes than the work the provider issued.
+    ExceedsIssuedWork,
+    /// No issuance is outstanding for this (client, peer).
+    UnknownIssuance,
+}
+
+#[derive(Clone, Debug)]
+struct Issuance {
+    key: [u8; 32],
+    max_bytes: u64,
+}
+
+/// Provider-side accounting state.
+#[derive(Debug, Default)]
+pub struct Accounting {
+    /// (client, peer) → outstanding issuance.
+    issuances: BTreeMap<(u64, u32), Issuance>,
+    nonces: NonceRegistry,
+    /// Accepted bytes per peer (the payment basis).
+    accepted: BTreeMap<PeerId, u64>,
+    /// Issuances granted per peer (for anomaly normalization).
+    issued_count: BTreeMap<PeerId, u64>,
+    /// Rejections per peer with reasons.
+    rejections: Vec<(PeerId, RejectReason)>,
+}
+
+impl Accounting {
+    /// Fresh accounting state.
+    pub fn new() -> Accounting {
+        Accounting::default()
+    }
+
+    /// Issues a short-term key for `(client, peer)` covering at most
+    /// `max_bytes` of work (the bytes the wrapper mapped to that peer).
+    /// Returns the key to embed in the wrapper page.
+    pub fn issue(
+        &mut self,
+        client: u64,
+        peer: PeerId,
+        max_bytes: u64,
+        master: &[u8; 32],
+    ) -> [u8; 32] {
+        let tag = hmac_sha256(
+            master,
+            format!("issue|{client}|{}|{max_bytes}", peer.0).as_bytes(),
+        );
+        let key = tag.0;
+        self.issuances
+            .insert((client, peer.0), Issuance { key, max_bytes });
+        *self.issued_count.entry(peer).or_default() += 1;
+        key
+    }
+
+    /// Settles one uploaded record: verify, replay-check, work-check.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RejectReason`] and records it against the peer.
+    pub fn settle(&mut self, record: &UsageRecord) -> Result<(), RejectReason> {
+        let Some(iss) = self.issuances.get(&(record.client, record.peer.0)) else {
+            self.rejections
+                .push((record.peer, RejectReason::UnknownIssuance));
+            return Err(RejectReason::UnknownIssuance);
+        };
+        if !record.verify(&iss.key) {
+            self.rejections
+                .push((record.peer, RejectReason::BadSignature));
+            return Err(RejectReason::BadSignature);
+        }
+        if record.bytes > iss.max_bytes {
+            self.rejections
+                .push((record.peer, RejectReason::ExceedsIssuedWork));
+            return Err(RejectReason::ExceedsIssuedWork);
+        }
+        if !self.nonces.accept(&record.peer.0.to_string(), record.nonce) {
+            self.rejections.push((record.peer, RejectReason::Replay));
+            return Err(RejectReason::Replay);
+        }
+        *self.accepted.entry(record.peer).or_default() += record.bytes;
+        Ok(())
+    }
+
+    /// Accepted (payable) bytes for a peer.
+    pub fn payable_bytes(&self, peer: PeerId) -> u64 {
+        self.accepted.get(&peer).copied().unwrap_or(0)
+    }
+
+    /// All rejections so far.
+    pub fn rejections(&self) -> &[(PeerId, RejectReason)] {
+        &self.rejections
+    }
+
+    /// Rejections charged to one peer.
+    pub fn rejection_count(&self, peer: PeerId) -> usize {
+        self.rejections.iter().filter(|(p, _)| *p == peer).count()
+    }
+
+    /// Payment-rate anomaly scores: a peer's accepted bytes per issuance
+    /// divided by the population median of the same quantity. Honest
+    /// peers cluster near 1.0; colluding cliques that cycle fake
+    /// downloads through themselves stand out well above it.
+    pub fn anomaly_scores(&self) -> BTreeMap<PeerId, f64> {
+        let mut rates: Vec<(PeerId, f64)> = self
+            .issued_count
+            .iter()
+            .map(|(&p, &n)| {
+                let bytes = self.accepted.get(&p).copied().unwrap_or(0);
+                (p, bytes as f64 / n.max(1) as f64)
+            })
+            .collect();
+        if rates.is_empty() {
+            return BTreeMap::new();
+        }
+        let mut sorted: Vec<f64> = rates.iter().map(|&(_, r)| r).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        let median = sorted[sorted.len() / 2].max(1.0);
+        rates.drain(..).map(|(p, r)| (p, r / median)).collect()
+    }
+
+    /// Peers whose anomaly score exceeds `threshold` (e.g. 3.0).
+    pub fn flag_anomalies(&self, threshold: f64) -> Vec<PeerId> {
+        self.anomaly_scores()
+            .into_iter()
+            .filter(|&(_, s)| s > threshold)
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MASTER: [u8; 32] = [42u8; 32];
+
+    fn issue_and_sign(
+        acct: &mut Accounting,
+        client: u64,
+        peer: PeerId,
+        max: u64,
+        claim: u64,
+        nonce: u64,
+    ) -> UsageRecord {
+        let key = acct.issue(client, peer, max, &MASTER);
+        UsageRecord::sign(&key, peer, client, claim, 3, Nonce(nonce as u128))
+    }
+
+    #[test]
+    fn honest_record_settles() {
+        let mut acct = Accounting::new();
+        let r = issue_and_sign(&mut acct, 1, PeerId(1), 1000, 900, 1);
+        assert_eq!(acct.settle(&r), Ok(()));
+        assert_eq!(acct.payable_bytes(PeerId(1)), 900);
+    }
+
+    #[test]
+    fn altered_bytes_fail_signature() {
+        let mut acct = Accounting::new();
+        let mut r = issue_and_sign(&mut acct, 1, PeerId(1), 1000, 500, 1);
+        r.bytes = 5000; // peer inflates after signing
+        assert_eq!(acct.settle(&r), Err(RejectReason::BadSignature));
+        assert_eq!(acct.payable_bytes(PeerId(1)), 0);
+        assert_eq!(acct.rejection_count(PeerId(1)), 1);
+    }
+
+    #[test]
+    fn replays_rejected() {
+        let mut acct = Accounting::new();
+        let r = issue_and_sign(&mut acct, 1, PeerId(1), 1000, 500, 7);
+        assert!(acct.settle(&r).is_ok());
+        assert_eq!(acct.settle(&r), Err(RejectReason::Replay));
+        assert_eq!(acct.payable_bytes(PeerId(1)), 500);
+    }
+
+    #[test]
+    fn work_crosscheck_caps_claims() {
+        let mut acct = Accounting::new();
+        // Client colludes: signs an inflated record with the real key.
+        let r = issue_and_sign(&mut acct, 1, PeerId(1), 1000, 999_999, 1);
+        assert_eq!(acct.settle(&r), Err(RejectReason::ExceedsIssuedWork));
+    }
+
+    #[test]
+    fn unknown_issuance_rejected() {
+        let mut acct = Accounting::new();
+        let r = UsageRecord::sign(&[0u8; 32], PeerId(9), 5, 10, 1, Nonce(1));
+        assert_eq!(acct.settle(&r), Err(RejectReason::UnknownIssuance));
+    }
+
+    #[test]
+    fn anomaly_scores_flag_colluders() {
+        let mut acct = Accounting::new();
+        // Nine honest peers: ~500 bytes per issuance.
+        for p in 0..9u32 {
+            for c in 0..5u64 {
+                let client = c * 100 + p as u64;
+                let r = issue_and_sign(&mut acct, client, PeerId(p), 1000, 500, client);
+                acct.settle(&r).unwrap();
+            }
+        }
+        // One colluding peer cycles maximal fake downloads.
+        for c in 0..50u64 {
+            let r = issue_and_sign(&mut acct, 10_000 + c, PeerId(9), 1000, 1000, 90_000 + c);
+            acct.settle(&r).unwrap();
+        }
+        // Per-issuance rate: honest 500, colluder 1000 → score ~2.
+        let scores = acct.anomaly_scores();
+        assert!(scores[&PeerId(9)] > 1.8, "score {}", scores[&PeerId(9)]);
+        let flagged = acct.flag_anomalies(1.8);
+        assert_eq!(flagged, vec![PeerId(9)]);
+    }
+
+    #[test]
+    fn empty_accounting_edge_cases() {
+        let acct = Accounting::new();
+        assert!(acct.anomaly_scores().is_empty());
+        assert!(acct.flag_anomalies(1.0).is_empty());
+        assert_eq!(acct.payable_bytes(PeerId(0)), 0);
+    }
+}

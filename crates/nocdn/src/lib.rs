@@ -1,0 +1,52 @@
+//! # hpop-nocdn — CDN-less content delivery (paper §IV-B)
+//!
+//! "Ultrabroadband affords the opportunity for an alternative approach to
+//! achieving scalable content delivery whereby content providers recruit
+//! well-connected users to allow their HPoPs to be effectively used as
+//! 'edge servers' in an ad hoc CDN … we eliminate the third-party CDN
+//! altogether. We highlight this distinction by calling our approach
+//! NoCDN."
+//!
+//! Because peers are *untrusted* (unlike a CDN's own servers), the design
+//! has no loose handoffs: the provider serves a signed **wrapper page**
+//! and everything else is orchestrated by the client-side **loader**
+//! (standard JavaScript in the paper; a deterministic state machine
+//! here), which verifies every object hash and signs usage records with
+//! provider-issued short-term keys.
+//!
+//! - [`origin`] — the content provider's origin server and page catalog.
+//! - [`peer`] — recruited HPoP peers: reverse proxies with virtual
+//!   hosting, caches, and (for experiments) malicious behaviors.
+//! - [`wrapper`] — wrapper-page generation: peer map, per-object
+//!   SHA-256 hashes, short-term keys.
+//! - [`loader`] — the client loader: fetch, verify, fall back to origin
+//!   on corruption, assemble, sign usage records.
+//! - [`accounting`] — provider-side verification of usage records:
+//!   HMAC checks, nonce replay, work cross-checks, collusion/anomaly
+//!   detection.
+//! - [`select`] — peer-selection policies (random / round-robin /
+//!   proximity / trust-weighted) — the ablation §IV-B calls an open
+//!   problem.
+//! - [`chunked`] — multi-peer range-request downloads ("Leveraging
+//!   Redundancy").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[cfg(test)]
+mod proptests;
+
+pub mod accounting;
+pub mod chunked;
+pub mod loader;
+pub mod origin;
+pub mod peer;
+pub mod select;
+pub mod wrapper;
+
+pub use accounting::{Accounting, UsageRecord};
+pub use loader::{LoaderReport, PageLoader};
+pub use origin::{ContentProvider, PageSpec};
+pub use peer::{NoCdnPeer, PeerBehavior, PeerId};
+pub use select::SelectionPolicy;
+pub use wrapper::WrapperPage;

@@ -1,0 +1,102 @@
+//! Property-based tests of NoCDN's end-to-end integrity invariant:
+//! whatever the peers do, the loader never assembles a wrong page and
+//! never credits unverified bytes.
+
+use crate::accounting::Accounting;
+use crate::loader::PageLoader;
+use crate::origin::{ContentProvider, PageSpec};
+use crate::peer::{NoCdnPeer, PeerBehavior, PeerId};
+use crate::wrapper::WrapperPage;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const MASTER: [u8; 32] = [42u8; 32];
+
+fn behavior_strategy() -> impl Strategy<Value = PeerBehavior> {
+    prop_oneof![
+        Just(PeerBehavior::Honest),
+        Just(PeerBehavior::CorruptsContent),
+        Just(PeerBehavior::Unresponsive),
+        (2u32..20).prop_map(PeerBehavior::InflatesUsage),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any mix of peer behaviors and any object→peer assignment, the
+    /// loader assembles exactly the authentic page, and accounting never
+    /// pays a peer for more than it verifiably served.
+    #[test]
+    fn loader_integrity_under_arbitrary_adversaries(
+        behaviors in proptest::collection::vec(behavior_strategy(), 1..6),
+        sizes in proptest::collection::vec(1_000usize..50_000, 1..6),
+        assignment_seed in proptest::collection::vec(any::<prop::sample::Index>(), 6),
+    ) {
+        let mut origin = ContentProvider::new("prop.example");
+        origin.put_object("/c.html", vec![b'c'; 5_000]);
+        let mut embedded = Vec::new();
+        for (i, s) in sizes.iter().enumerate() {
+            let p = format!("/o{i}.bin");
+            origin.put_object(&p, vec![b'a' + (i as u8 % 26); *s]);
+            embedded.push(p);
+        }
+        origin.put_page(PageSpec {
+            container: "/c.html".into(),
+            embedded: embedded.clone(),
+        });
+        let authentic_bytes = origin.page_bytes("/c.html").expect("page");
+
+        let mut peers: BTreeMap<PeerId, NoCdnPeer> = behaviors
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (PeerId(i as u32), NoCdnPeer::with_behavior(PeerId(i as u32), b)))
+            .collect();
+        let mut objects = vec!["/c.html".to_owned()];
+        objects.extend(embedded);
+        let assignments: BTreeMap<String, PeerId> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let pick = assignment_seed[i % assignment_seed.len()].index(behaviors.len());
+                (o.clone(), PeerId(pick as u32))
+            })
+            .collect();
+
+        let mut acct = Accounting::new();
+        let wrapper = WrapperPage::generate(
+            &mut origin,
+            "/c.html",
+            1,
+            &assignments,
+            &mut acct,
+            &MASTER,
+            true,
+        );
+        let mut loader = PageLoader::new(1);
+        let (report, page) = loader.load(&wrapper, &mut peers, &mut origin);
+
+        // The page is always complete and authentic-sized.
+        prop_assert_eq!(page.len() as u64, authentic_bytes);
+        // Every byte is accounted to exactly one source.
+        prop_assert_eq!(
+            report.total_peer_bytes() + report.bytes_from_origin,
+            authentic_bytes
+        );
+
+        // Settlement: no peer is ever paid more than its ground truth.
+        for (_, peer) in peers.iter_mut() {
+            let truth = peer.bytes_served;
+            for r in peer.upload_records() {
+                let _ = acct.settle(&r);
+            }
+            prop_assert!(
+                acct.payable_bytes(peer.id()) <= truth,
+                "peer {:?} paid {} > served {}",
+                peer.id(),
+                acct.payable_bytes(peer.id()),
+                truth
+            );
+        }
+    }
+}

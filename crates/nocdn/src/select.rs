@@ -1,0 +1,234 @@
+//! Peer-selection policies.
+//!
+//! §IV-B calls peer selection "an open problem" without a traditional
+//! CDN's secret sauce: "the standard metrics … also apply in the NoCDN
+//! context — e.g., reachability, bandwidth, packet loss and delay.
+//! However, there is also a trustworthiness element." These policies are
+//! the ablation axis of experiment E4:
+//!
+//! - [`SelectionPolicy::Random`] — also the collusion mitigation
+//!   ("including some randomness in the client-to-peer mappings").
+//! - [`SelectionPolicy::RoundRobin`] — load spreading.
+//! - [`SelectionPolicy::Proximity`] — lowest client↔peer RTT.
+//! - [`SelectionPolicy::TrustWeighted`] — demote peers with integrity or
+//!   accounting violations.
+
+use crate::peer::PeerId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Information the provider tracks about each recruited peer.
+#[derive(Clone, Debug, Default)]
+pub struct PeerInfo {
+    /// Estimated client→peer RTT in milliseconds (telemetry).
+    pub rtt_ms: f64,
+    /// Integrity/accounting violations observed.
+    pub violations: u32,
+}
+
+/// How the provider maps page objects to peers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SelectionPolicy {
+    /// Uniform random peer per object.
+    Random,
+    /// Cycle through peers object by object.
+    RoundRobin,
+    /// Prefer the lowest-RTT peers.
+    Proximity,
+    /// Like proximity, but peers with violations are skipped entirely.
+    TrustWeighted,
+}
+
+/// The provider's peer directory plus selection state.
+#[derive(Debug, Default)]
+pub struct PeerDirectory {
+    peers: BTreeMap<PeerId, PeerInfo>,
+    rr_cursor: usize,
+}
+
+impl PeerDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recruits a peer ("content providers recruit well-connected
+    /// users").
+    pub fn recruit(&mut self, id: PeerId, info: PeerInfo) {
+        self.peers.insert(id, info);
+    }
+
+    /// Records a violation against a peer (integrity or accounting).
+    pub fn record_violation(&mut self, id: PeerId) {
+        if let Some(info) = self.peers.get_mut(&id) {
+            info.violations += 1;
+        }
+    }
+
+    /// Number of recruited peers.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True when no peers are recruited.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// Peer info, if recruited.
+    pub fn info(&self, id: PeerId) -> Option<&PeerInfo> {
+        self.peers.get(&id)
+    }
+
+    /// Assigns a peer to each object per the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory is empty, or if `TrustWeighted` filters
+    /// every peer out (the provider must fall back to origin serving —
+    /// callers check [`PeerDirectory::trusted_count`] first).
+    pub fn assign(
+        &mut self,
+        objects: &[String],
+        policy: SelectionPolicy,
+        rng: &mut StdRng,
+    ) -> BTreeMap<String, PeerId> {
+        assert!(!self.peers.is_empty(), "no peers recruited");
+        let candidates: Vec<PeerId> = match policy {
+            SelectionPolicy::TrustWeighted => {
+                let ok: Vec<PeerId> = self
+                    .peers
+                    .iter()
+                    .filter(|(_, i)| i.violations == 0)
+                    .map(|(&p, _)| p)
+                    .collect();
+                assert!(!ok.is_empty(), "no trusted peers remain");
+                ok
+            }
+            _ => self.peers.keys().copied().collect(),
+        };
+        let mut sorted_by_rtt = candidates.clone();
+        sorted_by_rtt.sort_by(|a, b| {
+            let ra = self.peers[a].rtt_ms;
+            let rb = self.peers[b].rtt_ms;
+            ra.partial_cmp(&rb).expect("finite RTTs").then(a.cmp(b))
+        });
+        let mut out = BTreeMap::new();
+        for (i, obj) in objects.iter().enumerate() {
+            let peer = match policy {
+                SelectionPolicy::Random => candidates[rng.gen_range(0..candidates.len())],
+                SelectionPolicy::RoundRobin => {
+                    let p = candidates[self.rr_cursor % candidates.len()];
+                    self.rr_cursor += 1;
+                    p
+                }
+                SelectionPolicy::Proximity | SelectionPolicy::TrustWeighted => {
+                    // Spread objects over the closest few peers rather
+                    // than hammering only the single closest.
+                    let window = sorted_by_rtt.len().min(3);
+                    sorted_by_rtt[i % window]
+                }
+            };
+            out.insert(obj.clone(), peer);
+        }
+        out
+    }
+
+    /// Peers with no violations.
+    pub fn trusted_count(&self) -> usize {
+        self.peers.values().filter(|i| i.violations == 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn directory(n: u32) -> PeerDirectory {
+        let mut d = PeerDirectory::new();
+        for i in 0..n {
+            d.recruit(
+                PeerId(i),
+                PeerInfo {
+                    rtt_ms: 10.0 + i as f64 * 5.0,
+                    violations: 0,
+                },
+            );
+        }
+        d
+    }
+
+    fn objects(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("/obj{i}")).collect()
+    }
+
+    #[test]
+    fn round_robin_spreads_evenly() {
+        let mut d = directory(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = d.assign(&objects(8), SelectionPolicy::RoundRobin, &mut rng);
+        let mut counts = BTreeMap::new();
+        for p in a.values() {
+            *counts.entry(*p).or_insert(0u32) += 1;
+        }
+        assert!(counts.values().all(|&c| c == 2), "{counts:?}");
+    }
+
+    #[test]
+    fn proximity_prefers_low_rtt() {
+        let mut d = directory(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = d.assign(&objects(9), SelectionPolicy::Proximity, &mut rng);
+        // Only the 3 closest peers (ids 0,1,2) are used.
+        assert!(a.values().all(|p| p.0 < 3), "{a:?}");
+    }
+
+    #[test]
+    fn trust_weighted_excludes_violators() {
+        let mut d = directory(3);
+        d.record_violation(PeerId(0));
+        d.record_violation(PeerId(0));
+        assert_eq!(d.trusted_count(), 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = d.assign(&objects(10), SelectionPolicy::TrustWeighted, &mut rng);
+        assert!(a.values().all(|p| p.0 != 0));
+        assert_eq!(d.info(PeerId(0)).unwrap().violations, 2);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed_and_unpredictable_across() {
+        let mut d1 = directory(10);
+        let mut d2 = directory(10);
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        assert_eq!(
+            d1.assign(&objects(20), SelectionPolicy::Random, &mut r1),
+            d2.assign(&objects(20), SelectionPolicy::Random, &mut r2)
+        );
+        let mut r3 = StdRng::seed_from_u64(8);
+        let mut d3 = directory(10);
+        assert_ne!(
+            d1.assign(&objects(20), SelectionPolicy::Random, &mut r1),
+            d3.assign(&objects(20), SelectionPolicy::Random, &mut r3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no trusted peers")]
+    fn all_violators_panics_trust_policy() {
+        let mut d = directory(1);
+        d.record_violation(PeerId(0));
+        let mut rng = StdRng::seed_from_u64(1);
+        d.assign(&objects(1), SelectionPolicy::TrustWeighted, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "no peers recruited")]
+    fn empty_directory_panics() {
+        let mut d = PeerDirectory::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        d.assign(&objects(1), SelectionPolicy::Random, &mut rng);
+    }
+}

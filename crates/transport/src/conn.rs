@@ -1,0 +1,384 @@
+//! Event-driven single-path TCP transfers over the flow network.
+//!
+//! Each congestion window is dispatched as one simulator flow rate-capped
+//! at `cwnd / rtt`: uncontended, a full window takes exactly one RTT
+//! (self-clocking); under contention the fair-share allocator stretches
+//! it. Loss is sampled per window from the path's end-to-end loss
+//! probability; on loss the window halves (NewReno-style multiplicative
+//! decrease). Growth is ACK-clocked: the window only grows when the
+//! previous window completed near the RTT bound (i.e. the sender, not the
+//! path, was the limit).
+
+use crate::tcp::TcpConfig;
+use hpop_netsim::netsim::NetSim;
+use hpop_netsim::routing::Path;
+use hpop_netsim::time::{SimDuration, SimTime};
+use hpop_netsim::topology::NodeId;
+use hpop_netsim::units::Bandwidth;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Completion statistics of a TCP transfer.
+#[derive(Clone, Debug)]
+pub struct TcpStats {
+    /// Bytes delivered (the requested transfer size).
+    pub bytes: u64,
+    /// When the transfer was launched.
+    pub started_at: SimTime,
+    /// When the last byte arrived.
+    pub completed_at: SimTime,
+    /// Congestion windows dispatched.
+    pub windows: u32,
+    /// Loss events experienced (each halved the window).
+    pub loss_events: u32,
+    /// The final congestion window, bytes.
+    pub final_cwnd: u64,
+}
+
+impl TcpStats {
+    /// Transfer duration.
+    pub fn duration(&self) -> SimDuration {
+        self.completed_at.since(self.started_at)
+    }
+
+    /// Mean goodput over the transfer.
+    pub fn mean_rate(&self) -> Bandwidth {
+        let dt = self.duration().as_secs_f64();
+        if dt <= 0.0 {
+            Bandwidth::ZERO
+        } else {
+            Bandwidth::from_bps(self.bytes as f64 * 8.0 / dt)
+        }
+    }
+}
+
+type DoneCallback = Box<dyn FnOnce(&mut NetSim, TcpStats)>;
+
+struct State {
+    path: Path,
+    rtt: SimDuration,
+    loss: f64,
+    cfg: TcpConfig,
+    cwnd: u64,
+    ssthresh: u64,
+    remaining: u64,
+    total: u64,
+    windows: u32,
+    loss_events: u32,
+    started_at: SimTime,
+    rng: StdRng,
+    on_done: Option<DoneCallback>,
+}
+
+/// A self-clocked TCP bulk transfer.
+#[derive(Debug)]
+pub struct TcpTransfer;
+
+impl TcpTransfer {
+    /// Launches a transfer of `bytes` from `src` to `dst` along the
+    /// native route. `seed` drives per-window loss sampling (determinism:
+    /// same seed, same run). `on_done` fires when the last byte lands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` and `dst` are disconnected.
+    pub fn launch(
+        sim: &mut NetSim,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        cfg: TcpConfig,
+        seed: u64,
+        on_done: impl FnOnce(&mut NetSim, TcpStats) + 'static,
+    ) {
+        let path = sim
+            .state
+            .net
+            .routing()
+            .route(src, dst)
+            .unwrap_or_else(|| panic!("no route between {src:?} and {dst:?}"));
+        Self::launch_on_path(sim, path, bytes, cfg, seed, on_done);
+    }
+
+    /// Launches a transfer along an explicit path (e.g. a detour).
+    pub fn launch_on_path(
+        sim: &mut NetSim,
+        path: Path,
+        bytes: u64,
+        cfg: TcpConfig,
+        seed: u64,
+        on_done: impl FnOnce(&mut NetSim, TcpStats) + 'static,
+    ) {
+        let topo = sim.state.net.topology();
+        let rtt = path.rtt(topo).max(SimDuration::from_micros(100));
+        let loss = path.loss(topo);
+        let st = Rc::new(RefCell::new(State {
+            cwnd: cfg.init_cwnd_bytes().max(1),
+            ssthresh: cfg.initial_ssthresh.unwrap_or(u64::MAX),
+            remaining: bytes,
+            total: bytes,
+            windows: 0,
+            loss_events: 0,
+            started_at: sim.now(),
+            rng: StdRng::seed_from_u64(seed),
+            on_done: Some(Box::new(on_done)),
+            path,
+            rtt,
+            loss,
+            cfg,
+        }));
+        send_window(sim, st);
+    }
+}
+
+fn finish(sim: &mut NetSim, st: &Rc<RefCell<State>>) {
+    let (cb, stats) = {
+        let mut s = st.borrow_mut();
+        let stats = TcpStats {
+            bytes: s.total,
+            started_at: s.started_at,
+            completed_at: sim.now(),
+            windows: s.windows,
+            loss_events: s.loss_events,
+            final_cwnd: s.cwnd,
+        };
+        (s.on_done.take(), stats)
+    };
+    if let Some(cb) = cb {
+        cb(sim, stats);
+    }
+}
+
+fn send_window(sim: &mut NetSim, st: Rc<RefCell<State>>) {
+    let (window, cap, path, dispatched_at, rtt) = {
+        let mut s = st.borrow_mut();
+        if s.remaining == 0 {
+            drop(s);
+            finish(sim, &st);
+            return;
+        }
+        let window = s.cwnd.min(s.remaining);
+        s.windows += 1;
+        let cap = Bandwidth::from_bps(s.cwnd as f64 * 8.0 / s.rtt.as_secs_f64());
+        (window, cap, s.path.clone(), sim.now(), s.rtt)
+    };
+    let st2 = st.clone();
+    sim.start_transfer_on_path(path, window, Some(cap), move |sim, _info| {
+        let observed = sim.now().since(dispatched_at);
+        {
+            let mut s = st2.borrow_mut();
+            s.remaining -= window;
+            // Sample loss over the packets of this window.
+            let npkts = window.div_ceil(s.cfg.mss as u64).max(1);
+            let p_window = 1.0 - (1.0 - s.loss).powi(npkts.min(1 << 20) as i32);
+            if s.loss > 0.0 && s.rng.gen::<f64>() < p_window {
+                s.loss_events += 1;
+                s.ssthresh = (s.cwnd / 2).max(2 * s.cfg.mss as u64);
+                s.cwnd = s.ssthresh;
+            } else if observed <= rtt + rtt / 4 {
+                // ACK-clocked growth: only while the sender is the limit.
+                if s.cwnd < s.ssthresh {
+                    s.cwnd = s.cwnd.saturating_mul(2).min(s.ssthresh.max(s.cwnd * 2));
+                } else {
+                    s.cwnd += s.cfg.mss as u64;
+                }
+                s.cwnd = s.cwnd.min(1 << 30); // 1 GiB receive-window cap
+            }
+        }
+        send_window(sim, st2);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpop_netsim::presets::{ccz, CczParams};
+    use hpop_netsim::topology::TopologyBuilder;
+    use hpop_netsim::units::MB;
+
+    fn one_link(cap: Bandwidth, latency: SimDuration, loss: f64) -> (NetSim, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        b.add_link_full(x, y, cap, cap, latency, loss);
+        (NetSim::with_topology(b.build()), x, y)
+    }
+
+    fn run_transfer(
+        cap: Bandwidth,
+        latency: SimDuration,
+        loss: f64,
+        bytes: u64,
+        seed: u64,
+    ) -> TcpStats {
+        let (mut sim, x, y) = one_link(cap, latency, loss);
+        let out: Rc<RefCell<Option<TcpStats>>> = Rc::new(RefCell::new(None));
+        let o2 = out.clone();
+        TcpTransfer::launch(
+            &mut sim,
+            x,
+            y,
+            bytes,
+            TcpConfig::default(),
+            seed,
+            move |_, s| {
+                *o2.borrow_mut() = Some(s);
+            },
+        );
+        sim.run();
+        let s = out.borrow_mut().take().expect("transfer completed");
+        s
+    }
+
+    #[test]
+    fn short_transfer_is_rtt_bound() {
+        // 100 KB over 1 Gbps / 25 ms one-way (50 ms RTT): ~3 windows.
+        let s = run_transfer(
+            Bandwidth::gbps(1.0),
+            SimDuration::from_millis(25),
+            0.0,
+            100_000,
+            1,
+        );
+        let d = s.duration().as_secs_f64();
+        assert!(d > 0.10 && d < 0.20, "took {d}s");
+        assert!(s.windows >= 3 && s.windows <= 4, "windows {}", s.windows);
+        // Goodput is a tiny fraction of the gigabit.
+        assert!(s.mean_rate().as_mbps() < 10.0);
+    }
+
+    #[test]
+    fn long_transfer_saturates_link() {
+        let s = run_transfer(
+            Bandwidth::gbps(1.0),
+            SimDuration::from_millis(25),
+            0.0,
+            2_000 * MB,
+            1,
+        );
+        assert!(s.loss_events == 0);
+        assert!(s.mean_rate().as_mbps() > 900.0, "rate {}", s.mean_rate());
+    }
+
+    #[test]
+    fn loss_caps_throughput() {
+        let clean = run_transfer(
+            Bandwidth::gbps(1.0),
+            SimDuration::from_millis(25),
+            0.0,
+            100 * MB,
+            7,
+        );
+        let lossy = run_transfer(
+            Bandwidth::gbps(1.0),
+            SimDuration::from_millis(25),
+            0.01,
+            100 * MB,
+            7,
+        );
+        assert!(lossy.loss_events > 0);
+        assert!(
+            lossy.mean_rate().bits_per_sec() < clean.mean_rate().bits_per_sec() / 2.0,
+            "lossy {} vs clean {}",
+            lossy.mean_rate(),
+            clean.mean_rate()
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let a = run_transfer(
+            Bandwidth::mbps(100.0),
+            SimDuration::from_millis(10),
+            0.02,
+            10 * MB,
+            42,
+        );
+        let b = run_transfer(
+            Bandwidth::mbps(100.0),
+            SimDuration::from_millis(10),
+            0.02,
+            10 * MB,
+            42,
+        );
+        assert_eq!(a.completed_at, b.completed_at);
+        assert_eq!(a.loss_events, b.loss_events);
+        assert_eq!(a.windows, b.windows);
+    }
+
+    #[test]
+    fn different_seed_differs_under_loss() {
+        let a = run_transfer(
+            Bandwidth::mbps(100.0),
+            SimDuration::from_millis(10),
+            0.05,
+            10 * MB,
+            1,
+        );
+        let b = run_transfer(
+            Bandwidth::mbps(100.0),
+            SimDuration::from_millis(10),
+            0.05,
+            10 * MB,
+            2,
+        );
+        assert_ne!(a.completed_at, b.completed_at);
+    }
+
+    #[test]
+    fn two_tcp_flows_share_fairly() {
+        let (mut sim, x, y) = one_link(Bandwidth::mbps(100.0), SimDuration::from_millis(5), 0.0);
+        let done: Rc<RefCell<Vec<TcpStats>>> = Rc::new(RefCell::new(Vec::new()));
+        for seed in 0..2 {
+            let d2 = done.clone();
+            TcpTransfer::launch(
+                &mut sim,
+                x,
+                y,
+                50 * MB,
+                TcpConfig::default(),
+                seed,
+                move |_, s| d2.borrow_mut().push(s),
+            );
+        }
+        sim.run();
+        let done = done.borrow();
+        assert_eq!(done.len(), 2);
+        for s in done.iter() {
+            let r = s.mean_rate().as_mbps();
+            assert!(
+                r > 35.0 && r < 65.0,
+                "rate {r} not near the 50 Mbps fair share"
+            );
+        }
+    }
+
+    #[test]
+    fn ccz_home_to_server_ramp_matches_paper_shape() {
+        // E2 sanity: on the CCZ preset (49 ms RTT, 1 Gbps bottleneck) a
+        // 14 MB transfer is still mostly in slow start.
+        let net = ccz(&CczParams::default());
+        let mut sim = NetSim::with_topology(net.topology.clone());
+        let out: Rc<RefCell<Option<TcpStats>>> = Rc::new(RefCell::new(None));
+        let o2 = out.clone();
+        TcpTransfer::launch(
+            &mut sim,
+            net.server,
+            net.homes[0],
+            14 * MB,
+            TcpConfig::default(),
+            3,
+            move |_, s| *o2.borrow_mut() = Some(s),
+        );
+        sim.run();
+        let s = out.borrow_mut().take().unwrap();
+        let rate = s.mean_rate().as_mbps();
+        assert!(
+            rate < 450.0,
+            "14MB transfer achieved {rate} Mbps — slow start should keep it well under capacity"
+        );
+        assert!(s.windows >= 9, "only {} windows", s.windows);
+    }
+}

@@ -1,0 +1,155 @@
+//! Hour-of-day demand weighting.
+//!
+//! Residential demand has a strong diurnal rhythm — quiet nights, a
+//! daytime plateau, an evening peak. The demand-smoothing experiment
+//! (E14) needs both the curve itself and a way to sample request times
+//! from it.
+
+use hpop_netsim::time::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A 24-hour demand profile (arbitrary non-negative weights).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiurnalCurve {
+    weights: [f64; 24],
+}
+
+impl DiurnalCurve {
+    /// A curve from explicit hourly weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or all are zero.
+    pub fn new(weights: [f64; 24]) -> DiurnalCurve {
+        assert!(
+            weights.iter().all(|w| *w >= 0.0 && w.is_finite()),
+            "weights must be non-negative"
+        );
+        assert!(weights.iter().sum::<f64>() > 0.0, "all-zero curve");
+        DiurnalCurve { weights }
+    }
+
+    /// The canonical residential curve: night trough, daytime plateau,
+    /// 19:00–22:00 evening peak.
+    pub fn residential() -> DiurnalCurve {
+        let mut w = [0.0f64; 24];
+        for (h, slot) in w.iter_mut().enumerate() {
+            *slot = match h {
+                0..=5 => 0.2,
+                6..=8 => 0.7,
+                9..=16 => 1.0,
+                17..=18 => 1.5,
+                19..=22 => 2.5,
+                _ => 0.8,
+            };
+        }
+        DiurnalCurve::new(w)
+    }
+
+    /// The weight for an hour (0–23).
+    pub fn weight(&self, hour: usize) -> f64 {
+        self.weights[hour % 24]
+    }
+
+    /// The relative demand at a simulated instant.
+    pub fn weight_at(&self, t: SimTime) -> f64 {
+        let hour = (t.as_nanos() / 1_000_000_000 / 3600) % 24;
+        self.weights[hour as usize]
+    }
+
+    /// Peak-to-trough ratio of the curve.
+    pub fn peak_to_trough(&self) -> f64 {
+        let max = self.weights.iter().copied().fold(0.0, f64::max);
+        let min = self
+            .weights
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-12);
+        max / min
+    }
+
+    /// Samples an hour of day proportional to the weights.
+    pub fn sample_hour(&self, rng: &mut StdRng) -> usize {
+        let total: f64 = self.weights.iter().sum();
+        let mut x: f64 = rng.gen_range(0.0..total);
+        for (h, w) in self.weights.iter().enumerate() {
+            if x < *w {
+                return h;
+            }
+            x -= w;
+        }
+        23
+    }
+
+    /// Samples a request instant within day `day` (uniform within the
+    /// sampled hour).
+    pub fn sample_time(&self, day: u64, rng: &mut StdRng) -> SimTime {
+        let hour = self.sample_hour(rng) as u64;
+        let sec_in_hour = rng.gen_range(0..3600u64);
+        SimTime::from_secs(day * 86_400 + hour * 3600 + sec_in_hour)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn residential_shape() {
+        let c = DiurnalCurve::residential();
+        assert!(c.weight(20) > c.weight(12));
+        assert!(c.weight(12) > c.weight(3));
+        assert!((c.peak_to_trough() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_at_maps_instants_to_hours() {
+        let c = DiurnalCurve::residential();
+        assert_eq!(c.weight_at(SimTime::from_secs(3 * 3600)), 0.2);
+        assert_eq!(c.weight_at(SimTime::from_secs(20 * 3600)), 2.5);
+        // Day two, 20:00.
+        assert_eq!(c.weight_at(SimTime::from_secs(86_400 + 20 * 3600)), 2.5);
+    }
+
+    #[test]
+    fn sampling_follows_weights() {
+        let c = DiurnalCurve::residential();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 24];
+        const N: u32 = 24_000;
+        for _ in 0..N {
+            counts[c.sample_hour(&mut rng)] += 1;
+        }
+        // Evening hour sampled ~12.5x as often as a night hour.
+        let ratio = counts[20] as f64 / counts[3].max(1) as f64;
+        assert!((8.0..20.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sample_time_lands_in_requested_day() {
+        let c = DiurnalCurve::residential();
+        let mut rng = StdRng::seed_from_u64(2);
+        for day in 0..3u64 {
+            let t = c.sample_time(day, &mut rng);
+            assert!(t >= SimTime::from_secs(day * 86_400));
+            assert!(t < SimTime::from_secs((day + 1) * 86_400));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero curve")]
+    fn zero_curve_rejected() {
+        let _ = DiurnalCurve::new([0.0; 24]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_rejected() {
+        let mut w = [1.0; 24];
+        w[5] = -1.0;
+        let _ = DiurnalCurve::new(w);
+    }
+}

@@ -1,0 +1,24 @@
+//! # hpop-workloads — workload generators for the HPoP experiments
+//!
+//! The paper's evaluation context is residential traffic: Zipf-popular
+//! web objects, bursty per-home sessions (the CCZ measurement study's
+//! headline: users exceed 10 Mbps down only 0.1% of seconds), and
+//! diurnal demand curves. Real traces are proprietary, so these
+//! generators synthesize the equivalents — deterministically from a
+//! seed, as everything else in the workspace.
+//!
+//! - [`zipf`] — Zipf-ranked object universes with heavy-tailed sizes.
+//! - [`traffic`] — flow-level session traffic (exponential think times,
+//!   object picks from a universe) in the shape the CCZ study reports.
+//! - [`diurnal`] — hour-of-day demand weighting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diurnal;
+pub mod traffic;
+pub mod zipf;
+
+pub use diurnal::DiurnalCurve;
+pub use traffic::{FlowEvent, SessionTraffic, TrafficParams};
+pub use zipf::{WebObject, WebUniverse, Zipf};

@@ -1,0 +1,219 @@
+//! Zipf-ranked object universes.
+//!
+//! Web popularity is famously Zipf-like; the cooperative-cache and
+//! prefetch experiments depend on that concentration (a small top slice
+//! of objects covers most requests). Sizes follow a log-normal-ish
+//! heavy tail: most objects are small, a few are enormous.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Zipf(α) sampler over ranks `0..n` (rank 0 most popular).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha < 0`.
+    pub fn new(n: usize, alpha: f64) -> Zipf {
+        assert!(n > 0, "universe must be non-empty");
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (the constructor rejects empty universes).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Samples a rank.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let x: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+/// One object in the universe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WebObject {
+    /// Stable path (`"/obj/000042"`).
+    pub path: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// Freshness lifetime in seconds.
+    pub ttl_secs: u64,
+}
+
+/// A ranked universe of web objects with a popularity law.
+#[derive(Clone, Debug)]
+pub struct WebUniverse {
+    objects: Vec<WebObject>,
+    zipf: Zipf,
+}
+
+impl WebUniverse {
+    /// Generates a universe of `n` objects with Zipf(`alpha`) popularity.
+    /// Sizes are heavy-tailed around `median_bytes` (roughly log-normal,
+    /// σ ≈ 1.5 in log-space); TTLs are uniform in 10 min..=24 h. Fully
+    /// deterministic for a given `rng` state.
+    pub fn generate(n: usize, alpha: f64, median_bytes: u64, rng: &mut StdRng) -> WebUniverse {
+        let zipf = Zipf::new(n, alpha);
+        let objects = (0..n)
+            .map(|i| {
+                // Box–Muller for a standard normal.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let bytes = (median_bytes as f64 * (1.5 * z).exp()).max(200.0) as u64;
+                WebObject {
+                    path: format!("/obj/{i:06}"),
+                    bytes,
+                    ttl_secs: rng.gen_range(600..=86_400),
+                }
+            })
+            .collect();
+        WebUniverse { objects, zipf }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Always false (generation requires `n > 0` via [`Zipf::new`]).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The object at a rank.
+    pub fn object(&self, rank: usize) -> &WebObject {
+        &self.objects[rank]
+    }
+
+    /// All objects in rank order.
+    pub fn objects(&self) -> &[WebObject] {
+        &self.objects
+    }
+
+    /// Samples an object by popularity.
+    pub fn sample(&self, rng: &mut StdRng) -> &WebObject {
+        &self.objects[self.zipf.sample(rng)]
+    }
+
+    /// Samples a rank by popularity.
+    pub fn sample_rank(&self, rng: &mut StdRng) -> usize {
+        self.zipf.sample(rng)
+    }
+
+    /// The popularity mass of the top `k` ranks.
+    pub fn top_mass(&self, k: usize) -> f64 {
+        (0..k.min(self.len())).map(|r| self.zipf.pmf(r)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_mass_concentrates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut top10 = 0u32;
+        const N: u32 = 20_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        let frac = top10 as f64 / N as f64;
+        // Analytic: H(10)/H(1000) ≈ 2.93/7.49 ≈ 0.39.
+        assert!((0.33..0.46).contains(&frac), "top-10 fraction {frac}");
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let z = Zipf::new(100, 1.2);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let sa: Vec<usize> = (0..50).map(|_| z.sample(&mut a)).collect();
+        let sb: Vec<usize> = (0..50).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn universe_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let u = WebUniverse::generate(500, 0.9, 50_000, &mut rng);
+        assert_eq!(u.len(), 500);
+        assert!(u.objects().iter().all(|o| o.bytes >= 200));
+        assert!(u
+            .objects()
+            .iter()
+            .all(|o| (600..=86_400).contains(&o.ttl_secs)));
+        // Heavy tail: the max object dwarfs the median.
+        let mut sizes: Vec<u64> = u.objects().iter().map(|o| o.bytes).collect();
+        sizes.sort_unstable();
+        let median = sizes[250];
+        let max = sizes[499];
+        assert!(max > 10 * median, "median {median} max {max}");
+        // Top mass sums pmf correctly.
+        assert!((u.top_mass(500) - 1.0).abs() < 1e-9);
+        assert!(u.top_mass(10) > 0.2);
+    }
+
+    #[test]
+    fn sample_returns_existing_objects() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let u = WebUniverse::generate(50, 1.0, 10_000, &mut rng);
+        for _ in 0..100 {
+            let o = u.sample(&mut rng);
+            assert!(o.path.starts_with("/obj/"));
+        }
+        assert_eq!(u.object(0).path, "/obj/000000");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_universe_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

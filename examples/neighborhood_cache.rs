@@ -1,0 +1,117 @@
+//! Internet@home in a gigabit neighborhood (§IV-D): history-driven
+//! prefetching, demand smoothing, and the cooperative cache that saves
+//! the shared aggregation uplink.
+//!
+//! ```sh
+//! cargo run --example neighborhood_cache
+//! ```
+
+use hpop::http::url::Url;
+use hpop::internet_home::coop::CoopCache;
+use hpop::internet_home::history::HistoryProfile;
+use hpop::internet_home::prefetch::{ObjectMeta, PrefetchConfig, PrefetchPlanner};
+use hpop::internet_home::smoothing::{DemandSmoother, HourlyLoad, RefreshTask};
+use hpop::netsim::time::{SimDuration, SimTime};
+use hpop::workloads::diurnal::DiurnalCurve;
+use hpop::workloads::zipf::WebUniverse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let universe = WebUniverse::generate(1500, 1.0, 90_000, &mut rng);
+    let curve = DiurnalCurve::residential();
+
+    // 1. A household's month of browsing trains the profile.
+    let mut profile = HistoryProfile::new();
+    let mut planner = PrefetchPlanner::new();
+    for o in universe.objects() {
+        planner.register(
+            Url::https("web.example", &o.path),
+            ObjectMeta {
+                bytes: o.bytes,
+                ttl: SimDuration::from_secs(o.ttl_secs),
+            },
+        );
+    }
+    for day in 0..30u64 {
+        for _ in 0..250 {
+            let o = universe.sample(&mut rng);
+            profile.record_visit(
+                &Url::https("web.example", &o.path),
+                curve.sample_time(day, &mut rng),
+            );
+        }
+    }
+    println!(
+        "history: {} visits over {} distinct URLs; top-50 covers {:.1}% of visits",
+        profile.total_visits(),
+        profile.distinct_sites(),
+        profile.coverage_of_top(50) * 100.0
+    );
+
+    // 2. Plan "this residence's copy of the Internet".
+    let plan = planner.plan(
+        &profile,
+        PrefetchConfig {
+            scope: 200,
+            freshness_factor: 1.0,
+        },
+    );
+    println!(
+        "prefetch plan: {} objects, {:.1} MB stored, {:.1} req/h upstream, predicted hit rate {:.1}%",
+        plan.entries.len(),
+        plan.storage_bytes as f64 / 1e6,
+        plan.upstream_requests_per_hour,
+        plan.expected_hit_rate * 100.0
+    );
+
+    // 3. Smooth the refresh traffic into quiet hours.
+    let mut demand = HourlyLoad::default();
+    for h in 0..24 {
+        demand.bytes[h] = curve.weight(h) * 15e6;
+    }
+    let tasks: Vec<RefreshTask> = plan
+        .entries
+        .iter()
+        .enumerate()
+        .map(|(i, (_, period))| {
+            let deadline = curve.sample_time(1, &mut rng);
+            RefreshTask {
+                bytes: 100_000 + (i as u64 % 7) * 30_000,
+                deadline,
+                earliest: SimTime::from_nanos(
+                    deadline.as_nanos().saturating_sub(period.as_nanos()),
+                ),
+            }
+        })
+        .collect();
+    let naive = DemandSmoother::at_deadline(&tasks, &demand);
+    let smart = DemandSmoother::smoothed(&tasks, &demand);
+    println!(
+        "demand smoothing: peak {:.1} -> {:.1} MB/h (peak/mean {:.2} -> {:.2})",
+        naive.peak() / 1e6,
+        smart.peak() / 1e6,
+        naive.peak_to_mean(),
+        smart.peak_to_mean()
+    );
+
+    // 4. Ten neighboring HPoPs cooperate instead of each fetching alone.
+    let mut coop = CoopCache::new(10);
+    let mut indep = CoopCache::new(10).independent();
+    for _ in 0..150 {
+        for home in 0..10 {
+            let o = universe.sample(&mut rng);
+            let url = Url::https("web.example", &o.path);
+            coop.request(home, &url, o.bytes);
+            indep.request(home, &url, o.bytes);
+        }
+    }
+    println!(
+        "cooperative cache: uplink {:.1} MB vs {:.1} MB independent ({:.1}% saved), {:.1}% of requests stayed in the neighborhood",
+        coop.stats().uplink_bytes as f64 / 1e6,
+        indep.stats().uplink_bytes as f64 / 1e6,
+        (1.0 - coop.stats().uplink_bytes as f64 / indep.stats().uplink_bytes as f64) * 100.0,
+        coop.stats().containment() * 100.0
+    );
+}

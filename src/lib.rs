@@ -1,0 +1,58 @@
+//! # hpop — Home Point of Presence
+//!
+//! A reproduction of *"Rethinking Home Networks in the Ultrabroadband Era"*
+//! (Rabinovich, Allman, Brennan, Pollack, Xu — ICDCS 2019).
+//!
+//! The paper envisions a **home point of presence (HPoP)**: an always-on
+//! appliance inside an ultrabroadband (FTTH) home network that becomes the
+//! hub of a household's digital life. This workspace implements the HPoP
+//! platform, the four services the paper describes, and every substrate
+//! those services need:
+//!
+//! - [`attic`] — the **Data Attic** (§IV-A): a home-resident,
+//!   application-agnostic data store with WebDAV semantics that external
+//!   applications operate on instead of retaining user data.
+//! - [`nocdn`] — **NoCDN** (§IV-B): CDN-less scalable content delivery
+//!   using recruited HPoPs as edge servers, with cryptographic content
+//!   integrity and signed usage accounting.
+//! - [`dcol`] — the **Detour Collective** (§IV-C): transparent overlay
+//!   detour routing via MPTCP subflows through cooperative waypoints.
+//! - [`internet_home`] — **Internet@home** (§IV-D): history-driven
+//!   aggressive prefetching, demand smoothing, and cooperative
+//!   neighborhood caching.
+//!
+//! Substrates: [`netsim`] (deterministic flow-level network simulator),
+//! [`transport`] (TCP/MPTCP models), [`http`] (HTTP/WebDAV messages and
+//! caching), [`nat`] (NAT traversal), [`crypto`] (SHA-256/HMAC/ChaCha20),
+//! [`erasure`] (Reed–Solomon coding), [`core`] (the appliance platform)
+//! and [`workloads`] (workload generators).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hpop::core::{Appliance, HouseholdConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut hpop = Appliance::new(HouseholdConfig::named("doe-family"));
+//! hpop.power_on();
+//! assert!(hpop.is_online());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios reproducing the paper's three
+//! figures, and `crates/bench` for the experiment harness regenerating
+//! every quantitative claim (indexed in `DESIGN.md` / `EXPERIMENTS.md`).
+
+pub use hpop_attic as attic;
+pub use hpop_core as core;
+pub use hpop_crypto as crypto;
+pub use hpop_dcol as dcol;
+pub use hpop_erasure as erasure;
+pub use hpop_http as http;
+pub use hpop_internet_home as internet_home;
+pub use hpop_nat as nat;
+pub use hpop_netsim as netsim;
+pub use hpop_nocdn as nocdn;
+pub use hpop_transport as transport;
+pub use hpop_workloads as workloads;
