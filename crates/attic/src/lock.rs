@@ -7,6 +7,7 @@
 //! shared locks, lock timeouts, and depth-infinity collection locks.
 
 use hpop_netsim::time::{SimDuration, SimTime};
+use hpop_obs::event;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -117,11 +118,14 @@ impl LockManager {
         now: SimTime,
     ) -> Result<LockToken, LockError> {
         self.purge(now);
+        let mediate_hist = hpop_obs::metrics().histogram("attic.lock.mediate_ns");
+        let _mediate = hpop_obs::span!(mediate_hist);
         let conflict = self
             .covering_vec(path, now)
             .into_iter()
             .find(|l| scope == LockScope::Exclusive || l.scope == LockScope::Exclusive);
         if let Some(c) = conflict {
+            self.note_denied(path, &c.owner, now);
             return Err(LockError::Locked {
                 holder: c.owner.clone(),
             });
@@ -143,11 +147,12 @@ impl LockManager {
                         && (scope == LockScope::Exclusive || l.scope == LockScope::Exclusive)
                 });
             if let Some(c) = below {
-                return Err(LockError::Locked {
-                    holder: c.owner.clone(),
-                });
+                let holder = c.owner.clone();
+                self.note_denied(path, &holder, now);
+                return Err(LockError::Locked { holder });
             }
         }
+        hpop_obs::metrics().counter("attic.lock.acquired").incr();
         self.next_token += 1;
         let token = LockToken(self.next_token);
         self.locks.entry(path.to_owned()).or_default().push(Lock {
@@ -158,6 +163,18 @@ impl LockManager {
             expires_at: now + ttl,
         });
         Ok(token)
+    }
+
+    fn note_denied(&self, path: &str, holder: &str, now: SimTime) {
+        hpop_obs::metrics().counter("attic.lock.denied").incr();
+        event!(
+            hpop_obs::tracer(),
+            now.as_nanos() / 1_000,
+            "attic",
+            "lock.denied",
+            path = path,
+            holder = holder
+        );
     }
 
     fn covering_vec(&self, path: &str, now: SimTime) -> Vec<Lock> {
@@ -240,19 +257,36 @@ impl LockManager {
         now: SimTime,
     ) -> Result<(), LockError> {
         self.purge(now);
+        let mediate_hist = hpop_obs::metrics().histogram("attic.lock.mediate_ns");
+        let _mediate = hpop_obs::span!(mediate_hist);
         let covering = self.covering_vec(path, now);
         let exclusive: Vec<&Lock> = covering
             .iter()
             .filter(|l| l.scope == LockScope::Exclusive)
             .collect();
         if exclusive.is_empty() {
+            hpop_obs::metrics().counter("attic.write.allowed").incr();
             return Ok(());
         }
         match token {
-            Some(t) if exclusive.iter().any(|l| l.token == t) => Ok(()),
-            _ => Err(LockError::Locked {
-                holder: exclusive[0].owner.clone(),
-            }),
+            Some(t) if exclusive.iter().any(|l| l.token == t) => {
+                hpop_obs::metrics().counter("attic.write.allowed").incr();
+                Ok(())
+            }
+            _ => {
+                hpop_obs::metrics().counter("attic.write.denied").incr();
+                event!(
+                    hpop_obs::tracer(),
+                    now.as_nanos() / 1_000,
+                    "attic",
+                    "write.denied",
+                    path = path,
+                    holder = exclusive[0].owner.as_str()
+                );
+                Err(LockError::Locked {
+                    holder: exclusive[0].owner.clone(),
+                })
+            }
         }
     }
 

@@ -1,17 +1,10 @@
-//! Runs every experiment (E1-E16) and prints the full result set.
+//! Runs every experiment (E1-E16) and writes `BENCH_all.json`.
 //!
-//! With `--markdown`, emits the tables as GitHub Markdown — the exact
-//! content recorded in EXPERIMENTS.md.
+//! Quiet by default; `--verbose --markdown` prints the tables as
+//! GitHub Markdown — the exact content recorded in EXPERIMENTS.md.
 
 use hpop_bench::experiments::run_all;
 
 fn main() {
-    let markdown = std::env::args().any(|a| a == "--markdown");
-    for table in run_all() {
-        if markdown {
-            println!("{}", table.to_markdown());
-        } else {
-            println!("{table}");
-        }
-    }
+    hpop_bench::harness::run("all", run_all);
 }

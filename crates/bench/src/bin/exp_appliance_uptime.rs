@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e17_appliance_uptime;
 
 fn main() {
-    for table in e17_appliance_uptime::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("appliance_uptime", e17_appliance_uptime::run_default);
 }

@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e11_attic_availability;
 
 fn main() {
-    for table in e11_attic_availability::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("attic_availability", e11_attic_availability::run_default);
 }

@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e12_attic_consistency;
 
 fn main() {
-    for table in e12_attic_consistency::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("attic_consistency", e12_attic_consistency::run_default);
 }

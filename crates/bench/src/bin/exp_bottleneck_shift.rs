@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e03_bottleneck_shift;
 
 fn main() {
-    for table in e03_bottleneck_shift::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("bottleneck_shift", e03_bottleneck_shift::run_default);
 }

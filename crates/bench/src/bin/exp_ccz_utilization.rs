@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e01_ccz_utilization;
 
 fn main() {
-    for table in e01_ccz_utilization::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("ccz_utilization", e01_ccz_utilization::run_default);
 }

@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e15_coop_cache;
 
 fn main() {
-    for table in e15_coop_cache::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("coop_cache", e15_coop_cache::run_default);
 }

@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e08_dcol_detour;
 
 fn main() {
-    for table in e08_dcol_detour::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("dcol_detour", e08_dcol_detour::run_default);
 }

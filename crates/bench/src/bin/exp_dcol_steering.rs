@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e09_dcol_steering;
 
 fn main() {
-    for table in e09_dcol_steering::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("dcol_steering", e09_dcol_steering::run_default);
 }

@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e13_ihome_prefetch;
 
 fn main() {
-    for table in e13_ihome_prefetch::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("ihome_prefetch", e13_ihome_prefetch::run_default);
 }

@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e14_ihome_smoothing;
 
 fn main() {
-    for table in e14_ihome_smoothing::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("ihome_smoothing", e14_ihome_smoothing::run_default);
 }

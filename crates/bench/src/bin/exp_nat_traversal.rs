@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e16_nat_traversal;
 
 fn main() {
-    for table in e16_nat_traversal::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("nat_traversal", e16_nat_traversal::run_default);
 }

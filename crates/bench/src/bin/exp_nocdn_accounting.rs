@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e06_nocdn_accounting;
 
 fn main() {
-    for table in e06_nocdn_accounting::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("nocdn_accounting", e06_nocdn_accounting::run_default);
 }

@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e07_nocdn_chunking;
 
 fn main() {
-    for table in e07_nocdn_chunking::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("nocdn_chunking", e07_nocdn_chunking::run_default);
 }

@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e05_nocdn_integrity;
 
 fn main() {
-    for table in e05_nocdn_integrity::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("nocdn_integrity", e05_nocdn_integrity::run_default);
 }

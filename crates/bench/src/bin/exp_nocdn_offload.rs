@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e04_nocdn_offload;
 
 fn main() {
-    for table in e04_nocdn_offload::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("nocdn_offload", e04_nocdn_offload::run_default);
 }

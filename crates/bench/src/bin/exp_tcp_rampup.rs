@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e02_tcp_rampup;
 
 fn main() {
-    for table in e02_tcp_rampup::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("tcp_rampup", e02_tcp_rampup::run_default);
 }

@@ -3,7 +3,5 @@
 use hpop_bench::experiments::e10_tunnel_tradeoff;
 
 fn main() {
-    for table in e10_tunnel_tradeoff::run_default() {
-        println!("{table}");
-    }
+    hpop_bench::harness::run("tunnel_tradeoff", e10_tunnel_tradeoff::run_default);
 }

@@ -213,7 +213,7 @@ pub fn alternative_table(writers: usize, rounds: usize) -> Table {
     cloud.upload("doc", &key, b"");
     let mut rng = StdRng::seed_from_u64(42);
     let mut schedule: Vec<usize> = (0..writers)
-        .flat_map(|w| std::iter::repeat(w).take(rounds))
+        .flat_map(|w| std::iter::repeat_n(w, rounds))
         .collect();
     for i in (1..schedule.len()).rev() {
         let j = rng.gen_range(0..=i);

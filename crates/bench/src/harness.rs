@@ -1,0 +1,211 @@
+//! Shared entry point for the `exp_*` binaries.
+//!
+//! Every experiment binary delegates to [`run`], which makes the whole
+//! suite behave uniformly:
+//!
+//! - **Quiet by default.** Tables are not printed; they land (with a
+//!   snapshot of the global metrics registry) in `BENCH_<exp>.json`.
+//!   `--verbose` re-enables the human-readable table output.
+//! - **Structured tracing.** The global tracer is enabled for the run,
+//!   so instrumented hot paths (lock mediation, chunk verify, subflow
+//!   scheduling, prefetch serving) record events; `--trace <path>`
+//!   attaches a JSONL sink that streams them to disk.
+//! - **Stable results schema.** The JSON artifact is an
+//!   [`hpop_obs::Snapshot`] (schema v1): counters, gauges, histogram
+//!   summaries (p50/p90/p99) plus the experiment tables under
+//!   `extra.tables`.
+
+use crate::table::Table;
+use hpop_obs::json::Value;
+use hpop_obs::sink::JsonlSink;
+use hpop_obs::{event, Snapshot};
+use std::time::Instant;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Clone, Debug, Default)]
+pub struct ExpOptions {
+    /// Re-enable human-readable table output (`--verbose` / `-v`).
+    pub verbose: bool,
+    /// Print tables as GitHub Markdown instead of aligned text
+    /// (`--markdown`, implies nothing about quietness).
+    pub markdown: bool,
+    /// Stream trace events to this JSONL file (`--trace <path>`).
+    pub trace_path: Option<String>,
+    /// Override the snapshot path (`--out <path>`; default
+    /// `BENCH_<exp>.json` in the working directory).
+    pub out_path: Option<String>,
+}
+
+impl ExpOptions {
+    /// Parses the process arguments. Unknown flags are ignored so that
+    /// individual binaries can grow extra options without breaking the
+    /// shared parser.
+    pub fn from_env() -> ExpOptions {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut opts = ExpOptions::default();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--verbose" | "-v" => opts.verbose = true,
+                "--markdown" => opts.markdown = true,
+                "--trace" => {
+                    i += 1;
+                    opts.trace_path = args.get(i).cloned();
+                }
+                "--out" => {
+                    i += 1;
+                    opts.out_path = args.get(i).cloned();
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// Runs one experiment end to end: enables tracing, executes `produce`,
+/// folds the tables and the global metrics registry into a
+/// [`Snapshot`], and writes `BENCH_<exp>.json`.
+///
+/// This is the `main` of every `exp_*` binary.
+pub fn run(exp: &str, produce: impl FnOnce() -> Vec<Table>) {
+    run_with(exp, ExpOptions::from_env(), produce);
+}
+
+/// [`run`] with explicit options; returns the snapshot for tests.
+pub fn run_with(exp: &str, opts: ExpOptions, produce: impl FnOnce() -> Vec<Table>) -> Snapshot {
+    let tracer = hpop_obs::tracer();
+    tracer.enable();
+    if let Some(path) = &opts.trace_path {
+        match JsonlSink::create(path) {
+            Ok(sink) => tracer.add_sink(Box::new(sink)),
+            Err(e) => eprintln!("exp_{exp}: cannot open trace file {path}: {e}"),
+        }
+    }
+    event!(tracer, 0, "bench", "exp.start", experiment = exp);
+
+    let started = Instant::now();
+    let tables = produce();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let metrics = hpop_obs::metrics();
+    metrics.gauge("exp.wall_ms").set(wall_ms);
+    metrics.counter("exp.tables").add(tables.len() as u64);
+    let rows_hist = metrics.histogram("exp.table.rows");
+    for table in &tables {
+        metrics.counter("exp.rows").add(table.len() as u64);
+        rows_hist.record(table.len() as u64);
+        event!(
+            tracer,
+            0,
+            "bench",
+            "exp.table",
+            id = table.id,
+            title = table.title.as_str(),
+            rows = table.len() as u64
+        );
+    }
+
+    let mut snap = metrics.snapshot(exp);
+    snap.set_extra(
+        "tables",
+        Value::Arr(tables.iter().map(table_to_value).collect()),
+    );
+
+    let out = opts
+        .out_path
+        .clone()
+        .unwrap_or_else(|| format!("BENCH_{exp}.json"));
+    if let Err(e) = snap.write_to(&out) {
+        eprintln!("exp_{exp}: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    event!(tracer, 0, "bench", "exp.complete", path = out.as_str());
+    tracer.flush();
+
+    if opts.verbose {
+        for table in &tables {
+            if opts.markdown {
+                println!("{}", table.to_markdown());
+            } else {
+                println!("{table}");
+            }
+        }
+        eprintln!("wrote {out}");
+    }
+    snap
+}
+
+/// A table as a JSON value: `{"id", "title", "headers", "rows"}`.
+fn table_to_value(t: &Table) -> Value {
+    Value::Obj(vec![
+        ("id".into(), Value::Str(t.id.into())),
+        ("title".into(), Value::Str(t.title.clone())),
+        (
+            "headers".into(),
+            Value::Arr(t.headers.iter().cloned().map(Value::Str).collect()),
+        ),
+        (
+            "rows".into(),
+            Value::Arr(
+                t.rows
+                    .iter()
+                    .map(|r| Value::Arr(r.iter().cloned().map(Value::Str).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::Table;
+
+    fn tiny_table() -> Table {
+        let mut t = Table::new("T1", "tiny", &["k", "v"]);
+        t.push(vec!["a".into(), "1".into()]);
+        t.push(vec!["b".into(), "2".into()]);
+        t
+    }
+
+    #[test]
+    fn snapshot_written_and_parses_back() {
+        let dir = std::env::temp_dir().join(format!("hpop_harness_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_harness_unit.json");
+        let opts = ExpOptions {
+            out_path: Some(out.to_string_lossy().into_owned()),
+            ..ExpOptions::default()
+        };
+        let snap = run_with("harness_unit", opts, || vec![tiny_table()]);
+        assert!(snap.counters["exp.tables"] >= 1);
+        assert!(snap.histograms.contains_key("exp.table.rows"));
+
+        let loaded = Snapshot::load(&out).unwrap();
+        assert_eq!(loaded.experiment, "harness_unit");
+        assert!(loaded.counters.contains_key("exp.tables"));
+        let h = &loaded.histograms["exp.table.rows"];
+        assert!(h.count >= 1 && h.p50 >= 1 && h.p99 >= h.p50);
+        let tables = loaded
+            .extra
+            .iter()
+            .find(|(k, _)| k == "tables")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+        match tables {
+            Value::Arr(ts) => assert!(!ts.is_empty()),
+            other => panic!("tables should be an array, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn options_parse_known_flags_and_ignore_unknown() {
+        // from_env reads real process args; exercise default here and
+        // the struct directly (binaries pass through run()).
+        let opts = ExpOptions::default();
+        assert!(!opts.verbose && opts.trace_path.is_none());
+    }
+}

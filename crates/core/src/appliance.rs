@@ -88,8 +88,14 @@ impl Appliance {
         self.reachability = Some(plan_reachability(&self.config.nat_chain));
         let failed = self.registry.start_all(&self.clock);
         for name in failed {
-            self.bus
-                .publish(crate::events::Event::new("service.failed", name));
+            self.bus.publish(crate::events::Event::structured(
+                "service.failed",
+                [
+                    ("service", name.as_str()),
+                    ("phase", "start"),
+                    ("household", self.config.name.as_str()),
+                ],
+            ));
         }
     }
 

@@ -6,6 +6,8 @@
 //! attic publishes `attic.write` events; Internet@home subscribes and
 //! turns them into prefetch hints.
 
+use hpop_obs::json::Value;
+use hpop_obs::MetricsRegistry;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -15,26 +17,63 @@ use std::sync::Arc;
 pub struct Event {
     /// Dotted topic (`"attic.write"`, `"service.failed"`).
     pub topic: String,
-    /// Free-form payload (services define their own mini-schemas).
+    /// Payload; structured events carry a JSON object (see
+    /// [`Event::structured`]), legacy ones free-form text.
     pub payload: String,
 }
 
 impl Event {
-    /// Creates an event.
+    /// Creates an event with a free-form payload.
     pub fn new(topic: impl Into<String>, payload: impl Into<String>) -> Event {
         Event {
             topic: topic.into(),
             payload: payload.into(),
         }
     }
+
+    /// Creates an event whose payload is a JSON object built from
+    /// `fields`, so subscribers can parse it instead of scraping text.
+    pub fn structured<K, V>(
+        topic: impl Into<String>,
+        fields: impl IntoIterator<Item = (K, V)>,
+    ) -> Event
+    where
+        K: Into<String>,
+        V: Into<Value>,
+    {
+        let mut obj = Value::obj();
+        for (k, v) in fields {
+            obj.set(k.into(), v.into());
+        }
+        Event {
+            topic: topic.into(),
+            payload: obj.to_json(),
+        }
+    }
+
+    /// Parses the payload as JSON, for structured events.
+    pub fn json(&self) -> Option<Value> {
+        hpop_obs::json::parse(&self.payload).ok()
+    }
+}
+
+/// Bus counters returned by [`EventBus::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Events published.
+    pub published: u64,
+    /// Subscriber deliveries (one publish can deliver many times).
+    pub delivered: u64,
+    /// Events published with no matching subscriber.
+    pub dropped: u64,
 }
 
 type Subscriber = Box<dyn FnMut(&Event) + Send>;
 
 struct BusInner {
     subscribers: BTreeMap<String, Vec<Subscriber>>,
-    published: u64,
-    delivered: u64,
+    stats: BusStats,
+    metrics: MetricsRegistry,
 }
 
 /// A cheaply cloneable synchronous pub/sub bus.
@@ -51,7 +90,7 @@ impl std::fmt::Debug for EventBus {
         let inner = self.inner.lock();
         f.debug_struct("EventBus")
             .field("topics", &inner.subscribers.keys().collect::<Vec<_>>())
-            .field("published", &inner.published)
+            .field("published", &inner.stats.published)
             .finish()
     }
 }
@@ -68,10 +107,22 @@ impl EventBus {
         EventBus {
             inner: Arc::new(Mutex::new(BusInner {
                 subscribers: BTreeMap::new(),
-                published: 0,
-                delivered: 0,
+                stats: BusStats::default(),
+                metrics: MetricsRegistry::new(),
             })),
         }
+    }
+
+    /// The registry holding the bus's per-topic delivery-latency
+    /// histograms (`bus.topic.<topic>.deliver_ns`) and counters.
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.inner.lock().metrics.clone()
+    }
+
+    /// Swaps in a shared registry (e.g. the experiment's). Call before
+    /// publishing; earlier metrics stay in the old registry.
+    pub fn use_metrics(&self, metrics: MetricsRegistry) {
+        self.inner.lock().metrics = metrics;
     }
 
     /// Subscribes to a topic, or to a subtree with a `prefix.*` pattern.
@@ -88,7 +139,7 @@ impl EventBus {
     /// subscriber. Returns the number of deliveries.
     pub fn publish(&self, event: Event) -> usize {
         let mut inner = self.inner.lock();
-        inner.published += 1;
+        inner.stats.published += 1;
         // Collect matching patterns first to appease the borrow checker.
         let patterns: Vec<String> = inner
             .subscribers
@@ -96,6 +147,7 @@ impl EventBus {
             .filter(|p| Self::matches(p, &event.topic))
             .cloned()
             .collect();
+        let start = std::time::Instant::now();
         let mut count = 0;
         for p in patterns {
             if let Some(subs) = inner.subscribers.get_mut(&p) {
@@ -105,7 +157,19 @@ impl EventBus {
                 }
             }
         }
-        inner.delivered += count as u64;
+        inner.stats.delivered += count as u64;
+        if count == 0 {
+            inner.stats.dropped += 1;
+        }
+        let m = &inner.metrics;
+        m.counter("bus.published").incr();
+        m.counter("bus.delivered").add(count as u64);
+        if count == 0 {
+            m.counter("bus.dropped").incr();
+        } else {
+            m.histogram(&format!("bus.topic.{}.deliver_ns", event.topic))
+                .record(start.elapsed().as_nanos() as u64);
+        }
         count
     }
 
@@ -119,10 +183,9 @@ impl EventBus {
         }
     }
 
-    /// (published, delivered) counters.
-    pub fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
-        (inner.published, inner.delivered)
+    /// Published/delivered/dropped counters.
+    pub fn stats(&self) -> BusStats {
+        self.inner.lock().stats
     }
 }
 
@@ -179,8 +242,36 @@ mod tests {
         let bus = EventBus::new();
         bus.subscribe("a", |_| {});
         bus.publish(Event::new("a", ""));
-        bus.publish(Event::new("b", ""));
-        assert_eq!(bus.stats(), (2, 1));
+        bus.publish(Event::new("b", "")); // nobody listening: dropped
+        assert_eq!(
+            bus.stats(),
+            BusStats {
+                published: 2,
+                delivered: 1,
+                dropped: 1
+            }
+        );
+    }
+
+    #[test]
+    fn per_topic_latency_histograms() {
+        let bus = EventBus::new();
+        bus.subscribe("attic.write", |_| {});
+        bus.publish(Event::new("attic.write", "x"));
+        bus.publish(Event::new("attic.write", "y"));
+        let m = bus.metrics();
+        assert_eq!(m.counter("bus.published").get(), 2);
+        assert_eq!(m.counter("bus.delivered").get(), 2);
+        assert_eq!(m.histogram("bus.topic.attic.write.deliver_ns").count(), 2);
+    }
+
+    #[test]
+    fn structured_events_parse_back() {
+        let e = Event::structured("service.failed", [("service", "attic"), ("phase", "start")]);
+        let v = e.json().expect("structured payload is JSON");
+        assert_eq!(v.get("service").and_then(|s| s.as_str()), Some("attic"));
+        assert_eq!(v.get("phase").and_then(|s| s.as_str()), Some("start"));
+        assert_eq!(Event::new("t", "not json").json(), None);
     }
 
     #[test]

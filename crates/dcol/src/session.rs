@@ -13,6 +13,7 @@ use crate::tunnel::{TunnelState, TunnelType};
 use hpop_netsim::netsim::NetSim;
 use hpop_netsim::time::SimDuration;
 use hpop_netsim::topology::NodeId;
+use hpop_obs::event;
 use hpop_transport::mptcp::{MptcpHandle, MptcpStats, MptcpTransfer, Scheduler, SubflowSpec};
 use hpop_transport::tcp::TcpConfig;
 
@@ -111,8 +112,18 @@ impl DcolSession {
             };
             let h = handle.clone();
             sim.schedule_in(setup, move |sim| {
+                let label = spec.label.clone();
                 let idx = h.add_subflow(sim, spec);
                 debug_assert_eq!(idx, i + 1);
+                hpop_obs::metrics().counter("dcol.subflows.added").incr();
+                event!(
+                    hpop_obs::tracer(),
+                    sim.now().as_nanos() / 1_000,
+                    "dcol",
+                    "subflow.add",
+                    index = idx as u64,
+                    label = label.as_str()
+                );
             });
         }
 
@@ -139,6 +150,7 @@ impl DcolSession {
     /// # Panics
     ///
     /// Panics if `keep_best == 0` or the endpoints are disconnected.
+    #[allow(clippy::too_many_arguments)]
     pub fn launch_upload(
         sim: &mut NetSim,
         client: NodeId,
@@ -200,8 +212,23 @@ fn keep_top_k(sim: &mut NetSim, handle: &MptcpHandle, k: usize) {
     for &(_, idx) in ranked.iter().skip(k) {
         if handle.open_subflows() > 1 {
             handle.close_subflow(sim, idx);
+            note_withdrawn(sim, idx, "probe");
         }
     }
+}
+
+fn note_withdrawn(sim: &NetSim, idx: usize, reason: &str) {
+    hpop_obs::metrics()
+        .counter("dcol.subflows.withdrawn")
+        .incr();
+    event!(
+        hpop_obs::tracer(),
+        sim.now().as_nanos() / 1_000,
+        "dcol",
+        "subflow.withdraw",
+        index = idx as u64,
+        reason = reason
+    );
 }
 
 /// Withdraws subflows delivering less than `threshold` of the best
@@ -216,6 +243,7 @@ fn review_and_withdraw(sim: &mut NetSim, handle: &MptcpHandle, threshold: f64) {
     for (i, &d) in delivered.iter().enumerate() {
         if (d as f64) < threshold * best as f64 && handle.open_subflows() > 1 && handle.is_open(i) {
             handle.close_subflow(sim, i);
+            note_withdrawn(sim, i, "review");
         }
     }
 }

@@ -14,6 +14,7 @@ use hpop_http::cache::{CacheDecision, CacheEntry, HttpCache};
 use hpop_http::message::{Request, Response, StatusCode};
 use hpop_http::url::Url;
 use hpop_netsim::time::{SimDuration, SimTime};
+use hpop_obs::event;
 use std::collections::BTreeMap;
 
 /// A deterministic origin for the executor to fetch from: objects with
@@ -183,6 +184,7 @@ impl PrefetchExecutor {
 
     fn refresh_one(&mut self, url: &Url, origin: &mut SimulatedOrigin, now: SimTime) {
         self.stats.refreshes += 1;
+        hpop_obs::metrics().counter("ihome.refresh.issued").incr();
         let mut req = Request::get(url.clone());
         let prior = match self.cache.lookup(url, now) {
             CacheDecision::Fresh(e) | CacheDecision::Stale(e) => {
@@ -198,6 +200,7 @@ impl PrefetchExecutor {
         match resp.status {
             StatusCode::NOT_MODIFIED => {
                 self.stats.refresh_304 += 1;
+                hpop_obs::metrics().counter("ihome.refresh.304").incr();
                 self.cache.revalidate(url, now);
                 let _ = prior;
             }
@@ -219,9 +222,10 @@ impl PrefetchExecutor {
         origin: &mut SimulatedOrigin,
         now: SimTime,
     ) -> ServedFrom {
-        match self.cache.lookup(url, now) {
+        let served = match self.cache.lookup(url, now) {
             CacheDecision::Fresh(_) => {
                 self.stats.user_fresh += 1;
+                hpop_obs::metrics().counter("ihome.prefetch.hit").incr();
                 ServedFrom::LocalFresh
             }
             CacheDecision::Stale(e) => {
@@ -241,6 +245,9 @@ impl PrefetchExecutor {
                     self.cache.insert(url.clone(), entry);
                 }
                 self.stats.user_revalidated += 1;
+                hpop_obs::metrics()
+                    .counter("ihome.prefetch.revalidated")
+                    .incr();
                 ServedFrom::Revalidated
             }
             CacheDecision::Miss => {
@@ -254,9 +261,23 @@ impl PrefetchExecutor {
                     self.cache.insert(url.clone(), entry);
                 }
                 self.stats.user_upstream += 1;
+                hpop_obs::metrics().counter("ihome.prefetch.miss").incr();
                 ServedFrom::Upstream
             }
-        }
+        };
+        event!(
+            hpop_obs::tracer(),
+            now.as_nanos() / 1_000,
+            "ihome",
+            "prefetch.serve",
+            url = url.to_string(),
+            from = match served {
+                ServedFrom::LocalFresh => "fresh",
+                ServedFrom::Revalidated => "revalidated",
+                ServedFrom::Upstream => "upstream",
+            }
+        );
+        served
     }
 
     /// The ledger so far.

@@ -13,6 +13,7 @@ use crate::routing::Path;
 use crate::time::SimTime;
 use crate::topology::{NodeId, Topology};
 use crate::units::Bandwidth;
+use hpop_obs::{event, MetricsRegistry};
 use std::collections::HashMap;
 
 /// Handler invoked when a transfer completes.
@@ -51,6 +52,7 @@ pub struct NetState {
     pub net: FlowNet,
     handlers: HashMap<u64, TransferHandler>,
     epoch: u64,
+    metrics: MetricsRegistry,
 }
 
 impl std::fmt::Debug for NetState {
@@ -72,7 +74,21 @@ impl Sim<NetState> {
             net: FlowNet::new(topo),
             handlers: HashMap::new(),
             epoch: 0,
+            metrics: MetricsRegistry::new(),
         })
+    }
+
+    /// The registry receiving the engine's per-flow/per-link metrics
+    /// (`netsim.flows.*`, `netsim.flow.*`, `netsim.link.*`).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.state.metrics
+    }
+
+    /// Swaps in a shared registry (e.g. the experiment's), so engine
+    /// metrics land in the same snapshot as service metrics. Call before
+    /// starting transfers; earlier metrics stay in the old registry.
+    pub fn use_metrics(&mut self, metrics: MetricsRegistry) {
+        self.state.metrics = metrics;
     }
 
     /// Starts a transfer on the native route and registers a completion
@@ -108,6 +124,7 @@ impl Sim<NetState> {
             .start(src, dst, bytes, cap, now)
             .unwrap_or_else(|| panic!("no route between {src:?} and {dst:?}"));
         self.state.handlers.insert(id.raw(), Box::new(on_done));
+        self.state.metrics.counter("netsim.flows.started").incr();
         self.reschedule_completion();
         id
     }
@@ -123,6 +140,7 @@ impl Sim<NetState> {
         let now = self.now();
         let id = self.state.net.start_on_path(path, bytes, cap, now);
         self.state.handlers.insert(id.raw(), Box::new(on_done));
+        self.state.metrics.counter("netsim.flows.started").incr();
         self.reschedule_completion();
         id
     }
@@ -140,6 +158,7 @@ impl Sim<NetState> {
         let now = self.now();
         let left = self.state.net.cancel(id, now)?;
         self.state.handlers.remove(&id.raw());
+        self.state.metrics.counter("netsim.flows.cancelled").incr();
         self.reschedule_completion();
         Some(left)
     }
@@ -169,6 +188,9 @@ impl Sim<NetState> {
             .iter()
             .map(|(id, c)| (*id, TransferInfo::from_completed(*id, c)))
             .collect();
+        for (id, c) in &done {
+            self.record_completion(*id, c, now);
+        }
         // Reschedule *before* running handlers: handlers may start flows,
         // which reschedules again with a fresher epoch.
         self.reschedule_completion();
@@ -177,6 +199,32 @@ impl Sim<NetState> {
                 h(self, info);
             }
         }
+    }
+
+    fn record_completion(&mut self, id: FlowId, c: &CompletedFlow, now: SimTime) {
+        let m = &self.state.metrics;
+        m.counter("netsim.flows.completed").incr();
+        m.counter("netsim.bytes.completed").add(c.total_bytes);
+        let duration = c.completed_at.saturating_since(c.started_at);
+        m.histogram("netsim.flow.duration_us")
+            .record(duration.as_nanos() / 1_000);
+        m.histogram("netsim.flow.bytes").record(c.total_bytes);
+        m.histogram("netsim.flow.rate_kbps")
+            .record((c.mean_rate().bits_per_sec() / 1e3) as u64);
+        for hop in c.path.hops() {
+            m.counter(&format!("netsim.link.{}.bytes", hop.index()))
+                .add(c.total_bytes);
+        }
+        event!(
+            hpop_obs::tracer(),
+            now.as_nanos() / 1_000,
+            "netsim",
+            "flow.complete",
+            flow = id.raw(),
+            bytes = c.total_bytes,
+            duration_us = duration.as_nanos() / 1_000,
+            hops = c.path.hops().len() as u64
+        );
     }
 }
 
@@ -303,6 +351,37 @@ mod tests {
         // Remaining 62.5MB at 1Gbps = 0.5s: total 1.5s.
         let t = *done.borrow();
         assert!((t - 1.5).abs() < 0.01, "finished at {t}");
+    }
+
+    #[test]
+    fn engine_emits_flow_and_link_metrics() {
+        let (mut sim, x, y) = pair_sim();
+        sim.start_transfer(x, y, 125 * MB, |_, _| {});
+        sim.run();
+        let m = sim.metrics();
+        assert_eq!(m.counter("netsim.flows.started").get(), 1);
+        assert_eq!(m.counter("netsim.flows.completed").get(), 1);
+        assert_eq!(m.counter("netsim.bytes.completed").get(), 125 * MB);
+        assert_eq!(m.histogram("netsim.flow.duration_us").count(), 1);
+        assert_eq!(m.histogram("netsim.flow.bytes").load().max(), 125 * MB);
+        // The single x→y hop carried every byte.
+        let link_bytes: u64 = m
+            .metric_names()
+            .iter()
+            .filter(|n| n.starts_with("netsim.link."))
+            .map(|n| m.counter(n).get())
+            .sum();
+        assert_eq!(link_bytes, 125 * MB);
+    }
+
+    #[test]
+    fn shared_registry_collects_engine_metrics() {
+        let (mut sim, x, y) = pair_sim();
+        let reg = hpop_obs::MetricsRegistry::new();
+        sim.use_metrics(reg.clone());
+        sim.start_transfer(x, y, MB, |_, _| {});
+        sim.run();
+        assert_eq!(reg.counter("netsim.flows.completed").get(), 1);
     }
 
     #[test]

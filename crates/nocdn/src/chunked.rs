@@ -11,6 +11,7 @@ use crate::peer::{NoCdnPeer, PeerId};
 use bytes::Bytes;
 use hpop_crypto::sha256::{Digest, Sha256};
 use hpop_http::range::ByteRange;
+use hpop_obs::event;
 use std::collections::BTreeMap;
 
 /// The outcome of a chunked fetch.
@@ -66,19 +67,49 @@ pub fn fetch_chunked(
             .map(|body| slice_range(&body, range));
         match chunk {
             Some(c) => {
+                let m = hpop_obs::metrics();
+                m.counter("nocdn.chunks.from_peer").incr();
+                m.histogram("nocdn.chunk.bytes").record(c.len() as u64);
+                event!(
+                    hpop_obs::tracer(),
+                    0,
+                    "nocdn",
+                    "chunk.fetch",
+                    path = path,
+                    peer = peer_id.0,
+                    bytes = c.len() as u64
+                );
                 assembled.extend_from_slice(&c);
                 sources.push((*range, Some(peer_id)));
             }
             None => {
                 let full = origin.fetch_object(path).expect("checked above");
-                assembled.extend_from_slice(&slice_range(&full, range));
+                let c = slice_range(&full, range);
+                let m = hpop_obs::metrics();
+                m.counter("nocdn.chunks.from_origin").incr();
+                m.histogram("nocdn.chunk.bytes").record(c.len() as u64);
+                assembled.extend_from_slice(&c);
                 sources.push((*range, None));
                 report.fallback_chunks += 1;
             }
         }
     }
 
-    if Sha256::digest(&assembled).ct_eq(expected) {
+    let verify_hist = hpop_obs::metrics().histogram("nocdn.chunk.verify_ns");
+    let verify_guard = hpop_obs::span!(verify_hist);
+    let whole_ok = Sha256::digest(&assembled).ct_eq(expected);
+    drop(verify_guard);
+    event!(
+        hpop_obs::tracer(),
+        0,
+        "nocdn",
+        "chunk.verify",
+        path = path,
+        ok = whole_ok,
+        chunks = sources.len() as u64
+    );
+    if whole_ok {
+        hpop_obs::metrics().counter("nocdn.verify.ok").incr();
         for (range, src) in &sources {
             if let Some(p) = src {
                 *report.bytes_per_peer.entry(p.0).or_default() += range.len();
@@ -90,6 +121,7 @@ pub fn fetch_chunked(
 
     // Some chunk was corrupted: identify and replace bad chunks against
     // the authentic object, charging only honest peers for their bytes.
+    hpop_obs::metrics().counter("nocdn.verify.failed").incr();
     let authentic = origin.fetch_object(path).expect("checked above");
     let mut repaired = Vec::with_capacity(total as usize);
     for (range, src) in &sources {
@@ -103,6 +135,7 @@ pub fn fetch_chunked(
             }
             repaired.extend_from_slice(got);
         } else {
+            hpop_obs::metrics().counter("nocdn.chunks.repaired").incr();
             report.fallback_chunks += 1;
             repaired.extend_from_slice(truth);
         }

@@ -96,19 +96,23 @@ impl NoCdnPeer {
             return None;
         }
         let key = (host.to_owned(), path.to_owned());
+        let m = hpop_obs::metrics();
         let body = match self.cache.get(&key) {
             Some(b) => {
                 self.cache_hits += 1;
+                m.counter("nocdn.peer.cache_hit").incr();
                 b.clone()
             }
             None => {
                 let b = origin.fetch_object(path)?;
                 self.cache_misses += 1;
+                m.counter("nocdn.peer.cache_miss").incr();
                 self.cache.insert(key, b.clone());
                 b
             }
         };
         self.bytes_served += body.len() as u64;
+        m.histogram("nocdn.serve.bytes").record(body.len() as u64);
         Some(match self.behavior {
             PeerBehavior::CorruptsContent => corrupt(&body),
             _ => body,

@@ -1,0 +1,396 @@
+//! A log-linear-bucket histogram over `u64` values.
+//!
+//! Layout (HdrHistogram-style): values below [`SUBS`] land in exact
+//! unit-width buckets; above that, each power-of-two magnitude is split
+//! into [`SUBS`] linear sub-buckets, bounding relative quantile error
+//! at `1/SUBS` (≈3.1%). Values above the configured maximum saturate
+//! into the top bucket (tracked by [`Histogram::saturated`]).
+//!
+//! Recording is two adds and some bit math — cheap enough for the
+//! simulator's hot paths — and histograms [`merge`](Histogram::merge)
+//! by element-wise addition, so per-thread shards combine losslessly.
+
+/// Linear sub-buckets per power-of-two magnitude (must be a power of two).
+pub const SUBS: u64 = 32;
+const SUB_BITS: u32 = SUBS.trailing_zeros();
+
+/// Default maximum trackable value: 2^40 (≈1.1e12), comfortably above
+/// any nanosecond latency or byte count an experiment records.
+pub const DEFAULT_MAX: u64 = 1 << 40;
+
+/// A mergeable log-linear histogram with exact count/sum/min/max.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    max_value: u64,
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    saturated: u64,
+}
+
+fn bucket_count(max_value: u64) -> usize {
+    (Histogram::index_of(max_value) + 1) as usize
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A histogram tracking values up to [`DEFAULT_MAX`].
+    pub fn new() -> Histogram {
+        Histogram::with_max(DEFAULT_MAX)
+    }
+
+    /// A histogram tracking values up to `max_value` (rounded to at
+    /// least [`SUBS`]); larger recordings saturate into the top bucket.
+    pub fn with_max(max_value: u64) -> Histogram {
+        let max_value = max_value.max(SUBS);
+        Histogram {
+            max_value,
+            counts: vec![0; bucket_count(max_value)],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            saturated: 0,
+        }
+    }
+
+    /// The bucket index covering `v` (unbounded layout).
+    fn index_of(v: u64) -> u64 {
+        if v < SUBS {
+            v
+        } else {
+            let e = 63 - v.leading_zeros() as u64; // e >= SUB_BITS
+            let sub = (v >> (e - SUB_BITS as u64)) & (SUBS - 1);
+            SUBS + (e - SUB_BITS as u64) * SUBS + sub
+        }
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    fn lower_bound(i: u64) -> u64 {
+        if i < SUBS {
+            i
+        } else {
+            let g = (i - SUBS) / SUBS;
+            let sub = (i - SUBS) % SUBS;
+            (SUBS + sub) << g
+        }
+    }
+
+    /// Exclusive upper bound of bucket `i`.
+    fn upper_bound(i: u64) -> u64 {
+        if i < SUBS {
+            i + 1
+        } else {
+            let g = (i - SUBS) / SUBS;
+            let sub = (i - SUBS) % SUBS;
+            (SUBS + sub + 1) << g
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` occurrences of `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let clamped = if v > self.max_value {
+            self.saturated += n;
+            self.max_value
+        } else {
+            v
+        };
+        let idx = Self::index_of(clamped) as usize;
+        self.counts[idx] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact minimum recorded value; zero when empty.
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum recorded value; zero when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Number of recordings that exceeded the trackable maximum.
+    pub fn saturated(&self) -> u64 {
+        self.saturated
+    }
+
+    /// The configured maximum trackable value.
+    pub fn max_value(&self) -> u64 {
+        self.max_value
+    }
+
+    /// The value at quantile `q` in `[0, 1]` by nearest rank; zero when
+    /// empty. Exact for values below [`SUBS`]; within `1/SUBS` relative
+    /// error above (the bucket midpoint is reported).
+    ///
+    /// The reported value is a strictly monotone function of the
+    /// rank's bucket — deliberately *not* clamped to the exact min/max,
+    /// which keeps quantiles of a [`merge`](Histogram::merge) bounded
+    /// by the inputs' quantiles (clamping can violate that by up to a
+    /// bucket width). Use [`Histogram::min`]/[`Histogram::max`] for the
+    /// exact extremes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.is_empty() {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let i = i as u64;
+                return if i < SUBS {
+                    i // exact bucket
+                } else {
+                    (Self::lower_bound(i) + Self::upper_bound(i) - 1) / 2
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> u64 {
+        self.value_at_quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.value_at_quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.value_at_quantile(0.99)
+    }
+
+    /// Element-wise merge of another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms were configured with different maxima.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.max_value, other.max_value,
+            "merging histograms with different maxima"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.saturated += other.saturated;
+    }
+
+    /// Non-empty buckets as `(lower_bound, upper_bound_exclusive, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts.iter().enumerate().filter_map(|(i, &c)| {
+            let i = i as u64;
+            (c > 0).then_some((Self::lower_bound(i), Self::upper_bound(i), c))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_boundaries_are_tight_and_contiguous() {
+        // Every value maps into a bucket whose [lower, upper) contains it.
+        for v in (0..10_000u64).chain([1 << 20, (1 << 30) + 12345, 1 << 39]) {
+            let i = Histogram::index_of(v);
+            assert!(
+                Histogram::lower_bound(i) <= v && v < Histogram::upper_bound(i),
+                "value {v} not inside bucket {i}"
+            );
+        }
+        // Buckets tile the line with no gaps or overlaps.
+        for i in 0..bucket_count(DEFAULT_MAX) as u64 - 1 {
+            assert_eq!(Histogram::upper_bound(i), Histogram::lower_bound(i + 1));
+        }
+    }
+
+    #[test]
+    fn exact_percentiles_on_small_values() {
+        // Values below SUBS are bucketed exactly: 1..=100 clamps to <32
+        // only partially, so use 0..SUBS for the exact regime.
+        let mut h = Histogram::new();
+        for v in 0..SUBS {
+            h.record(v); // one each of 0..=31
+        }
+        assert_eq!(h.p50(), 15); // rank 16 of 32
+        assert_eq!(h.p90(), 28); // rank ceil(0.9*32)=29 -> value 28
+        assert_eq!(h.p99(), 31); // rank 32 -> value 31
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn known_distribution_1_to_100() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Above SUBS the bucket midpoint is reported; bound the error
+        // by the documented 1/SUBS relative width.
+        for (q, exact) in [(0.5, 50u64), (0.9, 90), (0.99, 99), (1.0, 100)] {
+            let got = h.value_at_quantile(q);
+            let tol = (exact as f64 / SUBS as f64).ceil() as u64 + 1;
+            assert!(
+                got.abs_diff(exact) <= tol,
+                "q={q}: got {got}, want {exact}±{tol}"
+            );
+        }
+        assert_eq!(h.value_at_quantile(0.0), 1);
+        assert_eq!(h.value_at_quantile(1.0), 100); // 100's bucket midpoint is exact
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+    }
+
+    #[test]
+    fn top_bucket_saturates() {
+        let mut h = Histogram::with_max(1 << 20);
+        h.record(5);
+        h.record(u64::MAX);
+        h.record((1 << 20) + 1);
+        assert_eq!(h.saturated(), 2);
+        assert_eq!(h.count(), 3);
+        // Saturated values count toward the top bucket's quantiles.
+        assert!(h.p99() >= 1 << 20);
+        // Exact max is still reported.
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [1u64, 5, 900, 40_000, 7] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [2u64, 3_000_000, 12] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    proptest! {
+        /// Merged percentiles are bounded by the inputs: for any
+        /// quantile, min(pA, pB) <= p(A∪B) <= max(pA, pB) — a merge can
+        /// never produce a percentile outside its inputs' envelope.
+        #[test]
+        fn merge_percentiles_bound_the_inputs(
+            xs in proptest::collection::vec(0u64..2_000_000, 1..200),
+            ys in proptest::collection::vec(0u64..2_000_000, 1..200),
+            q in 0.0f64..=1.0,
+        ) {
+            let mut a = Histogram::new();
+            let mut b = Histogram::new();
+            for &x in &xs { a.record(x); }
+            for &y in &ys { b.record(y); }
+            let (pa, pb) = (a.value_at_quantile(q), b.value_at_quantile(q));
+            let mut merged = a.clone();
+            merged.merge(&b);
+            let pm = merged.value_at_quantile(q);
+            prop_assert!(pm >= pa.min(pb), "q={}: merged {} < min({}, {})", q, pm, pa, pb);
+            prop_assert!(pm <= pa.max(pb), "q={}: merged {} > max({}, {})", q, pm, pa, pb);
+            // Merge bookkeeping is exact.
+            prop_assert_eq!(merged.count(), (xs.len() + ys.len()) as u64);
+            prop_assert_eq!(merged.min(), a.min().min(b.min()));
+            prop_assert_eq!(merged.max(), a.max().max(b.max()));
+        }
+
+        /// Quantiles are monotone in q and stay within [min, max].
+        #[test]
+        fn quantiles_monotone_and_bounded(
+            xs in proptest::collection::vec(0u64..10_000_000, 1..300),
+        ) {
+            let mut h = Histogram::new();
+            for &x in &xs { h.record(x); }
+            let mut prev = 0u64;
+            for i in 0..=20u32 {
+                let q = i as f64 / 20.0;
+                let v = h.value_at_quantile(q);
+                prop_assert!(v >= prev, "quantile dipped at q={}", q);
+                // Unclamped quantiles report bucket midpoints, so they
+                // are bounded by the extremes' bucket bounds, not the
+                // exact extremes.
+                let lo = Histogram::lower_bound(Histogram::index_of(h.min()));
+                let hi = Histogram::upper_bound(Histogram::index_of(h.max()));
+                prop_assert!(v >= lo && v < hi, "q={} v={} outside [{}, {})", q, v, lo, hi);
+                prev = v;
+            }
+        }
+    }
+}

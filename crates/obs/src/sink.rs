@@ -1,0 +1,133 @@
+//! Pluggable trace sinks: [`MemorySink`] for tests, [`JsonlSink`] for
+//! experiment runs.
+
+use crate::trace::TraceEvent;
+use parking_lot::Mutex;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Receives every event recorded by a [`crate::Tracer`] it is attached
+/// to. Sinks run inline on the recording thread; keep `record` cheap or
+/// buffer internally.
+pub trait TraceSink: Send {
+    /// Handles one event.
+    fn record(&mut self, event: &TraceEvent);
+
+    /// Persists anything buffered. Called on [`crate::Tracer::flush`]
+    /// and before sink teardown.
+    fn flush(&mut self) {}
+}
+
+/// Collects events into a shared `Vec` for test assertions.
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink {
+            events: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// A handle to the collected events; stays valid after the sink is
+    /// boxed and handed to a tracer.
+    pub fn events(&self) -> Arc<Mutex<Vec<TraceEvent>>> {
+        Arc::clone(&self.events)
+    }
+}
+
+impl Default for MemorySink {
+    fn default() -> Self {
+        MemorySink::new()
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// Writes one JSON object per line ([`TraceEvent::to_json`]) to a file.
+pub struct JsonlSink {
+    out: BufWriter<std::fs::File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and streams events into it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            out: BufWriter::new(file),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, event: &TraceEvent) {
+        // A failed write is not worth panicking a simulation over; the
+        // error resurfaces on flush for callers that check.
+        let _ = writeln!(self.out, "{}", event.to_json());
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn event(t: u64) -> TraceEvent {
+        TraceEvent {
+            sim_time_us: t,
+            service: "svc".into(),
+            topic: "test.topic".into(),
+            fields: vec![("n".into(), json::Value::from(t))],
+        }
+    }
+
+    #[test]
+    fn memory_sink_accumulates() {
+        let mut sink = MemorySink::new();
+        let events = sink.events();
+        sink.record(&event(1));
+        sink.record(&event(2));
+        assert_eq!(events.lock().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("hpop_obs_sink_test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("trace.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).expect("create");
+            sink.record(&event(10));
+            sink.record(&event(20));
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            let v = json::parse(line).expect("each line is valid JSON");
+            assert_eq!(
+                v.get("t_us").and_then(json::Value::as_u64),
+                Some((i as u64 + 1) * 10)
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,318 @@
+//! [`Snapshot`]: a point-in-time export of a registry with a stable
+//! JSON schema, used by the `BENCH_<exp>.json` files the experiment
+//! binaries write.
+//!
+//! # Schema (version 1)
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "experiment": "nocdn_offload",
+//!   "counters": { "flows.completed": 128 },
+//!   "gauges": { "link.util": 0.93 },
+//!   "histograms": {
+//!     "flow.duration_us": {
+//!       "count": 128, "min": 11, "max": 90210, "mean": 1732.5,
+//!       "p50": 1500, "p90": 4100, "p99": 8800, "saturated": 0
+//!     }
+//!   },
+//!   "extra": { "free-form": "experiment-specific results" }
+//! }
+//! ```
+//!
+//! Unknown top-level keys are rejected only by bumping `schema`;
+//! readers should tolerate additional histogram fields.
+
+use crate::hist::Histogram;
+use crate::json::{self, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Current snapshot schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Percentile summary of one [`Histogram`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Total recorded values.
+    pub count: u64,
+    /// Exact minimum recorded value.
+    pub min: u64,
+    /// Exact maximum recorded value.
+    pub max: u64,
+    /// Arithmetic mean of recorded values.
+    pub mean: f64,
+    /// Median (nearest-rank on bucket midpoints).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Values clamped into the top bucket.
+    pub saturated: u64,
+}
+
+impl HistogramSummary {
+    /// Summarises `hist`.
+    pub fn of(hist: &Histogram) -> HistogramSummary {
+        HistogramSummary {
+            count: hist.count(),
+            min: hist.min(),
+            max: hist.max(),
+            mean: hist.mean(),
+            p50: hist.p50(),
+            p90: hist.p90(),
+            p99: hist.p99(),
+            saturated: hist.saturated(),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        let mut v = Value::obj();
+        v.set("count", self.count);
+        v.set("min", self.min);
+        v.set("max", self.max);
+        v.set("mean", self.mean);
+        v.set("p50", self.p50);
+        v.set("p90", self.p90);
+        v.set("p99", self.p99);
+        v.set("saturated", self.saturated);
+        v
+    }
+
+    fn from_value(v: &Value) -> Result<HistogramSummary, String> {
+        let u = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("histogram summary missing u64 field {k:?}"))
+        };
+        Ok(HistogramSummary {
+            count: u("count")?,
+            min: u("min")?,
+            max: u("max")?,
+            mean: v
+                .get("mean")
+                .and_then(Value::as_f64)
+                .ok_or("histogram summary missing f64 field \"mean\"")?,
+            p50: u("p50")?,
+            p90: u("p90")?,
+            p99: u("p99")?,
+            saturated: u("saturated")?,
+        })
+    }
+}
+
+/// A complete registry export with a stable JSON representation.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Experiment name this snapshot belongs to.
+    pub experiment: String,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name (empty histograms are omitted).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Free-form experiment-specific results, merged into the JSON
+    /// under `"extra"`.
+    pub extra: Vec<(String, Value)>,
+}
+
+impl Snapshot {
+    /// An empty snapshot tagged with `experiment`.
+    pub fn new(experiment: &str) -> Snapshot {
+        Snapshot {
+            experiment: experiment.to_owned(),
+            ..Snapshot::default()
+        }
+    }
+
+    /// Attaches an experiment-specific result under `"extra"`.
+    pub fn set_extra(&mut self, key: &str, value: impl Into<Value>) {
+        let value = value.into();
+        if let Some(slot) = self.extra.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.extra.push((key.to_owned(), value));
+        }
+    }
+
+    /// The schema-v1 JSON value for this snapshot.
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::obj();
+        v.set("schema", SCHEMA_VERSION);
+        v.set("experiment", self.experiment.as_str());
+        let mut counters = Value::obj();
+        for (k, c) in &self.counters {
+            counters.set(k.clone(), *c);
+        }
+        v.set("counters", counters);
+        let mut gauges = Value::obj();
+        for (k, g) in &self.gauges {
+            gauges.set(k.clone(), *g);
+        }
+        v.set("gauges", gauges);
+        let mut hists = Value::obj();
+        for (k, h) in &self.histograms {
+            hists.set(k.clone(), h.to_value());
+        }
+        v.set("histograms", hists);
+        if !self.extra.is_empty() {
+            let mut extra = Value::obj();
+            for (k, e) in &self.extra {
+                extra.set(k.clone(), e.clone());
+            }
+            v.set("extra", extra);
+        }
+        v
+    }
+
+    /// Rebuilds a snapshot from its JSON value.
+    pub fn from_value(v: &Value) -> Result<Snapshot, String> {
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_u64)
+            .ok_or("snapshot missing \"schema\"")?;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported snapshot schema {schema} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let mut snap = Snapshot::new(
+            v.get("experiment")
+                .and_then(Value::as_str)
+                .ok_or("snapshot missing \"experiment\"")?,
+        );
+        if let Some(counters) = v.get("counters") {
+            for (k, c) in counters
+                .entries()
+                .ok_or("snapshot \"counters\" is not an object")?
+            {
+                let c = c
+                    .as_u64()
+                    .ok_or_else(|| format!("counter {k:?} is not a u64"))?;
+                snap.counters.insert(k.clone(), c);
+            }
+        }
+        if let Some(gauges) = v.get("gauges") {
+            for (k, g) in gauges
+                .entries()
+                .ok_or("snapshot \"gauges\" is not an object")?
+            {
+                let g = g
+                    .as_f64()
+                    .ok_or_else(|| format!("gauge {k:?} is not a number"))?;
+                snap.gauges.insert(k.clone(), g);
+            }
+        }
+        if let Some(hists) = v.get("histograms") {
+            for (k, h) in hists
+                .entries()
+                .ok_or("snapshot \"histograms\" is not an object")?
+            {
+                snap.histograms
+                    .insert(k.clone(), HistogramSummary::from_value(h)?);
+            }
+        }
+        if let Some(extra) = v.get("extra") {
+            for (k, e) in extra
+                .entries()
+                .ok_or("snapshot \"extra\" is not an object")?
+            {
+                snap.extra.push((k.clone(), e.clone()));
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Parses a snapshot from JSON text.
+    pub fn parse(text: &str) -> Result<Snapshot, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        Snapshot::from_value(&v)
+    }
+
+    /// Pretty-printed schema-v1 JSON.
+    pub fn to_json_pretty(&self) -> String {
+        self.to_value().to_json_pretty()
+    }
+
+    /// Writes the snapshot to `path` as pretty-printed JSON.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut text = self.to_json_pretty();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Loads a snapshot previously written with [`Snapshot::write_to`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Snapshot, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
+        Snapshot::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn sample_snapshot() -> Snapshot {
+        let reg = MetricsRegistry::new();
+        reg.counter("flows.completed").add(128);
+        reg.gauge("link.util").set(0.93);
+        let h = reg.histogram("flow.duration_us");
+        for v in [11u64, 1_500, 1_500, 4_100, 90_210] {
+            h.record(v);
+        }
+        let mut snap = reg.snapshot("unit_test");
+        snap.set_extra("offload_fraction", 0.42);
+        snap
+    }
+
+    #[test]
+    fn value_roundtrip_preserves_everything() {
+        let snap = sample_snapshot();
+        let back = Snapshot::from_value(&snap.to_value()).expect("roundtrip");
+        assert_eq!(back.experiment, "unit_test");
+        assert_eq!(back.counters, snap.counters);
+        assert_eq!(back.gauges, snap.gauges);
+        assert_eq!(back.histograms, snap.histograms);
+        assert_eq!(back.extra.len(), 1);
+    }
+
+    #[test]
+    fn written_file_parses_back() {
+        let dir = std::env::temp_dir().join("hpop_obs_snapshot_test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("BENCH_unit_test.json");
+        let snap = sample_snapshot();
+        snap.write_to(&path).expect("write");
+        let back = Snapshot::load(&path).expect("load");
+        assert_eq!(back.counters["flows.completed"], 128);
+        assert_eq!(back.gauges["link.util"], 0.93);
+        let h = &back.histograms["flow.duration_us"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 11);
+        assert_eq!(h.max, 90_210);
+        assert!(h.p50 > 0 && h.p90 >= h.p50 && h.p99 >= h.p90);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn schema_field_is_enforced() {
+        let mut v = sample_snapshot().to_value();
+        v.set("schema", 999u64);
+        assert!(Snapshot::from_value(&v).is_err());
+        let garbage = "{\"experiment\": \"x\"}";
+        assert!(Snapshot::parse(garbage).is_err());
+    }
+
+    #[test]
+    fn set_extra_replaces() {
+        let mut snap = Snapshot::new("x");
+        snap.set_extra("k", 1u64);
+        snap.set_extra("k", 2u64);
+        assert_eq!(snap.extra.len(), 1);
+        assert_eq!(snap.extra[0].1.as_u64(), Some(2));
+    }
+}

@@ -1,0 +1,270 @@
+//! The structured trace layer: [`Tracer`], [`TraceEvent`], [`SpanGuard`].
+//!
+//! A [`Tracer`] records `(sim_time, service, topic, fields)` tuples
+//! into a bounded in-memory ring buffer and fans them out to pluggable
+//! [`TraceSink`](crate::sink::TraceSink)s. Tracers start **disabled**:
+//! the [`event!`](crate::event!) macro checks [`Tracer::is_enabled`]
+//! (one relaxed atomic load) before evaluating any field expression,
+//! so instrumentation left in hot paths is effectively free until an
+//! experiment turns it on.
+
+use crate::json::Value;
+use crate::registry::HistogramHandle;
+use crate::sink::TraceSink;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default ring-buffer capacity for [`crate::tracer`].
+pub const DEFAULT_RING_CAPACITY: usize = 4_096;
+
+/// One structured trace record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time of the event, in microseconds.
+    pub sim_time_us: u64,
+    /// Emitting service (`"netsim"`, `"attic"`, `"nocdn"`, …).
+    pub service: String,
+    /// Dotted event topic (`"chunk.verify"`, `"lock.mediate"`, …).
+    pub topic: String,
+    /// Structured payload, in field order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl TraceEvent {
+    /// Encodes the event as a single-line JSON object (the JSONL shape
+    /// written by [`crate::sink::JsonlSink`]).
+    pub fn to_json(&self) -> String {
+        let mut v = Value::obj();
+        v.set("t_us", self.sim_time_us);
+        v.set("service", self.service.as_str());
+        v.set("topic", self.topic.as_str());
+        if !self.fields.is_empty() {
+            let mut fields = Value::obj();
+            for (k, val) in &self.fields {
+                fields.set(k.clone(), val.clone());
+            }
+            v.set("fields", fields);
+        }
+        v.to_json()
+    }
+
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+struct TracerInner {
+    enabled: AtomicBool,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<TraceEvent>>,
+    capacity: usize,
+    sinks: Mutex<Vec<Box<dyn TraceSink>>>,
+}
+
+/// A cheaply cloneable handle to one trace stream.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .field("buffered", &self.inner.ring.lock().len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer whose ring holds at most `capacity` events
+    /// (oldest dropped first).
+    pub fn new(capacity: usize) -> Tracer {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                enabled: AtomicBool::new(false),
+                dropped: AtomicU64::new(0),
+                ring: Mutex::new(VecDeque::with_capacity(capacity.min(1_024))),
+                capacity: capacity.max(1),
+                sinks: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Whether events are currently recorded. The `event!` macro calls
+    /// this before evaluating fields; keep it trivially cheap.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Starts recording.
+    pub fn enable(&self) {
+        self.inner.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stops recording (buffered events are kept).
+    pub fn disable(&self) {
+        self.inner.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Appends an event to the ring and offers it to every sink.
+    /// Usually called through [`crate::event!`], which gates on
+    /// [`Tracer::is_enabled`] first.
+    pub fn record(&self, event: TraceEvent) {
+        {
+            let mut ring = self.inner.ring.lock();
+            if ring.len() == self.inner.capacity {
+                ring.pop_front();
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            ring.push_back(event.clone());
+        }
+        for sink in self.inner.sinks.lock().iter_mut() {
+            sink.record(&event);
+        }
+    }
+
+    /// Attaches a sink receiving every subsequent event.
+    pub fn add_sink(&self, sink: Box<dyn TraceSink>) {
+        self.inner.sinks.lock().push(sink);
+    }
+
+    /// Detaches all sinks (flushing them) and clears the ring.
+    pub fn reset(&self) {
+        for sink in self.inner.sinks.lock().iter_mut() {
+            sink.flush();
+        }
+        self.inner.sinks.lock().clear();
+        self.inner.ring.lock().clear();
+        self.inner.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Flushes every attached sink.
+    pub fn flush(&self) {
+        for sink in self.inner.sinks.lock().iter_mut() {
+            sink.flush();
+        }
+    }
+
+    /// The buffered events, oldest first.
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        self.inner.ring.lock().iter().cloned().collect()
+    }
+
+    /// Events evicted from the ring since the last [`Tracer::reset`].
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Times a scope into a histogram in wall-clock nanoseconds; created by
+/// the [`crate::span!`] macro, records on drop.
+pub struct SpanGuard<'a> {
+    hist: &'a HistogramHandle,
+    start: Instant,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// Starts timing now.
+    pub fn new(hist: &'a HistogramHandle) -> SpanGuard<'a> {
+        SpanGuard {
+            hist,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_tracer_records_nothing_via_macro() {
+        let tracer = Tracer::new(8);
+        let mut evaluated = false;
+        crate::event!(
+            tracer,
+            0,
+            "svc",
+            "topic",
+            x = {
+                evaluated = true;
+                1u64
+            }
+        );
+        assert!(!evaluated, "fields must not be evaluated when disabled");
+        assert!(tracer.recent().is_empty());
+    }
+
+    #[test]
+    fn ring_is_bounded_and_drops_oldest() {
+        let tracer = Tracer::new(3);
+        tracer.enable();
+        for i in 0..5u64 {
+            crate::event!(tracer, i, "svc", "tick", i = i);
+        }
+        let recent = tracer.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].sim_time_us, 2);
+        assert_eq!(tracer.dropped(), 2);
+    }
+
+    #[test]
+    fn sinks_receive_events() {
+        let tracer = Tracer::new(8);
+        tracer.enable();
+        let sink = MemorySink::new();
+        let events = sink.events();
+        tracer.add_sink(Box::new(sink));
+        crate::event!(tracer, 42, "attic", "lock.mediate", depth = 2u32, ok = true);
+        let seen = events.lock();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].topic, "lock.mediate");
+        assert_eq!(seen[0].field("depth").and_then(Value::as_u64), Some(2));
+        assert_eq!(seen[0].field("ok").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let e = TraceEvent {
+            sim_time_us: 7,
+            service: "nocdn".into(),
+            topic: "chunk.fetch".into(),
+            fields: vec![("bytes".into(), Value::from(512u64))],
+        };
+        let parsed = crate::json::parse(&e.to_json()).expect("valid json");
+        assert_eq!(parsed.get("t_us").and_then(Value::as_u64), Some(7));
+        assert_eq!(parsed.get("service").and_then(Value::as_str), Some("nocdn"));
+        assert_eq!(
+            parsed
+                .get("fields")
+                .and_then(|f| f.get("bytes"))
+                .and_then(Value::as_u64),
+            Some(512)
+        );
+    }
+
+    #[test]
+    fn span_guard_records_duration() {
+        let reg = crate::MetricsRegistry::new();
+        let hist = reg.histogram("scope_ns");
+        {
+            let _g = crate::span!(hist);
+            std::hint::black_box(0u64);
+        }
+        assert_eq!(hist.count(), 1);
+    }
+}

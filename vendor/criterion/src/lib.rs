@@ -1,0 +1,228 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements a small but honest micro-benchmark harness behind the
+//! criterion API subset the workspace uses: `Criterion::bench_function`,
+//! `benchmark_group` + `Throughput`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology: each benchmark is auto-calibrated so a batch takes
+//! roughly [`TARGET_BATCH`], then `SAMPLES` batches are timed and the
+//! median per-iteration time is reported (median resists scheduler
+//! noise better than the mean).
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one measured batch.
+const TARGET_BATCH: Duration = Duration::from_millis(20);
+/// Number of measured batches per benchmark.
+const SAMPLES: usize = 11;
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work-rate annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Median per-iteration nanoseconds, filled in by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Calibrates and measures `f`, recording the median ns/iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: grow the batch until it costs ~TARGET_BATCH.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= TARGET_BATCH || batch >= 1 << 40 {
+                break;
+            }
+            // Aim directly at the target, with 2x headroom for noise.
+            let scale =
+                (TARGET_BATCH.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64).clamp(2.0, 1e6);
+            batch = ((batch as f64) * scale) as u64;
+        }
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t0.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn human_rate(bytes_per_sec: f64) -> String {
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+    const MIB: f64 = 1024.0 * 1024.0;
+    if bytes_per_sec >= GIB {
+        format!("{:.2} GiB/s", bytes_per_sec / GIB)
+    } else {
+        format!("{:.2} MiB/s", bytes_per_sec / MIB)
+    }
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        median_ns: f64::NAN,
+    };
+    f(&mut b);
+    let mut line = format!("bench  {name:<48} {:>12}/iter", human_ns(b.median_ns));
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (b.median_ns / 1e9);
+            line.push_str(&format!("  ({})", human_rate(rate)));
+        }
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (b.median_ns / 1e9);
+            line.push_str(&format!("  ({rate:.0} elem/s"));
+            line.push(')');
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver (shim for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Honors a `cargo bench -- <filter>` substring filter.
+    fn accepts(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.into();
+        if self.accepts(&name) {
+            run_one(&name, None, &mut f);
+        }
+        self
+    }
+
+    /// Opens a named group sharing a throughput annotation.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            prefix: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks (shim for `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name.into());
+        if self.criterion.accepts(&full) {
+            run_one(&full, self.throughput, &mut f);
+        }
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Builds a `Criterion` honoring the CLI filter argument, skipping
+/// cargo's `--bench` style flags.
+pub fn criterion_from_args() -> Criterion {
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+    Criterion { filter }
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::criterion_from_args();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_sane() {
+        let mut b = Bencher {
+            median_ns: f64::NAN,
+        };
+        b.iter(|| black_box(1u64).wrapping_mul(3));
+        assert!(b.median_ns.is_finite());
+        assert!(b.median_ns > 0.0);
+        assert!(b.median_ns < 1_000.0, "trivial op took {} ns", b.median_ns);
+    }
+}

@@ -1,0 +1,37 @@
+//! `prop::array`: fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// See [`uniform32`] and friends.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+    fn new_value(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.new_value(rng))
+    }
+}
+
+/// A generic fixed-size array strategy.
+pub fn uniform<S: Strategy, const N: usize>(element: S) -> UniformArray<S, N> {
+    UniformArray { element }
+}
+
+macro_rules! named_uniform {
+    ($($name:ident => $n:literal),* $(,)?) => {$(
+        /// A fixed-size array strategy (named form, matching proptest).
+        pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+            UniformArray { element }
+        }
+    )*}
+}
+named_uniform! {
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform12 => 12,
+    uniform16 => 16,
+    uniform32 => 32,
+}

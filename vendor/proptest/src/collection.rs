@@ -1,0 +1,141 @@
+//! Collection strategies: `vec`, `btree_set`, and the [`SizeRange`]
+//! conversions they accept.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// An inclusive size band accepted wherever the real crate takes
+/// `impl Into<SizeRange>`: a bare `usize` (exact), `a..b`, or `a..=b`.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `element` and a length
+/// drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>` holding between `size.lo` and `size.hi`
+/// *distinct* elements. Panics if the element strategy cannot produce
+/// enough distinct values in a bounded number of draws.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let want = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        let mut draws = 0usize;
+        while set.len() < want {
+            set.insert(self.element.new_value(rng));
+            draws += 1;
+            assert!(
+                draws < want * 100 + 100,
+                "btree_set: could not draw {want} distinct elements \
+                 after {draws} attempts"
+            );
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_respects_size_forms() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert_eq!(vec(any::<u8>(), 6).new_value(&mut rng).len(), 6);
+            let n = vec(any::<u8>(), 1..4).new_value(&mut rng).len();
+            assert!((1..4).contains(&n));
+            let m = vec(any::<u8>(), 0..=2).new_value(&mut rng).len();
+            assert!(m <= 2);
+        }
+    }
+
+    #[test]
+    fn btree_set_is_exact_and_distinct() {
+        let mut rng = TestRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let s = btree_set(0usize..20, 3).new_value(&mut rng);
+            assert_eq!(s.len(), 3);
+        }
+    }
+}

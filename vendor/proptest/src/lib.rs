@@ -1,0 +1,195 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate
+//! re-implements the property-testing API subset the workspace uses:
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `boxed`, range / regex-string / collection / option / array / tuple
+//! strategies, `any::<T>()`, `prop_oneof!`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case reports its deterministic seed
+//!   (re-runnable via `PROPTEST_SEED`) instead of a minimized input.
+//! - Regex strategies support the subset actually used: literals,
+//!   classes (`[a-z0-9._-]`, including ranges), groups, alternation
+//!   (`|`), and repetition (`{m}`, `{m,n}`, `?`, `*`, `+`).
+//! - Default case count is 64 (override with `PROPTEST_CASES` or
+//!   `ProptestConfig::with_cases`).
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod sample;
+
+pub mod string;
+
+pub mod collection;
+
+pub mod option;
+
+pub mod array;
+
+pub mod arbitrary;
+
+pub use arbitrary::{any, Arbitrary};
+
+/// Namespace alias matching `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::{array, collection, option, sample, strategy};
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { .. }`
+/// item expands to a `#[test]` (the attribute comes from the source)
+/// running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal item-muncher behind [`proptest!`]. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                &__pt_config,
+                |__pt_rng| {
+                    $(let $pat = $crate::strategy::Strategy::new_value(&($strat), __pt_rng);)+
+                    (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })()
+                },
+            );
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a proptest body, failing the case (not
+/// the whole process) so the runner can report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!($($fmt)+),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discards the current case (the runner draws a replacement) when the
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies producing the same value
+/// type. (Weighted variants of the real macro are not supported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,42 @@
+//! `prop::sample`: values for picking indices into runtime-sized
+//! collections.
+
+/// An index "proportion" drawn independently of any collection, mapped
+/// into `0..len` at use time via [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn new(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Maps this index into `0..len`. Panics when `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        // Scale the 64-bit proportion rather than taking a modulus so
+        // the mapping is monotone in the raw value, like the real crate.
+        ((self.0 as u128 * len as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_stays_in_bounds() {
+        for raw in [0u64, 1, u64::MAX / 2, u64::MAX] {
+            for len in [1usize, 2, 7, 1000] {
+                assert!(Index::new(raw).index(len) < len);
+            }
+        }
+    }
+
+    #[test]
+    fn index_is_monotone_in_raw_value() {
+        let a = Index::new(u64::MAX / 4).index(100);
+        let b = Index::new(u64::MAX / 2).index(100);
+        assert!(a <= b);
+    }
+}

@@ -1,0 +1,258 @@
+//! Regex-driven string generation: `"[a-z0-9]{1,8}"` used directly as
+//! a `Strategy<Value = String>`.
+//!
+//! Supported subset (everything the workspace's patterns use, plus a
+//! little headroom): literal characters, `\`-escapes, character
+//! classes with ranges (`[a-zA-Z0-9._-]`), groups `(...)`, top-level
+//! and grouped alternation `|`, and the repetitions `{m}`, `{m,n}`,
+//! `?`, `*`, `+` (the unbounded forms are capped at 8).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Cap applied to `*` and `+`.
+const UNBOUNDED_REP_CAP: u32 = 8;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Group(Alternation),
+}
+
+#[derive(Clone, Debug)]
+struct Term {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+type Sequence = Vec<Term>;
+
+#[derive(Clone, Debug)]
+struct Alternation(Vec<Sequence>);
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(pattern: &'a str) -> Self {
+        Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        }
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!("unsupported regex {:?}: {what}", self.pattern);
+    }
+
+    fn parse_alternation(&mut self) -> Alternation {
+        let mut alts = vec![self.parse_sequence()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            alts.push(self.parse_sequence());
+        }
+        Alternation(alts)
+    }
+
+    fn parse_sequence(&mut self) -> Sequence {
+        let mut seq = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            let (min, max) = self.parse_repetition();
+            seq.push(Term { atom, min, max });
+        }
+        seq
+    }
+
+    fn parse_atom(&mut self) -> Atom {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alternation();
+                if self.chars.next() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                Atom::Group(inner)
+            }
+            Some('[') => Atom::Class(self.parse_class()),
+            Some('\\') => match self.chars.next() {
+                Some(c) => Atom::Literal(c),
+                None => self.fail("dangling escape"),
+            },
+            Some('.') => Atom::Class(vec![(' ', '~')]),
+            Some(c) if !"?*+{".contains(c) => Atom::Literal(c),
+            Some(c) => self.fail(&format!("unexpected {c:?}")),
+            None => self.fail("unexpected end"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.chars.next() {
+                Some(']') => {
+                    if ranges.is_empty() {
+                        self.fail("empty class");
+                    }
+                    return ranges;
+                }
+                Some('\\') => self.chars.next().unwrap_or_else(|| self.fail("escape")),
+                Some(c) => c,
+                None => self.fail("unclosed class"),
+            };
+            // `a-z` range, unless `-` is the final char before `]`.
+            if self.chars.peek() == Some(&'-') {
+                let mut ahead = self.chars.clone();
+                ahead.next();
+                match ahead.peek() {
+                    Some(&']') | None => ranges.push((c, c)),
+                    Some(&hi) => {
+                        self.chars.next();
+                        self.chars.next();
+                        if hi < c {
+                            self.fail("inverted class range");
+                        }
+                        ranges.push((c, hi));
+                    }
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+    }
+
+    fn parse_repetition(&mut self) -> (u32, u32) {
+        match self.chars.peek() {
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                (0, UNBOUNDED_REP_CAP)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, UNBOUNDED_REP_CAP)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut spec = String::new();
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(c) => spec.push(c),
+                        None => self.fail("unclosed repetition"),
+                    }
+                }
+                let parse = |s: &str| -> u32 {
+                    s.trim()
+                        .replace('_', "")
+                        .parse()
+                        .unwrap_or_else(|_| self.fail("bad repetition count"))
+                };
+                match spec.split_once(',') {
+                    Some((m, n)) => (parse(m), parse(n)),
+                    None => {
+                        let n = parse(&spec);
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+fn generate(alt: &Alternation, rng: &mut TestRng, out: &mut String) {
+    let seq = &alt.0[rng.gen_range(0..alt.0.len())];
+    for term in seq {
+        let n = rng.gen_range(term.min..=term.max);
+        for _ in 0..n {
+            match &term.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                    out.push(char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo));
+                }
+                Atom::Group(inner) => generate(inner, rng, out),
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let alt = Parser::new(self).parse_alternation();
+        let mut out = String::new();
+        generate(&alt, rng, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn check(pattern: &'static str, validate: impl Fn(&str) -> bool) {
+        let mut rng = TestRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let s = pattern.new_value(&mut rng);
+            assert!(validate(&s), "pattern {pattern:?} produced {s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        check("[a-z0-9]{1,8}", |s| {
+            (1..=8).contains(&s.len())
+                && s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
+        });
+    }
+
+    #[test]
+    fn grouped_paths() {
+        check("(/[a-zA-Z0-9._-]{1,12}){0,5}", |s| {
+            s.is_empty()
+                || (s.starts_with('/')
+                    && s.split('/').skip(1).all(|seg| {
+                        (1..=12).contains(&seg.len())
+                            && seg
+                                .chars()
+                                .all(|c| c.is_ascii_alphanumeric() || "._-".contains(c))
+                    }))
+        });
+    }
+
+    #[test]
+    fn alternation_including_literals() {
+        check("(/[a-z]{1,4}){1,3}|/|//bad|/trailing/", |s| {
+            s == "/" || s == "//bad" || s == "/trailing/" || s.starts_with('/')
+        });
+    }
+
+    #[test]
+    fn printable_class_range() {
+        check("[ -~]{0,20}", |s| {
+            s.len() <= 20 && s.chars().all(|c| (' '..='~').contains(&c))
+        });
+    }
+
+    #[test]
+    fn dash_at_class_edge_is_literal() {
+        check("[A-Za-z0-9-]{1,5}", |s| {
+            s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-')
+        });
+    }
+}

@@ -1,0 +1,152 @@
+//! The deterministic case runner behind [`crate::proptest!`].
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+
+/// Runner configuration (subset of the real `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's precondition failed (`prop_assume!`); draw another.
+    Reject(&'static str),
+    /// A property assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure carrying its message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    /// A rejected precondition.
+    pub fn reject(what: &'static str) -> Self {
+        TestCaseError::Reject(what)
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `config.cases` successful cases of `f`, drawing each case's
+/// inputs from a seed derived from the test name, the case index, and
+/// an optional `PROPTEST_SEED` environment override. Rejections
+/// (`prop_assume!`) retry with fresh seeds, bounded at 64 per case.
+pub fn run_cases(
+    name: &str,
+    config: &ProptestConfig,
+    mut f: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| {
+            let v = v.trim().trim_start_matches("0x");
+            u64::from_str_radix(v, 16).ok()
+        })
+        .unwrap_or_else(|| fnv1a(name));
+    const MAX_REJECTS_PER_CASE: u32 = 64;
+    for case in 0..config.cases {
+        let mut attempt = 0u32;
+        loop {
+            let seed = base
+                .wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .wrapping_add((attempt as u64) << 48);
+            let mut rng = TestRng::seed_from_u64(seed);
+            let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut rng)));
+            match outcome {
+                Ok(Ok(())) => break,
+                Ok(Err(TestCaseError::Reject(what))) => {
+                    attempt += 1;
+                    assert!(
+                        attempt < MAX_REJECTS_PER_CASE,
+                        "proptest {name}: case {case} rejected {MAX_REJECTS_PER_CASE} times \
+                         (last prop_assume!: {what})"
+                    );
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!(
+                        "proptest {name}: case {case}/{} failed \
+                         (rerun with PROPTEST_SEED=0x{base:016x}):\n{msg}",
+                        config.cases
+                    );
+                }
+                Err(payload) => {
+                    eprintln!(
+                        "proptest {name}: case {case}/{} panicked \
+                         (rerun with PROPTEST_SEED=0x{base:016x})",
+                        config.cases
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run_cases("t", &ProptestConfig::with_cases(10), |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn rejects_retry_with_fresh_inputs() {
+        let mut accepted = 0;
+        run_cases("t2", &ProptestConfig::with_cases(5), |rng| {
+            if rng.gen_range(0u32..4) == 0 {
+                return Err(TestCaseError::reject("unlucky"));
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failure_panics_with_seed() {
+        run_cases("t3", &ProptestConfig::with_cases(3), |_| {
+            Err(TestCaseError::fail("nope".into()))
+        });
+    }
+}
