@@ -24,6 +24,9 @@
 //!   reconnects.
 //! - [`backup`] — encrypted peer backup with full replication or
 //!   Reed–Solomon erasure coding ("Data Availability").
+//! - [`placement`] — churn-aware shard placement over the fabric's
+//!   gossip membership: holders picked by uptime × reputation, shards
+//!   repaired away from peers the failure detector declares dead.
 //! - [`health`] — the health-records exemplar: providers dual-write to
 //!   their own records and the patient's attic.
 
@@ -40,6 +43,7 @@ pub mod grant;
 pub mod health;
 pub mod lock;
 pub mod personal;
+pub mod placement;
 pub mod server;
 pub mod store;
 pub mod sync;
@@ -50,6 +54,7 @@ pub use driver::FileDriver;
 pub use grant::AccessGrant;
 pub use lock::{LockError, LockManager, LockToken};
 pub use personal::{Calendar, CalendarEvent, Contact, ContactsBook};
+pub use placement::{place_shards, PlacedBackup, PlacementError};
 pub use server::AtticServer;
 pub use store::{ObjectStore, StoreError};
 pub use sync::{OfflineReplica, ReconcileOutcome};

@@ -201,7 +201,10 @@ impl ObjectStore {
     /// the path is a collection.
     pub fn get(&self, path: &str) -> Result<&Version, StoreError> {
         match self.nodes.get(path) {
-            Some(Node::File { versions }) => Ok(versions.last().expect("files have >= 1 version")),
+            // Files always hold >= 1 version (put never creates an empty
+            // history), but a read route must not panic: treat the
+            // impossible empty history as absence, not a crash.
+            Some(Node::File { versions }) => versions.last().ok_or(StoreError::NotFound),
             Some(Node::Collection) => Err(StoreError::Conflict),
             None => Err(StoreError::NotFound),
         }

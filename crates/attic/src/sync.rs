@@ -40,7 +40,9 @@ impl OfflineReplica {
     pub fn snapshot(store: &ObjectStore, prefix: &str) -> OfflineReplica {
         let mut files = BTreeMap::new();
         for path in store.files_under(prefix) {
-            let v = store.get(&path).expect("listed file exists");
+            // Listed files are readable by construction; a read error
+            // just leaves that file out of the snapshot.
+            let Ok(v) = store.get(&path) else { continue };
             files.insert(path, (v.etag.clone(), v.body.clone()));
         }
         OfflineReplica {
@@ -102,11 +104,12 @@ impl OfflineReplica {
             .map(|(p, _)| p.clone())
             .collect();
         for path in dirty_paths {
-            let (base_etag, local) = self
-                .files
-                .get(&path)
-                .expect("dirty implies present")
-                .clone();
+            let Some((base_etag, local)) = self.files.get(&path).cloned() else {
+                // Dirty entries always have a file record; if one went
+                // missing, drop the stale dirty flag rather than panic.
+                self.dirty.insert(path, false);
+                continue;
+            };
             let remote_etag = match store.get(&path) {
                 Ok(v) => Some(v.etag.clone()),
                 Err(StoreError::NotFound) => None,
@@ -119,7 +122,9 @@ impl OfflineReplica {
             };
             if remote_unchanged {
                 let new_etag = store.put(&path, local, now)?;
-                self.files.get_mut(&path).expect("present").0 = new_etag;
+                if let Some(f) = self.files.get_mut(&path) {
+                    f.0 = new_etag;
+                }
                 out.applied.push(path.clone());
             } else {
                 let suffix = remote_etag
@@ -133,8 +138,8 @@ impl OfflineReplica {
                 store.put(&conflict_path, local, now)?;
                 out.conflicts.push((path.clone(), conflict_path));
                 // Adopt the remote version locally.
-                if let Ok(v) = store.get(&path) {
-                    *self.files.get_mut(&path).expect("present") = (v.etag.clone(), v.body.clone());
+                if let (Ok(v), Some(f)) = (store.get(&path), self.files.get_mut(&path)) {
+                    *f = (v.etag.clone(), v.body.clone());
                 }
             }
             self.dirty.insert(path, false);

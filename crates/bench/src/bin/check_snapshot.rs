@@ -1,0 +1,51 @@
+//! Validates `BENCH_*.json` artifacts against the obs snapshot schema.
+//!
+//! CI runs the smoke experiments and then this checker on each emitted
+//! file: the file must parse as an [`hpop_obs::Snapshot`] (schema v1),
+//! carry a non-empty experiment name, and contain the harness's own
+//! bookkeeping metrics. Exits nonzero with a diagnostic on any failure.
+
+use hpop_obs::Snapshot;
+
+fn check(path: &str) -> Result<(), String> {
+    let snap = Snapshot::load(path).map_err(|e| format!("{path}: cannot parse: {e}"))?;
+    if snap.experiment.is_empty() {
+        return Err(format!("{path}: empty experiment name"));
+    }
+    if !snap.counters.contains_key("exp.tables") {
+        return Err(format!("{path}: missing harness counter exp.tables"));
+    }
+    if !snap.gauges.contains_key("exp.wall_ms") {
+        return Err(format!("{path}: missing harness gauge exp.wall_ms"));
+    }
+    for (name, h) in &snap.histograms {
+        if h.p50 > h.p99 {
+            return Err(format!("{path}: histogram {name} has p50 > p99"));
+        }
+    }
+    println!(
+        "{path}: ok (experiment {}, {} counters, {} histograms)",
+        snap.experiment,
+        snap.counters.len(),
+        snap.histograms.len()
+    );
+    Ok(())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: check_snapshot <BENCH_*.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        if let Err(e) = check(path) {
+            eprintln!("check_snapshot: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

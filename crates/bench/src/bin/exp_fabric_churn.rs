@@ -1,0 +1,8 @@
+//! E18: fabric gossip membership, failure detection and PeerView-routed
+//! retries under the paper churn preset (see DESIGN.md experiment index).
+
+use hpop_bench::experiments::e18_fabric_churn;
+
+fn main() {
+    hpop_bench::harness::run("fabric_churn", e18_fabric_churn::run_default);
+}

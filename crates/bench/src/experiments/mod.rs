@@ -1,4 +1,4 @@
-//! The per-experiment implementations (DESIGN.md index E1–E16).
+//! The per-experiment implementations (DESIGN.md index E1–E18).
 
 pub mod e01_ccz_utilization;
 pub mod e02_tcp_rampup;
@@ -17,6 +17,7 @@ pub mod e14_ihome_smoothing;
 pub mod e15_coop_cache;
 pub mod e16_nat_traversal;
 pub mod e17_appliance_uptime;
+pub mod e18_fabric_churn;
 
 use crate::table::Table;
 
@@ -40,5 +41,6 @@ pub fn run_all() -> Vec<Table> {
     out.extend(e15_coop_cache::run_default());
     out.extend(e16_nat_traversal::run_default());
     out.extend(e17_appliance_uptime::run_default());
+    out.extend(e18_fabric_churn::run_default());
     out
 }

@@ -4,7 +4,20 @@
 //! "misbehaving peer can be expelled from the collective to avoid future
 //! issues". The collective tracks who is in, which netsim node hosts
 //! their HPoP, and a record of observed misbehavior.
+//!
+//! Membership and misbehavior now live on the shared fabric: each
+//! member is a record in a [`MembershipTable`] and strikes are
+//! [`Violation::Misrouting`] entries on the [`ReputationLedger`], so a
+//! waypoint that drops packets is also demoted as a NoCDN edge and a
+//! backup holder. Liveness flows in from gossip via
+//! [`DetourCollective::sync_from_view`]: a waypoint the failure
+//! detector declares dead stops being offered to clients even before it
+//! earns a single strike.
 
+use hpop_fabric::{
+    Advertisement, MembershipTable, PeerRecord, PeerState, PeerView, ReputationLedger, Violation,
+};
+use hpop_netsim::time::SimTime;
 use hpop_netsim::topology::NodeId;
 use std::collections::BTreeMap;
 
@@ -12,18 +25,20 @@ use std::collections::BTreeMap;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct MemberId(pub u32);
 
-#[derive(Clone, Debug)]
-struct Member {
-    node: NodeId,
-    /// Misbehavior strikes (packet dropping, corruption …).
-    strikes: u32,
-    expelled: bool,
+/// Maps a collective member id into the fabric namespace. DCol ids are
+/// offset so they do not collide with NoCDN peer ids when both services
+/// share one ledger in an integrated experiment.
+fn fid(id: MemberId) -> hpop_fabric::PeerId {
+    hpop_fabric::PeerId(1 << 32 | id.0 as u64)
 }
 
 /// The waypoint cooperative.
 #[derive(Clone, Debug, Default)]
 pub struct DetourCollective {
-    members: BTreeMap<MemberId, Member>,
+    membership: MembershipTable,
+    ledger: ReputationLedger,
+    /// Member → hosting netsim node (service-local; not gossiped).
+    nodes: BTreeMap<MemberId, NodeId>,
     next_id: u32,
     /// Strikes at which a member is expelled automatically.
     strike_limit: u32,
@@ -53,65 +68,110 @@ impl DetourCollective {
     pub fn join(&mut self, node: NodeId) -> MemberId {
         let id = MemberId(self.next_id);
         self.next_id += 1;
-        self.members.insert(
-            id,
-            Member {
-                node,
-                strikes: 0,
-                expelled: false,
-            },
-        );
+        self.membership.upsert(PeerRecord::alive(
+            fid(id),
+            Advertisement::default(),
+            SimTime::ZERO,
+        ));
+        self.nodes.insert(id, node);
         id
     }
 
     /// Voluntary departure. Returns whether the member existed.
     pub fn leave(&mut self, id: MemberId) -> bool {
-        self.members.remove(&id).is_some()
+        let existed = self.nodes.remove(&id).is_some();
+        if existed {
+            self.membership
+                .set_state(fid(id), PeerState::Left, SimTime::ZERO);
+        }
+        existed
     }
 
-    /// Records misbehavior; at the strike limit the member is expelled.
-    /// Returns whether this strike caused expulsion.
+    /// Whether a member has hit the strike limit.
+    fn expelled(&self, id: MemberId) -> bool {
+        self.ledger.violations(fid(id)) >= self.strike_limit
+    }
+
+    /// Records misbehavior on the shared reputation ledger; at the
+    /// strike limit the member is expelled. Returns whether this strike
+    /// caused expulsion.
     pub fn strike(&mut self, id: MemberId) -> bool {
-        let Some(m) = self.members.get_mut(&id) else {
-            return false;
-        };
-        if m.expelled {
+        if !self.nodes.contains_key(&id) || self.expelled(id) {
             return false;
         }
-        m.strikes += 1;
-        if m.strikes >= self.strike_limit {
-            m.expelled = true;
-            return true;
-        }
-        false
+        self.ledger.record_violation(fid(id), Violation::Misrouting);
+        self.expelled(id)
     }
 
-    /// Whether a member is in good standing.
+    /// A member's strike count.
+    pub fn strikes(&self, id: MemberId) -> u32 {
+        self.ledger.violations(fid(id))
+    }
+
+    /// The shared reputation ledger (read access).
+    pub fn ledger(&self) -> &ReputationLedger {
+        &self.ledger
+    }
+
+    /// Whether a member is enrolled, unexpelled, and not known-dead.
     pub fn in_good_standing(&self, id: MemberId) -> bool {
-        self.members.get(&id).is_some_and(|m| !m.expelled)
+        self.nodes.contains_key(&id) && !self.expelled(id) && self.believed_alive(id)
+    }
+
+    fn believed_alive(&self, id: MemberId) -> bool {
+        self.membership
+            .get(fid(id))
+            .is_some_and(|r| r.state.is_alive())
     }
 
     /// A member's node, if in good standing.
     pub fn node_of(&self, id: MemberId) -> Option<NodeId> {
-        self.members
-            .get(&id)
-            .filter(|m| !m.expelled)
-            .map(|m| m.node)
+        if self.in_good_standing(id) {
+            self.nodes.get(&id).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Adopts liveness beliefs from a gossip [`PeerView`]: members the
+    /// fabric believes dead are withdrawn from the waypoint pool (and
+    /// return if a later view refutes the death).
+    pub fn sync_from_view(&mut self, view: &PeerView) {
+        for (&id, _) in self.nodes.iter() {
+            let Some(entry) = view.get(fid(id)) else {
+                continue;
+            };
+            let Some(mut rec) = self.membership.get(fid(id)).cloned() else {
+                continue;
+            };
+            rec.state = entry.state;
+            self.membership.upsert(rec);
+        }
+    }
+
+    /// Marks one member dead directly (a client's own probe failed
+    /// before gossip confirmed it).
+    pub fn mark_dead(&mut self, id: MemberId) {
+        self.membership
+            .set_state(fid(id), PeerState::Dead, SimTime::ZERO);
     }
 
     /// Waypoints available to `client` (every other member in good
-    /// standing).
+    /// standing and believed alive).
     pub fn waypoints_for(&self, client: MemberId) -> Vec<(MemberId, NodeId)> {
-        self.members
+        self.nodes
             .iter()
-            .filter(|(&id, m)| id != client && !m.expelled)
-            .map(|(&id, m)| (id, m.node))
+            .filter(|(&id, _)| id != client && self.in_good_standing(id))
+            .map(|(&id, &node)| (id, node))
             .collect()
     }
 
     /// Members in good standing.
     pub fn active_count(&self) -> usize {
-        self.members.values().filter(|m| !m.expelled).count()
+        self.nodes
+            .keys()
+            .filter(|&&id| self.in_good_standing(id))
+            .count()
     }
 }
 
@@ -154,6 +214,7 @@ mod tests {
         assert_eq!(c.active_count(), 0);
         // Further strikes are no-ops.
         assert!(!c.strike(a));
+        assert_eq!(c.strikes(a), 3);
     }
 
     #[test]
@@ -172,6 +233,36 @@ mod tests {
         assert!(c.leave(a));
         assert!(!c.leave(a));
         assert!(!c.in_good_standing(a));
+    }
+
+    #[test]
+    fn dead_members_are_withdrawn_until_refuted() {
+        let mut c = DetourCollective::new();
+        let a = c.join(node(0));
+        let b = c.join(node(1));
+        c.mark_dead(b);
+        assert!(c.waypoints_for(a).is_empty());
+        assert_eq!(c.active_count(), 1);
+        // Gossip refutes the death (peer rejoined at a higher
+        // incarnation): the view says alive again.
+        let view = PeerView::new(vec![hpop_fabric::PeerEntry {
+            id: fid(b),
+            state: PeerState::Alive,
+            advert: Advertisement::default(),
+            uptime_fraction: 0.9,
+            reputation: 1.0,
+        }]);
+        c.sync_from_view(&view);
+        assert_eq!(c.waypoints_for(a).len(), 1);
+    }
+
+    #[test]
+    fn strikes_land_on_shared_ledger() {
+        let mut c = DetourCollective::new();
+        let a = c.join(node(0));
+        c.strike(a);
+        assert_eq!(c.ledger().violations(fid(a)), 1);
+        assert!(c.ledger().score(fid(a)) < 1.0);
     }
 
     #[test]

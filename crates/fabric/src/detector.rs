@@ -1,0 +1,169 @@
+//! A phi-accrual-flavored failure detector.
+//!
+//! Instead of a binary timeout, suspicion is a continuous level
+//! (Hayashibara et al.'s "phi"): given the history of heartbeat
+//! inter-arrival times, `phi(now)` is `-log10` of the probability that
+//! a *live* peer would still be silent after the observed gap. A
+//! threshold of 8 therefore means "declare suspect when a live peer
+//! would produce this silence once in 10^8 gaps".
+//!
+//! We model inter-arrivals as exponential with the windowed mean —
+//! conservative (heavier tail than the normal model the original paper
+//! uses), monotone in elapsed silence, and cheap: `phi = (elapsed /
+//! mean) · log10(e)`. In a quiet network with regular heartbeats every
+//! period, elapsed never exceeds ~1 mean, so phi stays ~0.43 — far
+//! below any sane threshold, which is what the zero-false-positive
+//! property test pins down.
+
+use hpop_netsim::time::SimTime;
+use std::collections::VecDeque;
+
+/// log10(e): converts a natural-log survival exponent into "nines".
+const LOG10_E: f64 = std::f64::consts::LOG10_E;
+
+/// Per-peer heartbeat history and suspicion computation.
+#[derive(Clone, Debug)]
+pub struct PhiDetector {
+    /// Recent inter-arrival gaps, seconds (bounded sliding window).
+    window: VecDeque<f64>,
+    /// Window capacity.
+    capacity: usize,
+    /// When the last heartbeat arrived.
+    last_heartbeat: Option<SimTime>,
+    /// Prior mean gap used until the window has real samples.
+    prior_mean_s: f64,
+}
+
+impl PhiDetector {
+    /// A detector with a sliding window of `capacity` gaps and a prior
+    /// mean gap of `prior_mean_s` seconds (typically the protocol
+    /// period).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or the prior is not positive.
+    pub fn new(capacity: usize, prior_mean_s: f64) -> PhiDetector {
+        assert!(capacity > 0, "detector window must hold at least one gap");
+        assert!(
+            prior_mean_s > 0.0 && prior_mean_s.is_finite(),
+            "prior mean must be positive"
+        );
+        PhiDetector {
+            window: VecDeque::with_capacity(capacity),
+            capacity,
+            last_heartbeat: None,
+            prior_mean_s,
+        }
+    }
+
+    /// Records evidence of life at `now` (a successful probe, or a
+    /// fresh alive record learned through gossip).
+    pub fn heartbeat(&mut self, now: SimTime) {
+        if let Some(last) = self.last_heartbeat {
+            let gap = now.saturating_since(last).as_secs_f64();
+            if gap > 0.0 {
+                if self.window.len() == self.capacity {
+                    self.window.pop_front();
+                }
+                self.window.push_back(gap);
+            }
+        }
+        self.last_heartbeat = Some(now);
+    }
+
+    /// The windowed mean inter-arrival gap (falls back to the prior
+    /// until samples exist).
+    pub fn mean_gap_s(&self) -> f64 {
+        if self.window.is_empty() {
+            self.prior_mean_s
+        } else {
+            self.window.iter().sum::<f64>() / self.window.len() as f64
+        }
+    }
+
+    /// The suspicion level at `now`. Zero before the first heartbeat
+    /// (no evidence either way — a brand-new peer is given the benefit
+    /// of the doubt for one period).
+    pub fn phi(&self, now: SimTime) -> f64 {
+        let Some(last) = self.last_heartbeat else {
+            return 0.0;
+        };
+        let elapsed = now.saturating_since(last).as_secs_f64();
+        elapsed / self.mean_gap_s() * LOG10_E
+    }
+
+    /// Time of the most recent heartbeat, if any.
+    pub fn last_heartbeat(&self) -> Option<SimTime> {
+        self.last_heartbeat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpop_netsim::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn phi_is_zero_before_any_heartbeat() {
+        let d = PhiDetector::new(8, 1.0);
+        assert_eq!(d.phi(t(100)), 0.0);
+    }
+
+    #[test]
+    fn phi_grows_with_silence() {
+        let mut d = PhiDetector::new(8, 1.0);
+        for s in 0..5 {
+            d.heartbeat(t(s));
+        }
+        let p1 = d.phi(t(5));
+        let p2 = d.phi(t(8));
+        let p3 = d.phi(t(30));
+        assert!(p1 < p2 && p2 < p3, "{p1} {p2} {p3}");
+        // 26 seconds of silence over a 1 s mean gap: ~11.3 "nines".
+        assert!(p3 > 8.0);
+    }
+
+    #[test]
+    fn regular_heartbeats_keep_phi_small() {
+        let mut d = PhiDetector::new(8, 1.0);
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            d.heartbeat(now);
+            now += SimDuration::from_secs(1);
+        }
+        // One period of silence after a steady rhythm: phi ≈ log10(e).
+        assert!(d.phi(now) < 0.5);
+    }
+
+    #[test]
+    fn heartbeat_resets_suspicion() {
+        let mut d = PhiDetector::new(8, 1.0);
+        d.heartbeat(t(0));
+        d.heartbeat(t(1));
+        assert!(d.phi(t(20)) > 5.0);
+        d.heartbeat(t(20));
+        assert!(d.phi(t(20)) < 0.1);
+    }
+
+    #[test]
+    fn window_adapts_to_slower_rhythm() {
+        let mut d = PhiDetector::new(4, 1.0);
+        // Heartbeats every 10 s: the same absolute silence is far less
+        // suspicious than under a 1 s rhythm.
+        for s in [0u64, 10, 20, 30, 40] {
+            d.heartbeat(t(s));
+        }
+        assert!((d.mean_gap_s() - 10.0).abs() < 1e-9);
+        assert!(d.phi(t(50)) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gap")]
+    fn zero_capacity_rejected() {
+        let _ = PhiDetector::new(0, 1.0);
+    }
+}

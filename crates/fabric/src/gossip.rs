@@ -1,0 +1,659 @@
+//! [`Fabric`]: the SWIM-style gossip layer, simulated deterministically.
+//!
+//! Every protocol period each *up* appliance (a) refreshes its own
+//! record, (b) picks one random acquaintance and performs a push-pull
+//! anti-entropy exchange (the probe doubles as a heartbeat), and (c)
+//! repeats the exchange with `gossip_fanout` extra targets. Membership
+//! records carry incarnation numbers and merge under SWIM precedence
+//! ([`MembershipTable::merge_record`]), so knowledge — including death
+//! certificates — spreads in O(log n) rounds.
+//!
+//! Failure detection is phi-accrual per (observer, subject): every
+//! piece of evidence of life (a direct exchange, or a gossiped record
+//! with a fresher self-refresh timestamp) feeds the observer's
+//! [`PhiDetector`] for that subject. When `phi + reputation bonus`
+//! crosses the threshold the subject is marked [`PeerState::Suspect`];
+//! after a grace of `suspect_periods` without refutation it is declared
+//! [`PeerState::Dead`]. A peer that comes back bumps its incarnation,
+//! which overrides suspicion and death everywhere it propagates.
+//!
+//! The fabric is driven from outside: a churn schedule (see
+//! `hpop_netsim::churn`) calls [`Fabric::set_up`] at transition times
+//! and [`Fabric::tick`] once per period. Ground truth stays inside the
+//! fabric, which is what lets it *score its own detector*: detection
+//! latency (down-transition → first `Dead` declaration) lands in the
+//! `fabric.detect.latency_ms` histogram and premature declarations in
+//! the `fabric.detect.false_positive` counter.
+
+use crate::detector::PhiDetector;
+use crate::member::{Advertisement, MembershipTable, PeerId, PeerRecord, PeerState};
+use crate::reputation::{ReputationLedger, Violation};
+use crate::view::{PeerEntry, PeerView};
+use hpop_netsim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Serialized size of one membership record on the wire (id +
+/// incarnation + state + advertisement + refresh timestamp).
+const ENTRY_BYTES: u64 = 56;
+
+/// Tuning knobs of the gossip layer.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricConfig {
+    /// Protocol period: one gossip round per period.
+    pub period: SimDuration,
+    /// Extra anti-entropy targets per round beyond the probe target.
+    pub gossip_fanout: usize,
+    /// Phi level at which an alive peer becomes suspect.
+    pub phi_threshold: f64,
+    /// Periods a suspect may linger unrefuted before being declared dead.
+    pub suspect_periods: u32,
+    /// Sliding-window size of each phi detector.
+    pub detector_window: usize,
+    /// Periods after which terminal (dead/left) records are evicted
+    /// from membership tables.
+    pub evict_after_periods: u32,
+    /// Seed for every random choice the layer makes.
+    pub seed: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            period: SimDuration::from_secs(1),
+            gossip_fanout: 2,
+            phi_threshold: 6.0,
+            suspect_periods: 2,
+            detector_window: 16,
+            evict_after_periods: 300,
+            seed: 0x5eedfab,
+        }
+    }
+}
+
+/// Per-node runtime state: the node's own record plus everything it
+/// believes and suspects about others.
+#[derive(Clone, Debug)]
+struct NodeRuntime {
+    table: MembershipTable,
+    detectors: BTreeMap<PeerId, PhiDetector>,
+    suspect_since: BTreeMap<PeerId, SimTime>,
+    /// Freshest self-refresh timestamp seen per peer (evidence clock).
+    evidence_at: BTreeMap<PeerId, SimTime>,
+}
+
+/// Ground-truth uptime accounting for one peer.
+#[derive(Clone, Copy, Debug)]
+struct Uptime {
+    joined_at: SimTime,
+    up_since: Option<SimTime>,
+    total_up: SimDuration,
+}
+
+impl Uptime {
+    fn fraction(&self, now: SimTime) -> f64 {
+        let lifetime = now.saturating_since(self.joined_at).as_secs_f64();
+        if lifetime <= 0.0 {
+            return 1.0;
+        }
+        let mut up = self.total_up.as_secs_f64();
+        if let Some(since) = self.up_since {
+            up += now.saturating_since(since).as_secs_f64();
+        }
+        (up / lifetime).clamp(0.0, 1.0)
+    }
+}
+
+/// Counters the experiments and property tests read back.
+#[derive(Clone, Debug, Default)]
+pub struct FabricStats {
+    /// Anti-entropy bytes shipped (both directions of every exchange).
+    pub gossip_bytes: u64,
+    /// Push-pull exchanges performed.
+    pub exchanges: u64,
+    /// `Dead` declarations that matched ground truth.
+    pub true_detections: u64,
+    /// `Dead` declarations against a peer that was actually up.
+    pub false_positives: u64,
+    /// Per-declaration latencies (ms) from the down-transition to each
+    /// observer's declaration.
+    pub detection_latency_ms: Vec<f64>,
+}
+
+/// The gossip membership layer over a set of appliances.
+#[derive(Clone, Debug)]
+pub struct Fabric {
+    cfg: FabricConfig,
+    now: SimTime,
+    rng: StdRng,
+    nodes: BTreeMap<PeerId, NodeRuntime>,
+    /// Ground truth: which peers are physically up right now.
+    up: BTreeSet<PeerId>,
+    uptime: BTreeMap<PeerId, Uptime>,
+    /// Ground truth: when each currently-down peer went down.
+    went_down_at: BTreeMap<PeerId, SimTime>,
+    ledger: ReputationLedger,
+    stats: FabricStats,
+    next_id: u64,
+}
+
+impl Fabric {
+    /// An empty fabric starting at the sim epoch.
+    pub fn new(cfg: FabricConfig) -> Fabric {
+        Fabric {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            now: SimTime::ZERO,
+            nodes: BTreeMap::new(),
+            up: BTreeSet::new(),
+            uptime: BTreeMap::new(),
+            went_down_at: BTreeMap::new(),
+            ledger: ReputationLedger::new(),
+            stats: FabricStats::default(),
+            next_id: 0,
+        }
+    }
+
+    /// The current sim time as seen by the fabric.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The config in force.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Number of peers ever joined.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no peer has joined.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ground truth: is this peer physically up?
+    pub fn is_up(&self, id: PeerId) -> bool {
+        self.up.contains(&id)
+    }
+
+    /// A new appliance joins (initially up). It learns the membership
+    /// from one random up introducer (push-pull), who learns it back;
+    /// everyone else hears through subsequent gossip.
+    pub fn join(&mut self, advert: Advertisement) -> PeerId {
+        let id = PeerId(self.next_id);
+        self.next_id += 1;
+        let mut table = MembershipTable::new();
+        table.upsert(PeerRecord::alive(id, advert, self.now));
+        self.nodes.insert(
+            id,
+            NodeRuntime {
+                table,
+                detectors: BTreeMap::new(),
+                suspect_since: BTreeMap::new(),
+                evidence_at: BTreeMap::new(),
+            },
+        );
+        self.up.insert(id);
+        self.uptime.insert(
+            id,
+            Uptime {
+                joined_at: self.now,
+                up_since: Some(self.now),
+                total_up: SimDuration::ZERO,
+            },
+        );
+        let introducers: Vec<PeerId> = self.up.iter().copied().filter(|&p| p != id).collect();
+        if !introducers.is_empty() {
+            let intro = introducers[self.rng.gen_range(0..introducers.len())];
+            self.exchange(id, intro);
+        }
+        id
+    }
+
+    /// Flips a peer's ground-truth liveness (driven by the churn
+    /// schedule). Coming back up bumps the peer's incarnation so its
+    /// re-announcement refutes any suspicion or death certificate
+    /// circulating about it.
+    pub fn set_up(&mut self, id: PeerId, up: bool) {
+        let Some(acc) = self.uptime.get_mut(&id) else {
+            return;
+        };
+        if up && !self.up.contains(&id) {
+            acc.up_since = Some(self.now);
+            self.up.insert(id);
+            self.went_down_at.remove(&id);
+            let node = self.nodes.get_mut(&id).expect("joined peers have nodes");
+            let mut me = node
+                .table
+                .get(id)
+                .cloned()
+                .unwrap_or_else(|| PeerRecord::alive(id, Advertisement::default(), self.now));
+            me.incarnation += 1;
+            me.state = PeerState::Alive;
+            me.updated_at = self.now;
+            node.table.upsert(me);
+            // Re-announce through a few random up introducers so the
+            // incarnation bump outraces in-flight death declarations.
+            let introducers: Vec<PeerId> = self.up.iter().copied().filter(|&p| p != id).collect();
+            if !introducers.is_empty() {
+                let start = self.rng.gen_range(0..introducers.len());
+                for off in 0..introducers.len().min(1 + self.cfg.gossip_fanout) {
+                    self.exchange(id, introducers[(start + off) % introducers.len()]);
+                }
+            }
+        } else if !up && self.up.remove(&id) {
+            if let Some(since) = acc.up_since.take() {
+                acc.total_up += self.now.saturating_since(since);
+            }
+            self.went_down_at.insert(id, self.now);
+        }
+    }
+
+    /// Advances the clock one protocol period and runs a gossip round
+    /// for every up node. Returns the new sim time.
+    pub fn tick(&mut self) -> SimTime {
+        self.now += self.cfg.period;
+        let ids: Vec<PeerId> = self.up.iter().copied().collect();
+        for id in &ids {
+            self.refresh_self(*id);
+        }
+        for id in &ids {
+            self.round_for(*id);
+        }
+        let cutoff_periods = self.cfg.evict_after_periods as u64;
+        let cutoff = SimTime::from_nanos(
+            self.now
+                .as_nanos()
+                .saturating_sub(self.cfg.period.as_nanos().saturating_mul(cutoff_periods)),
+        );
+        for id in &ids {
+            if let Some(node) = self.nodes.get_mut(id) {
+                node.table.evict_terminal_before(cutoff);
+            }
+        }
+        self.now
+    }
+
+    /// Runs `n` ticks back to back.
+    pub fn run_rounds(&mut self, n: u32) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    fn refresh_self(&mut self, id: PeerId) {
+        if let Some(node) = self.nodes.get_mut(&id) {
+            if let Some(me) = node.table.get(id).cloned() {
+                let mut me = me;
+                me.state = PeerState::Alive;
+                me.updated_at = self.now;
+                node.table.upsert(me);
+            }
+        }
+    }
+
+    fn round_for(&mut self, id: PeerId) {
+        // Pick the probe target plus fanout extra anti-entropy targets
+        // among non-terminal acquaintances.
+        let candidates: Vec<PeerId> = self
+            .nodes
+            .get(&id)
+            .map(|n| {
+                n.table
+                    .iter()
+                    .filter(|r| r.id != id && !matches!(r.state, PeerState::Dead | PeerState::Left))
+                    .map(|r| r.id)
+                    .collect()
+            })
+            .unwrap_or_default();
+        if !candidates.is_empty() {
+            let contacts = 1 + self.cfg.gossip_fanout;
+            let mut chosen = BTreeSet::new();
+            for _ in 0..contacts.min(candidates.len()) {
+                // Rejection-free pick: scan from a random start offset.
+                let start = self.rng.gen_range(0..candidates.len());
+                for off in 0..candidates.len() {
+                    let c = candidates[(start + off) % candidates.len()];
+                    if chosen.insert(c) {
+                        break;
+                    }
+                }
+            }
+            for target in chosen {
+                if self.up.contains(&target) {
+                    self.exchange(id, target);
+                }
+                // A down target simply doesn't answer: no evidence, no
+                // bytes — the observer's phi for it keeps growing.
+            }
+        }
+        self.assess(id);
+    }
+
+    /// Push-pull anti-entropy between two up nodes: each merges the
+    /// other's table and harvests evidence-of-life timestamps.
+    fn exchange(&mut self, a: PeerId, b: PeerId) {
+        let (Some(na), Some(nb)) = (self.nodes.get(&a), self.nodes.get(&b)) else {
+            return;
+        };
+        let recs_a: Vec<PeerRecord> = na.table.iter().cloned().collect();
+        let recs_b: Vec<PeerRecord> = nb.table.iter().cloned().collect();
+        self.stats.gossip_bytes += (recs_a.len() + recs_b.len()) as u64 * ENTRY_BYTES;
+        self.stats.exchanges += 1;
+        hpop_obs::metrics()
+            .counter("fabric.gossip.bytes")
+            .add((recs_a.len() + recs_b.len()) as u64 * ENTRY_BYTES);
+        let now = self.now;
+        let window = self.cfg.detector_window;
+        let period_s = self.cfg.period.as_secs_f64();
+        let mut apply = |dst: PeerId, recs: &[PeerRecord], direct_peer: PeerId| {
+            let node = self.nodes.get_mut(&dst).expect("exchange peers exist");
+            for rec in recs {
+                if rec.id == dst {
+                    // Others' beliefs about me: refute anything but alive
+                    // by bumping my incarnation (SWIM self-defense).
+                    if rec.state != PeerState::Alive {
+                        let mut me = node.table.get(dst).cloned().expect("self record");
+                        if rec.incarnation >= me.incarnation {
+                            me.incarnation = rec.incarnation + 1;
+                            me.state = PeerState::Alive;
+                            me.updated_at = now;
+                            node.table.upsert(me);
+                        }
+                    }
+                    continue;
+                }
+                node.table.merge_record(rec);
+                // Evidence of life: the subject's own refresh timestamp,
+                // or the direct contact itself.
+                let evidence = if rec.id == direct_peer {
+                    Some(now)
+                } else if rec.state == PeerState::Alive {
+                    Some(rec.updated_at)
+                } else {
+                    None
+                };
+                if let Some(at) = evidence {
+                    let freshest = node.evidence_at.entry(rec.id).or_insert(SimTime::ZERO);
+                    if at > *freshest || rec.id == direct_peer {
+                        *freshest = at;
+                        node.detectors
+                            .entry(rec.id)
+                            .or_insert_with(|| PhiDetector::new(window, period_s))
+                            .heartbeat(at);
+                        // Fresh life evidence clears any local suspicion.
+                        node.suspect_since.remove(&rec.id);
+                        if let Some(r) = node.table.get(rec.id) {
+                            if r.state == PeerState::Suspect && r.incarnation == rec.incarnation {
+                                let mut r = r.clone();
+                                r.state = PeerState::Alive;
+                                node.table.upsert(r);
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        apply(a, &recs_b, b);
+        apply(b, &recs_a, a);
+    }
+
+    /// Applies the failure detector: walks the observer's table,
+    /// promotes over-threshold alive peers to suspect, and suspects
+    /// past the grace period to dead.
+    fn assess(&mut self, observer: PeerId) {
+        let now = self.now;
+        let grace = self
+            .cfg
+            .period
+            .saturating_mul(self.cfg.suspect_periods as u64);
+        let threshold = self.cfg.phi_threshold;
+        // Collect decisions first (borrow discipline), then apply.
+        let mut to_suspect = Vec::new();
+        let mut to_kill = Vec::new();
+        {
+            let Some(node) = self.nodes.get(&observer) else {
+                return;
+            };
+            for rec in node.table.iter() {
+                if rec.id == observer {
+                    continue;
+                }
+                match rec.state {
+                    PeerState::Alive => {
+                        let phi = node.detectors.get(&rec.id).map_or(0.0, |d| d.phi(now))
+                            + self.ledger.phi_bonus(rec.id);
+                        if phi > threshold {
+                            to_suspect.push(rec.id);
+                        }
+                    }
+                    PeerState::Suspect => {
+                        let since = node.suspect_since.get(&rec.id).copied().unwrap_or(now);
+                        if now.saturating_since(since) >= grace {
+                            to_kill.push(rec.id);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let node = self.nodes.get_mut(&observer).expect("observer exists");
+        for id in to_suspect {
+            node.table.set_state(id, PeerState::Suspect, now);
+            node.suspect_since.entry(id).or_insert(now);
+        }
+        let mut declared: Vec<PeerId> = Vec::new();
+        for id in to_kill {
+            if node.table.set_state(id, PeerState::Dead, now) {
+                node.suspect_since.remove(&id);
+                declared.push(id);
+            }
+        }
+        for id in declared {
+            self.score_declaration(id);
+        }
+    }
+
+    /// Scores one `Dead` declaration against ground truth.
+    fn score_declaration(&mut self, subject: PeerId) {
+        let m = hpop_obs::metrics();
+        if let Some(&down_at) = self.went_down_at.get(&subject) {
+            let latency_ms = self.now.saturating_since(down_at).as_millis_f64();
+            self.stats.true_detections += 1;
+            self.stats.detection_latency_ms.push(latency_ms);
+            m.histogram("fabric.detect.latency_ms")
+                .record(latency_ms.round() as u64);
+        } else {
+            self.stats.false_positives += 1;
+            m.counter("fabric.detect.false_positive").incr();
+        }
+    }
+
+    /// The membership as one observer currently believes it, joined
+    /// with the shared ledger and ground-truth uptime accounting.
+    ///
+    /// Returns an empty view for unknown observers.
+    pub fn view(&self, observer: PeerId) -> PeerView {
+        let Some(node) = self.nodes.get(&observer) else {
+            return PeerView::default();
+        };
+        let entries = node
+            .table
+            .iter()
+            .map(|r| PeerEntry {
+                id: r.id,
+                state: r.state,
+                advert: r.advert,
+                uptime_fraction: self.uptime_fraction(r.id),
+                reputation: self.ledger.score(r.id),
+            })
+            .collect();
+        PeerView::new(entries)
+    }
+
+    /// The omniscient view: every joined peer with its ground-truth
+    /// liveness. Experiments use it as the accuracy baseline.
+    pub fn ground_truth_view(&self) -> PeerView {
+        let entries = self
+            .nodes
+            .keys()
+            .filter_map(|&id| {
+                let advert = self.nodes[&id].table.get(id)?.advert;
+                Some(PeerEntry {
+                    id,
+                    state: if self.up.contains(&id) {
+                        PeerState::Alive
+                    } else {
+                        PeerState::Dead
+                    },
+                    advert,
+                    uptime_fraction: self.uptime_fraction(id),
+                    reputation: self.ledger.score(id),
+                })
+            })
+            .collect();
+        PeerView::new(entries)
+    }
+
+    /// Ground-truth fraction of its lifetime this peer has been up.
+    pub fn uptime_fraction(&self, id: PeerId) -> f64 {
+        self.uptime.get(&id).map_or(0.0, |u| u.fraction(self.now))
+    }
+
+    /// Read access to the shared reputation ledger.
+    pub fn ledger(&self) -> &ReputationLedger {
+        &self.ledger
+    }
+
+    /// Records a service-observed violation on the shared ledger.
+    pub fn record_violation(&mut self, id: PeerId, kind: Violation) -> f64 {
+        self.ledger.record_violation(id, kind)
+    }
+
+    /// Detector/gossip statistics so far.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// The ids every *up* node currently believes alive, per node —
+    /// the convergence witness the property tests assert on.
+    pub fn alive_sets_of_up_nodes(&self) -> Vec<(PeerId, BTreeSet<PeerId>)> {
+        self.up
+            .iter()
+            .map(|&id| {
+                let set: BTreeSet<PeerId> = self.nodes[&id].table.alive_ids().into_iter().collect();
+                (id, set)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric_of(n: u64) -> Fabric {
+        let mut f = Fabric::new(FabricConfig::default());
+        for _ in 0..n {
+            f.join(Advertisement::default());
+        }
+        f
+    }
+
+    #[test]
+    fn membership_spreads_to_all_nodes() {
+        let mut f = fabric_of(16);
+        f.run_rounds(8); // ~2·log2(16)
+        for (_, alive) in f.alive_sets_of_up_nodes() {
+            assert_eq!(alive.len(), 16, "every node should know all 16 alive");
+        }
+    }
+
+    #[test]
+    fn dead_peer_is_detected_and_agreed_on() {
+        let mut f = fabric_of(12);
+        f.run_rounds(8);
+        let victim = PeerId(3);
+        f.set_up(victim, false);
+        f.run_rounds(40);
+        for (id, alive) in f.alive_sets_of_up_nodes() {
+            assert!(
+                !alive.contains(&victim),
+                "node {id} still believes {victim} alive"
+            );
+        }
+        assert!(f.stats().true_detections >= 1);
+        assert_eq!(f.stats().false_positives, 0);
+        let lat = &f.stats().detection_latency_ms;
+        assert!(!lat.is_empty());
+        // Detection should land within a minute of sim time.
+        assert!(lat.iter().all(|&ms| ms < 60_000.0), "{lat:?}");
+    }
+
+    #[test]
+    fn rejoin_refutes_death_certificate() {
+        let mut f = fabric_of(10);
+        f.run_rounds(8);
+        let victim = PeerId(2);
+        f.set_up(victim, false);
+        f.run_rounds(40);
+        f.set_up(victim, true);
+        f.run_rounds(12);
+        let mut seen_alive = 0;
+        for (_, alive) in f.alive_sets_of_up_nodes() {
+            if alive.contains(&victim) {
+                seen_alive += 1;
+            }
+        }
+        assert_eq!(seen_alive, 10, "rejoin should spread to every node");
+    }
+
+    #[test]
+    fn quiet_network_has_no_false_positives() {
+        let mut f = fabric_of(20);
+        f.run_rounds(200);
+        assert_eq!(f.stats().false_positives, 0);
+        assert_eq!(f.stats().true_detections, 0);
+    }
+
+    #[test]
+    fn view_reflects_beliefs_and_ledger() {
+        let mut f = fabric_of(6);
+        f.run_rounds(6);
+        f.record_violation(PeerId(1), Violation::Integrity);
+        let v = f.view(PeerId(0));
+        assert_eq!(v.len(), 6);
+        assert!(v.is_alive(PeerId(1)));
+        assert!(v.get(PeerId(1)).unwrap().reputation < 1.0);
+        assert_eq!(f.ledger().violations(PeerId(1)), 1);
+    }
+
+    #[test]
+    fn uptime_fraction_tracks_downtime() {
+        let mut f = fabric_of(2);
+        f.run_rounds(50);
+        assert!((f.uptime_fraction(PeerId(0)) - 1.0).abs() < 1e-9);
+        f.set_up(PeerId(1), false);
+        f.run_rounds(50);
+        let up = f.uptime_fraction(PeerId(1));
+        assert!((up - 0.5).abs() < 0.02, "expected ~0.5, got {up}");
+    }
+
+    #[test]
+    fn gossip_bytes_accumulate() {
+        let mut f = fabric_of(8);
+        f.run_rounds(5);
+        assert!(f.stats().gossip_bytes > 0);
+        assert!(f.stats().exchanges > 0);
+    }
+
+    #[test]
+    fn unknown_observer_views_nothing() {
+        let f = fabric_of(3);
+        assert!(f.view(PeerId(99)).is_empty());
+    }
+}

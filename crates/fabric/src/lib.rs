@@ -1,0 +1,51 @@
+//! # hpop-fabric — gossip membership for the neighborhood of appliances
+//!
+//! Every HPoP service leans on *other people's home appliances*: the
+//! Data Attic spreads erasure-coded shards over friends' attics (§IV-A),
+//! NoCDN recruits well-connected users as edge servers (§IV-B), the
+//! Detour Collective relays subflows through cooperative waypoints
+//! (§IV-C), and the neighborhood cache shares one copy of each object
+//! across homes (§IV-D). Home appliances are not data-center machines:
+//! they reboot, lose power, move away. Peer-assisted delivery lives or
+//! dies on membership quality, so this crate is the shared substrate
+//! that tracks *who is out there, who is alive, and who can be trusted*:
+//!
+//! - [`member`] — per-peer records ([`PeerRecord`]) with SWIM-style
+//!   states (alive / suspect / dead / left), incarnation numbers, and
+//!   capacity/uptime advertisements ([`Advertisement`]).
+//! - [`detector`] — a phi-accrual-flavored failure detector
+//!   ([`PhiDetector`]): suspicion is a continuous level derived from
+//!   heartbeat inter-arrival history, not a binary timeout.
+//! - [`reputation`] — the violation ledger ([`ReputationLedger`]):
+//!   integrity/accounting/misrouting violations reported by services
+//!   feed both ranking and suspicion.
+//! - [`gossip`] — [`Fabric`]: a deterministic simulation of the whole
+//!   gossip layer (N appliances exchanging pings and piggybacked
+//!   membership updates each protocol period), driven by the netsim
+//!   clock and a churn schedule.
+//! - [`view`] — [`PeerView`]: the query API every service selects peers
+//!   through — alive peers filtered and ranked by capacity, locality
+//!   and reputation.
+//!
+//! Instrumented through `hpop-obs`: detection-latency histogram
+//! (`fabric.detect.latency_ms`), false-positive counter
+//! (`fabric.detect.false_positive`) and gossip fan-out bytes
+//! (`fabric.gossip.bytes`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detector;
+pub mod gossip;
+pub mod member;
+pub mod reputation;
+pub mod view;
+
+#[cfg(test)]
+mod proptests;
+
+pub use detector::PhiDetector;
+pub use gossip::{Fabric, FabricConfig};
+pub use member::{Advertisement, MembershipTable, PeerId, PeerRecord, PeerState};
+pub use reputation::{ReputationLedger, Violation};
+pub use view::{PeerEntry, PeerView, RankBy};

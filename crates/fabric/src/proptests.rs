@@ -1,0 +1,112 @@
+//! Property-based tests of the fabric's two load-bearing guarantees.
+//!
+//! 1. **Convergence**: under a seeded churn schedule
+//!    (`hpop_netsim::churn`), once churn quiesces, every live node
+//!    agrees on the live set within a detector constant plus
+//!    O(log n) gossip rounds.
+//! 2. **Accuracy**: in a quiet network (no churn), the failure
+//!    detector never declares a never-failed peer dead — zero false
+//!    positives at the configured phi threshold.
+
+use crate::gossip::{Fabric, FabricConfig};
+use crate::member::{Advertisement, PeerId};
+use hpop_netsim::churn::{ChurnConfig, ChurnSchedule};
+use hpop_netsim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Builds a fabric of `n` nodes with slightly varied advertisements.
+fn fabric_of(n: usize, seed: u64) -> Fabric {
+    let mut f = Fabric::new(FabricConfig {
+        seed,
+        ..FabricConfig::default()
+    });
+    for i in 0..n {
+        f.join(Advertisement {
+            rtt_ms: 2.0 + (i % 7) as f64 * 3.0,
+            ..Advertisement::default()
+        });
+    }
+    f
+}
+
+/// Drives `fabric` against `churn` for `secs` one-second rounds,
+/// applying ground-truth transitions as they occur.
+fn drive(fabric: &mut Fabric, churn: &ChurnSchedule, secs: u64) {
+    for s in 0..secs {
+        let from = SimTime::from_secs(s);
+        let to = SimTime::from_secs(s + 1);
+        for ev in churn.transitions_in(from, to) {
+            fabric.set_up(PeerId(ev.node as u64), ev.up);
+        }
+        fabric.tick();
+    }
+}
+
+/// The post-quiescence round budget: a detector constant (phi build-up
+/// plus the suspicion grace) plus C·log2(n) rounds of gossip spread.
+fn convergence_budget(n: usize) -> u64 {
+    let log2n = (usize::BITS - n.next_power_of_two().leading_zeros()) as u64;
+    40 + 4 * log2n
+}
+
+proptest! {
+    /// After the churn schedule quiesces, all live nodes agree on the
+    /// live set — and that set is the ground truth — within
+    /// `convergence_budget(n)` rounds.
+    #[test]
+    fn membership_converges_after_churn(
+        n in 4usize..14,
+        seed in 0u64..1_000,
+    ) {
+        let horizon = SimTime::from_secs(90);
+        let churn = ChurnSchedule::generate(
+            n,
+            ChurnConfig {
+                churn_fraction: 0.4,
+                mean_session: SimDuration::from_secs(45),
+                mean_downtime: SimDuration::from_secs(15),
+                seed: seed.wrapping_mul(31) ^ 0xc0ffee,
+            },
+            horizon,
+        );
+        let mut fabric = fabric_of(n, seed);
+        drive(&mut fabric, &churn, 90);
+        // Churn has quiesced (the schedule is empty past the horizon);
+        // give the detector-plus-gossip budget and assert agreement.
+        fabric.run_rounds(convergence_budget(n) as u32);
+
+        let truth: BTreeSet<PeerId> = (0..n)
+            .filter(|&i| churn.is_up(i, horizon))
+            .map(|i| PeerId(i as u64))
+            .collect();
+        prop_assert!(!truth.is_empty(), "at least the non-churners are up");
+        for (observer, alive) in fabric.alive_sets_of_up_nodes() {
+            prop_assert_eq!(
+                &alive, &truth,
+                "observer {} disagrees with ground truth", observer
+            );
+        }
+    }
+
+    /// A quiet network never produces a false positive: no peer is
+    /// declared dead, no detection fires at all.
+    #[test]
+    fn quiet_network_zero_false_positives(
+        n in 2usize..18,
+        rounds in 20u32..120,
+        seed in 0u64..1_000,
+    ) {
+        let mut fabric = fabric_of(n, seed);
+        fabric.run_rounds(rounds);
+        prop_assert_eq!(fabric.stats().false_positives, 0);
+        prop_assert_eq!(fabric.stats().true_detections, 0);
+        // Stronger: every node still believes every node alive.
+        for (observer, alive) in fabric.alive_sets_of_up_nodes() {
+            prop_assert_eq!(
+                alive.len(), n,
+                "observer {} lost someone in a quiet network", observer
+            );
+        }
+    }
+}

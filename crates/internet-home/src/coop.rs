@@ -13,9 +13,22 @@
 //! scarce) aggregation uplink. [`CoopStats`] splits traffic across
 //! those three tiers — experiment E15's metric.
 
+//! Membership churn is fed in from the fabric layer: a member whose
+//! HPoP the failure detector declares dead is excluded from ownership
+//! ([`CoopCache::apply_view`] / [`CoopCache::set_member_up`]), so
+//! requests re-route to the highest-random-weight *alive* member and
+//! re-warm its cache — no request ever waits on a dead owner.
+
 use hpop_crypto::sha256::Sha256;
+use hpop_fabric::PeerView;
 use hpop_http::url::Url;
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Maps a coop member id into the fabric namespace (offset to avoid
+/// colliding with NoCDN / DCol ids on a shared ledger).
+fn fid(member: u32) -> hpop_fabric::PeerId {
+    hpop_fabric::PeerId(2 << 32 | member as u64)
+}
 
 /// Where a request was satisfied.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -75,6 +88,8 @@ pub struct CoopCache {
     /// Whether cooperation is enabled (off = independent caches, the
     /// baseline ablation).
     cooperative: bool,
+    /// Members currently believed down (excluded from ownership).
+    down: BTreeSet<u32>,
     stats: CoopStats,
 }
 
@@ -89,6 +104,7 @@ impl CoopCache {
         CoopCache {
             members: (0..n).map(|i| (i, BTreeSet::new())).collect(),
             cooperative: true,
+            down: BTreeSet::new(),
             stats: CoopStats::default(),
         }
     }
@@ -104,18 +120,59 @@ impl CoopCache {
         self.members.len()
     }
 
-    /// The owner HPoP of a URL (highest-random-weight hash over the
-    /// current membership).
+    /// The owner HPoP of a URL: highest-random-weight hash over the
+    /// *alive* membership, so ownership (and only the dead member's
+    /// share of it) re-routes around churn.
+    ///
+    /// # Panics
+    ///
+    /// Panics when every member is believed down.
     pub fn owner_of(&self, url: &Url) -> u32 {
         let key = url.to_string();
         self.members
             .keys()
             .copied()
+            .filter(|m| !self.down.contains(m))
             .max_by_key(|m| {
                 let d = Sha256::digest(format!("{m}|{key}").as_bytes());
                 u64::from_be_bytes(d.as_bytes()[..8].try_into().expect("8 bytes"))
             })
-            .expect("members is non-empty")
+            .expect("at least one member is up")
+    }
+
+    /// Marks one member up or down directly (the fabric-free path used
+    /// by tests and by a member's own lateral-probe failures).
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown members.
+    pub fn set_member_up(&mut self, member: u32, up: bool) {
+        assert!(
+            self.members.contains_key(&member),
+            "unknown member {member}"
+        );
+        if up {
+            self.down.remove(&member);
+        } else {
+            self.down.insert(member);
+        }
+    }
+
+    /// Adopts liveness beliefs from a gossip [`PeerView`]: members the
+    /// fabric believes dead stop owning objects until a later view
+    /// refutes the death. Members unknown to the view are untouched.
+    pub fn apply_view(&mut self, view: &PeerView) {
+        let ids: Vec<u32> = self.members.keys().copied().collect();
+        for m in ids {
+            if view.get(fid(m)).is_some() {
+                self.set_member_up(m, view.is_alive(fid(m)));
+            }
+        }
+    }
+
+    /// Members currently believed up.
+    pub fn up_count(&self) -> usize {
+        self.members.len() - self.down.len()
     }
 
     /// `member` requests `url` (`bytes` large). Resolution order: local
@@ -190,6 +247,7 @@ impl CoopCache {
             self.members.len() > 1,
             "cannot remove the last HPoP in the neighborhood"
         );
+        self.down.remove(&member);
         self.members
             .remove(&member)
             .map(|objs| objs.len())
@@ -335,6 +393,54 @@ mod tests {
                 assert_ne!(now, victim);
             }
         }
+    }
+
+    #[test]
+    fn dead_owner_reroutes_to_alive_member() {
+        let mut coop = CoopCache::new(4);
+        let url = u(5);
+        let owner = coop.owner_of(&url);
+        // Warm the owner's cache, then the owner dies.
+        coop.request(owner, &url, 1000);
+        coop.set_member_up(owner, false);
+        assert_eq!(coop.up_count(), 3);
+        let new_owner = coop.owner_of(&url);
+        assert_ne!(new_owner, owner);
+        // A survivor's request re-fetches from the origin (the cached
+        // copy died with its holder) and re-warms the new owner.
+        let requester = (0..4).find(|&m| m != owner && m != new_owner).unwrap();
+        assert_eq!(coop.request(requester, &url, 1000), FetchTier::Origin);
+        assert_eq!(coop.request(requester, &url, 1000), FetchTier::Neighbor);
+        // The owner rejoins: its original share of the space returns.
+        coop.set_member_up(owner, true);
+        assert_eq!(coop.owner_of(&url), owner);
+    }
+
+    #[test]
+    fn apply_view_tracks_fabric_liveness() {
+        use hpop_fabric::{Advertisement, PeerEntry, PeerState};
+        let mut coop = CoopCache::new(3);
+        let view = PeerView::new(vec![PeerEntry {
+            id: fid(1),
+            state: PeerState::Dead,
+            advert: Advertisement::default(),
+            uptime_fraction: 0.2,
+            reputation: 1.0,
+        }]);
+        coop.apply_view(&view);
+        assert_eq!(coop.up_count(), 2);
+        for i in 0..100 {
+            assert_ne!(coop.owner_of(&u(i)), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member is up")]
+    fn all_members_down_panics() {
+        let mut coop = CoopCache::new(2);
+        coop.set_member_up(0, false);
+        coop.set_member_up(1, false);
+        coop.owner_of(&u(0));
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! - [`metrics`] — time series, counters and CDFs used by the harness.
 //! - [`presets`] — canonical topologies from the paper (CCZ, dumbbell,
 //!   detour triangles).
+//! - [`churn`] — seeded on/off renewal processes per node: the
+//!   deterministic peer-churn schedules the fabric layer runs against.
 //!
 //! ## Example
 //!
@@ -54,6 +56,7 @@
 #[cfg(test)]
 mod proptests;
 
+pub mod churn;
 pub mod engine;
 pub mod fairshare;
 pub mod flow;
@@ -65,6 +68,7 @@ pub mod time;
 pub mod topology;
 pub mod units;
 
+pub use churn::{ChurnConfig, ChurnEvent, ChurnSchedule};
 pub use engine::Sim;
 pub use flow::{FlowId, FlowNet};
 pub use netsim::{NetSim, TransferInfo};
@@ -75,6 +79,7 @@ pub use units::{Bandwidth, GB, KB, MB};
 
 /// Convenient glob import for simulator users.
 pub mod prelude {
+    pub use crate::churn::{ChurnConfig, ChurnEvent, ChurnSchedule};
     pub use crate::engine::Sim;
     pub use crate::flow::{FlowId, FlowNet};
     pub use crate::metrics::{Cdf, Counter, TimeSeries};

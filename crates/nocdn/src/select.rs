@@ -1,4 +1,4 @@
-//! Peer-selection policies.
+//! Peer-selection policies, backed by the fabric membership layer.
 //!
 //! §IV-B calls peer selection "an open problem" without a traditional
 //! CDN's secret sauce: "the standard metrics … also apply in the NoCDN
@@ -12,11 +12,22 @@
 //! - [`SelectionPolicy::Proximity`] — lowest client↔peer RTT.
 //! - [`SelectionPolicy::TrustWeighted`] — demote peers with integrity or
 //!   accounting violations.
+//!
+//! The directory is a thin service wrapper over `hpop-fabric`: recruited
+//! peers become fabric membership records, violations land on the shared
+//! [`ReputationLedger`], and liveness flows in from a gossip
+//! [`PeerView`] via [`PeerDirectory::sync_from_view`] — dead peers are
+//! evicted from assignment automatically, and [`PeerDirectory::reassign`]
+//! retries in-flight objects against surviving peers.
 
 use crate::peer::PeerId;
+use hpop_fabric::{
+    Advertisement, MembershipTable, PeerRecord, PeerState, PeerView, ReputationLedger, Violation,
+};
+use hpop_netsim::time::SimTime;
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Information the provider tracks about each recruited peer.
 #[derive(Clone, Debug, Default)]
@@ -40,10 +51,19 @@ pub enum SelectionPolicy {
     TrustWeighted,
 }
 
-/// The provider's peer directory plus selection state.
+/// Maps a NoCDN peer id into the fabric namespace.
+fn fid(id: PeerId) -> hpop_fabric::PeerId {
+    hpop_fabric::PeerId(id.0 as u64)
+}
+
+/// The provider's peer directory plus selection state: a service-local
+/// view over the fabric membership substrate.
 #[derive(Debug, Default)]
 pub struct PeerDirectory {
-    peers: BTreeMap<PeerId, PeerInfo>,
+    membership: MembershipTable,
+    ledger: ReputationLedger,
+    /// Fabric-observed per-peer uptime fractions (1.0 until synced).
+    uptimes: BTreeMap<PeerId, f64>,
     rr_cursor: usize,
 }
 
@@ -54,64 +74,127 @@ impl PeerDirectory {
     }
 
     /// Recruits a peer ("content providers recruit well-connected
-    /// users").
+    /// users"): the peer joins the provider's membership table alive,
+    /// and any pre-known violations seed the reputation ledger.
     pub fn recruit(&mut self, id: PeerId, info: PeerInfo) {
-        self.peers.insert(id, info);
+        self.membership.upsert(PeerRecord::alive(
+            fid(id),
+            Advertisement {
+                rtt_ms: info.rtt_ms,
+                ..Advertisement::default()
+            },
+            SimTime::ZERO,
+        ));
+        for _ in 0..info.violations {
+            self.ledger.record_violation(fid(id), Violation::Integrity);
+        }
+        self.uptimes.entry(id).or_insert(1.0);
     }
 
-    /// Records a violation against a peer (integrity or accounting).
+    /// Records a violation against a peer (integrity or accounting) —
+    /// forwarded to the fabric reputation ledger, so the same offense
+    /// also demotes the peer as a backup target and waypoint.
     pub fn record_violation(&mut self, id: PeerId) {
-        if let Some(info) = self.peers.get_mut(&id) {
-            info.violations += 1;
+        if self.membership.get(fid(id)).is_some() {
+            self.ledger.record_violation(fid(id), Violation::Integrity);
         }
     }
 
-    /// Number of recruited peers.
+    /// Number of recruited peers (any liveness state).
     pub fn len(&self) -> usize {
-        self.peers.len()
+        self.membership.len()
     }
 
     /// True when no peers are recruited.
     pub fn is_empty(&self) -> bool {
-        self.peers.is_empty()
+        self.membership.is_empty()
     }
 
-    /// Peer info, if recruited.
-    pub fn info(&self, id: PeerId) -> Option<&PeerInfo> {
-        self.peers.get(&id)
+    /// Peer info, if recruited (RTT from the advertisement, violations
+    /// from the shared ledger).
+    pub fn info(&self, id: PeerId) -> Option<PeerInfo> {
+        self.membership.get(fid(id)).map(|r| PeerInfo {
+            rtt_ms: r.advert.rtt_ms,
+            violations: self.ledger.violations(fid(id)),
+        })
     }
 
-    /// Assigns a peer to each object per the policy.
+    /// The shared reputation ledger (read access for accounting layers).
+    pub fn ledger(&self) -> &ReputationLedger {
+        &self.ledger
+    }
+
+    /// Adopts liveness and uptime state from a gossip [`PeerView`]:
+    /// recruited peers the fabric believes dead stop being assigned;
+    /// peers it has refuted back to life return. Peers unknown to the
+    /// view keep their current state.
+    pub fn sync_from_view(&mut self, view: &PeerView) {
+        let ids: Vec<hpop_fabric::PeerId> = self.membership.iter().map(|r| r.id).collect();
+        for id in ids {
+            let Some(entry) = view.get(id) else { continue };
+            let Some(mut rec) = self.membership.get(id).cloned() else {
+                continue;
+            };
+            rec.state = entry.state;
+            self.membership.upsert(rec);
+            self.uptimes
+                .insert(PeerId(id.0 as u32), entry.uptime_fraction);
+        }
+    }
+
+    /// Marks one peer dead (e.g. the provider's own probe failed
+    /// before the gossip round confirmed it).
+    pub fn mark_dead(&mut self, id: PeerId) {
+        self.membership
+            .set_state(fid(id), PeerState::Dead, SimTime::ZERO);
+    }
+
+    /// Peers currently believed alive.
+    pub fn alive_count(&self) -> usize {
+        self.membership.alive_ids().len()
+    }
+
+    /// Alive candidate ids under a policy's trust filter, in id order.
+    fn candidates(&self, policy: SelectionPolicy) -> Vec<PeerId> {
+        self.membership
+            .iter()
+            .filter(|r| r.state.is_alive())
+            .filter(|r| policy != SelectionPolicy::TrustWeighted || self.ledger.is_clean(r.id))
+            .map(|r| PeerId(r.id.0 as u32))
+            .collect()
+    }
+
+    fn rtt_of(&self, id: PeerId) -> f64 {
+        self.membership
+            .get(fid(id))
+            .map_or(f64::INFINITY, |r| r.advert.rtt_ms)
+    }
+
+    /// Assigns a peer to each object per the policy. Only peers the
+    /// membership layer believes alive are candidates.
     ///
     /// # Panics
     ///
-    /// Panics if the directory is empty, or if `TrustWeighted` filters
-    /// every peer out (the provider must fall back to origin serving —
-    /// callers check [`PeerDirectory::trusted_count`] first).
+    /// Panics if no recruited peer is alive, or if `TrustWeighted`
+    /// filters every live peer out (the provider must fall back to
+    /// origin serving — callers check [`PeerDirectory::trusted_count`]
+    /// first).
     pub fn assign(
         &mut self,
         objects: &[String],
         policy: SelectionPolicy,
         rng: &mut StdRng,
     ) -> BTreeMap<String, PeerId> {
-        assert!(!self.peers.is_empty(), "no peers recruited");
-        let candidates: Vec<PeerId> = match policy {
-            SelectionPolicy::TrustWeighted => {
-                let ok: Vec<PeerId> = self
-                    .peers
-                    .iter()
-                    .filter(|(_, i)| i.violations == 0)
-                    .map(|(&p, _)| p)
-                    .collect();
-                assert!(!ok.is_empty(), "no trusted peers remain");
-                ok
-            }
-            _ => self.peers.keys().copied().collect(),
-        };
+        assert!(
+            !self.membership.is_empty() && self.alive_count() > 0,
+            "no peers recruited"
+        );
+        let candidates = self.candidates(policy);
+        assert!(!candidates.is_empty(), "no trusted peers remain");
         let mut sorted_by_rtt = candidates.clone();
         sorted_by_rtt.sort_by(|a, b| {
-            let ra = self.peers[a].rtt_ms;
-            let rb = self.peers[b].rtt_ms;
+            let ra = self.rtt_of(*a);
+            let rb = self.rtt_of(*b);
             ra.partial_cmp(&rb).expect("finite RTTs").then(a.cmp(b))
         });
         let mut out = BTreeMap::new();
@@ -135,9 +218,41 @@ impl PeerDirectory {
         out
     }
 
-    /// Peers with no violations.
+    /// Picks a replacement peer for one in-flight object after the
+    /// peers in `failed` did not deliver: the nearest surviving
+    /// candidate not yet tried. `None` means every live peer has been
+    /// exhausted and the loader must fall back to the origin.
+    pub fn reassign(&self, policy: SelectionPolicy, failed: &BTreeSet<PeerId>) -> Option<PeerId> {
+        let mut survivors: Vec<PeerId> = self
+            .candidates(policy)
+            .into_iter()
+            .filter(|p| !failed.contains(p))
+            .collect();
+        survivors.sort_by(|a, b| {
+            self.rtt_of(*a)
+                .partial_cmp(&self.rtt_of(*b))
+                .expect("finite RTTs")
+                .then(a.cmp(b))
+        });
+        survivors.first().copied()
+    }
+
+    /// Peers alive with no violations.
     pub fn trusted_count(&self) -> usize {
-        self.peers.values().filter(|i| i.violations == 0).count()
+        self.membership
+            .iter()
+            .filter(|r| r.state.is_alive() && self.ledger.is_clean(r.id))
+            .count()
+    }
+
+    /// Fabric-observed uptime fraction of a recruited peer (1.0 until
+    /// a view sync provides churn history).
+    pub fn uptime(&self, id: PeerId) -> Option<f64> {
+        if self.membership.get(fid(id)).is_some() {
+            Some(self.uptimes.get(&id).copied().unwrap_or(1.0))
+        } else {
+            None
+        }
     }
 }
 
@@ -195,6 +310,8 @@ mod tests {
         let a = d.assign(&objects(10), SelectionPolicy::TrustWeighted, &mut rng);
         assert!(a.values().all(|p| p.0 != 0));
         assert_eq!(d.info(PeerId(0)).unwrap().violations, 2);
+        // The violation landed on the fabric ledger, not a private count.
+        assert_eq!(d.ledger().violations(hpop_fabric::PeerId(0)), 2);
     }
 
     #[test]
@@ -216,6 +333,41 @@ mod tests {
     }
 
     #[test]
+    fn dead_peers_are_not_assigned() {
+        let mut d = directory(4);
+        d.mark_dead(PeerId(0));
+        d.mark_dead(PeerId(2));
+        assert_eq!(d.alive_count(), 2);
+        assert_eq!(d.len(), 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = d.assign(&objects(12), SelectionPolicy::Random, &mut rng);
+        assert!(a.values().all(|p| p.0 == 1 || p.0 == 3), "{a:?}");
+    }
+
+    #[test]
+    fn reassign_skips_failed_and_dead_peers() {
+        let mut d = directory(4);
+        d.mark_dead(PeerId(0));
+        let mut failed = BTreeSet::new();
+        failed.insert(PeerId(1));
+        // Nearest surviving untried peer: id 2 (rtt 20 < rtt 25).
+        assert_eq!(
+            d.reassign(SelectionPolicy::Proximity, &failed),
+            Some(PeerId(2))
+        );
+        failed.insert(PeerId(2));
+        failed.insert(PeerId(3));
+        assert_eq!(d.reassign(SelectionPolicy::Proximity, &failed), None);
+    }
+
+    #[test]
+    fn uptime_defaults_to_one_until_synced() {
+        let d = directory(2);
+        assert_eq!(d.uptime(PeerId(0)), Some(1.0));
+        assert_eq!(d.uptime(PeerId(9)), None);
+    }
+
+    #[test]
     #[should_panic(expected = "no trusted peers")]
     fn all_violators_panics_trust_policy() {
         let mut d = directory(1);
@@ -228,6 +380,16 @@ mod tests {
     #[should_panic(expected = "no peers recruited")]
     fn empty_directory_panics() {
         let mut d = PeerDirectory::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        d.assign(&objects(1), SelectionPolicy::Random, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "no peers recruited")]
+    fn all_dead_panics_like_empty() {
+        let mut d = directory(2);
+        d.mark_dead(PeerId(0));
+        d.mark_dead(PeerId(1));
         let mut rng = StdRng::seed_from_u64(1);
         d.assign(&objects(1), SelectionPolicy::Random, &mut rng);
     }

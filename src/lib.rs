@@ -49,6 +49,7 @@ pub use hpop_core as core;
 pub use hpop_crypto as crypto;
 pub use hpop_dcol as dcol;
 pub use hpop_erasure as erasure;
+pub use hpop_fabric as fabric;
 pub use hpop_http as http;
 pub use hpop_internet_home as internet_home;
 pub use hpop_nat as nat;
