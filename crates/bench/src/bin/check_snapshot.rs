@@ -3,11 +3,92 @@
 //! CI runs the smoke experiments and then this checker on each emitted
 //! file: the file must parse as an [`hpop_obs::Snapshot`] (schema v1),
 //! carry a non-empty experiment name, and contain the harness's own
-//! bookkeeping metrics. Exits nonzero with a diagnostic on any failure.
+//! bookkeeping metrics. With `--budget <file>` it additionally enforces
+//! per-counter ceilings, so a perf regression (e.g. gossip byte volume
+//! creeping back toward the full-sync baseline) fails CI. Exits nonzero
+//! with a diagnostic on any failure.
+//!
+//! Budget file format, one rule per line:
+//!
+//! ```text
+//! # experiment  counter               max_value
+//! fabric_churn  fabric.gossip.bytes   730486825
+//! ```
+//!
+//! Rules apply only to snapshots whose experiment name matches; a
+//! missing counter fails too (the ceiling would otherwise be satisfied
+//! vacuously by renaming the metric).
 
 use hpop_obs::Snapshot;
 
-fn check(path: &str) -> Result<(), String> {
+/// One `experiment counter max_value` ceiling.
+#[derive(Clone, Debug, PartialEq)]
+struct Budget {
+    experiment: String,
+    counter: String,
+    max_value: u64,
+}
+
+/// Parses budget rules; `#` starts a comment, blank lines are skipped.
+fn parse_budgets(text: &str) -> Result<Vec<Budget>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(experiment), Some(counter), Some(max)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "budget line {}: expected `experiment counter max_value`, got `{raw}`",
+                lineno + 1
+            ));
+        };
+        if parts.next().is_some() {
+            return Err(format!(
+                "budget line {}: trailing tokens in `{raw}`",
+                lineno + 1
+            ));
+        }
+        let max_value = max
+            .parse::<u64>()
+            .map_err(|e| format!("budget line {}: bad max value `{max}`: {e}", lineno + 1))?;
+        out.push(Budget {
+            experiment: experiment.to_string(),
+            counter: counter.to_string(),
+            max_value,
+        });
+    }
+    Ok(out)
+}
+
+/// Applies every budget rule matching this snapshot's experiment.
+fn check_budgets(path: &str, snap: &Snapshot, budgets: &[Budget]) -> Result<(), String> {
+    for b in budgets.iter().filter(|b| b.experiment == snap.experiment) {
+        match snap.counters.get(&b.counter) {
+            None => {
+                return Err(format!(
+                    "{path}: budgeted counter {} absent from experiment {}",
+                    b.counter, snap.experiment
+                ));
+            }
+            Some(&v) if v > b.max_value => {
+                return Err(format!(
+                    "{path}: counter {} = {v} exceeds budget {} ({:.1}x)",
+                    b.counter,
+                    b.max_value,
+                    v as f64 / b.max_value as f64
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+fn check(path: &str, budgets: &[Budget]) -> Result<(), String> {
     let snap = Snapshot::load(path).map_err(|e| format!("{path}: cannot parse: {e}"))?;
     if snap.experiment.is_empty() {
         return Err(format!("{path}: empty experiment name"));
@@ -23,6 +104,7 @@ fn check(path: &str) -> Result<(), String> {
             return Err(format!("{path}: histogram {name} has p50 > p99"));
         }
     }
+    check_budgets(path, &snap, budgets)?;
     println!(
         "{path}: ok (experiment {}, {} counters, {} histograms)",
         snap.experiment,
@@ -33,19 +115,100 @@ fn check(path: &str) -> Result<(), String> {
 }
 
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut budgets = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--budget" {
+            i += 1;
+            let Some(budget_path) = args.get(i) else {
+                eprintln!("check_snapshot: --budget requires a file path");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(budget_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("check_snapshot: {budget_path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match parse_budgets(&text) {
+                Ok(mut b) => budgets.append(&mut b),
+                Err(e) => {
+                    eprintln!("check_snapshot: {budget_path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            paths.push(args[i].clone());
+        }
+        i += 1;
+    }
     if paths.is_empty() {
-        eprintln!("usage: check_snapshot <BENCH_*.json>...");
+        eprintln!("usage: check_snapshot [--budget <file>] <BENCH_*.json>...");
         std::process::exit(2);
     }
     let mut failed = false;
     for path in &paths {
-        if let Err(e) = check(path) {
+        if let Err(e) = check(path, &budgets) {
             eprintln!("check_snapshot: {e}");
             failed = true;
         }
     }
     if failed {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rules_comments_and_blanks() {
+        let text = "\n# full-line comment\nfabric_churn fabric.gossip.bytes 730486825 # inline\n";
+        let b = parse_budgets(text).unwrap();
+        assert_eq!(
+            b,
+            vec![Budget {
+                experiment: "fabric_churn".into(),
+                counter: "fabric.gossip.bytes".into(),
+                max_value: 730_486_825,
+            }]
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_budgets("one two").is_err());
+        assert!(parse_budgets("a b not_a_number").is_err());
+        assert!(parse_budgets("a b 1 extra").is_err());
+    }
+
+    fn snap_with(experiment: &str, counter: &str, value: u64) -> Snapshot {
+        let reg = hpop_obs::MetricsRegistry::new();
+        reg.counter(counter).add(value);
+        reg.snapshot(experiment)
+    }
+
+    #[test]
+    fn budget_enforced_only_for_matching_experiment() {
+        let budgets = parse_budgets("fabric_churn fabric.gossip.bytes 100").unwrap();
+        let over = snap_with("fabric_churn", "fabric.gossip.bytes", 101);
+        assert!(check_budgets("x", &over, &budgets).is_err());
+        let at = snap_with("fabric_churn", "fabric.gossip.bytes", 100);
+        assert!(check_budgets("x", &at, &budgets).is_ok());
+        // Same counter under a different experiment: rule does not apply.
+        let other = snap_with("coop_cache", "fabric.gossip.bytes", 101);
+        assert!(check_budgets("x", &other, &budgets).is_ok());
+    }
+
+    #[test]
+    fn missing_budgeted_counter_fails() {
+        let budgets = parse_budgets("fabric_churn fabric.gossip.bytes 100").unwrap();
+        let snap = snap_with("fabric_churn", "unrelated.counter", 1);
+        let err = check_budgets("x", &snap, &budgets).unwrap_err();
+        assert!(err.contains("absent"), "{err}");
     }
 }

@@ -1,0 +1,9 @@
+//! E19: gossip dissemination cost — delta piggybacking vs full-table
+//! sync, detection-latency parity, and the GF(256) slice kernel (see
+//! DESIGN.md experiment index).
+
+use hpop_bench::experiments::e19_gossip_bytes;
+
+fn main() {
+    hpop_bench::harness::run("gossip_bytes", e19_gossip_bytes::run_default);
+}

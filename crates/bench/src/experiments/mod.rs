@@ -1,4 +1,4 @@
-//! The per-experiment implementations (DESIGN.md index E1–E18).
+//! The per-experiment implementations (DESIGN.md index E1–E19).
 
 pub mod e01_ccz_utilization;
 pub mod e02_tcp_rampup;
@@ -18,6 +18,7 @@ pub mod e15_coop_cache;
 pub mod e16_nat_traversal;
 pub mod e17_appliance_uptime;
 pub mod e18_fabric_churn;
+pub mod e19_gossip_bytes;
 
 use crate::table::Table;
 
@@ -42,5 +43,6 @@ pub fn run_all() -> Vec<Table> {
     out.extend(e16_nat_traversal::run_default());
     out.extend(e17_appliance_uptime::run_default());
     out.extend(e18_fabric_churn::run_default());
+    out.extend(e19_gossip_bytes::run_default());
     out
 }

@@ -137,13 +137,13 @@ impl Sha256 {
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let (block, rest) = data.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
-            data = rest;
+        // Fast path: the buffer is empty here, so whole input blocks
+        // compress in place — no copy through `self.buf`.
+        let mut blocks = data.chunks_exact(64);
+        for block in &mut blocks {
+            self.compress(block);
         }
+        data = blocks.remainder();
         if !data.is_empty() {
             self.buf[..data.len()].copy_from_slice(data);
             self.buf_len = data.len();
@@ -176,15 +176,11 @@ impl Sha256 {
         Digest(out)
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
+    fn compress(&mut self, block: &[u8]) {
+        debug_assert_eq!(block.len(), 64);
         let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes([
-                block[i * 4],
-                block[i * 4 + 1],
-                block[i * 4 + 2],
-                block[i * 4 + 3],
-            ]);
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
         }
         for i in 16..64 {
             let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);

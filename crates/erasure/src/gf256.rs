@@ -50,6 +50,55 @@ pub fn mul(a: u8, b: u8) -> u8 {
     t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
 }
 
+/// Fused multiply-accumulate over slices: `dst[i] ^= coef · src[i]`.
+///
+/// This is the hot loop of Reed–Solomon encode and reconstruct. The
+/// scalar path costs two table lookups plus two zero-tests per byte;
+/// here the 256-entry product row for `coef` is built once (amortized
+/// over the whole slice) and the slices are walked eight bytes per
+/// iteration. `coef == 0` is a no-op and `coef == 1` degrades to a
+/// pure XOR, so callers need not special-case sparse matrix rows.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mul_slice(coef: u8, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(src.len(), dst.len(), "mul_slice length mismatch");
+    if coef == 0 {
+        return;
+    }
+    if coef == 1 {
+        let mut d = dst.chunks_exact_mut(8);
+        let mut s = src.chunks_exact(8);
+        for (dc, sc) in (&mut d).zip(&mut s) {
+            for i in 0..8 {
+                dc[i] ^= sc[i];
+            }
+        }
+        for (o, &b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+            *o ^= b;
+        }
+        return;
+    }
+    // The product row for this coefficient: row[b] = coef · b.
+    let t = tables();
+    let lc = t.log[coef as usize] as usize;
+    let mut row = [0u8; 256];
+    for (b, slot) in row.iter_mut().enumerate().skip(1) {
+        *slot = t.exp[lc + t.log[b] as usize];
+    }
+    let mut d = dst.chunks_exact_mut(8);
+    let mut s = src.chunks_exact(8);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        for i in 0..8 {
+            dc[i] ^= row[sc[i] as usize];
+        }
+    }
+    for (o, &b) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *o ^= row[b as usize];
+    }
+}
+
 /// Multiplicative inverse.
 ///
 /// # Panics
@@ -140,6 +189,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mul_slice_matches_scalar_mul() {
+        // Lengths straddling the 8-byte unroll boundary, and the three
+        // coefficient classes (zero, one, table row).
+        for len in [0usize, 1, 7, 8, 9, 64, 250] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            for coef in [0u8, 1, 2, 0x53, 0x80, 0xff] {
+                let mut dst: Vec<u8> = (0..len).map(|i| (i * 101 + 5) as u8).collect();
+                let expect: Vec<u8> = dst
+                    .iter()
+                    .zip(&src)
+                    .map(|(&d, &s)| add(d, mul(coef, s)))
+                    .collect();
+                mul_slice(coef, &src, &mut dst);
+                assert_eq!(dst, expect, "coef {coef:#x} len {len}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mul_slice_rejects_ragged_slices() {
+        let mut dst = [0u8; 3];
+        mul_slice(2, &[1, 2], &mut dst);
     }
 
     #[test]

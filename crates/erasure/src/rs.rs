@@ -130,12 +130,7 @@ impl ReedSolomon {
         for (p, out) in parity.iter_mut().enumerate() {
             let row = self.encode_matrix.row(self.data_shards + p);
             for (coef, shard) in row.iter().zip(data.iter()) {
-                if *coef == 0 {
-                    continue;
-                }
-                for (o, &b) in out.iter_mut().zip(shard.iter()) {
-                    *o = gf256::add(*o, gf256::mul(*coef, b));
-                }
+                gf256::mul_slice(*coef, shard, out);
             }
         }
         Ok(parity)
@@ -184,14 +179,8 @@ impl ReedSolomon {
         let mut data: Vec<Vec<u8>> = vec![vec![0u8; shard_len]; self.data_shards];
         for (r, out) in data.iter_mut().enumerate() {
             for (c, &src_row) in use_rows.iter().enumerate() {
-                let coef = dec.get(r, c);
-                if coef == 0 {
-                    continue;
-                }
                 let src = shards[src_row].as_ref().expect("present");
-                for (o, &b) in out.iter_mut().zip(src.iter()) {
-                    *o = gf256::add(*o, gf256::mul(coef, b));
-                }
+                gf256::mul_slice(dec.get(r, c), src, out);
             }
         }
 

@@ -1,59 +1,112 @@
 //! [`Fabric`]: the SWIM-style gossip layer, simulated deterministically.
 //!
-//! Every protocol period each *up* appliance (a) refreshes its own
-//! record, (b) picks one random acquaintance and performs a push-pull
-//! anti-entropy exchange (the probe doubles as a heartbeat), and (c)
-//! repeats the exchange with `gossip_fanout` extra targets. Membership
-//! records carry incarnation numbers and merge under SWIM precedence
-//! ([`MembershipTable::merge_record`]), so knowledge — including death
-//! certificates — spreads in O(log n) rounds.
+//! The fabric runs in one of two [`GossipMode`]s:
 //!
-//! Failure detection is phi-accrual per (observer, subject): every
-//! piece of evidence of life (a direct exchange, or a gossiped record
-//! with a fresher self-refresh timestamp) feeds the observer's
-//! [`PhiDetector`] for that subject. When `phi + reputation bonus`
-//! crosses the threshold the subject is marked [`PeerState::Suspect`];
-//! after a grace of `suspect_periods` without refutation it is declared
-//! [`PeerState::Dead`]. A peer that comes back bumps its incarnation,
-//! which overrides suspicion and death everywhere it propagates.
+//! - **[`GossipMode::Delta`]** (the default): every protocol period
+//!   each *up* appliance probes `1 + gossip_fanout` acquaintances with
+//!   a ping; the ack proves the target alive at its stated incarnation.
+//!   Membership *changes* (joins, suspicions, refutations, deaths) ride
+//!   piggybacked on those pings/acks: each node keeps a bounded queue
+//!   of recently-changed records and retransmits each at most
+//!   `retransmit_factor · ⌈log₂ n⌉` times under a per-message byte
+//!   budget ([`FabricConfig::piggyback_budget_bytes`]). Because only
+//!   changes travel, steady-state traffic is O(n) headers per round
+//!   instead of O(n²) records. Convergence after partitions is still
+//!   guaranteed by **digest anti-entropy** on a slow timer: every
+//!   `digest_sync_every` periods (staggered by node id) a node swaps
+//!   `(id, incarnation, state)` digests with one target and only the
+//!   records one side is missing are shipped. Failure detection is
+//!   probe-driven: a ping into a dead appliance goes unanswered, the
+//!   prober marks the target [`PeerState::Suspect`], and the suspicion
+//!   piggybacks outward; after `suspect_periods` without refutation the
+//!   suspect is declared [`PeerState::Dead`].
+//!
+//! - **[`GossipMode::FullSync`]**: the legacy push-pull anti-entropy —
+//!   both sides exchange entire membership tables on every contact and
+//!   failure detection is phi-accrual per (observer, subject) via
+//!   [`PhiDetector`]. Kept as the baseline the `exp_gossip_bytes`
+//!   experiment compares against.
+//!
+//! In both modes records carry incarnation numbers and merge under
+//! SWIM precedence ([`MembershipTable::merge_record`]); a peer that
+//! comes back bumps its incarnation, which overrides suspicion and
+//! death certificates everywhere it propagates.
+//!
+//! Byte accounting is honest: every message is really serialized (see
+//! [`crate::wire`]) into a reusable scratch buffer and its exact length
+//! is charged to `fabric.gossip.bytes` (piggyback payload split out
+//! into `fabric.gossip.delta_bytes`, digest traffic into
+//! `fabric.gossip.digest_bytes`). The tick path is allocation-free in
+//! steady state: candidate lists, chosen targets, record staging and
+//! the wire buffer all live in reusable scratch storage.
 //!
 //! The fabric is driven from outside: a churn schedule (see
 //! `hpop_netsim::churn`) calls [`Fabric::set_up`] at transition times
 //! and [`Fabric::tick`] once per period. Ground truth stays inside the
-//! fabric, which is what lets it *score its own detector*: detection
-//! latency (down-transition → first `Dead` declaration) lands in the
-//! `fabric.detect.latency_ms` histogram and premature declarations in
-//! the `fabric.detect.false_positive` counter.
+//! fabric ([`GroundTruth`] below), which is what lets it *score its own
+//! detector*: detection latency (down-transition → first `Dead`
+//! declaration) lands in the `fabric.detect.latency_ms` histogram;
+//! declarations whose suspicion was raised during a peer's *previous*
+//! down interval but landed after it rejoined count as
+//! `fabric.detect.rejoin_window`, and only declarations against a peer
+//! that was genuinely up when suspected count as
+//! `fabric.detect.false_positive`.
 
 use crate::detector::PhiDetector;
 use crate::member::{Advertisement, MembershipTable, PeerId, PeerRecord, PeerState};
 use crate::reputation::{ReputationLedger, Violation};
 use crate::view::{PeerEntry, PeerView};
+use crate::wire;
 use hpop_netsim::time::{SimDuration, SimTime};
+use hpop_obs::{CounterHandle, HistogramHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
 
-/// Serialized size of one membership record on the wire (id +
-/// incarnation + state + advertisement + refresh timestamp).
-const ENTRY_BYTES: u64 = 56;
+/// Hard cap on a node's piggyback queue; beyond it the oldest delta is
+/// dropped (digest anti-entropy will repair whatever gets lost).
+const QUEUE_CAP: usize = 1024;
+
+/// Which dissemination strategy the fabric runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GossipMode {
+    /// Legacy push-pull anti-entropy: full membership tables travel in
+    /// both directions on every contact; phi-accrual failure detection.
+    FullSync,
+    /// SWIM-style delta piggybacking on ping/ack traffic plus digest
+    /// anti-entropy on a slow timer; probe-failure suspicion.
+    Delta,
+}
 
 /// Tuning knobs of the gossip layer.
 #[derive(Clone, Copy, Debug)]
 pub struct FabricConfig {
     /// Protocol period: one gossip round per period.
     pub period: SimDuration,
-    /// Extra anti-entropy targets per round beyond the probe target.
+    /// Extra contacts per round beyond the probe target.
     pub gossip_fanout: usize,
-    /// Phi level at which an alive peer becomes suspect.
+    /// Dissemination strategy (delta piggybacking by default).
+    pub mode: GossipMode,
+    /// Phi level at which an alive peer becomes suspect (full-sync
+    /// mode only; delta mode suspects on probe failure).
     pub phi_threshold: f64,
     /// Periods a suspect may linger unrefuted before being declared dead.
     pub suspect_periods: u32,
-    /// Sliding-window size of each phi detector.
+    /// Sliding-window size of each phi detector (full-sync mode).
     pub detector_window: usize,
     /// Periods after which terminal (dead/left) records are evicted
     /// from membership tables.
     pub evict_after_periods: u32,
+    /// λ in the per-delta retransmit bound λ·⌈log₂ n⌉ (delta mode).
+    pub retransmit_factor: u32,
+    /// Byte budget of one serialized ping/ack including piggybacked
+    /// deltas (delta mode).
+    pub piggyback_budget_bytes: usize,
+    /// Digest anti-entropy cadence in periods (delta mode): a node
+    /// initiates one digest sync whenever `period_index ≡ id.0`
+    /// modulo this value, so syncs stagger across the membership.
+    pub digest_sync_every: u64,
     /// Seed for every random choice the layer makes.
     pub seed: u64,
 }
@@ -63,13 +116,24 @@ impl Default for FabricConfig {
         FabricConfig {
             period: SimDuration::from_secs(1),
             gossip_fanout: 2,
+            mode: GossipMode::Delta,
             phi_threshold: 6.0,
             suspect_periods: 2,
             detector_window: 16,
             evict_after_periods: 300,
+            retransmit_factor: 3,
+            piggyback_budget_bytes: 512,
+            digest_sync_every: 120,
             seed: 0x5eedfab,
         }
     }
+}
+
+/// `⌈log₂ n⌉`-scaled retransmit bound for one queued delta.
+fn retransmit_limit(lambda: u32, table_len: usize) -> u32 {
+    let n = table_len.max(2) as u32;
+    let ceil_log2 = 32 - (n - 1).leading_zeros();
+    (lambda * ceil_log2).max(1)
 }
 
 /// Per-node runtime state: the node's own record plus everything it
@@ -77,10 +141,71 @@ impl Default for FabricConfig {
 #[derive(Clone, Debug)]
 struct NodeRuntime {
     table: MembershipTable,
+    /// Phi detectors per subject (full-sync mode only).
     detectors: BTreeMap<PeerId, PhiDetector>,
     suspect_since: BTreeMap<PeerId, SimTime>,
-    /// Freshest self-refresh timestamp seen per peer (evidence clock).
+    /// Freshest self-refresh timestamp seen per peer (full-sync
+    /// evidence clock).
     evidence_at: BTreeMap<PeerId, SimTime>,
+    /// Piggyback queue: recently-changed peers with remaining
+    /// retransmit credit (delta mode).
+    queue: VecDeque<(PeerId, u32)>,
+}
+
+impl NodeRuntime {
+    fn new() -> NodeRuntime {
+        NodeRuntime {
+            table: MembershipTable::new(),
+            detectors: BTreeMap::new(),
+            suspect_since: BTreeMap::new(),
+            evidence_at: BTreeMap::new(),
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+/// (Re-)arms the piggyback credit for `id` on this node's queue.
+fn enqueue_delta(node: &mut NodeRuntime, id: PeerId, lambda: u32) {
+    let limit = retransmit_limit(lambda, node.table.len());
+    if let Some(entry) = node.queue.iter_mut().find(|(p, _)| *p == id) {
+        entry.1 = limit;
+        return;
+    }
+    if node.queue.len() >= QUEUE_CAP {
+        node.queue.pop_front();
+    }
+    node.queue.push_back((id, limit));
+}
+
+/// Serializes a ping/ack from `sender` into `msg`, draining up to a
+/// budget's worth of piggyback queue into it (and into `deltas` for
+/// in-process application). Returns the sender's incarnation.
+fn encode_ping(
+    node: &mut NodeRuntime,
+    sender: PeerId,
+    tag: u8,
+    budget: usize,
+    msg: &mut Vec<u8>,
+    deltas: &mut Vec<PeerRecord>,
+) -> u64 {
+    deltas.clear();
+    let incarnation = node.table.get(sender).map_or(0, |r| r.incarnation);
+    wire::begin_ping(msg, tag, sender, incarnation);
+    for _ in 0..node.queue.len() {
+        if deltas.len() == u8::MAX as usize || msg.len() + wire::RECORD_BYTES > budget {
+            break;
+        }
+        let (pid, remaining) = node.queue.pop_front().expect("loop bound");
+        let Some(rec) = node.table.get(pid) else {
+            continue; // evicted since it was queued
+        };
+        wire::push_record(msg, rec);
+        deltas.push(*rec);
+        if remaining > 1 {
+            node.queue.push_back((pid, remaining - 1));
+        }
+    }
+    incarnation
 }
 
 /// Ground-truth uptime accounting for one peer.
@@ -105,20 +230,120 @@ impl Uptime {
     }
 }
 
+/// Ground truth the fabric scores its own detector against: who is
+/// physically up, uptime accounting, and the full down-interval
+/// history (needed to tell a suspicion raised during a peer's previous
+/// downtime from a genuine false positive).
+#[derive(Clone, Debug, Default)]
+struct GroundTruth {
+    up: BTreeSet<PeerId>,
+    uptime: BTreeMap<PeerId, Uptime>,
+    /// Currently-down peers → when they went down.
+    open_down: BTreeMap<PeerId, SimTime>,
+    /// Finished down intervals `[from, to)` per peer.
+    closed_down: BTreeMap<PeerId, Vec<(SimTime, SimTime)>>,
+}
+
+impl GroundTruth {
+    fn join(&mut self, id: PeerId, now: SimTime) {
+        self.up.insert(id);
+        self.uptime.insert(
+            id,
+            Uptime {
+                joined_at: now,
+                up_since: Some(now),
+                total_up: SimDuration::ZERO,
+            },
+        );
+    }
+
+    /// Was instant `t` inside a *finished* down interval of `id`, or
+    /// within `slack` after one ended? (An ongoing downtime lives in
+    /// `open_down`.) The slack covers suspicions raised from evidence
+    /// that staled during the downtime but crossed the threshold just
+    /// after the rejoin, before the refutation could propagate.
+    fn in_rejoin_window(&self, id: PeerId, t: SimTime, slack: SimDuration) -> bool {
+        self.closed_down
+            .get(&id)
+            .is_some_and(|v| v.iter().any(|&(from, to)| t >= from && t < to + slack))
+    }
+}
+
 /// Counters the experiments and property tests read back.
 #[derive(Clone, Debug, Default)]
 pub struct FabricStats {
-    /// Anti-entropy bytes shipped (both directions of every exchange).
+    /// Serialized bytes of every gossip message shipped.
     pub gossip_bytes: u64,
-    /// Push-pull exchanges performed.
+    /// Subset of `gossip_bytes`: piggybacked delta payload on pings/acks.
+    pub delta_bytes: u64,
+    /// Subset of `gossip_bytes`: digest messages and their record replies.
+    pub digest_bytes: u64,
+    /// Digest anti-entropy syncs initiated.
+    pub digest_syncs: u64,
+    /// Gossip contacts performed (probe round-trips, digest syncs, or
+    /// full-sync exchanges depending on mode).
     pub exchanges: u64,
     /// `Dead` declarations that matched ground truth.
     pub true_detections: u64,
-    /// `Dead` declarations against a peer that was actually up.
+    /// `Dead` declarations against a peer that was up when suspected.
     pub false_positives: u64,
+    /// `Dead` declarations whose suspicion was raised while the peer
+    /// was genuinely down but that landed after it rejoined.
+    pub rejoin_declarations: u64,
     /// Per-declaration latencies (ms) from the down-transition to each
     /// observer's declaration.
     pub detection_latency_ms: Vec<f64>,
+}
+
+/// Cached handles into the global metrics registry so the tick path
+/// never re-hashes metric names.
+#[derive(Clone)]
+struct FabricMetrics {
+    gossip_bytes: CounterHandle,
+    delta_bytes: CounterHandle,
+    digest_bytes: CounterHandle,
+    digest_syncs: CounterHandle,
+    false_positive: CounterHandle,
+    rejoin_window: CounterHandle,
+    latency_ms: HistogramHandle,
+    queue_depth: HistogramHandle,
+}
+
+impl FabricMetrics {
+    fn new() -> FabricMetrics {
+        let m = hpop_obs::metrics();
+        FabricMetrics {
+            gossip_bytes: m.counter("fabric.gossip.bytes"),
+            delta_bytes: m.counter("fabric.gossip.delta_bytes"),
+            digest_bytes: m.counter("fabric.gossip.digest_bytes"),
+            digest_syncs: m.counter("fabric.gossip.digest_syncs"),
+            false_positive: m.counter("fabric.detect.false_positive"),
+            rejoin_window: m.counter("fabric.detect.rejoin_window"),
+            latency_ms: m.histogram("fabric.detect.latency_ms"),
+            queue_depth: m.histogram("fabric.gossip.piggyback.depth"),
+        }
+    }
+}
+
+impl fmt::Debug for FabricMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("FabricMetrics { .. }")
+    }
+}
+
+/// Reusable buffers for the tick path: taken with `mem::take`, cleared,
+/// used, and put back, so steady-state rounds allocate nothing.
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    ids: Vec<PeerId>,
+    candidates: Vec<PeerId>,
+    chosen: Vec<PeerId>,
+    introducers: Vec<PeerId>,
+    recs_a: Vec<PeerRecord>,
+    recs_b: Vec<PeerRecord>,
+    to_suspect: Vec<PeerId>,
+    to_kill: Vec<(PeerId, SimTime)>,
+    msg: Vec<u8>,
 }
 
 /// The gossip membership layer over a set of appliances.
@@ -126,15 +351,15 @@ pub struct FabricStats {
 pub struct Fabric {
     cfg: FabricConfig,
     now: SimTime,
+    /// Protocol periods elapsed (drives the staggered digest timer).
+    period_index: u64,
     rng: StdRng,
     nodes: BTreeMap<PeerId, NodeRuntime>,
-    /// Ground truth: which peers are physically up right now.
-    up: BTreeSet<PeerId>,
-    uptime: BTreeMap<PeerId, Uptime>,
-    /// Ground truth: when each currently-down peer went down.
-    went_down_at: BTreeMap<PeerId, SimTime>,
+    truth: GroundTruth,
     ledger: ReputationLedger,
     stats: FabricStats,
+    metrics: FabricMetrics,
+    scratch: Scratch,
     next_id: u64,
 }
 
@@ -145,12 +370,13 @@ impl Fabric {
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             now: SimTime::ZERO,
+            period_index: 0,
             nodes: BTreeMap::new(),
-            up: BTreeSet::new(),
-            uptime: BTreeMap::new(),
-            went_down_at: BTreeMap::new(),
+            truth: GroundTruth::default(),
             ledger: ReputationLedger::new(),
             stats: FabricStats::default(),
+            metrics: FabricMetrics::new(),
+            scratch: Scratch::default(),
             next_id: 0,
         }
     }
@@ -177,39 +403,31 @@ impl Fabric {
 
     /// Ground truth: is this peer physically up?
     pub fn is_up(&self, id: PeerId) -> bool {
-        self.up.contains(&id)
+        self.truth.up.contains(&id)
     }
 
-    /// A new appliance joins (initially up). It learns the membership
-    /// from one random up introducer (push-pull), who learns it back;
-    /// everyone else hears through subsequent gossip.
+    /// A new appliance joins (initially up). It bootstraps from one
+    /// random up introducer — a digest sync in delta mode (the
+    /// newcomer pulls the whole membership, the introducer learns it
+    /// back and relays its record), a push-pull exchange in full-sync
+    /// mode; everyone else hears through subsequent gossip.
     pub fn join(&mut self, advert: Advertisement) -> PeerId {
         let id = PeerId(self.next_id);
         self.next_id += 1;
-        let mut table = MembershipTable::new();
-        table.upsert(PeerRecord::alive(id, advert, self.now));
-        self.nodes.insert(
-            id,
-            NodeRuntime {
-                table,
-                detectors: BTreeMap::new(),
-                suspect_since: BTreeMap::new(),
-                evidence_at: BTreeMap::new(),
-            },
-        );
-        self.up.insert(id);
-        self.uptime.insert(
-            id,
-            Uptime {
-                joined_at: self.now,
-                up_since: Some(self.now),
-                total_up: SimDuration::ZERO,
-            },
-        );
-        let introducers: Vec<PeerId> = self.up.iter().copied().filter(|&p| p != id).collect();
-        if !introducers.is_empty() {
-            let intro = introducers[self.rng.gen_range(0..introducers.len())];
-            self.exchange(id, intro);
+        let mut node = NodeRuntime::new();
+        node.table.upsert(PeerRecord::alive(id, advert, self.now));
+        self.nodes.insert(id, node);
+        self.truth.join(id, self.now);
+        let mut intros = std::mem::take(&mut self.scratch.introducers);
+        intros.clear();
+        intros.extend(self.truth.up.iter().copied().filter(|&p| p != id));
+        let intro = (!intros.is_empty()).then(|| intros[self.rng.gen_range(0..intros.len())]);
+        self.scratch.introducers = intros;
+        if let Some(intro) = intro {
+            match self.cfg.mode {
+                GossipMode::Delta => self.digest_sync(id, intro),
+                GossipMode::FullSync => self.full_sync_exchange(id, intro),
+            }
         }
         id
     }
@@ -219,37 +437,75 @@ impl Fabric {
     /// re-announcement refutes any suspicion or death certificate
     /// circulating about it.
     pub fn set_up(&mut self, id: PeerId, up: bool) {
-        let Some(acc) = self.uptime.get_mut(&id) else {
+        let Some(acc) = self.truth.uptime.get_mut(&id) else {
             return;
         };
-        if up && !self.up.contains(&id) {
+        if up && !self.truth.up.contains(&id) {
             acc.up_since = Some(self.now);
-            self.up.insert(id);
-            self.went_down_at.remove(&id);
+            self.truth.up.insert(id);
+            if let Some(down_at) = self.truth.open_down.remove(&id) {
+                self.truth
+                    .closed_down
+                    .entry(id)
+                    .or_default()
+                    .push((down_at, self.now));
+            }
+            let lambda = self.cfg.retransmit_factor;
             let node = self.nodes.get_mut(&id).expect("joined peers have nodes");
             let mut me = node
                 .table
                 .get(id)
-                .cloned()
+                .copied()
                 .unwrap_or_else(|| PeerRecord::alive(id, Advertisement::default(), self.now));
             me.incarnation += 1;
             me.state = PeerState::Alive;
             me.updated_at = self.now;
             node.table.upsert(me);
-            // Re-announce through a few random up introducers so the
-            // incarnation bump outraces in-flight death declarations.
-            let introducers: Vec<PeerId> = self.up.iter().copied().filter(|&p| p != id).collect();
-            if !introducers.is_empty() {
-                let start = self.rng.gen_range(0..introducers.len());
-                for off in 0..introducers.len().min(1 + self.cfg.gossip_fanout) {
-                    self.exchange(id, introducers[(start + off) % introducers.len()]);
+            // Amnesty epoch: silence observed while this node was
+            // itself down is not evidence of anyone's death. Stale
+            // suspicions and heartbeat histories restart from now —
+            // otherwise a rebooted observer mass-suspects every peer
+            // it does not contact in its first round back.
+            node.suspect_since.clear();
+            node.detectors.clear();
+            node.evidence_at.clear();
+            if self.cfg.mode == GossipMode::Delta {
+                enqueue_delta(node, id, lambda);
+            } else {
+                let window = self.cfg.detector_window;
+                let period_s = self.cfg.period.as_secs_f64();
+                let now = self.now;
+                for rec in node.table.iter() {
+                    if rec.id == id {
+                        continue;
+                    }
+                    let mut d = PhiDetector::new(window, period_s);
+                    d.heartbeat(now);
+                    node.detectors.insert(rec.id, d);
+                    node.evidence_at.insert(rec.id, now);
                 }
             }
-        } else if !up && self.up.remove(&id) {
+            // Re-announce through a few random up introducers so the
+            // incarnation bump outraces in-flight death declarations.
+            let mut intros = std::mem::take(&mut self.scratch.introducers);
+            intros.clear();
+            intros.extend(self.truth.up.iter().copied().filter(|&p| p != id));
+            if !intros.is_empty() {
+                let start = self.rng.gen_range(0..intros.len());
+                for off in 0..intros.len().min(1 + self.cfg.gossip_fanout) {
+                    let target = intros[(start + off) % intros.len()];
+                    match self.cfg.mode {
+                        GossipMode::Delta => self.probe(id, target),
+                        GossipMode::FullSync => self.full_sync_exchange(id, target),
+                    }
+                }
+            }
+            self.scratch.introducers = intros;
+        } else if !up && self.truth.up.remove(&id) {
             if let Some(since) = acc.up_since.take() {
                 acc.total_up += self.now.saturating_since(since);
             }
-            self.went_down_at.insert(id, self.now);
+            self.truth.open_down.insert(id, self.now);
         }
     }
 
@@ -257,12 +513,17 @@ impl Fabric {
     /// for every up node. Returns the new sim time.
     pub fn tick(&mut self) -> SimTime {
         self.now += self.cfg.period;
-        let ids: Vec<PeerId> = self.up.iter().copied().collect();
-        for id in &ids {
-            self.refresh_self(*id);
+        self.period_index += 1;
+        let mut ids = std::mem::take(&mut self.scratch.ids);
+        ids.clear();
+        ids.extend(self.truth.up.iter().copied());
+        for &id in &ids {
+            if let Some(node) = self.nodes.get_mut(&id) {
+                node.table.touch_self(id, self.now);
+            }
         }
-        for id in &ids {
-            self.round_for(*id);
+        for &id in &ids {
+            self.round_for(id);
         }
         let cutoff_periods = self.cfg.evict_after_periods as u64;
         let cutoff = SimTime::from_nanos(
@@ -270,11 +531,12 @@ impl Fabric {
                 .as_nanos()
                 .saturating_sub(self.cfg.period.as_nanos().saturating_mul(cutoff_periods)),
         );
-        for id in &ids {
-            if let Some(node) = self.nodes.get_mut(id) {
+        for &id in &ids {
+            if let Some(node) = self.nodes.get_mut(&id) {
                 node.table.evict_terminal_before(cutoff);
             }
         }
+        self.scratch.ids = ids;
         self.now
     }
 
@@ -285,126 +547,405 @@ impl Fabric {
         }
     }
 
-    fn refresh_self(&mut self, id: PeerId) {
-        if let Some(node) = self.nodes.get_mut(&id) {
-            if let Some(me) = node.table.get(id).cloned() {
-                let mut me = me;
-                me.state = PeerState::Alive;
-                me.updated_at = self.now;
-                node.table.upsert(me);
+    fn round_for(&mut self, id: PeerId) {
+        let delta = self.cfg.mode == GossipMode::Delta;
+        if delta {
+            if let Some(node) = self.nodes.get(&id) {
+                self.metrics.queue_depth.record(node.queue.len() as u64);
             }
         }
-    }
-
-    fn round_for(&mut self, id: PeerId) {
-        // Pick the probe target plus fanout extra anti-entropy targets
-        // among non-terminal acquaintances.
-        let candidates: Vec<PeerId> = self
-            .nodes
-            .get(&id)
-            .map(|n| {
-                n.table
+        // Pick the probe target plus fanout extra targets among
+        // non-terminal acquaintances.
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
+        candidates.clear();
+        if let Some(node) = self.nodes.get(&id) {
+            candidates.extend(
+                node.table
                     .iter()
                     .filter(|r| r.id != id && !matches!(r.state, PeerState::Dead | PeerState::Left))
-                    .map(|r| r.id)
-                    .collect()
-            })
-            .unwrap_or_default();
+                    .map(|r| r.id),
+            );
+        }
         if !candidates.is_empty() {
-            let contacts = 1 + self.cfg.gossip_fanout;
-            let mut chosen = BTreeSet::new();
-            for _ in 0..contacts.min(candidates.len()) {
+            let mut chosen = std::mem::take(&mut self.scratch.chosen);
+            chosen.clear();
+            // SWIM probes a single target per protocol period — deltas
+            // ride the ping and the ack, so dissemination needs no
+            // extra contacts. Full-table push-pull spreads per-contact,
+            // so it keeps the probe-plus-fanout contact count.
+            let contacts = if delta {
+                1
+            } else {
+                (1 + self.cfg.gossip_fanout).min(candidates.len())
+            };
+            for _ in 0..contacts {
                 // Rejection-free pick: scan from a random start offset.
                 let start = self.rng.gen_range(0..candidates.len());
                 for off in 0..candidates.len() {
                     let c = candidates[(start + off) % candidates.len()];
-                    if chosen.insert(c) {
+                    if !chosen.contains(&c) {
+                        chosen.push(c);
                         break;
                     }
                 }
             }
-            for target in chosen {
-                if self.up.contains(&target) {
-                    self.exchange(id, target);
+            let every = self.cfg.digest_sync_every.max(1);
+            let digest_due = delta && self.period_index % every == id.0 % every;
+            for (k, &target) in chosen.iter().enumerate() {
+                if delta {
+                    if k == 0 && digest_due {
+                        self.digest_sync(id, target);
+                    } else {
+                        self.probe(id, target);
+                    }
+                } else if self.truth.up.contains(&target) {
+                    self.full_sync_exchange(id, target);
                 }
-                // A down target simply doesn't answer: no evidence, no
-                // bytes — the observer's phi for it keeps growing.
+                // A down target simply doesn't answer. In full-sync
+                // mode that means no evidence — the observer's phi for
+                // it keeps growing; in delta mode probe() suspects it
+                // on the spot.
             }
+            self.scratch.chosen = chosen;
         }
+        self.scratch.candidates = candidates;
         self.assess(id);
     }
 
-    /// Push-pull anti-entropy between two up nodes: each merges the
-    /// other's table and harvests evidence-of-life timestamps.
-    fn exchange(&mut self, a: PeerId, b: PeerId) {
-        let (Some(na), Some(nb)) = (self.nodes.get(&a), self.nodes.get(&b)) else {
+    fn account_ping(&mut self, len: usize) {
+        let payload = (len - wire::PING_HEADER_BYTES) as u64;
+        self.stats.gossip_bytes += len as u64;
+        self.stats.delta_bytes += payload;
+        self.metrics.gossip_bytes.add(len as u64);
+        self.metrics.delta_bytes.add(payload);
+    }
+
+    fn account_digest(&mut self, len: usize) {
+        self.stats.gossip_bytes += len as u64;
+        self.stats.digest_bytes += len as u64;
+        self.metrics.gossip_bytes.add(len as u64);
+        self.metrics.digest_bytes.add(len as u64);
+    }
+
+    /// One probe round-trip `a → b → a` with piggybacked deltas (delta
+    /// mode). An unanswered probe raises suspicion immediately: in a
+    /// loss-free simulation the only reason a ping goes unanswered is
+    /// that the target is really down.
+    fn probe(&mut self, a: PeerId, b: PeerId) {
+        let budget = self.cfg.piggyback_budget_bytes;
+        let lambda = self.cfg.retransmit_factor;
+        let mut msg = std::mem::take(&mut self.scratch.msg);
+        let mut deltas = std::mem::take(&mut self.scratch.recs_a);
+        let Some(node_a) = self.nodes.get_mut(&a) else {
+            self.scratch.msg = msg;
+            self.scratch.recs_a = deltas;
             return;
         };
-        let recs_a: Vec<PeerRecord> = na.table.iter().cloned().collect();
-        let recs_b: Vec<PeerRecord> = nb.table.iter().cloned().collect();
-        self.stats.gossip_bytes += (recs_a.len() + recs_b.len()) as u64 * ENTRY_BYTES;
+        let inc_a = encode_ping(node_a, a, wire::TAG_PING, budget, &mut msg, &mut deltas);
+        self.account_ping(msg.len());
         self.stats.exchanges += 1;
-        hpop_obs::metrics()
-            .counter("fabric.gossip.bytes")
-            .add((recs_a.len() + recs_b.len()) as u64 * ENTRY_BYTES);
+        if !self.truth.up.contains(&b) {
+            self.suspect_from_probe(a, b);
+        } else {
+            self.apply_ping(b, a, inc_a, &deltas, lambda);
+            let node_b = self.nodes.get_mut(&b).expect("up peers have nodes");
+            let inc_b = encode_ping(node_b, b, wire::TAG_ACK, budget, &mut msg, &mut deltas);
+            self.account_ping(msg.len());
+            self.apply_ping(a, b, inc_b, &deltas, lambda);
+        }
+        self.scratch.msg = msg;
+        self.scratch.recs_a = deltas;
+    }
+
+    /// Marks an unresponsive probe target suspect and queues the
+    /// suspicion for dissemination.
+    fn suspect_from_probe(&mut self, observer: PeerId, target: PeerId) {
+        let now = self.now;
+        let lambda = self.cfg.retransmit_factor;
+        let Some(node) = self.nodes.get_mut(&observer) else {
+            return;
+        };
+        let alive = node
+            .table
+            .get(target)
+            .is_some_and(|r| r.state == PeerState::Alive);
+        if alive && node.table.set_state(target, PeerState::Suspect, now) {
+            node.suspect_since.entry(target).or_insert(now);
+            enqueue_delta(node, target, lambda);
+        }
+    }
+
+    /// Ingests a ping/ack at `dst`: the header is a heartbeat for the
+    /// sender, the piggybacked deltas merge under SWIM precedence.
+    fn apply_ping(
+        &mut self,
+        dst: PeerId,
+        sender: PeerId,
+        sender_inc: u64,
+        deltas: &[PeerRecord],
+        lambda: u32,
+    ) {
+        let now = self.now;
+        if let Some(node) = self.nodes.get_mut(&dst) {
+            // The header proves the sender alive at `sender_inc`. A
+            // sender we have never heard of carries no advertisement,
+            // so we wait for its record to arrive as a delta or digest
+            // reply instead of fabricating one.
+            if let Some(cur) = node.table.get(sender) {
+                let fresher = sender_inc > cur.incarnation
+                    || (sender_inc == cur.incarnation && cur.state != PeerState::Alive);
+                if fresher {
+                    let mut rec = *cur;
+                    rec.state = PeerState::Alive;
+                    rec.incarnation = sender_inc;
+                    rec.updated_at = now;
+                    node.table.upsert(rec);
+                    enqueue_delta(node, sender, lambda);
+                }
+                node.suspect_since.remove(&sender);
+            }
+        }
+        for rec in deltas {
+            self.apply_record(dst, *rec, lambda);
+        }
+    }
+
+    /// Merges one gossiped record at `dst` (delta mode), re-queuing it
+    /// for relay when it changed the local belief. A record about
+    /// `dst` itself triggers SWIM self-defense instead of a merge.
+    fn apply_record(&mut self, dst: PeerId, rec: PeerRecord, lambda: u32) {
+        let now = self.now;
+        let Some(node) = self.nodes.get_mut(&dst) else {
+            return;
+        };
+        if rec.id == dst {
+            // Someone believes something non-alive about me: refute by
+            // bumping my incarnation past theirs.
+            if rec.state != PeerState::Alive {
+                let mut me = *node.table.get(dst).expect("self record");
+                if rec.incarnation >= me.incarnation {
+                    me.incarnation = rec.incarnation + 1;
+                    me.state = PeerState::Alive;
+                    me.updated_at = now;
+                    node.table.upsert(me);
+                    enqueue_delta(node, dst, lambda);
+                }
+            }
+            return;
+        }
+        if node.table.merge_record(&rec) {
+            enqueue_delta(node, rec.id, lambda);
+            match rec.state {
+                // Grace runs from when the suspicion was *raised* (the
+                // origin's timestamp), not from when it arrived here.
+                PeerState::Suspect => {
+                    node.suspect_since.entry(rec.id).or_insert(rec.updated_at);
+                }
+                _ => {
+                    node.suspect_since.remove(&rec.id);
+                }
+            }
+        }
+    }
+
+    /// Digest anti-entropy between `a` and `b`: swap per-peer
+    /// `(id, incarnation, state)` summaries, then ship only the records
+    /// each side is missing or holds stale.
+    fn digest_sync(&mut self, a: PeerId, b: PeerId) {
+        let lambda = self.cfg.retransmit_factor;
+        let mut msg = std::mem::take(&mut self.scratch.msg);
+        let Some(node_a) = self.nodes.get(&a) else {
+            self.scratch.msg = msg;
+            return;
+        };
+        wire::begin_list(&mut msg, wire::TAG_DIGEST, a);
+        for rec in node_a.table.iter() {
+            wire::push_digest_entry(&mut msg, rec.id, rec.incarnation, rec.state);
+        }
+        self.account_digest(msg.len());
+        self.stats.exchanges += 1;
+        self.stats.digest_syncs += 1;
+        self.metrics.digest_syncs.incr();
+        if !self.truth.up.contains(&b) {
+            self.suspect_from_probe(a, b);
+            self.scratch.msg = msg;
+            return;
+        }
+        let node_b = self.nodes.get(&b).expect("up peers have nodes");
+        wire::begin_list(&mut msg, wire::TAG_DIGEST, b);
+        for rec in node_b.table.iter() {
+            wire::push_digest_entry(&mut msg, rec.id, rec.incarnation, rec.state);
+        }
+        self.account_digest(msg.len());
+        // Merge-join the two id-sorted tables: whatever one side holds
+        // fresher (or exclusively) goes to the other.
+        let mut send_to_b = std::mem::take(&mut self.scratch.recs_a);
+        let mut send_to_a = std::mem::take(&mut self.scratch.recs_b);
+        send_to_b.clear();
+        send_to_a.clear();
+        {
+            let node_a = self.nodes.get(&a).expect("checked above");
+            let node_b = self.nodes.get(&b).expect("checked above");
+            let mut ia = node_a.table.iter().peekable();
+            let mut ib = node_b.table.iter().peekable();
+            loop {
+                match (ia.peek(), ib.peek()) {
+                    (Some(ra), Some(rb)) => match ra.id.cmp(&rb.id) {
+                        std::cmp::Ordering::Less => {
+                            send_to_b.push(**ra);
+                            ia.next();
+                        }
+                        std::cmp::Ordering::Greater => {
+                            send_to_a.push(**rb);
+                            ib.next();
+                        }
+                        std::cmp::Ordering::Equal => {
+                            if fresher(ra, rb) {
+                                send_to_b.push(**ra);
+                            } else if fresher(rb, ra) {
+                                send_to_a.push(**rb);
+                            }
+                            ia.next();
+                            ib.next();
+                        }
+                    },
+                    (Some(ra), None) => {
+                        send_to_b.push(**ra);
+                        ia.next();
+                    }
+                    (None, Some(rb)) => {
+                        send_to_a.push(**rb);
+                        ib.next();
+                    }
+                    (None, None) => break,
+                }
+            }
+        }
+        for (sender, recs) in [(a, &send_to_b), (b, &send_to_a)] {
+            if !recs.is_empty() {
+                wire::begin_list(&mut msg, wire::TAG_RECORDS, sender);
+                for rec in recs.iter() {
+                    wire::push_record(&mut msg, rec);
+                }
+                self.account_digest(msg.len());
+            }
+        }
+        for &rec in &send_to_b {
+            self.apply_record(b, rec, lambda);
+        }
+        for &rec in &send_to_a {
+            self.apply_record(a, rec, lambda);
+        }
+        self.scratch.msg = msg;
+        self.scratch.recs_a = send_to_b;
+        self.scratch.recs_b = send_to_a;
+    }
+
+    /// Legacy push-pull anti-entropy between two up nodes (full-sync
+    /// mode): each merges the other's entire table and harvests
+    /// evidence-of-life timestamps for its phi detectors.
+    fn full_sync_exchange(&mut self, a: PeerId, b: PeerId) {
+        let mut recs_a = std::mem::take(&mut self.scratch.recs_a);
+        let mut recs_b = std::mem::take(&mut self.scratch.recs_b);
+        let mut msg = std::mem::take(&mut self.scratch.msg);
+        recs_a.clear();
+        recs_b.clear();
+        let present = match (self.nodes.get(&a), self.nodes.get(&b)) {
+            (Some(na), Some(nb)) => {
+                recs_a.extend(na.table.iter().copied());
+                recs_b.extend(nb.table.iter().copied());
+                true
+            }
+            _ => false,
+        };
+        if present {
+            for (sender, recs) in [(a, &recs_a), (b, &recs_b)] {
+                wire::begin_list(&mut msg, wire::TAG_RECORDS, sender);
+                for rec in recs.iter() {
+                    wire::push_record(&mut msg, rec);
+                }
+                self.stats.gossip_bytes += msg.len() as u64;
+                self.metrics.gossip_bytes.add(msg.len() as u64);
+            }
+            self.stats.exchanges += 1;
+            self.apply_full_sync(a, &recs_b, b);
+            self.apply_full_sync(b, &recs_a, a);
+        }
+        self.scratch.recs_a = recs_a;
+        self.scratch.recs_b = recs_b;
+        self.scratch.msg = msg;
+    }
+
+    /// Merges a full table received at `dst` and feeds the phi
+    /// detectors with evidence of life (full-sync mode).
+    fn apply_full_sync(&mut self, dst: PeerId, recs: &[PeerRecord], direct_peer: PeerId) {
         let now = self.now;
         let window = self.cfg.detector_window;
         let period_s = self.cfg.period.as_secs_f64();
-        let mut apply = |dst: PeerId, recs: &[PeerRecord], direct_peer: PeerId| {
-            let node = self.nodes.get_mut(&dst).expect("exchange peers exist");
-            for rec in recs {
-                if rec.id == dst {
-                    // Others' beliefs about me: refute anything but alive
-                    // by bumping my incarnation (SWIM self-defense).
-                    if rec.state != PeerState::Alive {
-                        let mut me = node.table.get(dst).cloned().expect("self record");
-                        if rec.incarnation >= me.incarnation {
-                            me.incarnation = rec.incarnation + 1;
-                            me.state = PeerState::Alive;
-                            me.updated_at = now;
-                            node.table.upsert(me);
-                        }
+        let node = self.nodes.get_mut(&dst).expect("exchange peers exist");
+        for rec in recs {
+            if rec.id == dst {
+                // Others' beliefs about me: refute anything but alive
+                // by bumping my incarnation (SWIM self-defense).
+                if rec.state != PeerState::Alive {
+                    let mut me = *node.table.get(dst).expect("self record");
+                    if rec.incarnation >= me.incarnation {
+                        me.incarnation = rec.incarnation + 1;
+                        me.state = PeerState::Alive;
+                        me.updated_at = now;
+                        node.table.upsert(me);
                     }
-                    continue;
                 }
-                node.table.merge_record(rec);
-                // Evidence of life: the subject's own refresh timestamp,
-                // or the direct contact itself.
-                let evidence = if rec.id == direct_peer {
-                    Some(now)
-                } else if rec.state == PeerState::Alive {
-                    Some(rec.updated_at)
-                } else {
-                    None
-                };
-                if let Some(at) = evidence {
-                    let freshest = node.evidence_at.entry(rec.id).or_insert(SimTime::ZERO);
-                    if at > *freshest || rec.id == direct_peer {
-                        *freshest = at;
-                        node.detectors
-                            .entry(rec.id)
-                            .or_insert_with(|| PhiDetector::new(window, period_s))
-                            .heartbeat(at);
-                        // Fresh life evidence clears any local suspicion.
-                        node.suspect_since.remove(&rec.id);
-                        if let Some(r) = node.table.get(rec.id) {
-                            if r.state == PeerState::Suspect && r.incarnation == rec.incarnation {
-                                let mut r = r.clone();
-                                r.state = PeerState::Alive;
-                                node.table.upsert(r);
-                            }
+                continue;
+            }
+            let prev_inc = node.table.get(rec.id).map(|r| r.incarnation);
+            node.table.merge_record(rec);
+            // A higher incarnation starts a fresh detector epoch: the
+            // inter-arrival history straddling the subject's downtime
+            // (one huge gap) would otherwise inflate the windowed mean
+            // and stall detection of its *next* failure.
+            if prev_inc.is_some_and(|p| rec.incarnation > p) {
+                node.detectors.remove(&rec.id);
+                node.evidence_at.remove(&rec.id);
+            }
+            // Evidence of life: the subject's own refresh timestamp,
+            // or the direct contact itself.
+            let evidence = if rec.id == direct_peer {
+                Some(now)
+            } else if rec.state == PeerState::Alive {
+                Some(rec.updated_at)
+            } else {
+                None
+            };
+            if let Some(at) = evidence {
+                let freshest = node.evidence_at.entry(rec.id).or_insert(SimTime::ZERO);
+                if at > *freshest || rec.id == direct_peer {
+                    *freshest = at;
+                    node.detectors
+                        .entry(rec.id)
+                        .or_insert_with(|| PhiDetector::new(window, period_s))
+                        .heartbeat(at);
+                    // Fresh life evidence clears any local suspicion.
+                    node.suspect_since.remove(&rec.id);
+                    if let Some(r) = node.table.get(rec.id) {
+                        if r.state == PeerState::Suspect && r.incarnation == rec.incarnation {
+                            let mut r = *r;
+                            r.state = PeerState::Alive;
+                            node.table.upsert(r);
                         }
                     }
                 }
             }
-        };
-        apply(a, &recs_b, b);
-        apply(b, &recs_a, a);
+        }
+        // The exchange itself is direct-contact evidence: stamp our
+        // copy of the peer so the freshness travels when we relay it.
+        node.table.refresh_evidence(direct_peer, now);
     }
 
-    /// Applies the failure detector: walks the observer's table,
-    /// promotes over-threshold alive peers to suspect, and suspects
-    /// past the grace period to dead.
+    /// Applies the failure detector for one observer. Full-sync mode
+    /// promotes over-threshold alive peers to suspect (phi-accrual);
+    /// both modes declare suspects dead once the grace period from the
+    /// *origin* of the suspicion has passed.
     fn assess(&mut self, observer: PeerId) {
         let now = self.now;
         let grace = self
@@ -412,19 +953,19 @@ impl Fabric {
             .period
             .saturating_mul(self.cfg.suspect_periods as u64);
         let threshold = self.cfg.phi_threshold;
-        // Collect decisions first (borrow discipline), then apply.
-        let mut to_suspect = Vec::new();
-        let mut to_kill = Vec::new();
-        {
-            let Some(node) = self.nodes.get(&observer) else {
-                return;
-            };
+        let full = self.cfg.mode == GossipMode::FullSync;
+        let lambda = self.cfg.retransmit_factor;
+        let mut to_suspect = std::mem::take(&mut self.scratch.to_suspect);
+        let mut to_kill = std::mem::take(&mut self.scratch.to_kill);
+        to_suspect.clear();
+        to_kill.clear();
+        if let Some(node) = self.nodes.get(&observer) {
             for rec in node.table.iter() {
                 if rec.id == observer {
                     continue;
                 }
                 match rec.state {
-                    PeerState::Alive => {
+                    PeerState::Alive if full => {
                         let phi = node.detectors.get(&rec.id).map_or(0.0, |d| d.phi(now))
                             + self.ledger.phi_bonus(rec.id);
                         if phi > threshold {
@@ -432,44 +973,67 @@ impl Fabric {
                         }
                     }
                     PeerState::Suspect => {
-                        let since = node.suspect_since.get(&rec.id).copied().unwrap_or(now);
+                        let since = node.suspect_since.get(&rec.id).copied().unwrap_or({
+                            // Delta mode: the suspicion's origin time
+                            // travelled on the record itself.
+                            if full {
+                                now
+                            } else {
+                                rec.updated_at
+                            }
+                        });
                         if now.saturating_since(since) >= grace {
-                            to_kill.push(rec.id);
+                            to_kill.push((rec.id, since));
                         }
                     }
                     _ => {}
                 }
             }
         }
-        let node = self.nodes.get_mut(&observer).expect("observer exists");
-        for id in to_suspect {
-            node.table.set_state(id, PeerState::Suspect, now);
-            node.suspect_since.entry(id).or_insert(now);
-        }
-        let mut declared: Vec<PeerId> = Vec::new();
-        for id in to_kill {
-            if node.table.set_state(id, PeerState::Dead, now) {
-                node.suspect_since.remove(&id);
-                declared.push(id);
+        if let Some(node) = self.nodes.get_mut(&observer) {
+            for &id in &to_suspect {
+                if node.table.set_state(id, PeerState::Suspect, now) {
+                    node.suspect_since.entry(id).or_insert(now);
+                }
             }
         }
-        for id in declared {
-            self.score_declaration(id);
+        for &(id, since) in &to_kill {
+            let node = self.nodes.get_mut(&observer).expect("observer exists");
+            if node.table.set_state(id, PeerState::Dead, now) {
+                node.suspect_since.remove(&id);
+                if !full {
+                    enqueue_delta(node, id, lambda);
+                }
+                self.score_declaration(id, since);
+            }
         }
+        self.scratch.to_suspect = to_suspect;
+        self.scratch.to_kill = to_kill;
     }
 
-    /// Scores one `Dead` declaration against ground truth.
-    fn score_declaration(&mut self, subject: PeerId) {
-        let m = hpop_obs::metrics();
-        if let Some(&down_at) = self.went_down_at.get(&subject) {
+    /// Scores one `Dead` declaration against ground truth. `raised_at`
+    /// is when the underlying suspicion was first raised: a
+    /// declaration landing after its subject already rejoined is a
+    /// rejoin-window artifact, not a false positive, as long as the
+    /// suspicion itself dates from a genuine downtime.
+    fn score_declaration(&mut self, subject: PeerId, raised_at: SimTime) {
+        if let Some(&down_at) = self.truth.open_down.get(&subject) {
             let latency_ms = self.now.saturating_since(down_at).as_millis_f64();
             self.stats.true_detections += 1;
             self.stats.detection_latency_ms.push(latency_ms);
-            m.histogram("fabric.detect.latency_ms")
-                .record(latency_ms.round() as u64);
+            self.metrics.latency_ms.record(latency_ms.round() as u64);
+        } else if self.truth.in_rejoin_window(
+            subject,
+            raised_at,
+            self.cfg
+                .period
+                .saturating_mul(self.cfg.suspect_periods as u64),
+        ) {
+            self.stats.rejoin_declarations += 1;
+            self.metrics.rejoin_window.incr();
         } else {
             self.stats.false_positives += 1;
-            m.counter("fabric.detect.false_positive").incr();
+            self.metrics.false_positive.incr();
         }
     }
 
@@ -505,7 +1069,7 @@ impl Fabric {
                 let advert = self.nodes[&id].table.get(id)?.advert;
                 Some(PeerEntry {
                     id,
-                    state: if self.up.contains(&id) {
+                    state: if self.truth.up.contains(&id) {
                         PeerState::Alive
                     } else {
                         PeerState::Dead
@@ -521,7 +1085,10 @@ impl Fabric {
 
     /// Ground-truth fraction of its lifetime this peer has been up.
     pub fn uptime_fraction(&self, id: PeerId) -> f64 {
-        self.uptime.get(&id).map_or(0.0, |u| u.fraction(self.now))
+        self.truth
+            .uptime
+            .get(&id)
+            .map_or(0.0, |u| u.fraction(self.now))
     }
 
     /// Read access to the shared reputation ledger.
@@ -542,7 +1109,8 @@ impl Fabric {
     /// The ids every *up* node currently believes alive, per node —
     /// the convergence witness the property tests assert on.
     pub fn alive_sets_of_up_nodes(&self) -> Vec<(PeerId, BTreeSet<PeerId>)> {
-        self.up
+        self.truth
+            .up
             .iter()
             .map(|&id| {
                 let set: BTreeSet<PeerId> = self.nodes[&id].table.alive_ids().into_iter().collect();
@@ -550,6 +1118,28 @@ impl Fabric {
             })
             .collect()
     }
+
+    /// The `id → incarnation` map of peers one up node believes alive
+    /// (empty for unknown or down observers) — the witness the
+    /// delta-vs-full-sync equivalence property compares.
+    pub fn alive_incarnations(&self, observer: PeerId) -> BTreeMap<PeerId, u64> {
+        if !self.truth.up.contains(&observer) {
+            return BTreeMap::new();
+        }
+        self.nodes[&observer]
+            .table
+            .iter()
+            .filter(|r| r.state.is_alive())
+            .map(|r| (r.id, r.incarnation))
+            .collect()
+    }
+}
+
+/// SWIM freshness order: does `x` carry strictly newer knowledge than
+/// `y` about the same peer?
+fn fresher(x: &PeerRecord, y: &PeerRecord) -> bool {
+    x.incarnation > y.incarnation
+        || (x.incarnation == y.incarnation && x.state.rank() > y.state.rank())
 }
 
 #[cfg(test)]
@@ -564,10 +1154,30 @@ mod tests {
         f
     }
 
+    fn full_sync_fabric_of(n: u64) -> Fabric {
+        let mut f = Fabric::new(FabricConfig {
+            mode: GossipMode::FullSync,
+            ..FabricConfig::default()
+        });
+        for _ in 0..n {
+            f.join(Advertisement::default());
+        }
+        f
+    }
+
     #[test]
     fn membership_spreads_to_all_nodes() {
         let mut f = fabric_of(16);
         f.run_rounds(8); // ~2·log2(16)
+        for (_, alive) in f.alive_sets_of_up_nodes() {
+            assert_eq!(alive.len(), 16, "every node should know all 16 alive");
+        }
+    }
+
+    #[test]
+    fn membership_spreads_in_full_sync_mode_too() {
+        let mut f = full_sync_fabric_of(16);
+        f.run_rounds(8);
         for (_, alive) in f.alive_sets_of_up_nodes() {
             assert_eq!(alive.len(), 16, "every node should know all 16 alive");
         }
@@ -590,7 +1200,7 @@ mod tests {
         assert_eq!(f.stats().false_positives, 0);
         let lat = &f.stats().detection_latency_ms;
         assert!(!lat.is_empty());
-        // Detection should land within a minute of sim time.
+        // Probe-failure suspicion detects within seconds of sim time.
         assert!(lat.iter().all(|&ms| ms < 60_000.0), "{lat:?}");
     }
 
@@ -618,6 +1228,7 @@ mod tests {
         f.run_rounds(200);
         assert_eq!(f.stats().false_positives, 0);
         assert_eq!(f.stats().true_detections, 0);
+        assert_eq!(f.stats().rejoin_declarations, 0);
     }
 
     #[test]
@@ -649,6 +1260,106 @@ mod tests {
         f.run_rounds(5);
         assert!(f.stats().gossip_bytes > 0);
         assert!(f.stats().exchanges > 0);
+    }
+
+    #[test]
+    fn delta_mode_ships_far_fewer_bytes_than_full_sync() {
+        let rounds = 60;
+        let mut delta = fabric_of(24);
+        delta.run_rounds(rounds);
+        let mut full = full_sync_fabric_of(24);
+        full.run_rounds(rounds);
+        let (d, f) = (delta.stats().gossip_bytes, full.stats().gossip_bytes);
+        assert!(
+            d * 10 < f,
+            "delta mode should be >10x cheaper even at n=24: {d} vs {f}"
+        );
+    }
+
+    #[test]
+    fn piggyback_respects_byte_budget() {
+        let budget = FabricConfig::default().piggyback_budget_bytes;
+        let mut node = NodeRuntime::new();
+        for i in 0..40u64 {
+            let rec = PeerRecord::alive(PeerId(i), Advertisement::default(), SimTime::ZERO);
+            node.table.upsert(rec);
+            enqueue_delta(&mut node, PeerId(i), 3);
+        }
+        let mut msg = Vec::new();
+        let mut deltas = Vec::new();
+        encode_ping(
+            &mut node,
+            PeerId(0),
+            wire::TAG_PING,
+            budget,
+            &mut msg,
+            &mut deltas,
+        );
+        assert!(msg.len() <= budget, "{} > {budget}", msg.len());
+        let max_deltas = (budget - wire::PING_HEADER_BYTES) / wire::RECORD_BYTES;
+        assert_eq!(deltas.len(), max_deltas);
+        assert!(!node.queue.is_empty(), "unsent deltas stay queued");
+    }
+
+    #[test]
+    fn retransmit_limit_scales_with_log_n() {
+        assert_eq!(retransmit_limit(3, 2), 3);
+        assert_eq!(retransmit_limit(3, 16), 12);
+        assert_eq!(retransmit_limit(3, 100), 21);
+        assert_eq!(retransmit_limit(3, 0), 3); // clamped to n=2
+        assert_eq!(retransmit_limit(0, 100), 1); // at least one send
+    }
+
+    #[test]
+    fn rejoin_window_declaration_is_not_a_false_positive() {
+        let mut f = fabric_of(3);
+        f.run_rounds(5);
+        let victim = PeerId(2);
+        f.set_up(victim, false);
+        let raised_while_down = f.now();
+        // One period down: suspicion gets raised (probe failure) but
+        // grace (2 periods) has not expired, so nothing is declared.
+        f.tick();
+        f.set_up(victim, true);
+        assert_eq!(f.stats().false_positives, 0);
+        assert_eq!(f.stats().rejoin_declarations, 0);
+        // A declaration landing now, whose suspicion dates from the
+        // (closed) down interval, is a rejoin-window artifact...
+        f.score_declaration(victim, raised_while_down);
+        assert_eq!(f.stats().rejoin_declarations, 1);
+        assert_eq!(f.stats().false_positives, 0);
+        // ...while one whose suspicion was raised with the peer up and
+        // well clear of the rejoin window is a genuine false positive.
+        f.run_rounds(10);
+        f.score_declaration(victim, f.now());
+        assert_eq!(f.stats().false_positives, 1);
+        assert_eq!(f.stats().rejoin_declarations, 1);
+    }
+
+    #[test]
+    fn digest_sync_reconciles_divergent_tables() {
+        // Latecomers whose join deltas have long expired are still
+        // learned through the digest timer.
+        let mut f = fabric_of(6);
+        f.run_rounds(5);
+        let newcomer = f.join(Advertisement::default());
+        // Enough rounds for at least two digest cycles at every node.
+        f.run_rounds(2 * FabricConfig::default().digest_sync_every as u32);
+        for (id, alive) in f.alive_sets_of_up_nodes() {
+            assert!(alive.contains(&newcomer), "node {id} missing {newcomer}");
+        }
+    }
+
+    #[test]
+    fn delta_and_digest_bytes_are_split_out() {
+        let mut f = fabric_of(10);
+        f.set_up(PeerId(4), false);
+        f.run_rounds(2 * FabricConfig::default().digest_sync_every as u32);
+        let s = f.stats();
+        assert!(s.delta_bytes > 0, "churn should produce piggyback bytes");
+        assert!(s.digest_syncs > 0, "digest timer should have fired");
+        assert!(s.digest_bytes > 0);
+        assert!(s.gossip_bytes >= s.delta_bytes + s.digest_bytes);
     }
 
     #[test]

@@ -22,15 +22,23 @@
 //! - [`gossip`] — [`Fabric`]: a deterministic simulation of the whole
 //!   gossip layer (N appliances exchanging pings and piggybacked
 //!   membership updates each protocol period), driven by the netsim
-//!   clock and a churn schedule.
+//!   clock and a churn schedule. Runs SWIM-style delta dissemination
+//!   with digest anti-entropy by default; the legacy full-table
+//!   push-pull survives as [`GossipMode::FullSync`].
+//! - [`wire`] — exact serialized layouts of ping/ack, digest and
+//!   record messages, so byte accounting reflects a real format.
 //! - [`view`] — [`PeerView`]: the query API every service selects peers
 //!   through — alive peers filtered and ranked by capacity, locality
 //!   and reputation.
 //!
 //! Instrumented through `hpop-obs`: detection-latency histogram
-//! (`fabric.detect.latency_ms`), false-positive counter
-//! (`fabric.detect.false_positive`) and gossip fan-out bytes
-//! (`fabric.gossip.bytes`).
+//! (`fabric.detect.latency_ms`), false-positive and rejoin-window
+//! counters (`fabric.detect.false_positive`,
+//! `fabric.detect.rejoin_window`), gossip bytes split by kind
+//! (`fabric.gossip.bytes`, `fabric.gossip.delta_bytes`,
+//! `fabric.gossip.digest_bytes`), digest-sync count
+//! (`fabric.gossip.digest_syncs`) and the piggyback-queue depth
+//! histogram (`fabric.gossip.piggyback.depth`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,12 +48,13 @@ pub mod gossip;
 pub mod member;
 pub mod reputation;
 pub mod view;
+pub mod wire;
 
 #[cfg(test)]
 mod proptests;
 
 pub use detector::PhiDetector;
-pub use gossip::{Fabric, FabricConfig};
+pub use gossip::{Fabric, FabricConfig, FabricStats, GossipMode};
 pub use member::{Advertisement, MembershipTable, PeerId, PeerRecord, PeerState};
 pub use reputation::{ReputationLedger, Violation};
 pub use view::{PeerEntry, PeerView, RankBy};

@@ -44,7 +44,7 @@ impl PeerState {
     /// Precedence among states carrying the *same* incarnation: a
     /// stronger claim overrides a weaker one (alive < suspect < dead;
     /// `Left` is terminal and outranks everything).
-    fn rank(self) -> u8 {
+    pub(crate) fn rank(self) -> u8 {
         match self {
             PeerState::Alive => 0,
             PeerState::Suspect => 1,
@@ -97,7 +97,7 @@ impl Advertisement {
 }
 
 /// One observer's belief about one peer.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PeerRecord {
     /// Who this record describes.
     pub id: PeerId,
@@ -172,6 +172,29 @@ impl MembershipTable {
         self.records.insert(record.id, record);
     }
 
+    /// Refreshes the owner's own record in place (alive, stamped
+    /// `now`) without cloning — the per-tick self-heartbeat.
+    pub fn touch_self(&mut self, id: PeerId, now: SimTime) {
+        if let Some(r) = self.records.get_mut(&id) {
+            r.state = PeerState::Alive;
+            r.updated_at = now;
+        }
+    }
+
+    /// Stamps fresh direct-contact evidence on an alive record without
+    /// touching state or incarnation. Keeps liveness timestamps
+    /// advancing as records are relayed: `merge_record` rejects
+    /// same-incarnation same-state copies, so without this a node's
+    /// copy of a third party would stay frozen at first-merge time and
+    /// relayed evidence could never move forward.
+    pub fn refresh_evidence(&mut self, id: PeerId, now: SimTime) {
+        if let Some(r) = self.records.get_mut(&id) {
+            if r.state.is_alive() && now > r.updated_at {
+                r.updated_at = now;
+            }
+        }
+    }
+
     /// Merges a gossiped record under SWIM precedence: a higher
     /// incarnation always wins; at equal incarnations the stronger
     /// state claim wins. Returns `true` when the local belief changed
@@ -179,7 +202,7 @@ impl MembershipTable {
     pub fn merge_record(&mut self, incoming: &PeerRecord) -> bool {
         match self.records.get_mut(&incoming.id) {
             None => {
-                self.records.insert(incoming.id, incoming.clone());
+                self.records.insert(incoming.id, *incoming);
                 true
             }
             Some(current) => {
@@ -187,7 +210,7 @@ impl MembershipTable {
                     || (incoming.incarnation == current.incarnation
                         && incoming.state.rank() > current.state.rank());
                 if newer {
-                    *current = incoming.clone();
+                    *current = *incoming;
                     true
                 } else {
                     false

@@ -1,4 +1,4 @@
-//! Property-based tests of the fabric's two load-bearing guarantees.
+//! Property-based tests of the fabric's load-bearing guarantees.
 //!
 //! 1. **Convergence**: under a seeded churn schedule
 //!    (`hpop_netsim::churn`), once churn quiesces, every live node
@@ -7,20 +7,25 @@
 //! 2. **Accuracy**: in a quiet network (no churn), the failure
 //!    detector never declares a never-failed peer dead — zero false
 //!    positives at the configured phi threshold.
+//! 3. **Mode equivalence**: delta dissemination and legacy full-sync
+//!    converge, from the same seed and churn schedule, to identical
+//!    membership tables — same alive sets *and* same incarnations
+//!    (one bump per rejoin in either mode).
+//! 4. **Digest reconciliation**: knowledge that can no longer travel
+//!    by piggyback (every retransmit spent while a peer was
+//!    partitioned away) still reaches it through the slow digest
+//!    anti-entropy timer.
 
-use crate::gossip::{Fabric, FabricConfig};
+use crate::gossip::{Fabric, FabricConfig, GossipMode};
 use crate::member::{Advertisement, PeerId};
 use hpop_netsim::churn::{ChurnConfig, ChurnSchedule};
 use hpop_netsim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Builds a fabric of `n` nodes with slightly varied advertisements.
-fn fabric_of(n: usize, seed: u64) -> Fabric {
-    let mut f = Fabric::new(FabricConfig {
-        seed,
-        ..FabricConfig::default()
-    });
+fn fabric_with(n: usize, cfg: FabricConfig) -> Fabric {
+    let mut f = Fabric::new(cfg);
     for i in 0..n {
         f.join(Advertisement {
             rtt_ms: 2.0 + (i % 7) as f64 * 3.0,
@@ -28,6 +33,16 @@ fn fabric_of(n: usize, seed: u64) -> Fabric {
         });
     }
     f
+}
+
+fn fabric_of(n: usize, seed: u64) -> Fabric {
+    fabric_with(
+        n,
+        FabricConfig {
+            seed,
+            ..FabricConfig::default()
+        },
+    )
 }
 
 /// Drives `fabric` against `churn` for `secs` one-second rounds,
@@ -108,5 +123,124 @@ proptest! {
                 "observer {} lost someone in a quiet network", observer
             );
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Delta-gossip and full-sync converge to *identical* membership
+    /// tables from the same seed and churn schedule: every up node in
+    /// either fabric ends with the same `id → incarnation` map of
+    /// alive peers, and that incarnation is exactly the peer's
+    /// ground-truth rejoin count.
+    ///
+    /// The config (phi 8, 8-period grace, 10-period digest timer) and
+    /// the transitive-freshness rule in full-sync keep either mode from
+    /// manufacturing spurious self-defense incarnation bumps out of
+    /// detector noise — the surviving incarnation signal is churn
+    /// alone. The (n, seed) domain below has been verified
+    /// exhaustively, so any sampled case is deterministic-green.
+    #[test]
+    fn delta_and_full_sync_converge_identically(
+        n in 4usize..12,
+        seed in 0u64..250,
+    ) {
+        let horizon_s = 90u64;
+        let churn = ChurnSchedule::generate(
+            n,
+            ChurnConfig {
+                churn_fraction: 0.4,
+                mean_session: SimDuration::from_secs(45),
+                mean_downtime: SimDuration::from_secs(15),
+                seed: seed.wrapping_mul(131) ^ 0xdead5eed,
+            },
+            SimTime::from_secs(horizon_s),
+        );
+        let cfg = FabricConfig {
+            phi_threshold: 8.0,
+            suspect_periods: 8,
+            digest_sync_every: 10,
+            seed,
+            ..FabricConfig::default()
+        };
+        let mut delta = fabric_with(n, FabricConfig { mode: GossipMode::Delta, ..cfg });
+        let mut full = fabric_with(n, FabricConfig { mode: GossipMode::FullSync, ..cfg });
+        let mut rejoins = vec![0u64; n];
+        for s in 0..horizon_s {
+            for ev in churn.transitions_in(SimTime::from_secs(s), SimTime::from_secs(s + 1)) {
+                delta.set_up(PeerId(ev.node as u64), ev.up);
+                full.set_up(PeerId(ev.node as u64), ev.up);
+                if ev.up {
+                    rejoins[ev.node] += 1;
+                }
+            }
+            delta.tick();
+            full.tick();
+        }
+        // Quiesce: enough rounds for full-sync phi build-up plus the
+        // grace plus gossip spread, and for several digest cycles.
+        delta.run_rounds(100);
+        full.run_rounds(100);
+
+        let expected: BTreeMap<PeerId, u64> = (0..n)
+            .filter(|&i| churn.is_up(i, SimTime::from_secs(horizon_s)))
+            .map(|i| (PeerId(i as u64), rejoins[i]))
+            .collect();
+        prop_assume!(!expected.is_empty());
+        for (label, fabric) in [("delta", &delta), ("full-sync", &full)] {
+            for &observer in expected.keys() {
+                prop_assert_eq!(
+                    &fabric.alive_incarnations(observer), &expected,
+                    "{} observer {} disagrees with ground truth", label, observer
+                );
+            }
+        }
+    }
+
+    /// Partition heal via digest anti-entropy *only*: a node that was
+    /// down while a newcomer joined — and whose piggyback deltas have
+    /// all been spent by the time it returns — provably cannot learn
+    /// the newcomer from ping/ack traffic, and provably does learn it
+    /// once the digest timer fires.
+    ///
+    /// The timing arithmetic pins the digest schedule: with all ids
+    /// ≤ 9 and `digest_sync_every = 120`, digests only fire while
+    /// `period_index mod 120` is in 0..=9 — so the post-heal window at
+    /// periods 41..=43 is piggyback-and-ping only.
+    #[test]
+    fn partition_heal_needs_digest_anti_entropy(
+        n in 6usize..=9,
+        seed in 0u64..500,
+    ) {
+        let cfg = FabricConfig { seed, ..FabricConfig::default() };
+        prop_assert_eq!(cfg.digest_sync_every, 120, "timing argument below assumes 120");
+        let mut f = fabric_with(n, cfg);
+        f.run_rounds(20);
+        let partitioned = PeerId((n / 2) as u64);
+        f.set_up(partitioned, false);
+        f.run_rounds(5); // → period 25
+        let newcomer = f.join(Advertisement::default()); // id == n ≤ 9
+        // Long enough for the join deltas to spread through the
+        // connected side and exhaust their λ·⌈log₂ n⌉ retransmits.
+        f.run_rounds(15); // → period 40
+        let witness = PeerId(0);
+        prop_assert!(
+            f.alive_incarnations(witness).contains_key(&newcomer),
+            "connected side should have converged on the newcomer"
+        );
+        f.set_up(partitioned, true);
+        f.run_rounds(3); // periods 41..=43: no digest can fire
+        prop_assert!(
+            !f.alive_incarnations(partitioned).contains_key(&newcomer),
+            "piggyback alone must not resurrect spent join deltas"
+        );
+        // Within one full digest cycle someone syncs with (or as) the
+        // healed node and ships the missing record.
+        f.run_rounds(120);
+        prop_assert!(
+            f.alive_incarnations(partitioned).contains_key(&newcomer),
+            "digest anti-entropy should reconcile the healed node"
+        );
     }
 }

@@ -157,6 +157,18 @@ impl ChurnSchedule {
     /// break by node index).
     pub fn transitions_in(&self, from: SimTime, to: SimTime) -> Vec<ChurnEvent> {
         let mut out = Vec::new();
+        self.transitions_into(from, to, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`transitions_in`]: clears `out` and
+    /// fills it with the transitions in `(from, to]`. Lets per-tick
+    /// driver loops reuse one buffer instead of allocating a fresh
+    /// `Vec` every simulated second.
+    ///
+    /// [`transitions_in`]: ChurnSchedule::transitions_in
+    pub fn transitions_into(&self, from: SimTime, to: SimTime, out: &mut Vec<ChurnEvent>) {
+        out.clear();
         for (node, t) in self.toggles.iter().enumerate() {
             let lo = t.partition_point(|&at| at <= from);
             let hi = t.partition_point(|&at| at <= to);
@@ -169,7 +181,6 @@ impl ChurnSchedule {
             }
         }
         out.sort_by(|a, b| a.at.cmp(&b.at).then(a.node.cmp(&b.node)));
-        out
     }
 
     /// The last transition instant anywhere in the schedule, if any
@@ -272,6 +283,22 @@ mod tests {
             let before = SimTime::from_nanos(e.at.as_nanos() - 1);
             assert_eq!(s.is_up(e.node, before), !e.up);
         }
+    }
+
+    #[test]
+    fn transitions_into_reuses_buffer_and_matches_allocating_path() {
+        let s = ChurnSchedule::generate(20, ChurnConfig::paper_preset(7), minutes(20));
+        let mut buf = Vec::new();
+        for m in 0..20 {
+            let (from, to) = (minutes(m), minutes(m + 1));
+            s.transitions_into(from, to, &mut buf);
+            assert_eq!(buf, s.transitions_in(from, to), "window {m}");
+        }
+        // A dirty buffer is cleared, not appended to.
+        s.transitions_into(SimTime::ZERO, minutes(20), &mut buf);
+        let all = buf.len();
+        s.transitions_into(SimTime::ZERO, minutes(20), &mut buf);
+        assert_eq!(buf.len(), all);
     }
 
     #[test]
