@@ -4,29 +4,46 @@
 //! file: the file must parse as an [`hpop_obs::Snapshot`] (schema v1),
 //! carry a non-empty experiment name, and contain the harness's own
 //! bookkeeping metrics. With `--budget <file>` it additionally enforces
-//! per-counter ceilings, so a perf regression (e.g. gossip byte volume
-//! creeping back toward the full-sync baseline) fails CI. Exits nonzero
-//! with a diagnostic on any failure.
+//! per-counter ceilings and floors, so a perf regression (e.g. gossip
+//! byte volume creeping back toward the full-sync baseline) or a
+//! resilience regression (chaos delivery rate dipping under its floor)
+//! fails CI.
 //!
-//! Budget file format, one rule per line:
+//! Budget file format, one rule per line; a bare number is a ceiling,
+//! a `>=`-prefixed number is a floor:
 //!
 //! ```text
-//! # experiment  counter               max_value
-//! fabric_churn  fabric.gossip.bytes   730486825
+//! # experiment  counter                    bound
+//! fabric_churn  fabric.gossip.bytes        730486825
+//! chaos         chaos.delivery.success_bp  >=9990
 //! ```
 //!
 //! Rules apply only to snapshots whose experiment name matches; a
-//! missing counter fails too (the ceiling would otherwise be satisfied
+//! missing counter fails too (the bound would otherwise be satisfied
 //! vacuously by renaming the metric).
+//!
+//! Exit codes: `0` all checks pass, `1` schema/parse failure, `2` usage
+//! error, `3` budget violations only (every violated budget is listed,
+//! not just the first).
 
 use hpop_obs::Snapshot;
 
-/// One `experiment counter max_value` ceiling.
+/// The direction of a budget bound.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Bound {
+    /// Counter must stay at or below the value (perf budget).
+    Ceiling,
+    /// Counter must reach at least the value (quality floor).
+    Floor,
+}
+
+/// One `experiment counter bound` rule.
 #[derive(Clone, Debug, PartialEq)]
 struct Budget {
     experiment: String,
     counter: String,
-    max_value: u64,
+    bound: Bound,
+    value: u64,
 }
 
 /// Parses budget rules; `#` starts a comment, blank lines are skipped.
@@ -38,11 +55,11 @@ fn parse_budgets(text: &str) -> Result<Vec<Budget>, String> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let (Some(experiment), Some(counter), Some(max)) =
+        let (Some(experiment), Some(counter), Some(bound_tok)) =
             (parts.next(), parts.next(), parts.next())
         else {
             return Err(format!(
-                "budget line {}: expected `experiment counter max_value`, got `{raw}`",
+                "budget line {}: expected `experiment counter bound`, got `{raw}`",
                 lineno + 1
             ));
         };
@@ -52,43 +69,52 @@ fn parse_budgets(text: &str) -> Result<Vec<Budget>, String> {
                 lineno + 1
             ));
         }
-        let max_value = max
+        let (bound, num) = match bound_tok.strip_prefix(">=") {
+            Some(rest) => (Bound::Floor, rest),
+            None => (Bound::Ceiling, bound_tok),
+        };
+        let value = num
             .parse::<u64>()
-            .map_err(|e| format!("budget line {}: bad max value `{max}`: {e}", lineno + 1))?;
+            .map_err(|e| format!("budget line {}: bad bound `{bound_tok}`: {e}", lineno + 1))?;
         out.push(Budget {
             experiment: experiment.to_string(),
             counter: counter.to_string(),
-            max_value,
+            bound,
+            value,
         });
     }
     Ok(out)
 }
 
-/// Applies every budget rule matching this snapshot's experiment.
-fn check_budgets(path: &str, snap: &Snapshot, budgets: &[Budget]) -> Result<(), String> {
+/// Applies every budget rule matching this snapshot's experiment and
+/// returns ALL violations (empty = clean).
+fn check_budgets(path: &str, snap: &Snapshot, budgets: &[Budget]) -> Vec<String> {
+    let mut violations = Vec::new();
     for b in budgets.iter().filter(|b| b.experiment == snap.experiment) {
         match snap.counters.get(&b.counter) {
-            None => {
-                return Err(format!(
-                    "{path}: budgeted counter {} absent from experiment {}",
-                    b.counter, snap.experiment
-                ));
-            }
-            Some(&v) if v > b.max_value => {
-                return Err(format!(
-                    "{path}: counter {} = {v} exceeds budget {} ({:.1}x)",
-                    b.counter,
-                    b.max_value,
-                    v as f64 / b.max_value as f64
-                ));
-            }
+            None => violations.push(format!(
+                "{path}: budgeted counter {} absent from experiment {}",
+                b.counter, snap.experiment
+            )),
+            Some(&v) if b.bound == Bound::Ceiling && v > b.value => violations.push(format!(
+                "{path}: counter {} = {v} exceeds budget {} ({:.1}x)",
+                b.counter,
+                b.value,
+                v as f64 / b.value as f64
+            )),
+            Some(&v) if b.bound == Bound::Floor && v < b.value => violations.push(format!(
+                "{path}: counter {} = {v} below floor {}",
+                b.counter, b.value
+            )),
             Some(_) => {}
         }
     }
-    Ok(())
+    violations
 }
 
-fn check(path: &str, budgets: &[Budget]) -> Result<(), String> {
+/// Schema validation only; budget checking is separate so violations
+/// can be accumulated across files.
+fn check_schema(path: &str) -> Result<Snapshot, String> {
     let snap = Snapshot::load(path).map_err(|e| format!("{path}: cannot parse: {e}"))?;
     if snap.experiment.is_empty() {
         return Err(format!("{path}: empty experiment name"));
@@ -104,14 +130,7 @@ fn check(path: &str, budgets: &[Budget]) -> Result<(), String> {
             return Err(format!("{path}: histogram {name} has p50 > p99"));
         }
     }
-    check_budgets(path, &snap, budgets)?;
-    println!(
-        "{path}: ok (experiment {}, {} counters, {} histograms)",
-        snap.experiment,
-        snap.counters.len(),
-        snap.histograms.len()
-    );
-    Ok(())
+    Ok(snap)
 }
 
 fn main() {
@@ -149,15 +168,36 @@ fn main() {
         eprintln!("usage: check_snapshot [--budget <file>] <BENCH_*.json>...");
         std::process::exit(2);
     }
-    let mut failed = false;
+    let mut schema_failed = false;
+    let mut violations = Vec::new();
     for path in &paths {
-        if let Err(e) = check(path, &budgets) {
-            eprintln!("check_snapshot: {e}");
-            failed = true;
+        match check_schema(path) {
+            Err(e) => {
+                eprintln!("check_snapshot: {e}");
+                schema_failed = true;
+            }
+            Ok(snap) => {
+                let v = check_budgets(path, &snap, &budgets);
+                if v.is_empty() {
+                    println!(
+                        "{path}: ok (experiment {}, {} counters, {} histograms)",
+                        snap.experiment,
+                        snap.counters.len(),
+                        snap.histograms.len()
+                    );
+                }
+                violations.extend(v);
+            }
         }
     }
-    if failed {
+    for v in &violations {
+        eprintln!("check_snapshot: budget violation: {v}");
+    }
+    if schema_failed {
         std::process::exit(1);
+    }
+    if !violations.is_empty() {
+        std::process::exit(3);
     }
 }
 
@@ -174,7 +214,22 @@ mod tests {
             vec![Budget {
                 experiment: "fabric_churn".into(),
                 counter: "fabric.gossip.bytes".into(),
-                max_value: 730_486_825,
+                bound: Bound::Ceiling,
+                value: 730_486_825,
+            }]
+        );
+    }
+
+    #[test]
+    fn parses_floor_rules() {
+        let b = parse_budgets("chaos chaos.delivery.success_bp >=9990").unwrap();
+        assert_eq!(
+            b,
+            vec![Budget {
+                experiment: "chaos".into(),
+                counter: "chaos.delivery.success_bp".into(),
+                bound: Bound::Floor,
+                value: 9990,
             }]
         );
     }
@@ -184,6 +239,8 @@ mod tests {
         assert!(parse_budgets("one two").is_err());
         assert!(parse_budgets("a b not_a_number").is_err());
         assert!(parse_budgets("a b 1 extra").is_err());
+        assert!(parse_budgets("a b >=x").is_err());
+        assert!(parse_budgets("a b <=5").is_err());
     }
 
     fn snap_with(experiment: &str, counter: &str, value: u64) -> Snapshot {
@@ -193,22 +250,45 @@ mod tests {
     }
 
     #[test]
-    fn budget_enforced_only_for_matching_experiment() {
+    fn ceiling_enforced_only_for_matching_experiment() {
         let budgets = parse_budgets("fabric_churn fabric.gossip.bytes 100").unwrap();
         let over = snap_with("fabric_churn", "fabric.gossip.bytes", 101);
-        assert!(check_budgets("x", &over, &budgets).is_err());
+        assert_eq!(check_budgets("x", &over, &budgets).len(), 1);
         let at = snap_with("fabric_churn", "fabric.gossip.bytes", 100);
-        assert!(check_budgets("x", &at, &budgets).is_ok());
+        assert!(check_budgets("x", &at, &budgets).is_empty());
         // Same counter under a different experiment: rule does not apply.
         let other = snap_with("coop_cache", "fabric.gossip.bytes", 101);
-        assert!(check_budgets("x", &other, &budgets).is_ok());
+        assert!(check_budgets("x", &other, &budgets).is_empty());
+    }
+
+    #[test]
+    fn floor_enforced() {
+        let budgets = parse_budgets("chaos chaos.delivery.success_bp >=9990").unwrap();
+        let under = snap_with("chaos", "chaos.delivery.success_bp", 9989);
+        let v = check_budgets("x", &under, &budgets);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("below floor"), "{}", v[0]);
+        let at = snap_with("chaos", "chaos.delivery.success_bp", 9990);
+        assert!(check_budgets("x", &at, &budgets).is_empty());
+    }
+
+    #[test]
+    fn all_violations_reported_not_just_first() {
+        let budgets = parse_budgets("chaos a 10\nchaos b >=5\nchaos missing.counter 1").unwrap();
+        let reg = hpop_obs::MetricsRegistry::new();
+        reg.counter("a").add(11);
+        reg.counter("b").add(4);
+        let snap = reg.snapshot("chaos");
+        let v = check_budgets("x", &snap, &budgets);
+        assert_eq!(v.len(), 3, "{v:?}");
     }
 
     #[test]
     fn missing_budgeted_counter_fails() {
         let budgets = parse_budgets("fabric_churn fabric.gossip.bytes 100").unwrap();
         let snap = snap_with("fabric_churn", "unrelated.counter", 1);
-        let err = check_budgets("x", &snap, &budgets).unwrap_err();
-        assert!(err.contains("absent"), "{err}");
+        let v = check_budgets("x", &snap, &budgets);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("absent"), "{}", v[0]);
     }
 }

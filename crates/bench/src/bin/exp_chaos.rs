@@ -1,0 +1,17 @@
+//! E20: fault-injection chaos × the unified resilience layer — verified
+//! delivery, corruption containment, hedging waste and degraded-mode
+//! continuity (see DESIGN.md experiment index).
+//!
+//! `--smoke` runs the reduced CI preset; add `--stable` for a
+//! byte-identical replayable snapshot (pins the wall-clock gauge).
+
+use hpop_bench::experiments::e20_chaos;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        hpop_bench::harness::run("chaos", e20_chaos::run_smoke);
+    } else {
+        hpop_bench::harness::run("chaos", e20_chaos::run_default);
+    }
+}

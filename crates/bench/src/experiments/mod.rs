@@ -1,4 +1,4 @@
-//! The per-experiment implementations (DESIGN.md index E1–E19).
+//! The per-experiment implementations (DESIGN.md index E1–E20).
 
 pub mod e01_ccz_utilization;
 pub mod e02_tcp_rampup;
@@ -19,6 +19,7 @@ pub mod e16_nat_traversal;
 pub mod e17_appliance_uptime;
 pub mod e18_fabric_churn;
 pub mod e19_gossip_bytes;
+pub mod e20_chaos;
 
 use crate::table::Table;
 
@@ -44,5 +45,6 @@ pub fn run_all() -> Vec<Table> {
     out.extend(e17_appliance_uptime::run_default());
     out.extend(e18_fabric_churn::run_default());
     out.extend(e19_gossip_bytes::run_default());
+    out.extend(e20_chaos::run_default());
     out
 }

@@ -34,6 +34,10 @@ pub struct ExpOptions {
     /// Override the snapshot path (`--out <path>`; default
     /// `BENCH_<exp>.json` in the working directory).
     pub out_path: Option<String>,
+    /// Pin the wall-clock gauge to zero (`--stable`) so that two runs
+    /// of a deterministic experiment produce byte-identical snapshots —
+    /// required for committed artifacts like `BENCH_chaos.json`.
+    pub stable: bool,
 }
 
 impl ExpOptions {
@@ -48,6 +52,7 @@ impl ExpOptions {
             match args[i].as_str() {
                 "--verbose" | "-v" => opts.verbose = true,
                 "--markdown" => opts.markdown = true,
+                "--stable" => opts.stable = true,
                 "--trace" => {
                     i += 1;
                     opts.trace_path = args.get(i).cloned();
@@ -87,7 +92,11 @@ pub fn run_with(exp: &str, opts: ExpOptions, produce: impl FnOnce() -> Vec<Table
 
     let started = Instant::now();
     let tables = produce();
-    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let wall_ms = if opts.stable {
+        0.0
+    } else {
+        started.elapsed().as_secs_f64() * 1e3
+    };
 
     let metrics = hpop_obs::metrics();
     metrics.gauge("exp.wall_ms").set(wall_ms);

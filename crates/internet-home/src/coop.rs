@@ -22,6 +22,8 @@
 use hpop_crypto::sha256::Sha256;
 use hpop_fabric::PeerView;
 use hpop_http::url::Url;
+use hpop_netsim::time::SimTime;
+use hpop_resilience::{BreakerBank, BreakerConfig, BreakerState};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Maps a coop member id into the fabric namespace (offset to avoid
@@ -37,6 +39,10 @@ pub enum FetchTier {
     Local,
     /// Another HPoP in the neighborhood (lateral gigabit).
     Neighbor,
+    /// A possibly-outdated lateral copy served while the neighborhood
+    /// is degraded (the current owner unreachable) — stale beats a
+    /// failed or uplink-bound fetch.
+    Stale,
     /// The origin, over the shared aggregation uplink.
     Origin,
 }
@@ -48,6 +54,8 @@ pub struct CoopStats {
     pub local_hits: u64,
     /// Requests served laterally by a neighbor.
     pub neighbor_hits: u64,
+    /// Requests served from a stale lateral copy while degraded.
+    pub stale_hits: u64,
     /// Requests that crossed the aggregation uplink to the origin.
     pub origin_fetches: u64,
     /// Bytes that crossed the aggregation uplink.
@@ -57,13 +65,14 @@ pub struct CoopStats {
 }
 
 impl CoopStats {
-    /// Fraction of requests kept inside the neighborhood.
+    /// Fraction of requests kept inside the neighborhood (stale serves
+    /// count: they never crossed the uplink).
     pub fn containment(&self) -> f64 {
-        let total = self.local_hits + self.neighbor_hits + self.origin_fetches;
+        let total = self.local_hits + self.neighbor_hits + self.stale_hits + self.origin_fetches;
         if total == 0 {
             0.0
         } else {
-            (self.local_hits + self.neighbor_hits) as f64 / total as f64
+            (self.local_hits + self.neighbor_hits + self.stale_hits) as f64 / total as f64
         }
     }
 }
@@ -90,6 +99,10 @@ pub struct CoopCache {
     cooperative: bool,
     /// Members currently believed down (excluded from ownership).
     down: BTreeSet<u32>,
+    /// Per-member circuit breakers over lateral fetches: a member whose
+    /// circuit is open is treated like a down member (no ownership, no
+    /// lateral serving) until it half-opens.
+    breakers: BreakerBank<u32>,
     stats: CoopStats,
 }
 
@@ -105,6 +118,7 @@ impl CoopCache {
             members: (0..n).map(|i| (i, BTreeSet::new())).collect(),
             cooperative: true,
             down: BTreeSet::new(),
+            breakers: BreakerBank::new(BreakerConfig::default()),
             stats: CoopStats::default(),
         }
     }
@@ -175,16 +189,78 @@ impl CoopCache {
         self.members.len() - self.down.len()
     }
 
+    /// Reports the outcome of one lateral fetch against `member`'s
+    /// HPoP. Failures feed its circuit breaker; while the circuit is
+    /// open the member is treated like a down member (no ownership, no
+    /// lateral serving), then half-opens for a probe — the resilience
+    /// path for flaky-but-not-dead neighbors the failure detector has
+    /// not (yet) declared down.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown members.
+    pub fn report_lateral_outcome(&mut self, member: u32, now: SimTime, ok: bool) {
+        assert!(
+            self.members.contains_key(&member),
+            "unknown member {member}"
+        );
+        self.breakers.record(member, now, ok);
+    }
+
+    /// Whether `member` can serve lateral traffic at `now`: believed
+    /// up and its breaker circuit is not hard-open.
+    fn usable(&self, member: u32, now: SimTime) -> bool {
+        !self.down.contains(&member) && self.breakers.state(member, now) != BreakerState::Open
+    }
+
+    /// Whether the neighborhood is degraded at `now` (any member down
+    /// or breaker-withdrawn) — the only state in which stale serves are
+    /// permitted.
+    fn is_degraded(&self, now: SimTime) -> bool {
+        !self.down.is_empty() || !self.breakers.tripped(now).is_empty()
+    }
+
+    /// The owner at `now`: HRW over members that are up *and* whose
+    /// breaker admits traffic.
+    fn owner_usable_at(&self, url: &Url, now: SimTime) -> Option<u32> {
+        let key = url.to_string();
+        self.members
+            .keys()
+            .copied()
+            .filter(|&m| self.usable(m, now))
+            .max_by_key(|m| {
+                let d = Sha256::digest(format!("{m}|{key}").as_bytes());
+                u64::from_be_bytes(d.as_bytes()[..8].try_into().expect("8 bytes"))
+            })
+    }
+
     /// `member` requests `url` (`bytes` large). Resolution order: local
     /// cache → owner's cache (cooperative mode) → origin. Fetched
     /// content is cached at the owner (cooperative) or locally
     /// (independent); lateral copies are *not* duplicated — the paper's
     /// "avoid duplicate retrievals and storage".
     ///
+    /// Time-blind wrapper over [`CoopCache::request_at`] (evaluated at
+    /// the epoch, where an untouched breaker bank changes nothing).
+    ///
     /// # Panics
     ///
     /// Panics for unknown members.
     pub fn request(&mut self, member: u32, url: &Url, bytes: u64) -> FetchTier {
+        self.request_at(member, url, bytes, SimTime::ZERO)
+    }
+
+    /// [`CoopCache::request`] with the resilience ladder: local cache →
+    /// usable owner → **stale lateral copy** (only while the
+    /// neighborhood is degraded) → origin. A stale serve keeps the
+    /// request off the scarce aggregation uplink when the rightful
+    /// owner is unreachable; when the neighborhood is healthy the owner
+    /// path guarantees freshness as before.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown members.
+    pub fn request_at(&mut self, member: u32, url: &Url, bytes: u64, now: SimTime) -> FetchTier {
         assert!(
             self.members.contains_key(&member),
             "unknown member {member}"
@@ -193,35 +269,53 @@ impl CoopCache {
             self.stats.local_hits += 1;
             return FetchTier::Local;
         }
-        if self.cooperative {
-            let owner = self.owner_of(url);
-            if owner != member && self.members[&owner].contains(url) {
-                self.stats.neighbor_hits += 1;
-                self.stats.lateral_bytes += bytes;
-                return FetchTier::Neighbor;
-            }
-            // Origin fetch, stored at the owner for the whole
-            // neighborhood; if the requester isn't the owner the bytes
-            // also cross the lateral network once.
-            self.stats.origin_fetches += 1;
-            self.stats.uplink_bytes += bytes;
-            self.members
-                .get_mut(&owner)
-                .expect("member exists")
-                .insert(url.clone());
-            if owner != member {
-                self.stats.lateral_bytes += bytes;
-            }
-            FetchTier::Origin
-        } else {
+        if !self.cooperative {
             self.stats.origin_fetches += 1;
             self.stats.uplink_bytes += bytes;
             self.members
                 .get_mut(&member)
                 .expect("member exists")
                 .insert(url.clone());
-            FetchTier::Origin
+            return FetchTier::Origin;
         }
+        let owner = self.owner_usable_at(url, now);
+        if let Some(owner) = owner {
+            if owner != member && self.members[&owner].contains(url) {
+                self.stats.neighbor_hits += 1;
+                self.stats.lateral_bytes += bytes;
+                return FetchTier::Neighbor;
+            }
+        }
+        // Stale-then-origin: while degraded, any other usable member
+        // holding a (possibly outdated) copy serves it laterally
+        // before the request is allowed to cross the uplink.
+        if self.is_degraded(now) {
+            let stale_holder = self
+                .members
+                .iter()
+                .find(|(&m, objs)| m != member && self.usable(m, now) && objs.contains(url))
+                .map(|(&m, _)| m);
+            if stale_holder.is_some() {
+                self.stats.stale_hits += 1;
+                self.stats.lateral_bytes += bytes;
+                hpop_obs::metrics().counter("coop.stale_serves").incr();
+                return FetchTier::Stale;
+            }
+        }
+        // Origin fetch, stored at the owner (or locally when no owner
+        // is usable) for the whole neighborhood; if the cache point is
+        // not the requester the bytes also cross the lateral network.
+        self.stats.origin_fetches += 1;
+        self.stats.uplink_bytes += bytes;
+        let cache_at = owner.unwrap_or(member);
+        self.members
+            .get_mut(&cache_at)
+            .expect("member exists")
+            .insert(url.clone());
+        if cache_at != member {
+            self.stats.lateral_bytes += bytes;
+        }
+        FetchTier::Origin
     }
 
     /// A new HPoP joins the neighborhood (a family moves in). Returns
@@ -432,6 +526,106 @@ mod tests {
         for i in 0..100 {
             assert_ne!(coop.owner_of(&u(i)), 1);
         }
+    }
+
+    /// Seeds a copy of `url` at `holder` only, leaving every other
+    /// member's cache cold: mark the others down so the origin fill
+    /// lands locally, then restore liveness.
+    fn seed_copy_at(coop: &mut CoopCache, holder: u32, url: &Url, bytes: u64) {
+        let ids: Vec<u32> = (0..coop.member_count() as u32).collect();
+        for &m in &ids {
+            if m != holder {
+                coop.set_member_up(m, false);
+            }
+        }
+        assert_eq!(coop.request(holder, url, bytes), FetchTier::Origin);
+        for &m in &ids {
+            coop.set_member_up(m, true);
+        }
+    }
+
+    #[test]
+    fn tripped_owner_is_excluded_then_recovers_ownership() {
+        use hpop_netsim::time::SimDuration;
+        let mut coop = CoopCache::new(4);
+        let url = u(9);
+        let owner = coop.owner_of(&url);
+        let t0 = SimTime::ZERO;
+        for _ in 0..BreakerConfig::default().failure_threshold {
+            coop.report_lateral_outcome(owner, t0, false);
+        }
+        assert_eq!(coop.breakers.state(owner, t0), BreakerState::Open);
+        // While withdrawn, ownership re-routes; a request never waits
+        // on the tripped member and its fill lands at a usable owner.
+        let new_owner = coop.owner_usable_at(&url, t0).expect("someone usable");
+        assert_ne!(new_owner, owner);
+        let third = (0..4).find(|&m| m != owner && m != new_owner).unwrap();
+        assert_eq!(coop.request_at(third, &url, 1000, t0), FetchTier::Origin);
+        assert_ne!(
+            coop.request_at(third, &url, 1000, t0),
+            FetchTier::Origin,
+            "copy now lives at a usable member"
+        );
+        // After the cooldown a probe success closes the circuit and the
+        // original owner resumes its share of the space.
+        let later = t0 + SimDuration::from_secs(3600);
+        coop.report_lateral_outcome(owner, later, true);
+        assert_eq!(coop.breakers.state(owner, later), BreakerState::Closed);
+        assert_eq!(coop.owner_usable_at(&url, later), Some(owner));
+    }
+
+    #[test]
+    fn healthy_neighborhood_never_serves_stale() {
+        let mut coop = CoopCache::new(3);
+        let url = u(11);
+        let owner = coop.owner_of(&url);
+        let holder = (0..3).find(|&m| m != owner).unwrap();
+        seed_copy_at(&mut coop, holder, &url, 700);
+        // All members up, no breaker tripped: the cold owner forces a
+        // fresh origin fetch even though a lateral copy exists.
+        let third = (0..3).find(|&m| m != owner && m != holder).unwrap();
+        assert_eq!(coop.request(third, &url, 700), FetchTier::Origin);
+        assert_eq!(coop.stats().stale_hits, 0);
+    }
+
+    #[test]
+    fn degraded_neighborhood_serves_stale_off_the_uplink() {
+        let mut coop = CoopCache::new(3);
+        let url = u(11);
+        let owner = coop.owner_of(&url);
+        // The requester is the member that inherits ownership when the
+        // true owner dies, so its miss cannot be a Neighbor hit; the
+        // third member holds the only (now stale-eligible) copy.
+        coop.set_member_up(owner, false);
+        let heir = coop.owner_usable_at(&url, SimTime::ZERO).unwrap();
+        coop.set_member_up(owner, true);
+        let holder = (0..3).find(|&m| m != owner && m != heir).unwrap();
+        seed_copy_at(&mut coop, holder, &url, 700);
+        // The owner goes down: the neighborhood is degraded, so the
+        // holder's possibly-outdated copy beats another uplink crossing.
+        coop.set_member_up(owner, false);
+        assert_eq!(coop.request(heir, &url, 700), FetchTier::Stale);
+        let s = coop.stats();
+        assert_eq!(s.stale_hits, 1);
+        assert_eq!(s.uplink_bytes, 700, "stale serve stayed off the uplink");
+        // One origin seed + one stale hit → exactly half contained.
+        assert!(s.containment() >= 0.5, "stale counts as contained");
+    }
+
+    #[test]
+    fn no_usable_member_falls_back_to_origin_without_panic() {
+        let mut coop = CoopCache::new(2);
+        let url = u(13);
+        let t0 = SimTime::ZERO;
+        // Trip both breakers: no usable owner anywhere.
+        for m in 0..2 {
+            for _ in 0..BreakerConfig::default().failure_threshold {
+                coop.report_lateral_outcome(m, t0, false);
+            }
+        }
+        // The request still succeeds — origin fill cached locally.
+        assert_eq!(coop.request_at(0, &url, 500, t0), FetchTier::Origin);
+        assert_eq!(coop.request_at(0, &url, 500, t0), FetchTier::Local);
     }
 
     #[test]

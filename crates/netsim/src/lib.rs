@@ -32,6 +32,9 @@
 //!   detour triangles).
 //! - [`churn`] — seeded on/off renewal processes per node: the
 //!   deterministic peer-churn schedules the fabric layer runs against.
+//! - [`faults`] — seeded fault-injection plans composing link loss,
+//!   delay spikes, blackholes, peer crashes/slowness/corruption and
+//!   named partitions on the same clock as the churn schedules.
 //!
 //! ## Example
 //!
@@ -59,6 +62,7 @@ mod proptests;
 pub mod churn;
 pub mod engine;
 pub mod fairshare;
+pub mod faults;
 pub mod flow;
 pub mod metrics;
 pub mod netsim;
@@ -70,6 +74,7 @@ pub mod units;
 
 pub use churn::{ChurnConfig, ChurnEvent, ChurnSchedule};
 pub use engine::Sim;
+pub use faults::{FaultConfig, FaultPlan, PeerMode};
 pub use flow::{FlowId, FlowNet};
 pub use netsim::{NetSim, TransferInfo};
 pub use routing::{Path, RoutingTable};

@@ -11,7 +11,9 @@ use crate::peer::{NoCdnPeer, PeerId};
 use bytes::Bytes;
 use hpop_crypto::sha256::{Digest, Sha256};
 use hpop_http::range::ByteRange;
+use hpop_netsim::time::{SimDuration, SimTime};
 use hpop_obs::event;
+use hpop_resilience::{BreakerBank, BreakerConfig, Deadline, Hedge, HedgeConfig, RetryPolicy};
 use std::collections::BTreeMap;
 
 /// The outcome of a chunked fetch.
@@ -21,6 +23,12 @@ pub struct ChunkedReport {
     pub bytes_per_peer: BTreeMap<u32, u64>,
     /// Chunks re-fetched from the origin (peer bad or range corrupt).
     pub fallback_chunks: usize,
+    /// Chunks where a hedged second request was launched.
+    pub hedged_chunks: usize,
+    /// Peers whose chunks failed the reassembly integrity check
+    /// (deduplicated) — the caller reports these to the directory
+    /// ledger.
+    pub corrupt_peers: Vec<u32>,
     /// Whether the assembled object verified against the whole-object
     /// hash.
     pub verified: bool,
@@ -127,26 +135,278 @@ pub fn fetch_chunked(
     for (range, src) in &sources {
         let start = range.start as usize;
         let end = (range.end + 1) as usize;
-        let got = &assembled[start..end];
         let truth = &authentic[start..end];
-        if got == truth {
+        // `get` (not indexing): a misbehaving peer may have served a
+        // short body, leaving the assembly truncated mid-chunk.
+        let got = assembled.get(start..end);
+        if got == Some(truth) {
             if let Some(p) = src {
                 *report.bytes_per_peer.entry(p.0).or_default() += range.len();
             }
-            repaired.extend_from_slice(got);
+            repaired.extend_from_slice(truth);
         } else {
             hpop_obs::metrics().counter("nocdn.chunks.repaired").incr();
+            if let Some(p) = src {
+                if !report.corrupt_peers.contains(&p.0) {
+                    report.corrupt_peers.push(p.0);
+                }
+            }
             report.fallback_chunks += 1;
             repaired.extend_from_slice(truth);
         }
     }
+    // Re-verify the *whole object* after reassembly from repaired
+    // chunks — per-chunk equality against the origin is necessary but
+    // not sufficient (it cannot catch misassembly across boundaries).
     report.verified = Sha256::digest(&repaired).ct_eq(expected);
     (report, Bytes::from(repaired))
 }
 
 fn slice_range(body: &Bytes, range: &ByteRange) -> Bytes {
     let end = (range.end + 1).min(body.len() as u64) as usize;
-    body.slice(range.start as usize..end)
+    body.slice((range.start as usize).min(end)..end)
+}
+
+/// A chunked-fetch client with the full resilience stack: per-peer
+/// circuit breakers gate selection, failed range requests retry with
+/// budgeted backoff under a [`Deadline`], tail-latency stragglers get a
+/// hedged second request to another peer, and any chunk no admitted
+/// peer can deliver falls back to the origin — a page load never fails,
+/// it only degrades to origin bytes.
+#[derive(Clone, Debug)]
+pub struct ResilientFetcher {
+    /// Per-peer circuit breakers (keyed by raw peer id). Feed
+    /// reputation scores in via [`BreakerBank::set_reputation`].
+    pub breakers: BreakerBank<u32>,
+    /// The p99-informed hedge trigger, warmed by observed latencies.
+    pub hedge: Hedge,
+    /// Backoff policy for failed range requests.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ResilientFetcher {
+    fn default() -> ResilientFetcher {
+        ResilientFetcher::new(
+            BreakerConfig::default(),
+            HedgeConfig::default(),
+            RetryPolicy::default(),
+        )
+    }
+}
+
+impl ResilientFetcher {
+    /// A fetcher with the given policies (all breakers closed, hedge
+    /// cold).
+    pub fn new(
+        breakers: BreakerConfig,
+        hedge: HedgeConfig,
+        retry: RetryPolicy,
+    ) -> ResilientFetcher {
+        ResilientFetcher {
+            breakers: BreakerBank::new(breakers),
+            hedge: Hedge::new(hedge),
+            retry,
+        }
+    }
+
+    /// Fetches one object in `n_chunks` range requests with breakers,
+    /// retries, hedging and origin fallback. `latency_of` is the
+    /// caller's latency oracle for a peer (experiments derive it from
+    /// the fault plan: slow peers report proportionally longer service
+    /// times). The clock `*now` advances by backoff pauses and by each
+    /// winning chunk's service latency.
+    ///
+    /// Unlike [`fetch_chunked`], an empty `peer_order` is not an error:
+    /// every chunk simply falls back to the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is unknown at the origin.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetch(
+        &mut self,
+        path: &str,
+        n_chunks: usize,
+        expected: &Digest,
+        peer_order: &[PeerId],
+        peers: &mut BTreeMap<PeerId, NoCdnPeer>,
+        origin: &mut ContentProvider,
+        deadline: Deadline,
+        now: &mut SimTime,
+        latency_of: &dyn Fn(PeerId) -> SimDuration,
+    ) -> (ChunkedReport, Bytes) {
+        let total = origin
+            .peek_object(path)
+            .unwrap_or_else(|| panic!("unknown object {path}"))
+            .len() as u64;
+        let mut report = ChunkedReport::default();
+        if total == 0 {
+            report.verified = Sha256::digest(b"").ct_eq(expected);
+            return (report, Bytes::new());
+        }
+        let ranges = ByteRange::split(total, n_chunks);
+        let host = origin.host().to_owned();
+        let mut assembled = Vec::with_capacity(total as usize);
+        let mut sources: Vec<(ByteRange, Option<PeerId>)> = Vec::new();
+        let ResilientFetcher {
+            breakers,
+            hedge,
+            retry,
+        } = self;
+        for (i, range) in ranges.iter().enumerate() {
+            // One rotation cursor per chunk, shared across retry
+            // attempts so each attempt moves on to the next admitted
+            // peer instead of hammering the same one.
+            let mut cursor = i;
+            let mut hedged = false;
+            let outcome = retry.run(i as u64, deadline, now, |_, at| {
+                let mut primary = None;
+                for _ in 0..peer_order.len() {
+                    let pid = peer_order[cursor % peer_order.len()];
+                    cursor += 1;
+                    if breakers.allow(pid.0, at) {
+                        primary = Some(pid);
+                        break;
+                    }
+                }
+                let Some(p) = primary else {
+                    // No admitted peer this attempt (all circuits open
+                    // or none recruited) — let the retry policy decide
+                    // whether a breaker half-opens before giving up.
+                    return Err(());
+                };
+                let body_p = peers
+                    .get_mut(&p)
+                    .and_then(|peer| peer.serve(&host, path, origin));
+                let Some(body) = body_p else {
+                    breakers.record(p.0, at, false);
+                    return Err(());
+                };
+                breakers.record(p.0, at, true);
+                let lat_p = latency_of(p);
+                let trigger = hedge.trigger();
+                let mut elapsed = lat_p;
+                let mut winner = p;
+                let mut chunk = slice_range(&body, range);
+                // The primary would outlive the p99 trigger: launch a
+                // hedged copy against the next admitted peer and keep
+                // whichever completes first, charging the loser's bytes
+                // as hedge waste.
+                if lat_p >= trigger {
+                    let mut secondary = None;
+                    for _ in 0..peer_order.len() {
+                        let pid = peer_order[cursor % peer_order.len()];
+                        cursor += 1;
+                        if pid != p && breakers.allow(pid.0, at) {
+                            secondary = Some(pid);
+                            break;
+                        }
+                    }
+                    if let Some(s) = secondary {
+                        hedged = true;
+                        let body_s = peers
+                            .get_mut(&s)
+                            .and_then(|peer| peer.serve(&host, path, origin));
+                        match body_s {
+                            Some(bs) => {
+                                breakers.record(s.0, at, true);
+                                let completion_s = trigger + latency_of(s);
+                                if completion_s < elapsed {
+                                    hedge.account_fired(range.len());
+                                    elapsed = completion_s;
+                                    winner = s;
+                                    chunk = slice_range(&bs, range);
+                                } else {
+                                    hedge.account_fired(range.len());
+                                }
+                            }
+                            None => {
+                                breakers.record(s.0, at, false);
+                                hedge.account_fired(0);
+                            }
+                        }
+                    }
+                }
+                hedge.record(elapsed);
+                Ok((winner, chunk, elapsed))
+            });
+            if hedged {
+                report.hedged_chunks += 1;
+            }
+            match outcome.result {
+                Ok((src, chunk, elapsed)) => {
+                    *now += elapsed;
+                    let m = hpop_obs::metrics();
+                    m.counter("nocdn.chunks.from_peer").incr();
+                    m.histogram("nocdn.chunk.bytes").record(chunk.len() as u64);
+                    assembled.extend_from_slice(&chunk);
+                    sources.push((*range, Some(src)));
+                }
+                Err(_) => {
+                    // Origin fallback: never a failed page.
+                    let full = origin.fetch_object(path).expect("checked above");
+                    let c = slice_range(&full, range);
+                    let m = hpop_obs::metrics();
+                    m.counter("nocdn.chunks.from_origin").incr();
+                    m.histogram("nocdn.chunk.bytes").record(c.len() as u64);
+                    assembled.extend_from_slice(&c);
+                    sources.push((*range, None));
+                    report.fallback_chunks += 1;
+                }
+            }
+        }
+
+        // Whole-object verification over the multi-peer reassembly —
+        // the only check that catches cross-chunk corruption.
+        let whole_ok = Sha256::digest(&assembled).ct_eq(expected);
+        event!(
+            hpop_obs::tracer(),
+            0,
+            "nocdn",
+            "chunk.verify",
+            path = path,
+            ok = whole_ok,
+            chunks = sources.len() as u64
+        );
+        if whole_ok {
+            hpop_obs::metrics().counter("nocdn.verify.ok").incr();
+            for (range, src) in &sources {
+                if let Some(p) = src {
+                    *report.bytes_per_peer.entry(p.0).or_default() += range.len();
+                }
+            }
+            report.verified = true;
+            return (report, Bytes::from(assembled));
+        }
+
+        hpop_obs::metrics().counter("nocdn.verify.failed").incr();
+        let authentic = origin.fetch_object(path).expect("checked above");
+        let mut repaired = Vec::with_capacity(total as usize);
+        for (range, src) in &sources {
+            let start = range.start as usize;
+            let end = (range.end + 1) as usize;
+            let truth = &authentic[start..end];
+            if assembled.get(start..end) == Some(truth) {
+                if let Some(p) = src {
+                    *report.bytes_per_peer.entry(p.0).or_default() += range.len();
+                }
+            } else {
+                hpop_obs::metrics().counter("nocdn.chunks.repaired").incr();
+                if let Some(p) = src {
+                    breakers.record(p.0, *now, false);
+                    if !report.corrupt_peers.contains(&p.0) {
+                        report.corrupt_peers.push(p.0);
+                    }
+                }
+                report.fallback_chunks += 1;
+            }
+            repaired.extend_from_slice(truth);
+        }
+        // Final whole-object re-verify after repair: the page is served
+        // only if this passes (it must — the chunks are origin truth).
+        report.verified = Sha256::digest(&repaired).ct_eq(expected);
+        (report, Bytes::from(repaired))
+    }
 }
 
 #[cfg(test)]
@@ -234,5 +494,212 @@ mod tests {
     fn empty_peer_order_panics() {
         let (mut origin, mut peers, digest) = setup(&[PeerBehavior::Honest]);
         fetch_chunked("/big.bin", 4, &digest, &[], &mut peers, &mut origin);
+    }
+
+    #[test]
+    fn truncating_peer_repaired_not_panicking() {
+        let (mut origin, mut peers, digest) =
+            setup(&[PeerBehavior::Honest, PeerBehavior::Truncates]);
+        let (report, body) =
+            fetch_chunked("/big.bin", 4, &digest, &order(2), &mut peers, &mut origin);
+        assert!(report.verified);
+        assert_eq!(body.len(), 100_000);
+        assert!(report.corrupt_peers.contains(&1));
+    }
+
+    // --- ResilientFetcher ---
+
+    fn flat_latency(_: PeerId) -> SimDuration {
+        SimDuration::from_millis(1)
+    }
+
+    fn resilient() -> ResilientFetcher {
+        ResilientFetcher::default()
+    }
+
+    #[test]
+    fn resilient_retries_around_unresponsive_peer_without_origin() {
+        let (mut origin, mut peers, digest) = setup(&[
+            PeerBehavior::Honest,
+            PeerBehavior::Unresponsive,
+            PeerBehavior::Honest,
+            PeerBehavior::Honest,
+        ]);
+        let mut f = resilient();
+        let mut now = SimTime::ZERO;
+        let (report, body) = f.fetch(
+            "/big.bin",
+            8,
+            &digest,
+            &order(4),
+            &mut peers,
+            &mut origin,
+            Deadline::UNBOUNDED,
+            &mut now,
+            &flat_latency,
+        );
+        assert!(report.verified);
+        assert_eq!(body.len(), 100_000);
+        // The dead peer's chunks were *retried against other peers*,
+        // not surrendered to the origin.
+        assert_eq!(report.fallback_chunks, 0);
+        assert!(!report.bytes_per_peer.contains_key(&1));
+        // Retrying cost simulated backoff time.
+        assert!(now > SimTime::ZERO);
+    }
+
+    #[test]
+    fn resilient_breaker_opens_on_repeat_offender() {
+        let (mut origin, mut peers, digest) = setup(&[
+            PeerBehavior::Honest,
+            PeerBehavior::Unresponsive,
+            PeerBehavior::Honest,
+        ]);
+        let mut f = resilient();
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            let (report, _) = f.fetch(
+                "/big.bin",
+                6,
+                &digest,
+                &order(3),
+                &mut peers,
+                &mut origin,
+                Deadline::UNBOUNDED,
+                &mut now,
+                &flat_latency,
+            );
+            assert!(report.verified);
+        }
+        use hpop_resilience::BreakerState;
+        assert_ne!(f.breakers.state(1, now), BreakerState::Closed);
+    }
+
+    #[test]
+    fn resilient_corrupt_peer_feeds_breaker_and_report() {
+        let (mut origin, mut peers, digest) = setup(&[
+            PeerBehavior::Honest,
+            PeerBehavior::CorruptsContent,
+            PeerBehavior::Honest,
+            PeerBehavior::Honest,
+        ]);
+        let mut f = ResilientFetcher::new(
+            hpop_resilience::BreakerConfig {
+                failure_threshold: 2,
+                open_for: SimDuration::from_secs(30),
+            },
+            HedgeConfig::default(),
+            RetryPolicy::default(),
+        );
+        let mut now = SimTime::ZERO;
+        let (report, body) = f.fetch(
+            "/big.bin",
+            8,
+            &digest,
+            &order(4),
+            &mut peers,
+            &mut origin,
+            Deadline::UNBOUNDED,
+            &mut now,
+            &flat_latency,
+        );
+        assert!(report.verified, "page must never fail");
+        assert_eq!(body.len(), 100_000);
+        assert_eq!(report.corrupt_peers, vec![1]);
+        // The corrupt chunks were repaired against the origin and the
+        // breaker took both failures — the circuit is now open.
+        use hpop_resilience::BreakerState;
+        assert_eq!(f.breakers.state(1, now), BreakerState::Open);
+        // The next fetch routes nothing through the tripped peer.
+        let (r2, _) = f.fetch(
+            "/big.bin",
+            8,
+            &digest,
+            &order(4),
+            &mut peers,
+            &mut origin,
+            Deadline::UNBOUNDED,
+            &mut now,
+            &flat_latency,
+        );
+        assert!(r2.verified);
+        assert!(r2.corrupt_peers.is_empty());
+        assert!(!r2.bytes_per_peer.contains_key(&1));
+    }
+
+    #[test]
+    fn resilient_hedges_slow_peer() {
+        let (mut origin, mut peers, digest) = setup(&[PeerBehavior::Honest; 3]);
+        let mut f = resilient();
+        // Peer 0 serves at a crawl (beyond the cold 500 ms trigger);
+        // the others are fast.
+        let latency = |p: PeerId| {
+            if p.0 == 0 {
+                SimDuration::from_secs(5)
+            } else {
+                SimDuration::from_millis(2)
+            }
+        };
+        let mut now = SimTime::ZERO;
+        let (report, body) = f.fetch(
+            "/big.bin",
+            6,
+            &digest,
+            &order(3),
+            &mut peers,
+            &mut origin,
+            Deadline::UNBOUNDED,
+            &mut now,
+            &latency,
+        );
+        assert!(report.verified);
+        assert_eq!(body.len(), 100_000);
+        assert!(report.hedged_chunks >= 1, "{report:?}");
+        // The hedge capped the slow peer's chunk latency: total elapsed
+        // is far below 2 chunks x 5 s.
+        assert!(now < SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn resilient_empty_peer_order_is_all_origin_not_panic() {
+        let (mut origin, mut peers, digest) = setup(&[PeerBehavior::Honest]);
+        let mut f = resilient();
+        let mut now = SimTime::ZERO;
+        let (report, body) = f.fetch(
+            "/big.bin",
+            4,
+            &digest,
+            &[],
+            &mut peers,
+            &mut origin,
+            Deadline::UNBOUNDED,
+            &mut now,
+            &flat_latency,
+        );
+        assert!(report.verified);
+        assert_eq!(body.len(), 100_000);
+        assert_eq!(report.fallback_chunks, 4);
+    }
+
+    #[test]
+    fn resilient_truncating_peer_detected_and_repaired() {
+        let (mut origin, mut peers, digest) =
+            setup(&[PeerBehavior::Honest, PeerBehavior::Truncates]);
+        let mut f = resilient();
+        let mut now = SimTime::ZERO;
+        let (report, body) = f.fetch(
+            "/big.bin",
+            4,
+            &digest,
+            &order(2),
+            &mut peers,
+            &mut origin,
+            Deadline::UNBOUNDED,
+            &mut now,
+            &flat_latency,
+        );
+        assert!(report.verified);
+        assert_eq!(body.len(), 100_000);
+        assert!(report.corrupt_peers.contains(&1));
     }
 }

@@ -28,7 +28,9 @@
 //!   proximity / trust-weighted) — the ablation §IV-B calls an open
 //!   problem.
 //! - [`chunked`] — multi-peer range-request downloads ("Leveraging
-//!   Redundancy").
+//!   Redundancy"), including the resilient client
+//!   ([`chunked::ResilientFetcher`]): breaker-gated peer selection,
+//!   budgeted retries, p99-informed hedging and origin fallback.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +47,7 @@ pub mod select;
 pub mod wrapper;
 
 pub use accounting::{Accounting, UsageRecord};
+pub use chunked::{ChunkedReport, ResilientFetcher};
 pub use loader::{LoaderReport, PageLoader};
 pub use origin::{ContentProvider, PageSpec};
 pub use peer::{NoCdnPeer, PeerBehavior, PeerId};

@@ -35,6 +35,9 @@ pub enum PeerBehavior {
     InflatesUsage(u32),
     /// Offline/unresponsive (failure injection).
     Unresponsive,
+    /// Serves only the first half of every object (truncation fault:
+    /// same-prefix bytes, so only length/hash checks reveal it).
+    Truncates,
 }
 
 /// A recruited HPoP acting as an edge server.
@@ -111,12 +114,14 @@ impl NoCdnPeer {
                 b
             }
         };
-        self.bytes_served += body.len() as u64;
-        m.histogram("nocdn.serve.bytes").record(body.len() as u64);
-        Some(match self.behavior {
+        let out = match self.behavior {
             PeerBehavior::CorruptsContent => corrupt(&body),
+            PeerBehavior::Truncates => body.slice(..body.len() / 2),
             _ => body,
-        })
+        };
+        self.bytes_served += out.len() as u64;
+        m.histogram("nocdn.serve.bytes").record(out.len() as u64);
+        Some(out)
     }
 
     /// Accepts a client's signed usage record for later upload.

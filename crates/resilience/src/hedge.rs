@@ -1,0 +1,154 @@
+//! Tail-latency hedging.
+//!
+//! §IV-B's chunked multi-peer downloads put object delivery at the
+//! mercy of the *slowest* peer touched. A [`Hedge`] watches observed
+//! fetch latencies and, once a request has been outstanding longer
+//! than the p99-informed trigger, tells the caller to launch a second
+//! copy of the request against a different peer — whichever answer
+//! arrives first wins and the loser's bytes are accounted as waste
+//! (`resilience.hedge.wasted_bytes`), the metric E20 budgets.
+
+use hpop_netsim::time::{SimDuration, SimTime};
+
+/// Hedge tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct HedgeConfig {
+    /// Trigger quantile on the observed latency distribution (0.99 =
+    /// fire when the request outlives the p99).
+    pub quantile: f64,
+    /// Trigger floor: never hedge earlier than this.
+    pub min_trigger: SimDuration,
+    /// Trigger used until enough samples exist.
+    pub cold_trigger: SimDuration,
+    /// Samples needed before the measured quantile is trusted.
+    pub min_samples: usize,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> HedgeConfig {
+        HedgeConfig {
+            quantile: 0.99,
+            min_trigger: SimDuration::from_millis(20),
+            cold_trigger: SimDuration::from_millis(500),
+            min_samples: 32,
+        }
+    }
+}
+
+/// Observed-latency tracker with a p99-informed hedge trigger.
+#[derive(Clone, Debug)]
+pub struct Hedge {
+    cfg: HedgeConfig,
+    /// Completed-fetch latencies in nanoseconds (kept sorted).
+    samples_ns: Vec<u64>,
+}
+
+impl Hedge {
+    /// A cold hedge (uses `cold_trigger` until warmed up).
+    pub fn new(cfg: HedgeConfig) -> Hedge {
+        Hedge {
+            cfg,
+            samples_ns: Vec::new(),
+        }
+    }
+
+    /// Records one completed fetch's latency.
+    pub fn record(&mut self, latency: SimDuration) {
+        let ns = latency.as_nanos();
+        let at = self.samples_ns.partition_point(|&s| s <= ns);
+        self.samples_ns.insert(at, ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn samples(&self) -> usize {
+        self.samples_ns.len()
+    }
+
+    /// The current hedge trigger: the configured quantile of observed
+    /// latencies once warm, `cold_trigger` before that, never below
+    /// `min_trigger`.
+    pub fn trigger(&self) -> SimDuration {
+        if self.samples_ns.len() < self.cfg.min_samples.max(1) {
+            return self.cfg.cold_trigger.max(self.cfg.min_trigger);
+        }
+        let q = self.cfg.quantile.clamp(0.0, 1.0);
+        let idx = ((self.samples_ns.len() - 1) as f64 * q).round() as usize;
+        SimDuration::from_nanos(self.samples_ns[idx]).max(self.cfg.min_trigger)
+    }
+
+    /// Whether a request issued at `issued_at` should be hedged at
+    /// `now` (it has outlived the trigger without completing).
+    pub fn should_hedge(&self, issued_at: SimTime, now: SimTime) -> bool {
+        now.saturating_since(issued_at) >= self.trigger()
+    }
+
+    /// Accounts a fired hedge whose loser transferred `wasted_bytes`.
+    pub fn account_fired(&self, wasted_bytes: u64) {
+        let m = hpop_obs::metrics();
+        m.counter("resilience.hedge.fired").incr();
+        m.counter("resilience.hedge.wasted_bytes").add(wasted_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn cfg() -> HedgeConfig {
+        HedgeConfig {
+            quantile: 0.99,
+            min_trigger: ms(5),
+            cold_trigger: ms(200),
+            min_samples: 10,
+        }
+    }
+
+    #[test]
+    fn cold_hedge_uses_cold_trigger() {
+        let h = Hedge::new(cfg());
+        assert_eq!(h.trigger(), ms(200));
+        assert!(!h.should_hedge(SimTime::ZERO, SimTime::from_nanos(199_000_000)));
+        assert!(h.should_hedge(SimTime::ZERO, SimTime::from_nanos(200_000_000)));
+    }
+
+    #[test]
+    fn warm_trigger_tracks_p99() {
+        let mut h = Hedge::new(cfg());
+        // 99 fast fetches, one slow straggler.
+        for _ in 0..99 {
+            h.record(ms(10));
+        }
+        h.record(ms(400));
+        let trig = h.trigger();
+        assert!(trig >= ms(10) && trig <= ms(400), "trigger {trig:?}");
+        // A request slower than the trigger hedges; a fast one doesn't.
+        assert!(h.should_hedge(SimTime::ZERO, SimTime::ZERO + ms(401)));
+        assert!(!h.should_hedge(SimTime::ZERO, SimTime::ZERO + ms(1)));
+    }
+
+    #[test]
+    fn min_trigger_floors_fast_distributions() {
+        let mut h = Hedge::new(cfg());
+        for _ in 0..50 {
+            h.record(SimDuration::from_nanos(10));
+        }
+        assert_eq!(h.trigger(), ms(5));
+    }
+
+    #[test]
+    fn samples_stay_sorted() {
+        let mut h = Hedge::new(cfg());
+        for v in [30u64, 10, 20, 40, 15] {
+            h.record(ms(v));
+        }
+        assert_eq!(h.samples(), 5);
+        let sorted: Vec<u64> = h.samples_ns.clone();
+        let mut expect = sorted.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+    }
+}

@@ -1,0 +1,45 @@
+//! # hpop-resilience — one failure policy for all four HPoP services
+//!
+//! The paper's services all run on *other people's home appliances*:
+//! erasure-coded backup peers (§IV-A), untrusted NoCDN edges (§IV-B),
+//! detour waypoints (§IV-C) and neighborhood caches (§IV-D). Peers are
+//! slow, partitioned, corrupt, or gone — and before this crate every
+//! service hand-rolled its own answer (nocdn `reassign` walks, dcol
+//! strike counters, attic repair loops). This crate is the shared
+//! vocabulary they now speak instead:
+//!
+//! - [`deadline`] — [`Deadline`]: an absolute time budget that
+//!   propagates through nested calls; sub-operations carve slices off
+//!   the same budget instead of inventing their own timeouts.
+//! - [`retry`] — [`RetryPolicy`]: exponential backoff with
+//!   deterministic jitter (seeded per operation key, replayable), and
+//!   budget awareness — a retry is never scheduled past the deadline.
+//! - [`breaker`] — [`CircuitBreaker`] / [`BreakerBank`]: per-peer
+//!   closed → open → half-open gating, with the failure threshold fed
+//!   by the fabric's reputation score so known offenders trip sooner.
+//! - [`hedge`] — [`Hedge`]: launch a second fetch against another peer
+//!   when the first has been outstanding longer than the observed p99;
+//!   bounds tail latency at a measured duplicate-byte cost.
+//!
+//! Everything runs on the simulated clock ([`SimTime`]) and is
+//! instrumented through `hpop-obs` (`resilience.retry.*`,
+//! `resilience.breaker.*`, `resilience.hedge.*`), so experiment E20 can
+//! meter exactly how much work each policy performs and wastes.
+//!
+//! [`SimTime`]: hpop_netsim::time::SimTime
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breaker;
+pub mod deadline;
+pub mod hedge;
+pub mod retry;
+
+#[cfg(test)]
+mod proptests;
+
+pub use breaker::{BreakerBank, BreakerConfig, BreakerState, CircuitBreaker};
+pub use deadline::Deadline;
+pub use hedge::{Hedge, HedgeConfig};
+pub use retry::{RetryError, RetryOutcome, RetryPolicy};

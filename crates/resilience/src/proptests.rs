@@ -1,0 +1,129 @@
+//! Property-based tests of the resilience layer's guarantees.
+//!
+//! 1. **Backoff sanity**: for every seed/key, the jittered delay
+//!    sequence stays under the monotone envelope, the envelope itself
+//!    never decreases, and a retried run never advances the clock past
+//!    its deadline (budget-respecting).
+//! 2. **Breaker liveness**: a circuit breaker never stays open
+//!    forever when the peer recovers — whatever failure history and
+//!    reputation it accumulated, after the cooldown it half-opens,
+//!    admits a probe, and a successful probe closes it.
+
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+use crate::deadline::Deadline;
+use crate::retry::{RetryError, RetryPolicy};
+use hpop_netsim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = RetryPolicy> {
+    (
+        1u64..=2_000, // base ms
+        1u32..=40,    // factor tenths above 1.0 (1.1 .. 5.0)
+        1u64..=30,    // max delay s
+        0u32..=8,     // retries
+        0u32..=100,   // jitter percent
+        any::<u64>(), // seed
+    )
+        .prop_map(|(base_ms, ft, max_s, retries, jit, seed)| RetryPolicy {
+            base: SimDuration::from_millis(base_ms),
+            factor: 1.0 + ft as f64 / 10.0,
+            max_delay: SimDuration::from_secs(max_s),
+            max_retries: retries,
+            jitter: jit as f64 / 100.0,
+            seed,
+        })
+}
+
+proptest! {
+    /// The pre-jitter envelope is monotone non-decreasing and capped;
+    /// the jittered delay never exceeds it, for every (seed, key).
+    #[test]
+    fn backoff_is_monotone_and_jitter_bounded(
+        policy in arb_policy(),
+        key in any::<u64>(),
+    ) {
+        let mut prev = SimDuration::ZERO;
+        for attempt in 0..16u32 {
+            let env = policy.envelope(attempt);
+            prop_assert!(env >= prev, "envelope shrank at attempt {attempt}");
+            prop_assert!(env <= policy.max_delay.max(policy.base));
+            let jittered = policy.delay(key, attempt);
+            prop_assert!(jittered <= env, "jitter exceeded envelope");
+            // Jitter is deterministic: same inputs, same delay.
+            prop_assert_eq!(jittered, policy.delay(key, attempt));
+            prev = env;
+        }
+    }
+
+    /// A failing retried operation never advances the clock past its
+    /// deadline: every pause is checked before it is taken.
+    #[test]
+    fn retry_run_respects_budget(
+        policy in arb_policy(),
+        key in any::<u64>(),
+        start_s in 0u64..1_000,
+        budget_ms in 0u64..60_000,
+    ) {
+        let start = SimTime::from_secs(start_s);
+        let mut now = start;
+        let deadline = Deadline::after(start, SimDuration::from_millis(budget_ms));
+        let out: crate::retry::RetryOutcome<(), &str> =
+            policy.run(key, deadline, &mut now, |_, _| Err("down"));
+        prop_assert!(out.result.is_err());
+        prop_assert!(
+            now.as_nanos() <= deadline.expires_at().as_nanos(),
+            "clock {now:?} crossed deadline {:?}", deadline.expires_at()
+        );
+        prop_assert_eq!(
+            now.since(start), out.backoff_waited,
+            "clock advance must equal accounted backoff"
+        );
+        // Attempts never exceed 1 + max_retries.
+        prop_assert!(out.attempts <= policy.max_retries + 1);
+        if let Err(RetryError::Exhausted(_)) = out.result {
+            prop_assert_eq!(out.attempts, policy.max_retries + 1);
+        }
+    }
+
+    /// However the breaker got opened (any failure pattern, any
+    /// reputation), once the peer recovers it always half-opens after
+    /// the cooldown, admits a probe, and closes on probe success —
+    /// no peer is locked out forever.
+    #[test]
+    fn breaker_always_half_opens_after_recovery(
+        threshold in 1u32..=10,
+        open_for_s in 1u64..=120,
+        failures in 1usize..=40,
+        reputation in 0.0f64..=1.0,
+        fail_gap_s in 1u64..=20,
+    ) {
+        let cfg = BreakerConfig {
+            failure_threshold: threshold,
+            open_for: SimDuration::from_secs(open_for_s),
+        };
+        let mut b = CircuitBreaker::new(cfg);
+        b.set_reputation(reputation);
+        let mut now = SimTime::ZERO;
+        let mut last_allowed = SimTime::ZERO;
+        for _ in 0..failures {
+            if b.allow(now) {
+                b.record_failure(now);
+                last_allowed = now;
+            }
+            now += SimDuration::from_secs(fail_gap_s);
+        }
+        let _ = last_allowed;
+        // The peer recovers. Wait out the longest possible cooldown
+        // from the last failure instant, then probe.
+        let probe_at = now + cfg.open_for;
+        let state = b.state(probe_at);
+        prop_assert!(
+            state == BreakerState::Closed || state == BreakerState::HalfOpen,
+            "breaker still hard-open after cooldown: {state:?}"
+        );
+        prop_assert!(b.allow(probe_at), "recovered peer denied its probe");
+        b.record_success(probe_at);
+        prop_assert_eq!(b.state(probe_at), BreakerState::Closed);
+        prop_assert!(b.allow(probe_at), "closed breaker must admit traffic");
+    }
+}

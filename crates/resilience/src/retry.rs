@@ -1,0 +1,268 @@
+//! Budget-aware retry with deterministic backoff.
+//!
+//! Every retry in the system goes through one policy so behavior under
+//! failure is uniform and replayable: exponential backoff, jitter drawn
+//! from a *seeded* hash of `(seed, operation key, attempt)` — two runs
+//! of the same experiment produce the same retry schedule — and a hard
+//! rule that a retry is never scheduled past the operation's
+//! [`Deadline`].
+
+use crate::deadline::Deadline;
+use hpop_netsim::time::{SimDuration, SimTime};
+
+/// Backoff and attempt limits for one class of operation.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Multiplier applied per attempt (>= 1).
+    pub factor: f64,
+    /// Cap on any single delay.
+    pub max_delay: SimDuration,
+    /// Maximum retry attempts after the initial try.
+    pub max_retries: u32,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled by a
+    /// deterministic factor in `[1 - jitter, 1]`.
+    pub jitter: f64,
+    /// Seed diversifying the jitter stream per deployment.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: SimDuration::from_millis(50),
+            factor: 2.0,
+            max_delay: SimDuration::from_secs(5),
+            max_retries: 3,
+            jitter: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+/// Why a retried operation gave up.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RetryError<E> {
+    /// Every allowed attempt failed; the last error is attached.
+    Exhausted(E),
+    /// The deadline expired (or the next backoff would cross it).
+    DeadlineExceeded(E),
+}
+
+impl<E> RetryError<E> {
+    /// The underlying last error, whichever way the retry gave up.
+    pub fn into_inner(self) -> E {
+        match self {
+            RetryError::Exhausted(e) | RetryError::DeadlineExceeded(e) => e,
+        }
+    }
+}
+
+/// The accounting of one retried operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetryOutcome<T, E> {
+    /// The operation result.
+    pub result: Result<T, RetryError<E>>,
+    /// Total attempts made (>= 1).
+    pub attempts: u32,
+    /// Simulated time spent waiting between attempts.
+    pub backoff_waited: SimDuration,
+}
+
+impl<T, E> RetryOutcome<T, E> {
+    /// Whether the operation eventually succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// SplitMix64: cheap, high-quality deterministic mixing for jitter.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RetryPolicy {
+    /// The pre-jitter backoff envelope before retry `attempt`
+    /// (attempt 0 is the first retry). Monotone non-decreasing in
+    /// `attempt`, capped at `max_delay`.
+    pub fn envelope(&self, attempt: u32) -> SimDuration {
+        let factor = self.factor.max(1.0);
+        let ns = self.base.as_nanos() as f64 * factor.powi(attempt.min(63) as i32);
+        let capped = ns.min(self.max_delay.as_nanos() as f64);
+        SimDuration::from_nanos(capped as u64)
+    }
+
+    /// The jittered delay before retry `attempt` of the operation
+    /// identified by `key`. Deterministic in `(seed, key, attempt)`;
+    /// always within `[envelope * (1 - jitter), envelope]`, so it never
+    /// exceeds the monotone envelope.
+    pub fn delay(&self, key: u64, attempt: u32) -> SimDuration {
+        let env = self.envelope(attempt).as_nanos();
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        if env == 0 || jitter == 0.0 {
+            return SimDuration::from_nanos(env);
+        }
+        let h = mix(self.seed ^ mix(key) ^ (attempt as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let scale = 1.0 - jitter * unit;
+        SimDuration::from_nanos((env as f64 * scale) as u64)
+    }
+
+    /// Runs `op` under this policy and `deadline`, advancing `*now` by
+    /// each backoff pause (simulated sleep). `op` receives the attempt
+    /// index (0 = first try) and the current simulated time.
+    ///
+    /// Gives up when the retry budget is exhausted, or — *before*
+    /// wasting a sleep — when the next backoff would cross the
+    /// deadline. The caller's clock is left where the operation ended,
+    /// so nested calls naturally consume the same budget.
+    pub fn run<T, E>(
+        &self,
+        key: u64,
+        deadline: Deadline,
+        now: &mut SimTime,
+        mut op: impl FnMut(u32, SimTime) -> Result<T, E>,
+    ) -> RetryOutcome<T, E> {
+        let m = hpop_obs::metrics();
+        let mut attempts = 0u32;
+        let mut waited = SimDuration::ZERO;
+        // The first attempt always runs, even on a dead budget, so
+        // callers can distinguish "slow" from "impossible"; only the
+        // pauses between retries are deadline-gated.
+        loop {
+            let attempt = attempts;
+            attempts += 1;
+            match op(attempt, *now) {
+                Ok(v) => {
+                    if attempt > 0 {
+                        m.counter("resilience.retry.recovered").incr();
+                    }
+                    return RetryOutcome {
+                        result: Ok(v),
+                        attempts,
+                        backoff_waited: waited,
+                    };
+                }
+                Err(e) => {
+                    m.counter("resilience.retry.failure").incr();
+                    if attempt >= self.max_retries {
+                        m.counter("resilience.retry.exhausted").incr();
+                        return RetryOutcome {
+                            result: Err(RetryError::Exhausted(e)),
+                            attempts,
+                            backoff_waited: waited,
+                        };
+                    }
+                    let pause = self.delay(key, attempt);
+                    if !deadline.allows_wait(*now, pause) {
+                        m.counter("resilience.retry.deadline").incr();
+                        return RetryOutcome {
+                            result: Err(RetryError::DeadlineExceeded(e)),
+                            attempts,
+                            backoff_waited: waited,
+                        };
+                    }
+                    *now += pause;
+                    waited += pause;
+                    m.counter("resilience.retry.attempts").incr();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            base: SimDuration::from_millis(100),
+            factor: 2.0,
+            max_delay: SimDuration::from_secs(2),
+            max_retries: 4,
+            jitter: 0.5,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn envelope_is_monotone_and_capped() {
+        let p = policy();
+        let mut prev = SimDuration::ZERO;
+        for a in 0..20 {
+            let e = p.envelope(a);
+            assert!(e >= prev, "attempt {a}");
+            assert!(e <= p.max_delay);
+            prev = e;
+        }
+        assert_eq!(p.envelope(0), SimDuration::from_millis(100));
+        assert_eq!(p.envelope(10), p.max_delay);
+    }
+
+    #[test]
+    fn delay_is_deterministic_and_within_envelope() {
+        let p = policy();
+        for key in [0u64, 1, 99] {
+            for a in 0..6 {
+                let d1 = p.delay(key, a);
+                let d2 = p.delay(key, a);
+                assert_eq!(d1, d2);
+                assert!(d1 <= p.envelope(a));
+                let floor = p.envelope(a).as_nanos() as f64 * 0.5;
+                assert!(d1.as_nanos() as f64 >= floor - 1.0);
+            }
+        }
+        // Different keys give different jitter (decorrelated retries).
+        assert_ne!(p.delay(1, 2), p.delay(2, 2));
+    }
+
+    #[test]
+    fn run_recovers_after_failures() {
+        let mut now = SimTime::ZERO;
+        let out = policy().run(1, Deadline::UNBOUNDED, &mut now, |attempt, _| {
+            if attempt < 2 {
+                Err("down")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.result, Ok(2));
+        assert_eq!(out.attempts, 3);
+        assert!(out.backoff_waited > SimDuration::ZERO);
+        assert_eq!(now.saturating_since(SimTime::ZERO), out.backoff_waited);
+    }
+
+    #[test]
+    fn run_exhausts_after_max_retries() {
+        let mut now = SimTime::ZERO;
+        let out: RetryOutcome<(), _> =
+            policy().run(1, Deadline::UNBOUNDED, &mut now, |_, _| Err("down"));
+        assert_eq!(out.result, Err(RetryError::Exhausted("down")));
+        assert_eq!(out.attempts, 5); // 1 try + 4 retries
+    }
+
+    #[test]
+    fn run_respects_deadline_without_sleeping_past_it() {
+        let mut now = SimTime::ZERO;
+        let deadline = Deadline::after(now, SimDuration::from_millis(150));
+        let out: RetryOutcome<(), _> = policy().run(1, deadline, &mut now, |_, _| Err("down"));
+        assert!(matches!(out.result, Err(RetryError::DeadlineExceeded(_))));
+        // The clock never crossed the deadline.
+        assert!(!deadline.expired(now) || deadline.remaining(now) == SimDuration::ZERO);
+        assert!(now.as_nanos() <= deadline.expires_at().as_nanos());
+    }
+
+    #[test]
+    fn first_attempt_always_runs_even_with_dead_budget() {
+        let mut now = SimTime::from_secs(100);
+        let deadline = Deadline::after(SimTime::ZERO, SimDuration::from_secs(1));
+        let out = policy().run(1, deadline, &mut now, |_, _| Ok::<_, ()>(42));
+        assert_eq!(out.result, Ok(42));
+        assert_eq!(out.attempts, 1);
+    }
+}
