@@ -1,0 +1,844 @@
+//! Crash-consistent attic: the object store and lock table behind a
+//! write-ahead log.
+//!
+//! The paper's data attic is the *single source of truth* for a user's
+//! files — which makes restart amnesia unacceptable: a power cut must
+//! not forget acknowledged PUTs, and a WebDAV lock held at crash time
+//! must still be held (and still expire on its original deadline) after
+//! the attic comes back. [`DurableAttic`] wraps [`ObjectStore`] +
+//! [`LockManager`] in a [`Persistent`] machine: every mutating call is
+//! WAL-logged before it is applied, and recovery replays the committed
+//! prefix.
+//!
+//! Two design points worth noting:
+//!
+//! - **Ops record the original call arguments**, not derived results.
+//!   `Lock` logs `(ttl, now)` rather than the absolute expiry, and the
+//!   token is *not* logged at all — replaying `lock()` through the real
+//!   [`LockManager`] regenerates the identical token from the
+//!   deterministic counter. Replay is re-execution, so the recovered
+//!   state is byte-identical to the pre-crash state by construction.
+//! - **Failed ops are logged too.** A denied lock still purges expired
+//!   locks as a side effect; logging the attempt keeps the replayed
+//!   state in lockstep with what the live process saw.
+
+use crate::lock::{LockDepth, LockError, LockManager, LockScope, LockToken};
+use crate::store::{ObjectStore, StoreError};
+use hpop_durability::codec::{ByteReader, ByteWriter};
+use hpop_durability::{DurabilityConfig, Durable, Persistent, RecoveryReport};
+use hpop_netsim::storage::{DiskError, SimDisk};
+use hpop_netsim::time::{SimDuration, SimTime};
+
+/// One logged attic mutation — the original call, argument for
+/// argument, so replay is re-execution.
+#[derive(Clone, Debug, PartialEq)]
+enum AtticOp {
+    Mkcol {
+        path: String,
+    },
+    MkcolRecursive {
+        path: String,
+    },
+    Put {
+        path: String,
+        body: Vec<u8>,
+        now: SimTime,
+    },
+    Delete {
+        path: String,
+    },
+    Copy {
+        src: String,
+        dst: String,
+        now: SimTime,
+    },
+    Rename {
+        src: String,
+        dst: String,
+        now: SimTime,
+    },
+    Lock {
+        path: String,
+        owner: String,
+        scope: LockScope,
+        depth: LockDepth,
+        ttl: SimDuration,
+        now: SimTime,
+    },
+    Unlock {
+        path: String,
+        token: LockToken,
+        now: SimTime,
+    },
+    Refresh {
+        path: String,
+        token: LockToken,
+        ttl: SimDuration,
+        now: SimTime,
+    },
+}
+
+fn scope_to_u8(s: LockScope) -> u8 {
+    match s {
+        LockScope::Exclusive => 0,
+        LockScope::Shared => 1,
+    }
+}
+
+fn scope_from_u8(v: u8) -> Option<LockScope> {
+    match v {
+        0 => Some(LockScope::Exclusive),
+        1 => Some(LockScope::Shared),
+        _ => None,
+    }
+}
+
+fn depth_to_u8(d: LockDepth) -> u8 {
+    match d {
+        LockDepth::Zero => 0,
+        LockDepth::Infinity => 1,
+    }
+}
+
+fn depth_from_u8(v: u8) -> Option<LockDepth> {
+    match v {
+        0 => Some(LockDepth::Zero),
+        1 => Some(LockDepth::Infinity),
+        _ => None,
+    }
+}
+
+impl AtticOp {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            AtticOp::Mkcol { path } => {
+                w.u8(1).str(path);
+            }
+            AtticOp::MkcolRecursive { path } => {
+                w.u8(2).str(path);
+            }
+            AtticOp::Put { path, body, now } => {
+                w.u8(3).str(path).bytes(body).u64(now.as_nanos());
+            }
+            AtticOp::Delete { path } => {
+                w.u8(4).str(path);
+            }
+            AtticOp::Copy { src, dst, now } => {
+                w.u8(5).str(src).str(dst).u64(now.as_nanos());
+            }
+            AtticOp::Rename { src, dst, now } => {
+                w.u8(6).str(src).str(dst).u64(now.as_nanos());
+            }
+            AtticOp::Lock {
+                path,
+                owner,
+                scope,
+                depth,
+                ttl,
+                now,
+            } => {
+                w.u8(7)
+                    .str(path)
+                    .str(owner)
+                    .u8(scope_to_u8(*scope))
+                    .u8(depth_to_u8(*depth))
+                    .u64(ttl.as_nanos())
+                    .u64(now.as_nanos());
+            }
+            AtticOp::Unlock { path, token, now } => {
+                w.u8(8).str(path).u64(token.value()).u64(now.as_nanos());
+            }
+            AtticOp::Refresh {
+                path,
+                token,
+                ttl,
+                now,
+            } => {
+                w.u8(9)
+                    .str(path)
+                    .u64(token.value())
+                    .u64(ttl.as_nanos())
+                    .u64(now.as_nanos());
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Option<AtticOp> {
+        let mut r = ByteReader::new(bytes);
+        let op = match r.u8()? {
+            1 => AtticOp::Mkcol { path: r.str()? },
+            2 => AtticOp::MkcolRecursive { path: r.str()? },
+            3 => AtticOp::Put {
+                path: r.str()?,
+                body: r.bytes()?.to_vec(),
+                now: SimTime::from_nanos(r.u64()?),
+            },
+            4 => AtticOp::Delete { path: r.str()? },
+            5 => AtticOp::Copy {
+                src: r.str()?,
+                dst: r.str()?,
+                now: SimTime::from_nanos(r.u64()?),
+            },
+            6 => AtticOp::Rename {
+                src: r.str()?,
+                dst: r.str()?,
+                now: SimTime::from_nanos(r.u64()?),
+            },
+            7 => AtticOp::Lock {
+                path: r.str()?,
+                owner: r.str()?,
+                scope: scope_from_u8(r.u8()?)?,
+                depth: depth_from_u8(r.u8()?)?,
+                ttl: SimDuration::from_nanos(r.u64()?),
+                now: SimTime::from_nanos(r.u64()?),
+            },
+            8 => AtticOp::Unlock {
+                path: r.str()?,
+                token: LockToken::from_value(r.u64()?),
+                now: SimTime::from_nanos(r.u64()?),
+            },
+            9 => AtticOp::Refresh {
+                path: r.str()?,
+                token: LockToken::from_value(r.u64()?),
+                ttl: SimDuration::from_nanos(r.u64()?),
+                now: SimTime::from_nanos(r.u64()?),
+            },
+            _ => return None,
+        };
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(op)
+    }
+}
+
+/// The service-level result of one attic op, captured during `apply`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AtticOutcome {
+    /// `mkcol` / `mkcol_recursive` / `copy` / `rename` result.
+    Unit(Result<(), StoreError>),
+    /// `put` result (the new ETag).
+    Put(Result<String, StoreError>),
+    /// `delete` result (nodes removed).
+    Removed(Result<usize, StoreError>),
+    /// `lock` result (the token).
+    Lock(Result<LockToken, LockError>),
+    /// `unlock` / `refresh` result.
+    LockUnit(Result<(), LockError>),
+}
+
+/// The attic's durable state: object store + lock table.
+///
+/// `last` is the transient outcome of the most recent `apply` — it is
+/// *not* part of [`Durable::encode_state`], because it is call-result
+/// plumbing, not state.
+#[derive(Clone, Debug)]
+pub struct AtticState {
+    /// The versioned object store.
+    pub store: ObjectStore,
+    /// The WebDAV lock table.
+    pub locks: LockManager,
+    last: Option<AtticOutcome>,
+}
+
+impl AtticState {
+    fn run(&mut self, op: &AtticOp) -> AtticOutcome {
+        match op {
+            AtticOp::Mkcol { path } => AtticOutcome::Unit(self.store.mkcol(path)),
+            AtticOp::MkcolRecursive { path } => {
+                AtticOutcome::Unit(self.store.mkcol_recursive(path))
+            }
+            AtticOp::Put { path, body, now } => {
+                AtticOutcome::Put(self.store.put(path, body.clone(), *now))
+            }
+            AtticOp::Delete { path } => AtticOutcome::Removed(self.store.delete(path)),
+            AtticOp::Copy { src, dst, now } => AtticOutcome::Unit(self.store.copy(src, dst, *now)),
+            AtticOp::Rename { src, dst, now } => {
+                AtticOutcome::Unit(self.store.rename(src, dst, *now))
+            }
+            AtticOp::Lock {
+                path,
+                owner,
+                scope,
+                depth,
+                ttl,
+                now,
+            } => AtticOutcome::Lock(self.locks.lock(path, owner, *scope, *depth, *ttl, *now)),
+            AtticOp::Unlock { path, token, now } => {
+                AtticOutcome::LockUnit(self.locks.unlock(path, *token, *now))
+            }
+            AtticOp::Refresh {
+                path,
+                token,
+                ttl,
+                now,
+            } => AtticOutcome::LockUnit(self.locks.refresh(path, *token, *ttl, *now)),
+        }
+    }
+}
+
+impl Durable for AtticState {
+    fn fresh() -> AtticState {
+        AtticState {
+            store: ObjectStore::new(),
+            locks: LockManager::new(),
+            last: None,
+        }
+    }
+
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        // Store: writes counter, then every node in path order. ETags
+        // are content-derived, so they are recomputed on decode rather
+        // than stored.
+        let nodes = self.store.nodes();
+        w.u64(self.store.write_count()).u64(nodes.len() as u64);
+        for (path, node) in nodes {
+            w.str(path);
+            match node {
+                crate::store::Node::Collection => {
+                    w.u8(0);
+                }
+                crate::store::Node::File { versions } => {
+                    w.u8(1).u64(versions.len() as u64);
+                    for v in versions {
+                        w.bytes(&v.body).u64(v.modified_at.as_nanos());
+                    }
+                }
+            }
+        }
+        // Locks: counter, then every entry with its absolute deadline
+        // (expiry is lazy, so expired-but-unpurged entries are state).
+        let (locks, next_token) = self.locks.table();
+        w.u64(next_token).u64(locks.len() as u64);
+        for (path, ls) in locks {
+            w.str(path).u64(ls.len() as u64);
+            for l in ls {
+                w.u64(l.token.value())
+                    .str(&l.owner)
+                    .u8(scope_to_u8(l.scope))
+                    .u8(depth_to_u8(l.depth))
+                    .u64(l.expires_at.as_nanos());
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(bytes: &[u8]) -> Option<AtticState> {
+        let mut r = ByteReader::new(bytes);
+        let writes = r.u64()?;
+        let n_nodes = r.u64()?;
+        let mut nodes = std::collections::BTreeMap::new();
+        for _ in 0..n_nodes {
+            let path = r.str()?;
+            let node = match r.u8()? {
+                0 => crate::store::Node::Collection,
+                1 => {
+                    let n_versions = r.u64()?;
+                    let mut versions = Vec::with_capacity(n_versions.min(1 << 16) as usize);
+                    for _ in 0..n_versions {
+                        let body = r.bytes()?.to_vec();
+                        let modified_at = SimTime::from_nanos(r.u64()?);
+                        versions.push(crate::store::Version {
+                            etag: crate::store::etag_of(&body),
+                            body: body.into(),
+                            modified_at,
+                        });
+                    }
+                    crate::store::Node::File { versions }
+                }
+                _ => return None,
+            };
+            nodes.insert(path, node);
+        }
+        let next_token = r.u64()?;
+        let n_paths = r.u64()?;
+        let mut locks = std::collections::BTreeMap::new();
+        for _ in 0..n_paths {
+            let path = r.str()?;
+            let n_locks = r.u64()?;
+            let mut ls = Vec::with_capacity(n_locks.min(1 << 16) as usize);
+            for _ in 0..n_locks {
+                ls.push(crate::lock::Lock {
+                    token: LockToken::from_value(r.u64()?),
+                    owner: r.str()?,
+                    scope: scope_from_u8(r.u8()?)?,
+                    depth: depth_from_u8(r.u8()?)?,
+                    expires_at: SimTime::from_nanos(r.u64()?),
+                });
+            }
+            locks.insert(path, ls);
+        }
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(AtticState {
+            store: ObjectStore::restore(nodes, writes),
+            locks: LockManager::restore(locks, next_token),
+            last: None,
+        })
+    }
+
+    fn apply(&mut self, op: &[u8]) {
+        if let Some(op) = AtticOp::decode(op) {
+            let outcome = self.run(&op);
+            self.last = Some(outcome);
+        }
+    }
+}
+
+/// A crash-consistent attic: every mutating call is durable before it
+/// returns, and [`DurableAttic::open`] recovers the full store + lock
+/// table after a crash.
+///
+/// Each mutator returns `Result<service result, DiskError>` — the outer
+/// error is the device (power loss mid-call), the inner one the normal
+/// WebDAV semantics.
+#[derive(Clone, Debug)]
+pub struct DurableAttic {
+    inner: Persistent<AtticState>,
+}
+
+impl DurableAttic {
+    /// Opens (recovers or initializes) an attic stored under `dir`.
+    pub fn open(disk: SimDisk, dir: &str, cfg: DurabilityConfig) -> Result<Self, DiskError> {
+        Ok(DurableAttic {
+            inner: Persistent::open(disk, dir, cfg)?,
+        })
+    }
+
+    fn run(&mut self, op: AtticOp) -> Result<AtticOutcome, DiskError> {
+        self.inner.execute(&op.encode())?;
+        Ok(self
+            .inner
+            .state()
+            .last
+            .clone()
+            .expect("apply always records an outcome"))
+    }
+
+    /// Durable `MKCOL`.
+    pub fn mkcol(&mut self, path: &str) -> Result<Result<(), StoreError>, DiskError> {
+        match self.run(AtticOp::Mkcol { path: path.into() })? {
+            AtticOutcome::Unit(r) => Ok(r),
+            _ => unreachable!("mkcol yields a unit outcome"),
+        }
+    }
+
+    /// Durable recursive `MKCOL`.
+    pub fn mkcol_recursive(&mut self, path: &str) -> Result<Result<(), StoreError>, DiskError> {
+        match self.run(AtticOp::MkcolRecursive { path: path.into() })? {
+            AtticOutcome::Unit(r) => Ok(r),
+            _ => unreachable!("mkcol_recursive yields a unit outcome"),
+        }
+    }
+
+    /// Durable `PUT`; inner `Ok` is the new ETag.
+    pub fn put(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        now: SimTime,
+    ) -> Result<Result<String, StoreError>, DiskError> {
+        match self.run(AtticOp::Put {
+            path: path.into(),
+            body: body.to_vec(),
+            now,
+        })? {
+            AtticOutcome::Put(r) => Ok(r),
+            _ => unreachable!("put yields a put outcome"),
+        }
+    }
+
+    /// Durable `DELETE`; inner `Ok` is nodes removed.
+    pub fn delete(&mut self, path: &str) -> Result<Result<usize, StoreError>, DiskError> {
+        match self.run(AtticOp::Delete { path: path.into() })? {
+            AtticOutcome::Removed(r) => Ok(r),
+            _ => unreachable!("delete yields a removed outcome"),
+        }
+    }
+
+    /// Durable `COPY`.
+    pub fn copy(
+        &mut self,
+        src: &str,
+        dst: &str,
+        now: SimTime,
+    ) -> Result<Result<(), StoreError>, DiskError> {
+        match self.run(AtticOp::Copy {
+            src: src.into(),
+            dst: dst.into(),
+            now,
+        })? {
+            AtticOutcome::Unit(r) => Ok(r),
+            _ => unreachable!("copy yields a unit outcome"),
+        }
+    }
+
+    /// Durable `MOVE`.
+    pub fn rename(
+        &mut self,
+        src: &str,
+        dst: &str,
+        now: SimTime,
+    ) -> Result<Result<(), StoreError>, DiskError> {
+        match self.run(AtticOp::Rename {
+            src: src.into(),
+            dst: dst.into(),
+            now,
+        })? {
+            AtticOutcome::Unit(r) => Ok(r),
+            _ => unreachable!("rename yields a unit outcome"),
+        }
+    }
+
+    /// Durable `LOCK`; inner `Ok` is the token — regenerated
+    /// identically on replay, so a token handed to a client before a
+    /// crash still names the same lock after recovery.
+    pub fn lock(
+        &mut self,
+        path: &str,
+        owner: &str,
+        scope: LockScope,
+        depth: LockDepth,
+        ttl: SimDuration,
+        now: SimTime,
+    ) -> Result<Result<LockToken, LockError>, DiskError> {
+        match self.run(AtticOp::Lock {
+            path: path.into(),
+            owner: owner.into(),
+            scope,
+            depth,
+            ttl,
+            now,
+        })? {
+            AtticOutcome::Lock(r) => Ok(r),
+            _ => unreachable!("lock yields a lock outcome"),
+        }
+    }
+
+    /// Durable `UNLOCK`.
+    pub fn unlock(
+        &mut self,
+        path: &str,
+        token: LockToken,
+        now: SimTime,
+    ) -> Result<Result<(), LockError>, DiskError> {
+        match self.run(AtticOp::Unlock {
+            path: path.into(),
+            token,
+            now,
+        })? {
+            AtticOutcome::LockUnit(r) => Ok(r),
+            _ => unreachable!("unlock yields a lock-unit outcome"),
+        }
+    }
+
+    /// Durable `LOCK` refresh.
+    pub fn refresh(
+        &mut self,
+        path: &str,
+        token: LockToken,
+        ttl: SimDuration,
+        now: SimTime,
+    ) -> Result<Result<(), LockError>, DiskError> {
+        match self.run(AtticOp::Refresh {
+            path: path.into(),
+            token,
+            ttl,
+            now,
+        })? {
+            AtticOutcome::LockUnit(r) => Ok(r),
+            _ => unreachable!("refresh yields a lock-unit outcome"),
+        }
+    }
+
+    /// Read-only view of the recovered/live object store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.inner.state().store
+    }
+
+    /// Read-only view of the recovered/live lock table (use
+    /// [`LockManager::find`] for post-recovery lock discovery).
+    pub fn locks(&self) -> &LockManager {
+        &self.inner.state().locks
+    }
+
+    /// How the last open recovered.
+    pub fn last_recovery(&self) -> &RecoveryReport {
+        self.inner.last_recovery()
+    }
+
+    /// Highest committed op sequence number.
+    pub fn committed_seq(&self) -> u64 {
+        self.inner.committed_seq()
+    }
+
+    /// The underlying device.
+    pub fn disk(&self) -> &SimDisk {
+        self.inner.disk()
+    }
+
+    /// Mutable device access (crash injection in tests).
+    pub fn disk_mut(&mut self) -> &mut SimDisk {
+        self.inner.disk_mut()
+    }
+
+    /// Tears down the process, keeping the platters.
+    pub fn into_disk(self) -> SimDisk {
+        self.inner.into_disk()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpop_durability::crash_matrix;
+    use hpop_netsim::storage::StorageFaults;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+    const TTL: SimDuration = SimDuration::from_secs(300);
+
+    fn cfg() -> DurabilityConfig {
+        DurabilityConfig {
+            max_segment_bytes: 512,
+            snapshot_every_ops: 5,
+            keep_snapshots: 2,
+        }
+    }
+
+    #[test]
+    fn ops_round_trip_through_the_codec() {
+        let ops = vec![
+            AtticOp::Mkcol { path: "/d".into() },
+            AtticOp::MkcolRecursive {
+                path: "/a/b/c".into(),
+            },
+            AtticOp::Put {
+                path: "/d/f".into(),
+                body: b"hello".to_vec(),
+                now: t(3),
+            },
+            AtticOp::Delete {
+                path: "/d/f".into(),
+            },
+            AtticOp::Copy {
+                src: "/x".into(),
+                dst: "/y".into(),
+                now: t(4),
+            },
+            AtticOp::Rename {
+                src: "/y".into(),
+                dst: "/z".into(),
+                now: t(5),
+            },
+            AtticOp::Lock {
+                path: "/d/f".into(),
+                owner: "word-proc".into(),
+                scope: LockScope::Exclusive,
+                depth: LockDepth::Infinity,
+                ttl: TTL,
+                now: t(6),
+            },
+            AtticOp::Unlock {
+                path: "/d/f".into(),
+                token: LockToken::from_value(7),
+                now: t(7),
+            },
+            AtticOp::Refresh {
+                path: "/d/f".into(),
+                token: LockToken::from_value(7),
+                ttl: TTL,
+                now: t(8),
+            },
+        ];
+        for op in ops {
+            assert_eq!(AtticOp::decode(&op.encode()), Some(op));
+        }
+    }
+
+    #[test]
+    fn state_snapshot_round_trips() {
+        let mut st = AtticState::fresh();
+        st.store.mkcol("/docs").unwrap();
+        st.store.put("/docs/a.txt", "v1", t(1)).unwrap();
+        st.store.put("/docs/a.txt", "v2", t(2)).unwrap();
+        st.locks
+            .lock(
+                "/docs/a.txt",
+                "app",
+                LockScope::Exclusive,
+                LockDepth::Zero,
+                TTL,
+                t(2),
+            )
+            .unwrap();
+        let bytes = st.encode_state();
+        let back = AtticState::decode_state(&bytes).unwrap();
+        assert_eq!(back.encode_state(), bytes);
+        assert_eq!(back.store.get("/docs/a.txt").unwrap().etag, {
+            st.store.get("/docs/a.txt").unwrap().etag.clone()
+        });
+    }
+
+    #[test]
+    fn restart_recovers_files_and_locks() {
+        let mut attic =
+            DurableAttic::open(SimDisk::new(11), "attic", DurabilityConfig::default()).unwrap();
+        attic.mkcol("/docs").unwrap().unwrap();
+        let etag = attic
+            .put("/docs/a.txt", b"contents", t(1))
+            .unwrap()
+            .unwrap();
+        let token = attic
+            .lock(
+                "/docs/a.txt",
+                "word-proc",
+                LockScope::Exclusive,
+                LockDepth::Zero,
+                TTL,
+                t(2),
+            )
+            .unwrap()
+            .unwrap();
+
+        let mut disk = attic.into_disk();
+        disk.restart();
+        let attic = DurableAttic::open(disk, "attic", DurabilityConfig::default()).unwrap();
+        assert_eq!(attic.store().get("/docs/a.txt").unwrap().etag, etag);
+        let (owner, expires_at) = attic
+            .locks()
+            .find("/docs/a.txt", token, t(3))
+            .expect("lock survives the restart");
+        assert_eq!(owner, "word-proc");
+        assert_eq!(expires_at, t(2) + TTL);
+    }
+
+    /// Satellite: a WebDAV lock held at crash time must be discoverable
+    /// after WAL replay and must expire on its *original* deadline —
+    /// recovery must not grant the holder extra time.
+    #[test]
+    fn lock_held_at_crash_expires_on_original_deadline() {
+        let faults = StorageFaults {
+            torn_write_fraction: 1.0,
+            bitrot_flips_per_restart: 0.0,
+        };
+        let mut attic =
+            DurableAttic::open(SimDisk::with_faults(23, faults), "attic", cfg()).unwrap();
+        attic.put("/report.txt", b"draft", t(0)).unwrap().unwrap();
+        let token = attic
+            .lock(
+                "/report.txt",
+                "editor",
+                LockScope::Exclusive,
+                LockDepth::Zero,
+                TTL,
+                t(10),
+            )
+            .unwrap()
+            .unwrap();
+
+        // Crash mid-way through the *next* op's WAL append: the lock is
+        // committed, the in-flight put is not.
+        let crash_at = attic.disk().steps() + 1;
+        attic.disk_mut().arm_crash(crash_at);
+        assert!(attic.put("/report.txt", b"final", t(20)).is_err());
+
+        let mut disk = attic.into_disk();
+        disk.restart();
+        let attic = DurableAttic::open(disk, "attic", cfg()).unwrap();
+        // Discoverable after replay, same owner, same absolute deadline.
+        let (owner, expires_at) = attic
+            .locks()
+            .find("/report.txt", token, t(20))
+            .expect("committed lock survives the crash");
+        assert_eq!(owner, "editor");
+        assert_eq!(expires_at, t(10) + TTL);
+        // And it expires exactly then — no post-recovery extension.
+        assert!(attic
+            .locks()
+            .find("/report.txt", token, t(10) + TTL)
+            .is_none());
+        // The torn put never happened.
+        assert_eq!(
+            &attic.store().get("/report.txt").unwrap().body[..],
+            b"draft"
+        );
+    }
+
+    /// The exhaustive crash matrix over a mixed store + lock workload:
+    /// crash at every I/O step, recover, and require the committed
+    /// prefix — including regenerated lock tokens — byte for byte.
+    #[test]
+    fn crash_matrix_over_mixed_attic_workload() {
+        let mut ops: Vec<Vec<u8>> = Vec::new();
+        ops.push(
+            AtticOp::MkcolRecursive {
+                path: "/h/c".into(),
+            }
+            .encode(),
+        );
+        for i in 0..4u64 {
+            ops.push(
+                AtticOp::Put {
+                    path: "/h/c/r.json".into(),
+                    body: vec![b'a' + i as u8; 40 * (i as usize + 1)],
+                    now: t(i),
+                }
+                .encode(),
+            );
+        }
+        ops.push(
+            AtticOp::Lock {
+                path: "/h/c/r.json".into(),
+                owner: "clinic".into(),
+                scope: LockScope::Exclusive,
+                depth: LockDepth::Infinity,
+                ttl: TTL,
+                now: t(4),
+            }
+            .encode(),
+        );
+        // A denied lock (conflict) — failed ops replay too.
+        ops.push(
+            AtticOp::Lock {
+                path: "/h/c/r.json".into(),
+                owner: "intruder".into(),
+                scope: LockScope::Exclusive,
+                depth: LockDepth::Zero,
+                ttl: TTL,
+                now: t(5),
+            }
+            .encode(),
+        );
+        ops.push(
+            AtticOp::Copy {
+                src: "/h/c/r.json".into(),
+                dst: "/h/c/copy.json".into(),
+                now: t(6),
+            }
+            .encode(),
+        );
+        ops.push(
+            AtticOp::Unlock {
+                path: "/h/c/r.json".into(),
+                token: LockToken::from_value(1),
+                now: t(7),
+            }
+            .encode(),
+        );
+        ops.push(
+            AtticOp::Delete {
+                path: "/h/c/copy.json".into(),
+            }
+            .encode(),
+        );
+        let outcome = crash_matrix::<AtticState>(41, cfg(), &ops);
+        assert!(outcome.baseline_steps > ops.len() as u64);
+        assert!(outcome.torn_tails > 0, "some crash points tear the tail");
+    }
+}

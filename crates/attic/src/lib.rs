@@ -22,6 +22,9 @@
 //!   push back on close.
 //! - [`sync`] — offline-mode reconciliation when a disconnected replica
 //!   reconnects.
+//! - [`durable`] — crash consistency: the store and lock table behind a
+//!   write-ahead log, so an attic restart recovers every acknowledged
+//!   write and every live lock (with its original expiry).
 //! - [`backup`] — encrypted peer backup with full replication or
 //!   Reed–Solomon erasure coding ("Data Availability").
 //! - [`placement`] — churn-aware shard placement over the fabric's
@@ -39,6 +42,7 @@ mod proptests;
 pub mod backup;
 pub mod cloudenc;
 pub mod driver;
+pub mod durable;
 pub mod grant;
 pub mod health;
 pub mod lock;
@@ -51,6 +55,7 @@ pub mod sync;
 pub use backup::{BackupPlan, BackupSet};
 pub use cloudenc::EncryptedCloudStore;
 pub use driver::FileDriver;
+pub use durable::{AtticState, DurableAttic};
 pub use grant::AccessGrant;
 pub use lock::{LockError, LockManager, LockToken};
 pub use personal::{Calendar, CalendarEvent, Contact, ContactsBook};

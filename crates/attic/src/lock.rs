@@ -29,6 +29,16 @@ impl LockToken {
         let hex = s.strip_prefix("opaquelocktoken:")?;
         u64::from_str_radix(hex, 16).ok().map(LockToken)
     }
+
+    /// Raw value, for the durability adapter's wire encoding.
+    pub(crate) fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a token from its raw value (durability adapter only).
+    pub(crate) fn from_value(v: u64) -> LockToken {
+        LockToken(v)
+    }
 }
 
 /// Lock acquisition/verification errors.
@@ -74,12 +84,12 @@ pub enum LockDepth {
 }
 
 #[derive(Clone, Debug)]
-struct Lock {
-    token: LockToken,
-    owner: String,
-    scope: LockScope,
-    depth: LockDepth,
-    expires_at: SimTime,
+pub(crate) struct Lock {
+    pub(crate) token: LockToken,
+    pub(crate) owner: String,
+    pub(crate) scope: LockScope,
+    pub(crate) depth: LockDepth,
+    pub(crate) expires_at: SimTime,
 }
 
 /// The attic's lock table.
@@ -294,6 +304,29 @@ impl LockManager {
     pub fn live_count(&mut self, now: SimTime) -> usize {
         self.purge(now);
         self.locks.values().map(Vec::len).sum()
+    }
+
+    /// All locks (live and expired — expiry is evaluated lazily
+    /// against `now`, so absolute deadlines survive a snapshot), plus
+    /// the token counter. Durability adapter only.
+    pub(crate) fn table(&self) -> (&BTreeMap<String, Vec<Lock>>, u64) {
+        (&self.locks, self.next_token)
+    }
+
+    /// Rebuilds the lock table from snapshot-decoded parts
+    /// (durability adapter only).
+    pub(crate) fn restore(locks: BTreeMap<String, Vec<Lock>>, next_token: u64) -> LockManager {
+        LockManager { locks, next_token }
+    }
+
+    /// The lock covering `path` with this token, if it is still live
+    /// at `now` — lock discovery after crash recovery.
+    pub fn find(&self, path: &str, token: LockToken, now: SimTime) -> Option<(String, SimTime)> {
+        self.locks.get(path).and_then(|ls| {
+            ls.iter()
+                .find(|l| l.token == token && l.expires_at > now)
+                .map(|l| (l.owner.clone(), l.expires_at))
+        })
     }
 }
 

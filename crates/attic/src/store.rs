@@ -52,7 +52,7 @@ pub struct Version {
 }
 
 #[derive(Clone, Debug)]
-enum Node {
+pub(crate) enum Node {
     Collection,
     File { versions: Vec<Version> },
 }
@@ -322,6 +322,17 @@ impl ObjectStore {
     /// Total writes performed (experiment metric).
     pub fn write_count(&self) -> u64 {
         self.writes
+    }
+
+    /// Full node table, for the durability adapter's state snapshot.
+    pub(crate) fn nodes(&self) -> &BTreeMap<String, Node> {
+        &self.nodes
+    }
+
+    /// Rebuilds a store from snapshot-decoded parts (durability
+    /// adapter only — no validation is re-run).
+    pub(crate) fn restore(nodes: BTreeMap<String, Node>, writes: u64) -> ObjectStore {
+        ObjectStore { nodes, writes }
     }
 
     /// Total bytes of latest versions (storage footprint).

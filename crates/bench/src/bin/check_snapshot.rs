@@ -97,14 +97,15 @@ fn check_budgets(path: &str, snap: &Snapshot, budgets: &[Budget]) -> Vec<String>
                 b.counter, snap.experiment
             )),
             Some(&v) if b.bound == Bound::Ceiling && v > b.value => violations.push(format!(
-                "{path}: counter {} = {v} exceeds budget {} ({:.1}x)",
+                "{path}: experiment {}: counter {} = {v} exceeds budget {} ({:.1}x)",
+                snap.experiment,
                 b.counter,
                 b.value,
                 v as f64 / b.value as f64
             )),
             Some(&v) if b.bound == Bound::Floor && v < b.value => violations.push(format!(
-                "{path}: counter {} = {v} below floor {}",
-                b.counter, b.value
+                "{path}: experiment {}: counter {} = {v} below floor {}",
+                snap.experiment, b.counter, b.value
             )),
             Some(_) => {}
         }
@@ -270,6 +271,24 @@ mod tests {
         assert!(v[0].contains("below floor"), "{}", v[0]);
         let at = snap_with("chaos", "chaos.delivery.success_bp", 9990);
         assert!(check_budgets("x", &at, &budgets).is_empty());
+    }
+
+    /// Violations must say *which artifact* and *which experiment*
+    /// broke the budget — CI output with several BENCH files is
+    /// useless otherwise.
+    #[test]
+    fn violations_name_the_file_and_the_experiment() {
+        let budgets = parse_budgets("recovery a 10\nrecovery b >=5").unwrap();
+        let reg = hpop_obs::MetricsRegistry::new();
+        reg.counter("a").add(11);
+        reg.counter("b").add(4);
+        let snap = reg.snapshot("recovery");
+        let v = check_budgets("BENCH_recovery_smoke.json", &snap, &budgets);
+        assert_eq!(v.len(), 2, "{v:?}");
+        for msg in &v {
+            assert!(msg.contains("BENCH_recovery_smoke.json"), "{msg}");
+            assert!(msg.contains("experiment recovery"), "{msg}");
+        }
     }
 
     #[test]

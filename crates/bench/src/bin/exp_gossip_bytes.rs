@@ -1,5 +1,5 @@
 //! E19: gossip dissemination cost — delta piggybacking vs full-table
-//! sync, detection-latency parity, and the GF(256) slice kernel (see
+//! sync, detection quality, and the GF(256) slice kernel (see
 //! DESIGN.md experiment index).
 
 use hpop_bench::experiments::e19_gossip_bytes;

@@ -1,0 +1,18 @@
+//! E21: crash-consistent durability — recovery replay cost, settlement
+//! survival under the chaos crash schedule, and rejoin accuracy without
+//! the detector's rejoin-window exemption (see DESIGN.md experiment
+//! index).
+//!
+//! `--smoke` runs the reduced CI preset; add `--stable` for a
+//! byte-identical replayable snapshot (pins the wall-clock gauge).
+
+use hpop_bench::experiments::e21_recovery;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        hpop_bench::harness::run("recovery", e21_recovery::run_smoke);
+    } else {
+        hpop_bench::harness::run("recovery", e21_recovery::run_default);
+    }
+}

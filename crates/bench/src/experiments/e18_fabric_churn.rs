@@ -38,12 +38,10 @@ pub struct ChurnRunResult {
     pub retries: u64,
     /// True `Dead` declarations across all observers.
     pub detections: u64,
-    /// Declarations against peers that were actually up.
+    /// Declarations against peers that were actually up. Scored with
+    /// no rejoin-window exemption: a declaration landing after its
+    /// subject rejoined counts here.
     pub false_positives: u64,
-    /// Declarations whose suspicion was raised while the subject was
-    /// genuinely down but that landed after it rejoined — correct
-    /// detector work on a stale premise, not false positives.
-    pub rejoin_declarations: u64,
     /// Median detection latency, milliseconds.
     pub p50_ms: f64,
     /// 99th-percentile detection latency, milliseconds.
@@ -183,7 +181,6 @@ pub fn run_churn(
         retries,
         detections: stats.true_detections,
         false_positives: stats.false_positives,
-        rejoin_declarations: stats.rejoin_declarations,
         p50_ms: percentile(&lat, 0.50),
         p99_ms: percentile(&lat, 0.99),
         gossip_bytes: stats.gossip_bytes,
@@ -199,7 +196,6 @@ pub fn detection_table(n: usize, horizon_secs: u64) -> Table {
             "churners",
             "dead declarations",
             "false positives",
-            "rejoin-window decls",
             "p50 detect latency (ms)",
             "p99 detect latency (ms)",
             "gossip MB",
@@ -210,7 +206,6 @@ pub fn detection_table(n: usize, horizon_secs: u64) -> Table {
         format!("{}/{}", r.churners, r.nodes),
         r.detections.to_string(),
         r.false_positives.to_string(),
-        r.rejoin_declarations.to_string(),
         f2(r.p50_ms),
         f2(r.p99_ms),
         f2(r.gossip_bytes as f64 / 1e6),
@@ -281,20 +276,15 @@ mod tests {
         assert!(some.p50_ms > 0.0);
     }
 
-    /// Regression: the detector used to report ~80 "false positives"
-    /// per hour-long run that were really declarations landing just
-    /// after the subject rejoined (suspicion raised while it was
-    /// genuinely down). Those are now accounted separately; true false
-    /// positives under the paper preset are zero.
+    /// Regression: the detector used to need a "rejoin window"
+    /// exemption for declarations landing just after their subject
+    /// rejoined. The rejoin broadcast plus incarnation persistence
+    /// removed the window at its source, so false positives must now
+    /// be zero with *no* exemption in the scoring.
     #[test]
-    fn rejoin_declarations_are_not_false_positives() {
+    fn false_positives_are_zero_without_rejoin_exemption() {
         let r = run_churn(40, 1800, 60, 0, 0xc2a);
-        assert_eq!(
-            r.false_positives, 0,
-            "rejoin-window declarations miscounted as false positives \
-             (rejoin decls: {})",
-            r.rejoin_declarations
-        );
+        assert_eq!(r.false_positives, 0);
         assert!(r.detections > 0, "churn must exercise the detector");
     }
 

@@ -1,4 +1,4 @@
-//! The per-experiment implementations (DESIGN.md index E1–E20).
+//! The per-experiment implementations (DESIGN.md index E1–E21).
 
 pub mod e01_ccz_utilization;
 pub mod e02_tcp_rampup;
@@ -20,6 +20,7 @@ pub mod e17_appliance_uptime;
 pub mod e18_fabric_churn;
 pub mod e19_gossip_bytes;
 pub mod e20_chaos;
+pub mod e21_recovery;
 
 use crate::table::Table;
 
@@ -46,5 +47,6 @@ pub fn run_all() -> Vec<Table> {
     out.extend(e18_fabric_churn::run_default());
     out.extend(e19_gossip_bytes::run_default());
     out.extend(e20_chaos::run_default());
+    out.extend(e21_recovery::run_default());
     out
 }

@@ -102,6 +102,41 @@ impl NonceRegistry {
     pub fn rejected(&self) -> u64 {
         self.rejected
     }
+
+    /// The sliding-window capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Every remembered `(scope, nonce)` pair, in FIFO order for a
+    /// bounded registry and sorted order otherwise — a deterministic
+    /// enumeration for persistence layers.
+    pub fn entries(&self) -> Vec<(String, Nonce)> {
+        if self.capacity.is_some() {
+            self.order.iter().cloned().collect()
+        } else {
+            self.seen
+                .iter()
+                .flat_map(|(s, set)| set.iter().map(move |n| (s.clone(), *n)))
+                .collect()
+        }
+    }
+
+    /// Rebuilds a registry from [`NonceRegistry::capacity`],
+    /// [`NonceRegistry::rejected`] and [`NonceRegistry::entries`]. The
+    /// entries are re-accepted in order, so a bounded registry's
+    /// eviction window comes back exactly as it was.
+    pub fn restore(capacity: Option<usize>, rejected: u64, entries: &[(String, Nonce)]) -> Self {
+        let mut reg = match capacity {
+            Some(c) => NonceRegistry::with_capacity(c),
+            None => NonceRegistry::new(),
+        };
+        for (scope, nonce) in entries {
+            reg.accept(scope, *nonce);
+        }
+        reg.rejected = rejected;
+        reg
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,182 @@
+//! Minimal little-endian byte codec for WAL records, snapshots and
+//! service op encodings.
+//!
+//! Mirrors the style of `hpop-fabric`'s wire module: explicit field
+//! order, no self-description, `Option`-returning reads so torn or
+//! rotted input degrades to `None` instead of panicking.
+
+/// Append-only little-endian writer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Writes a little-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a little-endian u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes a little-endian u128.
+    pub fn u128(&mut self, v: u128) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Writes an f64 as its IEEE-754 bit pattern (byte-exact across
+    /// encode/decode, unlike any decimal round trip).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Writes a u32 length prefix followed by the raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+}
+
+/// Cursor-based reader over an encoded slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("len 8")))
+    }
+
+    /// Reads a little-endian u128.
+    pub fn u128(&mut self) -> Option<u128> {
+        self.take(16)
+            .map(|b| u128::from_le_bytes(b.try_into().expect("len 16")))
+    }
+
+    /// Reads an f64 from its bit pattern.
+    pub fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    /// Reads a u32-length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<String> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_type() {
+        let mut w = ByteWriter::new();
+        w.u8(7)
+            .u32(0xDEAD_BEEF)
+            .u64(u64::MAX - 1)
+            .u128(u128::MAX / 3)
+            .f64(-0.1)
+            .bytes(b"payload")
+            .str("héllo");
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.u64(), Some(u64::MAX - 1));
+        assert_eq!(r.u128(), Some(u128::MAX / 3));
+        assert_eq!(r.f64(), Some(-0.1));
+        assert_eq!(r.bytes(), Some(&b"payload"[..]));
+        assert_eq!(r.str().as_deref(), Some("héllo"));
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncated_input_reads_none_not_panic() {
+        let mut w = ByteWriter::new();
+        w.bytes(b"four");
+        let buf = w.into_bytes();
+        for cut in 0..buf.len() {
+            let mut r = ByteReader::new(&buf[..cut]);
+            assert!(r.bytes().is_none(), "cut at {cut} should underflow");
+        }
+    }
+}

@@ -30,11 +30,16 @@
 //! - [`view`] — [`PeerView`]: the query API every service selects peers
 //!   through — alive peers filtered and ranked by capacity, locality
 //!   and reputation.
+//! - [`persist`] — crash-consistent fabric state:
+//!   [`IncarnationStore`] write-through persistence of self-incarnation
+//!   numbers (so a crashed appliance rejoins *above* every stale death
+//!   certificate instead of waiting out a rejoin window) and
+//!   [`DurableReputation`] (violation evidence that survives provider
+//!   restarts).
 //!
 //! Instrumented through `hpop-obs`: detection-latency histogram
-//! (`fabric.detect.latency_ms`), false-positive and rejoin-window
-//! counters (`fabric.detect.false_positive`,
-//! `fabric.detect.rejoin_window`), gossip bytes split by kind
+//! (`fabric.detect.latency_ms`), false-positive counter
+//! (`fabric.detect.false_positive`), gossip bytes split by kind
 //! (`fabric.gossip.bytes`, `fabric.gossip.delta_bytes`,
 //! `fabric.gossip.digest_bytes`), digest-sync count
 //! (`fabric.gossip.digest_syncs`) and the piggyback-queue depth
@@ -46,6 +51,7 @@
 pub mod detector;
 pub mod gossip;
 pub mod member;
+pub mod persist;
 pub mod reputation;
 pub mod view;
 pub mod wire;
@@ -56,5 +62,6 @@ mod proptests;
 pub use detector::PhiDetector;
 pub use gossip::{Fabric, FabricConfig, FabricStats, GossipMode};
 pub use member::{Advertisement, MembershipTable, PeerId, PeerRecord, PeerState};
+pub use persist::{DurableReputation, IncarnationStore};
 pub use reputation::{ReputationLedger, Violation};
 pub use view::{PeerEntry, PeerView, RankBy};

@@ -43,10 +43,10 @@ impl Violation {
 
 /// Per-peer violation history.
 #[derive(Clone, Debug, Default)]
-struct PeerLedgerEntry {
-    counts: BTreeMap<Violation, u32>,
-    total: u32,
-    score: f64,
+pub(crate) struct PeerLedgerEntry {
+    pub(crate) counts: BTreeMap<Violation, u32>,
+    pub(crate) total: u32,
+    pub(crate) score: f64,
 }
 
 /// The shared violation ledger: peer → history and derived score.
@@ -106,6 +106,18 @@ impl ReputationLedger {
     /// peer: each violation makes silence a little less forgivable.
     pub fn phi_bonus(&self, id: PeerId) -> f64 {
         self.violations(id) as f64 * 0.5
+    }
+
+    /// The full entry table, for the durability adapter's snapshot
+    /// encoding.
+    pub(crate) fn entries(&self) -> &BTreeMap<PeerId, PeerLedgerEntry> {
+        &self.entries
+    }
+
+    /// Rebuilds a ledger from snapshot-decoded entries (durability
+    /// adapter only).
+    pub(crate) fn restore(entries: BTreeMap<PeerId, PeerLedgerEntry>) -> ReputationLedger {
+        ReputationLedger { entries }
     }
 
     /// Peers with at least one violation, worst first.

@@ -104,6 +104,9 @@ pub struct CoopCache {
     /// lateral serving) until it half-opens.
     breakers: BreakerBank<u32>,
     stats: CoopStats,
+    /// Where the last origin fetch was cached (member, object) — the
+    /// write-through hook [`crate::durable::DurableCoop`] journals.
+    last_fill: Option<(u32, Url)>,
 }
 
 impl CoopCache {
@@ -120,7 +123,44 @@ impl CoopCache {
             down: BTreeSet::new(),
             breakers: BreakerBank::new(BreakerConfig::default()),
             stats: CoopStats::default(),
+            last_fill: None,
         }
+    }
+
+    /// Rebuilds a neighborhood from a recovered member → cached-object
+    /// index (the durable part of a coop cache: contents live on HPoP
+    /// disks and survive restarts, while liveness beliefs, breaker
+    /// circuits and traffic statistics are runtime state and start
+    /// fresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contents` has no members.
+    pub fn from_contents(contents: BTreeMap<u32, BTreeSet<Url>>) -> CoopCache {
+        assert!(
+            !contents.is_empty(),
+            "a neighborhood needs at least one HPoP"
+        );
+        CoopCache {
+            members: contents,
+            cooperative: true,
+            down: BTreeSet::new(),
+            breakers: BreakerBank::new(BreakerConfig::default()),
+            stats: CoopStats::default(),
+            last_fill: None,
+        }
+    }
+
+    /// The member → cached-object index (what `from_contents` restores).
+    pub fn contents(&self) -> &BTreeMap<u32, BTreeSet<Url>> {
+        &self.members
+    }
+
+    /// Takes the (member, object) pair the last request cached from an
+    /// origin fetch, if any — the durability adapter's write-through
+    /// hook.
+    pub fn take_last_fill(&mut self) -> Option<(u32, Url)> {
+        self.last_fill.take()
     }
 
     /// Disables lateral sharing (independent-caches baseline).
@@ -265,6 +305,7 @@ impl CoopCache {
             self.members.contains_key(&member),
             "unknown member {member}"
         );
+        self.last_fill = None;
         if self.members[&member].contains(url) {
             self.stats.local_hits += 1;
             return FetchTier::Local;
@@ -276,6 +317,7 @@ impl CoopCache {
                 .get_mut(&member)
                 .expect("member exists")
                 .insert(url.clone());
+            self.last_fill = Some((member, url.clone()));
             return FetchTier::Origin;
         }
         let owner = self.owner_usable_at(url, now);
@@ -312,6 +354,7 @@ impl CoopCache {
             .get_mut(&cache_at)
             .expect("member exists")
             .insert(url.clone());
+        self.last_fill = Some((cache_at, url.clone()));
         if cache_at != member {
             self.stats.lateral_bytes += bytes;
         }

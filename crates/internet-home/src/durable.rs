@@ -1,0 +1,332 @@
+//! Crash-consistent cooperative-cache index.
+//!
+//! §IV-D's whole premise is that the neighborhood *avoids duplicate
+//! retrievals*: one uplink crossing per object, shared laterally
+//! forever after. That bookkeeping — which member's HPoP holds which
+//! object — is only worth anything if it survives a restart: the
+//! cached bytes sit on HPoP disks and outlive a power cut, but an
+//! in-memory index would forget where everything is and the
+//! neighborhood would re-cross the scarce aggregation uplink for
+//! content it already holds. [`DurableCoop`] write-through journals
+//! every origin fill and membership change into a WAL+snapshot store,
+//! so a reopened neighborhood resumes with its index intact.
+//!
+//! Liveness beliefs, breaker circuits and traffic statistics are
+//! deliberately *not* persisted: they are runtime health state, stale
+//! by definition after a crash, and restart fresh.
+
+use crate::coop::{CoopCache, FetchTier};
+use hpop_durability::codec::{ByteReader, ByteWriter};
+use hpop_durability::{DurabilityConfig, Durable, Persistent, RecoveryReport};
+use hpop_fabric::PeerView;
+use hpop_http::url::Url;
+use hpop_netsim::storage::{DiskError, SimDisk};
+use hpop_netsim::time::SimTime;
+use std::collections::{BTreeMap, BTreeSet};
+
+const OP_FILL: u8 = 1;
+const OP_ADD_MEMBER: u8 = 2;
+const OP_REMOVE_MEMBER: u8 = 3;
+
+/// The durable member → cached-object index.
+#[derive(Clone, Debug, Default)]
+struct IndexState {
+    members: BTreeMap<u32, BTreeSet<Url>>,
+}
+
+impl Durable for IndexState {
+    fn fresh() -> IndexState {
+        IndexState::default()
+    }
+
+    fn encode_state(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(self.members.len() as u64);
+        for (member, objs) in &self.members {
+            w.u32(*member).u64(objs.len() as u64);
+            for url in objs {
+                w.str(&url.to_string());
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(bytes: &[u8]) -> Option<IndexState> {
+        let mut r = ByteReader::new(bytes);
+        let n = r.u64()?;
+        let mut members = BTreeMap::new();
+        for _ in 0..n {
+            let member = r.u32()?;
+            let count = r.u64()?;
+            let mut objs = BTreeSet::new();
+            for _ in 0..count {
+                objs.insert(r.str()?.parse::<Url>().ok()?);
+            }
+            members.insert(member, objs);
+        }
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(IndexState { members })
+    }
+
+    fn apply(&mut self, op: &[u8]) {
+        let mut r = ByteReader::new(op);
+        match r.u8() {
+            Some(OP_FILL) => {
+                if let (Some(member), Some(Ok(url))) = (r.u32(), r.str().map(|s| s.parse::<Url>()))
+                {
+                    self.members.entry(member).or_default().insert(url);
+                }
+            }
+            Some(OP_ADD_MEMBER) => {
+                if let Some(member) = r.u32() {
+                    self.members.entry(member).or_default();
+                }
+            }
+            Some(OP_REMOVE_MEMBER) => {
+                if let Some(member) = r.u32() {
+                    self.members.remove(&member);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn fill_op(member: u32, url: &Url) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u8(OP_FILL).u32(member).str(&url.to_string());
+    w.into_bytes()
+}
+
+fn member_op(kind: u8, member: u32) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u8(kind).u32(member);
+    w.into_bytes()
+}
+
+/// A [`CoopCache`] whose member → cached-object index survives crashes:
+/// origin fills and membership changes are journaled before they are
+/// acknowledged, and a reopened neighborhood resumes serving laterally
+/// instead of re-crossing the uplink for content it already holds.
+#[derive(Clone, Debug)]
+pub struct DurableCoop {
+    coop: CoopCache,
+    index: Persistent<IndexState>,
+}
+
+impl DurableCoop {
+    /// Opens (recovers or initializes) a neighborhood of `n` HPoPs
+    /// under `dir`. A recovered index overrides `n`: membership and
+    /// cache contents resume exactly as last committed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero and nothing was recovered.
+    pub fn open(
+        n: u32,
+        disk: SimDisk,
+        dir: &str,
+        cfg: DurabilityConfig,
+    ) -> Result<DurableCoop, DiskError> {
+        let mut index: Persistent<IndexState> = Persistent::open(disk, dir, cfg)?;
+        if index.state().members.is_empty() {
+            assert!(n > 0, "a neighborhood needs at least one HPoP");
+            for m in 0..n {
+                index.execute(&member_op(OP_ADD_MEMBER, m))?;
+            }
+        }
+        let coop = CoopCache::from_contents(index.state().members.clone());
+        Ok(DurableCoop { coop, index })
+    }
+
+    /// Durable [`CoopCache::request_at`]: the origin fill (if the
+    /// request caused one) is journaled before the tier is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown members.
+    pub fn request_at(
+        &mut self,
+        member: u32,
+        url: &Url,
+        bytes: u64,
+        now: SimTime,
+    ) -> Result<FetchTier, DiskError> {
+        let tier = self.coop.request_at(member, url, bytes, now);
+        if let Some((cache_at, filled)) = self.coop.take_last_fill() {
+            self.index.execute(&fill_op(cache_at, &filled))?;
+        }
+        Ok(tier)
+    }
+
+    /// Time-blind [`DurableCoop::request_at`] (evaluated at the epoch).
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown members.
+    pub fn request(&mut self, member: u32, url: &Url, bytes: u64) -> Result<FetchTier, DiskError> {
+        self.request_at(member, url, bytes, SimTime::ZERO)
+    }
+
+    /// Durable [`CoopCache::add_member`].
+    pub fn add_member(&mut self) -> Result<u32, DiskError> {
+        let id = self.coop.add_member();
+        self.index.execute(&member_op(OP_ADD_MEMBER, id))?;
+        Ok(id)
+    }
+
+    /// Durable [`CoopCache::remove_member`]. Returns how many cached
+    /// objects were lost with the member.
+    ///
+    /// # Panics
+    ///
+    /// Panics when removing the last member.
+    pub fn remove_member(&mut self, member: u32) -> Result<usize, DiskError> {
+        let lost = self.coop.remove_member(member);
+        self.index.execute(&member_op(OP_REMOVE_MEMBER, member))?;
+        Ok(lost)
+    }
+
+    /// Runtime-only liveness flip (never journaled — health state is
+    /// stale by definition after a crash).
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown members.
+    pub fn set_member_up(&mut self, member: u32, up: bool) {
+        self.coop.set_member_up(member, up);
+    }
+
+    /// Runtime-only view adoption (see [`CoopCache::apply_view`]).
+    pub fn apply_view(&mut self, view: &PeerView) {
+        self.coop.apply_view(view);
+    }
+
+    /// Runtime-only breaker feedback (see
+    /// [`CoopCache::report_lateral_outcome`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown members.
+    pub fn report_lateral_outcome(&mut self, member: u32, now: SimTime, ok: bool) {
+        self.coop.report_lateral_outcome(member, now, ok);
+    }
+
+    /// Read access to the in-memory neighborhood.
+    pub fn coop(&self) -> &CoopCache {
+        &self.coop
+    }
+
+    /// How the last open recovered.
+    pub fn last_recovery(&self) -> &RecoveryReport {
+        self.index.last_recovery()
+    }
+
+    /// Highest committed op sequence number.
+    pub fn committed_seq(&self) -> u64 {
+        self.index.committed_seq()
+    }
+
+    /// The underlying device.
+    pub fn disk(&self) -> &SimDisk {
+        self.index.disk()
+    }
+
+    /// Mutable device access (fault arming in tests/experiments).
+    pub fn disk_mut(&mut self) -> &mut SimDisk {
+        self.index.disk_mut()
+    }
+
+    /// Tears down the process, keeping the platters.
+    pub fn into_disk(self) -> SimDisk {
+        self.index.into_disk()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpop_durability::crash_matrix;
+
+    fn u(i: u32) -> Url {
+        Url::https("web.example", &format!("/obj{i}"))
+    }
+
+    fn cfg() -> DurabilityConfig {
+        DurabilityConfig {
+            max_segment_bytes: 512,
+            snapshot_every_ops: 6,
+            keep_snapshots: 2,
+        }
+    }
+
+    #[test]
+    fn warm_index_survives_restart() {
+        let mut hood = DurableCoop::open(4, SimDisk::new(11), "coop", cfg()).unwrap();
+        for i in 0..6 {
+            hood.request(0, &u(i), 10_000).unwrap();
+        }
+        assert_eq!(hood.coop().stats().origin_fetches, 6);
+        let stored = hood.coop().stored_objects();
+
+        let mut disk = hood.into_disk();
+        disk.restart();
+        let mut hood = DurableCoop::open(4, disk, "coop", cfg()).unwrap();
+        assert_eq!(hood.coop().stored_objects(), stored);
+        // The reopened neighborhood serves everything laterally or
+        // locally: zero fresh uplink crossings for known content.
+        for i in 0..6 {
+            let m = 1 + (i % 3);
+            assert_ne!(hood.request(m, &u(i), 10_000).unwrap(), FetchTier::Origin);
+        }
+        assert_eq!(hood.coop().stats().origin_fetches, 0);
+    }
+
+    #[test]
+    fn membership_changes_survive_restart() {
+        let mut hood = DurableCoop::open(3, SimDisk::new(12), "coop", cfg()).unwrap();
+        let newbie = hood.add_member().unwrap();
+        assert_eq!(newbie, 3);
+        hood.remove_member(0).unwrap();
+        hood.request(newbie, &u(1), 500).unwrap();
+
+        let mut disk = hood.into_disk();
+        disk.restart();
+        let hood = DurableCoop::open(3, disk, "coop", cfg()).unwrap();
+        assert_eq!(hood.coop().member_count(), 3); // {1, 2, 3}
+        assert!(hood.coop().contents().contains_key(&newbie));
+        assert!(!hood.coop().contents().contains_key(&0));
+    }
+
+    #[test]
+    fn crash_during_fill_forgets_only_that_fill() {
+        let mut hood = DurableCoop::open(4, SimDisk::new(13), "coop", cfg()).unwrap();
+        hood.request(0, &u(0), 1000).unwrap();
+        // Crash inside the next fill's WAL append: the op never
+        // commits, so the index must not remember it.
+        let crash_at = hood.disk().steps() + 1;
+        hood.disk_mut().arm_crash(crash_at);
+        let err = hood.request(0, &u(1), 1000);
+        assert!(err.is_err(), "armed crash should surface as a disk error");
+
+        let mut disk = hood.into_disk();
+        disk.restart();
+        let mut hood = DurableCoop::open(4, disk, "coop", cfg()).unwrap();
+        // Object 0 survived; object 1's fill was torn away and costs
+        // exactly one more uplink crossing.
+        assert_eq!(hood.coop().stored_objects(), 1);
+        assert_eq!(hood.request(1, &u(1), 1000).unwrap(), FetchTier::Origin);
+        assert_ne!(hood.request(2, &u(1), 1000).unwrap(), FetchTier::Origin);
+    }
+
+    #[test]
+    fn crash_matrix_over_index_workload() {
+        let mut ops: Vec<Vec<u8>> = (0..8u32).map(|i| fill_op(i % 3, &u(i))).collect();
+        ops.push(member_op(OP_ADD_MEMBER, 3));
+        ops.push(fill_op(3, &u(100)));
+        ops.push(member_op(OP_REMOVE_MEMBER, 1));
+        crash_matrix::<IndexState>(14, cfg(), &ops);
+    }
+}

@@ -21,12 +21,17 @@
 //! - [`coop`] — the cooperative neighborhood cache: adjacent HPoPs
 //!   partition gathering duties and share content laterally, saving the
 //!   shared aggregation uplink.
+//! - [`durable`] — crash-consistent coop-cache index
+//!   ([`DurableCoop`]): which member holds which object is journaled,
+//!   so a restarted neighborhood serves laterally instead of
+//!   re-crossing the uplink for content it already holds.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collector;
 pub mod coop;
+pub mod durable;
 pub mod executor;
 pub mod history;
 pub mod prefetch;
@@ -34,6 +39,7 @@ pub mod smoothing;
 
 pub use collector::DeepWebCollector;
 pub use coop::CoopCache;
+pub use durable::DurableCoop;
 pub use executor::{PrefetchExecutor, ServedFrom, SimulatedOrigin};
 pub use history::{HistoryProfile, SiteStats};
 pub use prefetch::{PrefetchPlan, PrefetchPlanner};

@@ -174,6 +174,11 @@ pub struct FaultConfig {
     pub partitions: usize,
     /// Mean fault-episode length.
     pub mean_episode: SimDuration,
+    /// Probability that the sector in flight at a storage crash point
+    /// leaves a torn prefix behind (see [`crate::storage::SimDisk`]).
+    pub torn_write_fraction: f64,
+    /// Expected bit flips across a disk at each powered-off restart.
+    pub bitrot_flips_per_restart: f64,
     /// Seed for the whole plan.
     pub seed: u64,
 }
@@ -195,7 +200,19 @@ impl FaultConfig {
             blackhole_episodes_per_node: 0.25,
             partitions: 2,
             mean_episode: SimDuration::from_secs(120),
+            torn_write_fraction: 0.75,
+            bitrot_flips_per_restart: 1.0,
             seed,
+        }
+    }
+
+    /// The storage-fault knobs of this config, in the shape
+    /// [`SimDisk::with_faults`](crate::storage::SimDisk::with_faults)
+    /// takes.
+    pub fn storage_faults(&self) -> crate::storage::StorageFaults {
+        crate::storage::StorageFaults {
+            torn_write_fraction: self.torn_write_fraction,
+            bitrot_flips_per_restart: self.bitrot_flips_per_restart,
         }
     }
 

@@ -35,6 +35,9 @@
 //! - [`faults`] — seeded fault-injection plans composing link loss,
 //!   delay spikes, blackholes, peer crashes/slowness/corruption and
 //!   named partitions on the same clock as the churn schedules.
+//! - [`storage`] — [`SimDisk`]: a deterministic block device with
+//!   crash-point injection, torn sector writes and bit-rot, the
+//!   substrate of the `hpop-durability` crash-recovery layer.
 //!
 //! ## Example
 //!
@@ -68,6 +71,7 @@ pub mod metrics;
 pub mod netsim;
 pub mod presets;
 pub mod routing;
+pub mod storage;
 pub mod time;
 pub mod topology;
 pub mod units;
@@ -78,6 +82,7 @@ pub use faults::{FaultConfig, FaultPlan, PeerMode};
 pub use flow::{FlowId, FlowNet};
 pub use netsim::{NetSim, TransferInfo};
 pub use routing::{Path, RoutingTable};
+pub use storage::{DiskError, DiskStats, SimDisk, StorageFaults, SECTOR_BYTES};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkId, NodeId, Topology, TopologyBuilder};
 pub use units::{Bandwidth, GB, KB, MB};

@@ -75,6 +75,31 @@ impl UsageRecord {
         )
     }
 
+    /// Reassembles a record from its wire parts (durability adapter's
+    /// WAL decode — the tag is carried verbatim, not re-signed).
+    pub(crate) fn from_parts(
+        peer: PeerId,
+        client: u64,
+        bytes: u64,
+        objects: u32,
+        nonce: Nonce,
+        tag: HmacTag,
+    ) -> UsageRecord {
+        UsageRecord {
+            peer,
+            client,
+            bytes,
+            objects,
+            nonce,
+            tag,
+        }
+    }
+
+    /// The signature tag (durability adapter's WAL encode).
+    pub(crate) fn tag(&self) -> &HmacTag {
+        &self.tag
+    }
+
     /// An unsigned record for unit tests of non-crypto paths.
     #[doc(hidden)]
     pub fn unsigned_for_tests(peer: PeerId, bytes: u64) -> UsageRecord {
@@ -103,9 +128,21 @@ pub enum RejectReason {
 }
 
 #[derive(Clone, Debug)]
-struct Issuance {
-    key: [u8; 32],
-    max_bytes: u64,
+pub(crate) struct Issuance {
+    pub(crate) key: [u8; 32],
+    pub(crate) max_bytes: u64,
+}
+
+/// Derives the short-term `(client, peer)` key from the provider's
+/// master secret. Factored out so the durability adapter can derive the
+/// key *before* logging — the WAL records the derived key, and the
+/// master secret never touches stable storage.
+pub fn derive_issue_key(master: &[u8; 32], client: u64, peer: PeerId, max_bytes: u64) -> [u8; 32] {
+    hmac_sha256(
+        master,
+        format!("issue|{client}|{}|{max_bytes}", peer.0).as_bytes(),
+    )
+    .0
 }
 
 /// Provider-side accounting state.
@@ -138,15 +175,17 @@ impl Accounting {
         max_bytes: u64,
         master: &[u8; 32],
     ) -> [u8; 32] {
-        let tag = hmac_sha256(
-            master,
-            format!("issue|{client}|{}|{max_bytes}", peer.0).as_bytes(),
-        );
-        let key = tag.0;
+        let key = derive_issue_key(master, client, peer, max_bytes);
+        self.apply_issue(client, peer, max_bytes, key);
+        key
+    }
+
+    /// Records an issuance whose key was already derived — the replay
+    /// path of the durability adapter.
+    pub(crate) fn apply_issue(&mut self, client: u64, peer: PeerId, max_bytes: u64, key: [u8; 32]) {
         self.issuances
             .insert((client, peer.0), Issuance { key, max_bytes });
         *self.issued_count.entry(peer).or_default() += 1;
-        key
     }
 
     /// Settles one uploaded record: verify, replay-check, work-check.
@@ -213,6 +252,45 @@ impl Accounting {
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
         let median = sorted[sorted.len() / 2].max(1.0);
         rates.drain(..).map(|(p, r)| (p, r / median)).collect()
+    }
+
+    /// Every private field by reference, for the durability adapter's
+    /// snapshot encoding.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn snapshot_parts(
+        &self,
+    ) -> (
+        &BTreeMap<(u64, u32), Issuance>,
+        &NonceRegistry,
+        &BTreeMap<PeerId, u64>,
+        &BTreeMap<PeerId, u64>,
+        &[(PeerId, RejectReason)],
+    ) {
+        (
+            &self.issuances,
+            &self.nonces,
+            &self.accepted,
+            &self.issued_count,
+            &self.rejections,
+        )
+    }
+
+    /// Rebuilds accounting state from snapshot-decoded parts
+    /// (durability adapter only).
+    pub(crate) fn restore(
+        issuances: BTreeMap<(u64, u32), Issuance>,
+        nonces: NonceRegistry,
+        accepted: BTreeMap<PeerId, u64>,
+        issued_count: BTreeMap<PeerId, u64>,
+        rejections: Vec<(PeerId, RejectReason)>,
+    ) -> Accounting {
+        Accounting {
+            issuances,
+            nonces,
+            accepted,
+            issued_count,
+            rejections,
+        }
     }
 
     /// Peers whose anomaly score exceeds `threshold` (e.g. 3.0).

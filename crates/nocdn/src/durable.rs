@@ -1,0 +1,446 @@
+//! Crash-consistent provider accounting.
+//!
+//! The accounting state is the payment basis — issuances, the nonce
+//! replay registry, and accepted byte counts. If a provider restart
+//! forgot the nonce registry, every already-settled record could be
+//! replayed for double payment; if it forgot issuances, honest peers'
+//! uploads would bounce. [`DurableAccounting`] WAL-logs both mutating
+//! paths ([`Accounting::issue`] and [`Accounting::settle`]) so the full
+//! anti-fraud state survives power loss.
+//!
+//! Two properties this module is careful about:
+//!
+//! - **The master secret never touches stable storage.** `issue` logs
+//!   the *derived* short-term key (see
+//!   [`crate::accounting::derive_issue_key`]), so the WAL compromise
+//!   blast radius is the outstanding short-term keys, not the master.
+//! - **Settlement is idempotent across crashes.** An acked settle is
+//!   committed, so a client/peer retrying the same record after the
+//!   provider recovers gets [`RejectReason::Replay`] and the bytes are
+//!   *not* double-credited. A settle that was in flight (never acked)
+//!   when power failed is absent after recovery, and the retry then
+//!   settles normally — exactly the at-most-once contract the paper's
+//!   nonce scheme promises.
+
+use crate::accounting::{Accounting, RejectReason, UsageRecord};
+use crate::peer::PeerId;
+use hpop_crypto::hmac::HmacTag;
+use hpop_crypto::nonce::{Nonce, NonceRegistry};
+use hpop_durability::codec::{ByteReader, ByteWriter};
+use hpop_durability::{DurabilityConfig, Durable, Persistent, RecoveryReport};
+use hpop_netsim::storage::{DiskError, SimDisk};
+use std::collections::BTreeMap;
+
+fn reject_to_u8(r: RejectReason) -> u8 {
+    match r {
+        RejectReason::BadSignature => 0,
+        RejectReason::Replay => 1,
+        RejectReason::ExceedsIssuedWork => 2,
+        RejectReason::UnknownIssuance => 3,
+    }
+}
+
+fn reject_from_u8(v: u8) -> Option<RejectReason> {
+    match v {
+        0 => Some(RejectReason::BadSignature),
+        1 => Some(RejectReason::Replay),
+        2 => Some(RejectReason::ExceedsIssuedWork),
+        3 => Some(RejectReason::UnknownIssuance),
+        _ => None,
+    }
+}
+
+/// One logged accounting mutation.
+#[derive(Clone, Debug)]
+enum AcctOp {
+    /// An issuance with its already-derived short-term key.
+    Issue {
+        client: u64,
+        peer: PeerId,
+        max_bytes: u64,
+        key: [u8; 32],
+    },
+    /// One uploaded usage record, tag and all.
+    Settle { record: UsageRecord },
+}
+
+impl AcctOp {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            AcctOp::Issue {
+                client,
+                peer,
+                max_bytes,
+                key,
+            } => {
+                w.u8(1).u64(*client).u32(peer.0).u64(*max_bytes).bytes(key);
+            }
+            AcctOp::Settle { record } => {
+                w.u8(2)
+                    .u32(record.peer.0)
+                    .u64(record.client)
+                    .u64(record.bytes)
+                    .u32(record.objects)
+                    .u128(record.nonce.0)
+                    .bytes(&record.tag().0);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Option<AcctOp> {
+        let mut r = ByteReader::new(bytes);
+        let op = match r.u8()? {
+            1 => {
+                let client = r.u64()?;
+                let peer = PeerId(r.u32()?);
+                let max_bytes = r.u64()?;
+                let key: [u8; 32] = r.bytes()?.try_into().ok()?;
+                AcctOp::Issue {
+                    client,
+                    peer,
+                    max_bytes,
+                    key,
+                }
+            }
+            2 => {
+                let peer = PeerId(r.u32()?);
+                let client = r.u64()?;
+                let bytes_served = r.u64()?;
+                let objects = r.u32()?;
+                let nonce = Nonce(r.u128()?);
+                let tag: [u8; 32] = r.bytes()?.try_into().ok()?;
+                AcctOp::Settle {
+                    record: UsageRecord::from_parts(
+                        peer,
+                        client,
+                        bytes_served,
+                        objects,
+                        nonce,
+                        HmacTag(tag),
+                    ),
+                }
+            }
+            _ => return None,
+        };
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(op)
+    }
+}
+
+/// Accounting state plus the transient outcome of the last applied op
+/// (excluded from the snapshot encoding — it is call plumbing, not
+/// state).
+#[derive(Debug)]
+pub struct AcctState {
+    acct: Accounting,
+    last_settle: Option<Result<(), RejectReason>>,
+}
+
+impl Durable for AcctState {
+    fn fresh() -> AcctState {
+        AcctState {
+            acct: Accounting::new(),
+            last_settle: None,
+        }
+    }
+
+    fn encode_state(&self) -> Vec<u8> {
+        let (issuances, nonces, accepted, issued_count, rejections) = self.acct.snapshot_parts();
+        let mut w = ByteWriter::new();
+        w.u64(issuances.len() as u64);
+        for ((client, peer), iss) in issuances {
+            w.u64(*client).u32(*peer).u64(iss.max_bytes).bytes(&iss.key);
+        }
+        // Nonce registry: capacity sentinel (u64::MAX = unbounded),
+        // rejected count, then entries in the registry's deterministic
+        // order.
+        let entries = nonces.entries();
+        w.u64(nonces.capacity().map_or(u64::MAX, |c| c as u64))
+            .u64(nonces.rejected())
+            .u64(entries.len() as u64);
+        for (scope, nonce) in &entries {
+            w.str(scope).u128(nonce.0);
+        }
+        w.u64(accepted.len() as u64);
+        for (peer, bytes) in accepted {
+            w.u32(peer.0).u64(*bytes);
+        }
+        w.u64(issued_count.len() as u64);
+        for (peer, n) in issued_count {
+            w.u32(peer.0).u64(*n);
+        }
+        w.u64(rejections.len() as u64);
+        for (peer, reason) in rejections {
+            w.u32(peer.0).u8(reject_to_u8(*reason));
+        }
+        w.into_bytes()
+    }
+
+    fn decode_state(bytes: &[u8]) -> Option<AcctState> {
+        let mut r = ByteReader::new(bytes);
+        let n_iss = r.u64()?;
+        let mut issuances = BTreeMap::new();
+        for _ in 0..n_iss {
+            let client = r.u64()?;
+            let peer = r.u32()?;
+            let max_bytes = r.u64()?;
+            let key: [u8; 32] = r.bytes()?.try_into().ok()?;
+            issuances.insert(
+                (client, peer),
+                crate::accounting::Issuance { key, max_bytes },
+            );
+        }
+        let capacity = match r.u64()? {
+            u64::MAX => None,
+            c => Some(c as usize),
+        };
+        let rejected = r.u64()?;
+        let n_entries = r.u64()?;
+        let mut entries = Vec::with_capacity(n_entries.min(1 << 20) as usize);
+        for _ in 0..n_entries {
+            entries.push((r.str()?, Nonce(r.u128()?)));
+        }
+        let nonces = NonceRegistry::restore(capacity, rejected, &entries);
+        let n_accepted = r.u64()?;
+        let mut accepted = BTreeMap::new();
+        for _ in 0..n_accepted {
+            let peer = PeerId(r.u32()?);
+            accepted.insert(peer, r.u64()?);
+        }
+        let n_counts = r.u64()?;
+        let mut issued_count = BTreeMap::new();
+        for _ in 0..n_counts {
+            let peer = PeerId(r.u32()?);
+            issued_count.insert(peer, r.u64()?);
+        }
+        let n_rej = r.u64()?;
+        let mut rejections = Vec::with_capacity(n_rej.min(1 << 20) as usize);
+        for _ in 0..n_rej {
+            let peer = PeerId(r.u32()?);
+            rejections.push((peer, reject_from_u8(r.u8()?)?));
+        }
+        if r.remaining() != 0 {
+            return None;
+        }
+        Some(AcctState {
+            acct: Accounting::restore(issuances, nonces, accepted, issued_count, rejections),
+            last_settle: None,
+        })
+    }
+
+    fn apply(&mut self, op: &[u8]) {
+        match AcctOp::decode(op) {
+            Some(AcctOp::Issue {
+                client,
+                peer,
+                max_bytes,
+                key,
+            }) => {
+                self.acct.apply_issue(client, peer, max_bytes, key);
+            }
+            Some(AcctOp::Settle { record }) => {
+                self.last_settle = Some(self.acct.settle(&record));
+            }
+            None => {}
+        }
+    }
+}
+
+/// Crash-consistent provider-side accounting: issuances and settlements
+/// are durable before they are acknowledged, so the nonce registry —
+/// the replay defense — survives restarts.
+#[derive(Debug)]
+pub struct DurableAccounting {
+    inner: Persistent<AcctState>,
+}
+
+impl DurableAccounting {
+    /// Opens (recovers or initializes) accounting state under `dir`.
+    pub fn open(disk: SimDisk, dir: &str, cfg: DurabilityConfig) -> Result<Self, DiskError> {
+        Ok(DurableAccounting {
+            inner: Persistent::open(disk, dir, cfg)?,
+        })
+    }
+
+    /// Durable [`Accounting::issue`]: derives the short-term key, logs
+    /// the issuance (key included, master excluded), applies it, and
+    /// returns the key to embed in the wrapper page.
+    pub fn issue(
+        &mut self,
+        client: u64,
+        peer: PeerId,
+        max_bytes: u64,
+        master: &[u8; 32],
+    ) -> Result<[u8; 32], DiskError> {
+        let key = crate::accounting::derive_issue_key(master, client, peer, max_bytes);
+        self.inner.execute(
+            &AcctOp::Issue {
+                client,
+                peer,
+                max_bytes,
+                key,
+            }
+            .encode(),
+        )?;
+        Ok(key)
+    }
+
+    /// Durable [`Accounting::settle`]. The inner result is the normal
+    /// accept/reject verdict; it is recorded only after the record is
+    /// committed, so a crash-retry of an accepted record is rejected as
+    /// a [`RejectReason::Replay`] instead of double-crediting.
+    pub fn settle(&mut self, record: &UsageRecord) -> Result<Result<(), RejectReason>, DiskError> {
+        self.inner.execute(
+            &AcctOp::Settle {
+                record: record.clone(),
+            }
+            .encode(),
+        )?;
+        Ok(self
+            .inner
+            .state()
+            .last_settle
+            .expect("settle apply records an outcome"))
+    }
+
+    /// Read-only view of the recovered/live accounting state.
+    pub fn accounting(&self) -> &Accounting {
+        &self.inner.state().acct
+    }
+
+    /// How the last open recovered.
+    pub fn last_recovery(&self) -> &RecoveryReport {
+        self.inner.last_recovery()
+    }
+
+    /// Highest committed op sequence number.
+    pub fn committed_seq(&self) -> u64 {
+        self.inner.committed_seq()
+    }
+
+    /// The underlying device.
+    pub fn disk(&self) -> &SimDisk {
+        self.inner.disk()
+    }
+
+    /// Mutable device access (crash injection in tests).
+    pub fn disk_mut(&mut self) -> &mut SimDisk {
+        self.inner.disk_mut()
+    }
+
+    /// Tears down the process, keeping the platters.
+    pub fn into_disk(self) -> SimDisk {
+        self.inner.into_disk()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpop_durability::crash_matrix;
+
+    const MASTER: [u8; 32] = [42u8; 32];
+
+    fn cfg() -> DurabilityConfig {
+        DurabilityConfig {
+            max_segment_bytes: 512,
+            snapshot_every_ops: 4,
+            keep_snapshots: 2,
+        }
+    }
+
+    #[test]
+    fn issue_and_settle_survive_restart() {
+        let mut acct = DurableAccounting::open(SimDisk::new(7), "acct", cfg()).unwrap();
+        let key = acct.issue(1, PeerId(5), 1000, &MASTER).unwrap();
+        let r = UsageRecord::sign(&key, PeerId(5), 1, 800, 3, Nonce(77));
+        assert_eq!(acct.settle(&r).unwrap(), Ok(()));
+
+        let mut disk = acct.into_disk();
+        disk.restart();
+        let acct = DurableAccounting::open(disk, "acct", cfg()).unwrap();
+        assert_eq!(acct.accounting().payable_bytes(PeerId(5)), 800);
+        assert!(acct.accounting().rejections().is_empty());
+    }
+
+    /// Satellite regression: a record settled *and acked* before the
+    /// crash must be rejected as a replay when re-uploaded after
+    /// recovery — never double-credited.
+    #[test]
+    fn double_settle_across_crash_is_rejected() {
+        let mut acct = DurableAccounting::open(SimDisk::new(8), "acct", cfg()).unwrap();
+        let key = acct.issue(1, PeerId(5), 1000, &MASTER).unwrap();
+        let r = UsageRecord::sign(&key, PeerId(5), 1, 800, 3, Nonce(77));
+        assert_eq!(acct.settle(&r).unwrap(), Ok(()));
+
+        let mut disk = acct.into_disk();
+        disk.restart();
+        let mut acct = DurableAccounting::open(disk, "acct", cfg()).unwrap();
+        // The peer re-uploads the identical record after the outage.
+        assert_eq!(acct.settle(&r).unwrap(), Err(RejectReason::Replay));
+        assert_eq!(acct.accounting().payable_bytes(PeerId(5)), 800);
+    }
+
+    /// Satellite: a nonce issued before the crash and first settled
+    /// *after* recovery settles normally — issuance durability means
+    /// recovery doesn't orphan outstanding work.
+    #[test]
+    fn nonce_issued_pre_crash_settles_post_recovery() {
+        let mut acct = DurableAccounting::open(SimDisk::new(9), "acct", cfg()).unwrap();
+        let key = acct.issue(2, PeerId(6), 2000, &MASTER).unwrap();
+
+        // Power fails during the settle's WAL append: the settle is not
+        // acked and must be absent after recovery.
+        let r = UsageRecord::sign(&key, PeerId(6), 2, 1500, 4, Nonce(99));
+        let crash_at = acct.disk().steps() + 1;
+        acct.disk_mut().arm_crash(crash_at);
+        assert!(acct.settle(&r).is_err());
+
+        let mut disk = acct.into_disk();
+        disk.restart();
+        let mut acct = DurableAccounting::open(disk, "acct", cfg()).unwrap();
+        assert_eq!(acct.accounting().payable_bytes(PeerId(6)), 0);
+        // The retry settles exactly once.
+        assert_eq!(acct.settle(&r).unwrap(), Ok(()));
+        assert_eq!(acct.settle(&r).unwrap(), Err(RejectReason::Replay));
+        assert_eq!(acct.accounting().payable_bytes(PeerId(6)), 1500);
+    }
+
+    /// Exhaustive crash matrix over an issue/settle workload, including
+    /// a rejected replay (failed ops replay deterministically too).
+    #[test]
+    fn crash_matrix_over_accounting_workload() {
+        let mut ops: Vec<Vec<u8>> = Vec::new();
+        for i in 0..3u64 {
+            let peer = PeerId(i as u32);
+            let key = crate::accounting::derive_issue_key(&MASTER, i, peer, 1000);
+            ops.push(
+                AcctOp::Issue {
+                    client: i,
+                    peer,
+                    max_bytes: 1000,
+                    key,
+                }
+                .encode(),
+            );
+            let record = UsageRecord::sign(&key, peer, i, 400 + i * 100, 2, Nonce(i as u128));
+            ops.push(
+                AcctOp::Settle {
+                    record: record.clone(),
+                }
+                .encode(),
+            );
+            if i == 1 {
+                // A replay attempt mid-workload.
+                ops.push(AcctOp::Settle { record }.encode());
+            }
+        }
+        let outcome = crash_matrix::<AcctState>(17, cfg(), &ops);
+        assert!(outcome.baseline_steps > ops.len() as u64);
+        assert!(outcome.torn_tails > 0);
+    }
+}

@@ -24,6 +24,9 @@
 //! - [`accounting`] — provider-side verification of usage records:
 //!   HMAC checks, nonce replay, work cross-checks, collusion/anomaly
 //!   detection.
+//! - [`durable`] — crash-consistent accounting: issuances and the
+//!   nonce replay registry behind a write-ahead log, so a provider
+//!   restart cannot be exploited for double settlement.
 //! - [`select`] — peer-selection policies (random / round-robin /
 //!   proximity / trust-weighted) — the ablation §IV-B calls an open
 //!   problem.
@@ -40,6 +43,7 @@ mod proptests;
 
 pub mod accounting;
 pub mod chunked;
+pub mod durable;
 pub mod loader;
 pub mod origin;
 pub mod peer;
@@ -48,6 +52,7 @@ pub mod wrapper;
 
 pub use accounting::{Accounting, UsageRecord};
 pub use chunked::{ChunkedReport, ResilientFetcher};
+pub use durable::DurableAccounting;
 pub use loader::{LoaderReport, PageLoader};
 pub use origin::{ContentProvider, PageSpec};
 pub use peer::{NoCdnPeer, PeerBehavior, PeerId};
