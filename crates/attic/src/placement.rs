@@ -12,6 +12,7 @@ use crate::backup::{BackupError, BackupPlan, BackupSet};
 use hpop_erasure::availability::heterogeneous_availability;
 use hpop_fabric::{PeerId, PeerView, RankBy};
 use hpop_netsim::time::SimTime;
+use hpop_obs::SpanScope;
 use hpop_resilience::{Deadline, RetryError, RetryPolicy};
 use std::collections::BTreeSet;
 
@@ -84,11 +85,17 @@ pub fn place_shards_with_retry(
     now: &mut SimTime,
     mut view_at: impl FnMut(SimTime) -> PeerView,
 ) -> Result<PlacedBackup, RetryError<PlacementError>> {
-    retry
-        .run(plan.peers() as u64, deadline, now, |_, at| {
+    let spans = hpop_obs::spans();
+    let root = spans.root();
+    let scope = SpanScope::new(spans.clone(), root);
+    let start_us = now.as_nanos() / 1_000;
+    let out = retry
+        .run_spanned(plan.peers() as u64, deadline, now, &scope, |_, at| {
             place_shards(&view_at(at), plan)
         })
-        .result
+        .result;
+    spans.record(&root, "attic", "request", start_us, now.as_nanos() / 1_000);
+    out
 }
 
 impl PlacedBackup {
@@ -159,14 +166,21 @@ impl PlacedBackup {
         now: &mut SimTime,
         mut view_at: impl FnMut(SimTime) -> PeerView,
     ) -> Result<Vec<usize>, RetryError<PlacementError>> {
-        retry
-            .run(
+        let spans = hpop_obs::spans();
+        let root = spans.root();
+        let scope = SpanScope::new(spans.clone(), root);
+        let start_us = now.as_nanos() / 1_000;
+        let out = retry
+            .run_spanned(
                 0x005e_9a12 ^ self.holders.len() as u64,
                 deadline,
                 now,
+                &scope,
                 |_, at| self.repair(&view_at(at), set),
             )
-            .result
+            .result;
+        spans.record(&root, "attic", "request", start_us, now.as_nanos() / 1_000);
+        out
     }
 
     /// A *degraded read*: restores the blob using only shards whose

@@ -131,7 +131,75 @@ fn check_schema(path: &str) -> Result<Snapshot, String> {
             return Err(format!("{path}: histogram {name} has p50 > p99"));
         }
     }
+    check_v2_sections(path, &snap)?;
     Ok(snap)
+}
+
+/// Internal-consistency checks for the schema-v2 sections. Every
+/// violation is named after the section and field that broke, so a CI
+/// failure points straight at the producer bug.
+fn check_v2_sections(path: &str, snap: &Snapshot) -> Result<(), String> {
+    if let Some(attr) = &snap.latency_attribution {
+        let stage_sum: u64 = attr.stages.values().sum();
+        if attr.accounted_us != stage_sum {
+            return Err(format!(
+                "{path}: latency_attribution accounted_us {} != stage sum {stage_sum}",
+                attr.accounted_us
+            ));
+        }
+        if attr.accounted_us > attr.total_us {
+            return Err(format!(
+                "{path}: latency_attribution accounted_us {} exceeds total_us {}",
+                attr.accounted_us, attr.total_us
+            ));
+        }
+        if attr.traces_analyzed == 0 && attr.total_us != 0 {
+            return Err(format!(
+                "{path}: latency_attribution reports {} us over zero traces",
+                attr.total_us
+            ));
+        }
+    }
+    for (name, s) in &snap.series {
+        if s.window_us == 0 {
+            return Err(format!("{path}: series {name} has window_us 0"));
+        }
+        let mut prev: Option<u64> = None;
+        for w in &s.windows {
+            if w.start_us % s.window_us != 0 {
+                return Err(format!(
+                    "{path}: series {name} window at {} is not aligned to window_us {}",
+                    w.start_us, s.window_us
+                ));
+            }
+            if prev.is_some_and(|p| w.start_us <= p) {
+                return Err(format!(
+                    "{path}: series {name} windows are not strictly ordered at {}",
+                    w.start_us
+                ));
+            }
+            prev = Some(w.start_us);
+            if w.count > 0 && (w.min > w.max || w.sum < w.max) {
+                return Err(format!(
+                    "{path}: series {name} window at {} has inconsistent aggregates \
+                     (count {}, sum {}, min {}, max {})",
+                    w.start_us, w.count, w.sum, w.min, w.max
+                ));
+            }
+        }
+    }
+    for b in &snap.slo_breaches {
+        if b.slo.is_empty() {
+            return Err(format!("{path}: slo_breaches entry with empty slo name"));
+        }
+        if b.window_start_us >= b.window_end_us {
+            return Err(format!(
+                "{path}: slo breach {} has empty window [{}, {})",
+                b.slo, b.window_start_us, b.window_end_us
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn main() {
@@ -300,6 +368,87 @@ mod tests {
         let snap = reg.snapshot("chaos");
         let v = check_budgets("x", &snap, &budgets);
         assert_eq!(v.len(), 3, "{v:?}");
+    }
+
+    #[test]
+    fn v2_attribution_must_sum_and_stay_within_total() {
+        let mut snap = snap_with("trace_attribution", "x", 1);
+        let mut attr = hpop_obs::AttributionReport {
+            traces_analyzed: 2,
+            threshold_us: 50,
+            total_us: 100,
+            accounted_us: 100,
+            stages: [("transfer".to_string(), 60), ("retry".to_string(), 40)]
+                .into_iter()
+                .collect(),
+        };
+        snap.latency_attribution = Some(attr.clone());
+        assert!(check_v2_sections("x", &snap).is_ok());
+        attr.accounted_us = 99; // no longer equals the stage sum
+        snap.latency_attribution = Some(attr.clone());
+        let err = check_v2_sections("x", &snap).unwrap_err();
+        assert!(err.contains("stage sum"), "{err}");
+        attr.accounted_us = 100;
+        attr.total_us = 99; // accounted exceeds total
+        snap.latency_attribution = Some(attr);
+        let err = check_v2_sections("x", &snap).unwrap_err();
+        assert!(err.contains("exceeds total_us"), "{err}");
+    }
+
+    #[test]
+    fn v2_series_windows_must_be_aligned_ordered_and_consistent() {
+        let mut snap = snap_with("trace_attribution", "x", 1);
+        let win = |start: u64, count: u64, sum: u64, min: u64, max: u64| hpop_obs::WindowAgg {
+            start_us: start,
+            count,
+            sum,
+            min,
+            max,
+        };
+        let summary = |windows: Vec<hpop_obs::WindowAgg>| hpop_obs::SeriesSummary {
+            window_us: 1_000,
+            dropped_windows: 0,
+            windows,
+        };
+        snap.series.insert(
+            "good".into(),
+            summary(vec![win(0, 2, 7, 3, 4), win(1_000, 0, 0, 0, 0)]),
+        );
+        assert!(check_v2_sections("x", &snap).is_ok());
+        snap.series
+            .insert("bad".into(), summary(vec![win(500, 1, 1, 1, 1)]));
+        let err = check_v2_sections("x", &snap).unwrap_err();
+        assert!(err.contains("not aligned"), "{err}");
+        snap.series.insert(
+            "bad".into(),
+            summary(vec![win(1_000, 1, 1, 1, 1), win(0, 1, 1, 1, 1)]),
+        );
+        let err = check_v2_sections("x", &snap).unwrap_err();
+        assert!(err.contains("not strictly ordered"), "{err}");
+        snap.series
+            .insert("bad".into(), summary(vec![win(0, 1, 1, 5, 1)]));
+        let err = check_v2_sections("x", &snap).unwrap_err();
+        assert!(err.contains("inconsistent aggregates"), "{err}");
+    }
+
+    #[test]
+    fn v2_breaches_must_be_named_with_real_windows() {
+        let mut snap = snap_with("recovery", "x", 1);
+        snap.slo_breaches.push(hpop_obs::SloBreach {
+            slo: "payable-mismatch".into(),
+            window_start_us: 0,
+            window_end_us: 1_000,
+            value: 3,
+            bound: 0,
+        });
+        assert!(check_v2_sections("x", &snap).is_ok());
+        snap.slo_breaches[0].window_end_us = 0;
+        let err = check_v2_sections("x", &snap).unwrap_err();
+        assert!(err.contains("empty window"), "{err}");
+        snap.slo_breaches[0].window_end_us = 1_000;
+        snap.slo_breaches[0].slo.clear();
+        let err = check_v2_sections("x", &snap).unwrap_err();
+        assert!(err.contains("empty slo name"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,20 @@
+//! E22: causal trace attribution of the NoCDN chaos tail plus the
+//! measured cost of the tracing machinery (see DESIGN.md experiment
+//! index).
+//!
+//! `--smoke` runs the reduced CI preset; add `--stable` for a
+//! byte-identical replayable snapshot (pins the wall-clock gauge and
+//! the overhead measurements). CI runs the smoke preset *without*
+//! `--stable` so the `trace.overhead.pct_x100` ceiling is enforced on a
+//! real measurement.
+
+use hpop_bench::experiments::e22_trace_attribution;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        hpop_bench::harness::run_opts("trace_attribution", e22_trace_attribution::run_smoke);
+    } else {
+        hpop_bench::harness::run_opts("trace_attribution", e22_trace_attribution::run_default);
+    }
+}

@@ -68,18 +68,34 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+/// Sim-time window for the detect-latency SLO series (one minute).
+const DETECT_WINDOW_US: u64 = 60_000_000;
+
+/// Ceiling on any single failure-detection latency: the committed run's
+/// p99 sits at 6 s, so 10 s flags a real detector regression without
+/// tripping on the preset's normal tail.
+pub const DETECT_CEILING_MS: u64 = 10_000;
+
 /// Drives `n` fabric nodes against the paper churn preset for
 /// `horizon_secs` sim-seconds. Every `delivery_every` seconds a
 /// never-churning observer serves one NoCDN request: it picks the
 /// closest peer from its `PeerView` and, on failure (ground truth says
 /// that peer is down), retries against the next-ranked survivor up to
 /// `retry_budget` times.
+///
+/// With `observed` set, each detection latency is also recorded into
+/// the global `fabric.detect.latency_ms` time series (keyed to the sim
+/// second it was declared) and a [`hpop_obs::SloMonitor`] evaluates the
+/// [`DETECT_CEILING_MS`] ceiling continuously; breach windows land in
+/// the snapshot and in `slo.breach.windows`. Only one run per process
+/// should observe — the series is global and the mixes share sim time.
 pub fn run_churn(
     n: usize,
     horizon_secs: u64,
     delivery_every: u64,
     retry_budget: u32,
     seed: u64,
+    observed: bool,
 ) -> ChurnRunResult {
     let horizon = SimTime::from_secs(horizon_secs);
     let churn = ChurnSchedule::generate(n, ChurnConfig::paper_preset(seed), horizon);
@@ -100,6 +116,20 @@ pub fn run_churn(
         .expect("paper preset leaves 75% of peers stable");
 
     let metrics = hpop_obs::metrics();
+    let detect_series = observed
+        .then(|| hpop_obs::series_registry().series("fabric.detect.latency_ms", DETECT_WINDOW_US));
+    let mut slo = observed.then(|| {
+        let mut m = hpop_obs::SloMonitor::new(hpop_obs::series_registry().clone());
+        m.add(hpop_obs::SloSpec {
+            name: "fabric.detect-latency".into(),
+            kind: hpop_obs::SloKind::MaxCeiling {
+                series: "fabric.detect.latency_ms".into(),
+                ceiling: DETECT_CEILING_MS,
+            },
+        });
+        m
+    });
+    let mut seen_detections = 0usize;
     let mut deliveries = 0u64;
     let mut first_try = 0u64;
     let mut after_retry = 0u64;
@@ -115,6 +145,17 @@ pub fn run_churn(
             fabric.set_up(PeerId(ev.node as u64), ev.up);
         }
         fabric.tick();
+
+        if let Some(series) = &detect_series {
+            let lats = &fabric.stats().detection_latency_ms;
+            for l in &lats[seen_detections..] {
+                series.record(to.as_nanos() / 1_000, *l as u64);
+            }
+            seen_detections = lats.len();
+            if let Some(m) = &mut slo {
+                m.poll(to.as_nanos() / 1_000);
+            }
+        }
 
         if s % delivery_every != 0 {
             continue;
@@ -168,6 +209,17 @@ pub fn run_churn(
         }
     }
 
+    if let Some(mut m) = slo {
+        m.finish(horizon.as_nanos() / 1_000);
+        metrics
+            .counter("slo.breach.windows")
+            .add(m.breaches().len() as u64);
+        metrics
+            .counter("slo.windows.evaluated")
+            .add(m.windows_evaluated());
+        crate::harness::stash_slo_breaches(m.breaches().to_vec());
+    }
+
     let stats = fabric.stats();
     let mut lat = stats.detection_latency_ms.clone();
     lat.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -201,7 +253,7 @@ pub fn detection_table(n: usize, horizon_secs: u64) -> Table {
             "gossip MB",
         ],
     );
-    let r = run_churn(n, horizon_secs, 5, 3, 0xc2a);
+    let r = run_churn(n, horizon_secs, 5, 3, 0xc2a, true);
     t.push(vec![
         format!("{}/{}", r.churners, r.nodes),
         r.detections.to_string(),
@@ -229,7 +281,7 @@ pub fn delivery_table(n: usize, horizon_secs: u64) -> Table {
         ],
     );
     for budget in [0u32, 1, 3] {
-        let r = run_churn(n, horizon_secs, 5, budget, 0xc2a);
+        let r = run_churn(n, horizon_secs, 5, budget, 0xc2a, false);
         t.push(vec![
             budget.to_string(),
             r.deliveries.to_string(),
@@ -253,7 +305,7 @@ mod tests {
 
     #[test]
     fn delivery_success_exceeds_99_percent_with_retries() {
-        let r = run_churn(24, 1200, 5, 3, 0xc2a);
+        let r = run_churn(24, 1200, 5, 3, 0xc2a, false);
         assert!(r.deliveries >= 200);
         assert!(
             r.success_rate() >= 0.99,
@@ -267,8 +319,8 @@ mod tests {
 
     #[test]
     fn retries_recover_what_first_tries_lose() {
-        let none = run_churn(24, 1200, 5, 0, 0xc2a);
-        let some = run_churn(24, 1200, 5, 3, 0xc2a);
+        let none = run_churn(24, 1200, 5, 0, 0xc2a, false);
+        let some = run_churn(24, 1200, 5, 3, 0xc2a, false);
         assert!(some.success_rate() >= none.success_rate());
         // The schedule does churn, so the detector has work to do.
         assert!(some.detections > 0);
@@ -283,14 +335,14 @@ mod tests {
     /// be zero with *no* exemption in the scoring.
     #[test]
     fn false_positives_are_zero_without_rejoin_exemption() {
-        let r = run_churn(40, 1800, 60, 0, 0xc2a);
+        let r = run_churn(40, 1800, 60, 0, 0xc2a, false);
         assert_eq!(r.false_positives, 0);
         assert!(r.detections > 0, "churn must exercise the detector");
     }
 
     #[test]
     fn gossip_cost_is_accounted() {
-        let r = run_churn(12, 300, 10, 1, 7);
+        let r = run_churn(12, 300, 10, 1, 7, false);
         assert!(r.gossip_bytes > 0);
         assert_eq!(r.churners, 3, "25% of 12 peers cycle");
     }

@@ -129,13 +129,35 @@ pub fn run_chaos(
     seed: u64,
     headline: bool,
 ) -> ChaosRunResult {
+    run_chaos_with(
+        n,
+        pages,
+        plan,
+        seed,
+        headline,
+        &mut ResilientFetcher::default(),
+        |_, _, _| (),
+    )
+}
+
+/// [`run_chaos`] with a caller-owned fetcher (so E22 can attach a
+/// sampled span tracer and drain the trees afterwards) and a per-page
+/// observer `(start, end, verified)` for burn-rate series.
+pub fn run_chaos_with(
+    n: usize,
+    pages: u64,
+    plan: &FaultPlan,
+    seed: u64,
+    headline: bool,
+    fetcher: &mut ResilientFetcher,
+    mut on_page: impl FnMut(SimTime, SimTime, bool),
+) -> ChaosRunResult {
     assert!(n >= 2, "need a client and at least one serving peer");
     let mut origin = ContentProvider::new("cdn.example");
     let body: Vec<u8> = (0..65_536u32).map(|i| (i % 251) as u8).collect();
     let digest = Sha256::digest(&body);
     origin.put_object("/page.bin", body);
 
-    let mut fetcher = ResilientFetcher::default();
     let metrics = hpop_obs::metrics();
     let page_ms = metrics.histogram("chaos.page.ms");
 
@@ -210,6 +232,7 @@ pub fn run_chaos(
         } else {
             result.corrupt_accepted += 1;
         }
+        on_page(start, now, report.verified);
         result.corrupt_detected += report.corrupt_peers.len() as u64;
         result.fallback_chunks += report.fallback_chunks as u64;
         result.hedged_chunks += report.hedged_chunks as u64;

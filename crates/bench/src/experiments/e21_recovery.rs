@@ -249,6 +249,24 @@ pub fn run_settlement_chaos(
     let mut acked: Vec<Vec<UsageRecord>> = vec![Vec::new(); n];
     let mut expected: Vec<BTreeMap<NoCdnPeerId, u64>> = vec![BTreeMap::new(); n];
     let mut res = SettleChaosResult::default();
+    // Continuous SLO: payable-bytes mismatches found during recoveries
+    // must sum to zero in every closed window, evaluated as sim time
+    // advances — not just once at the end. Only the headline mix feeds
+    // the (global) series so the three mixes' overlapping sim clocks
+    // don't pollute each other.
+    const SLO_WINDOW_US: u64 = 60_000_000;
+    let mismatch_series = headline
+        .then(|| hpop_obs::series_registry().series("recovery.payable.mismatch", SLO_WINDOW_US));
+    let mut slo = headline.then(|| {
+        let mut m = hpop_obs::SloMonitor::new(hpop_obs::series_registry().clone());
+        m.add(hpop_obs::SloSpec {
+            name: "recovery.payable-mismatch".into(),
+            kind: hpop_obs::SloKind::ZeroSum {
+                series: "recovery.payable.mismatch".into(),
+            },
+        });
+        m
+    });
     // Clients used for the ops a power cut tears away, kept disjoint
     // from the workload's so a committed-but-unacked issuance (legal:
     // at most one per crash) can never skew the payable accounting.
@@ -303,6 +321,9 @@ pub fn run_settlement_chaos(
                     if !intact {
                         res.payable_mismatches += 1;
                     }
+                    if let Some(s) = &mismatch_series {
+                        s.record(now.as_nanos() / 1_000, u64::from(!intact));
+                    }
                     slots[node] = Slot::Up(acct);
                 }
                 (Slot::Up(acct), false) => {
@@ -322,6 +343,9 @@ pub fn run_settlement_chaos(
                 (Slot::Down(_), true) => {}
             }
         }
+        if let Some(m) = &mut slo {
+            m.poll(SimTime::from_secs(t + 1).as_nanos() / 1_000);
+        }
     }
 
     if headline {
@@ -333,6 +357,16 @@ pub fn run_settlement_chaos(
             .counter("recovery.replayed_nonce.accepted")
             .add(res.replays_accepted);
         metrics.counter("recovery.settle.probes").add(res.probes);
+        if let Some(mut m) = slo {
+            m.finish(SimTime::from_secs(secs).as_nanos() / 1_000);
+            metrics
+                .counter("slo.breach.windows")
+                .add(m.breaches().len() as u64);
+            metrics
+                .counter("slo.windows.evaluated")
+                .add(m.windows_evaluated());
+            crate::harness::stash_slo_breaches(m.breaches().to_vec());
+        }
     }
     res
 }

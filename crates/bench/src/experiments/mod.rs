@@ -1,4 +1,4 @@
-//! The per-experiment implementations (DESIGN.md index E1–E21).
+//! The per-experiment implementations (DESIGN.md index E1–E22).
 
 pub mod e01_ccz_utilization;
 pub mod e02_tcp_rampup;
@@ -21,6 +21,7 @@ pub mod e18_fabric_churn;
 pub mod e19_gossip_bytes;
 pub mod e20_chaos;
 pub mod e21_recovery;
+pub mod e22_trace_attribution;
 
 use crate::table::Table;
 
@@ -48,5 +49,14 @@ pub fn run_all() -> Vec<Table> {
     out.extend(e19_gossip_bytes::run_default());
     out.extend(e20_chaos::run_default());
     out.extend(e21_recovery::run_default());
+    // E22's overhead leg wall-clocks the chaos workload; inside the
+    // aggregate run it stays pinned (stable) so `exp_all` output is
+    // deterministic and the run doesn't triple the chaos leg's cost.
+    out.extend(e22_trace_attribution::run_default(
+        &crate::harness::ExpOptions {
+            stable: true,
+            ..crate::harness::ExpOptions::default()
+        },
+    ));
     out
 }

@@ -18,8 +18,28 @@
 use crate::table::Table;
 use hpop_obs::json::Value;
 use hpop_obs::sink::JsonlSink;
-use hpop_obs::{event, Snapshot};
+use hpop_obs::{event, AttributionReport, SloBreach, Snapshot};
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// Latency attribution deposited by the running experiment, folded into
+/// the snapshot by [`run_with_opts`].
+static PENDING_ATTRIBUTION: Mutex<Option<AttributionReport>> = Mutex::new(None);
+
+/// SLO breach windows deposited by the running experiment.
+static PENDING_BREACHES: Mutex<Vec<SloBreach>> = Mutex::new(Vec::new());
+
+/// Deposits the critical-path attribution report for the snapshot the
+/// harness is about to write (schema v2 `latency_attribution`).
+pub fn stash_attribution(report: AttributionReport) {
+    *PENDING_ATTRIBUTION.lock().unwrap() = Some(report);
+}
+
+/// Deposits SLO breach windows for the snapshot the harness is about to
+/// write (schema v2 `slo_breaches`); accumulates across calls.
+pub fn stash_slo_breaches(breaches: Vec<SloBreach>) {
+    PENDING_BREACHES.lock().unwrap().extend(breaches);
+}
 
 /// Command-line options shared by every experiment binary.
 #[derive(Clone, Debug, Default)]
@@ -78,8 +98,24 @@ pub fn run(exp: &str, produce: impl FnOnce() -> Vec<Table>) {
     run_with(exp, ExpOptions::from_env(), produce);
 }
 
+/// [`run`] for experiments that need to see the parsed options (E22
+/// pins its overhead counters under `--stable`).
+pub fn run_opts(exp: &str, produce: impl FnOnce(&ExpOptions) -> Vec<Table>) {
+    run_with_opts(exp, ExpOptions::from_env(), produce);
+}
+
 /// [`run`] with explicit options; returns the snapshot for tests.
 pub fn run_with(exp: &str, opts: ExpOptions, produce: impl FnOnce() -> Vec<Table>) -> Snapshot {
+    run_with_opts(exp, opts, |_| produce())
+}
+
+/// The full harness: options-aware `produce`, drop accounting, v2
+/// section folding. Returns the snapshot for tests.
+pub fn run_with_opts(
+    exp: &str,
+    opts: ExpOptions,
+    produce: impl FnOnce(&ExpOptions) -> Vec<Table>,
+) -> Snapshot {
     let tracer = hpop_obs::tracer();
     tracer.enable();
     if let Some(path) = &opts.trace_path {
@@ -91,7 +127,7 @@ pub fn run_with(exp: &str, opts: ExpOptions, produce: impl FnOnce() -> Vec<Table
     event!(tracer, 0, "bench", "exp.start", experiment = exp);
 
     let started = Instant::now();
-    let tables = produce();
+    let tables = produce(&opts);
     let wall_ms = if opts.stable {
         0.0
     } else {
@@ -101,6 +137,17 @@ pub fn run_with(exp: &str, opts: ExpOptions, produce: impl FnOnce() -> Vec<Table
     let metrics = hpop_obs::metrics();
     metrics.gauge("exp.wall_ms").set(wall_ms);
     metrics.counter("exp.tables").add(tables.len() as u64);
+    // Ring-overflow accounting: every snapshot says how much telemetry
+    // was *lost*, so a suspiciously clean run can be told apart from a
+    // run that silently dropped its evidence.
+    let trace_dropped = metrics.counter("obs.trace.dropped");
+    trace_dropped.add(tracer.dropped().saturating_sub(trace_dropped.get()));
+    let span_dropped = metrics.counter("obs.span.dropped");
+    span_dropped.add(
+        hpop_obs::spans()
+            .dropped()
+            .saturating_sub(span_dropped.get()),
+    );
     let rows_hist = metrics.histogram("exp.table.rows");
     for table in &tables {
         metrics.counter("exp.rows").add(table.len() as u64);
@@ -117,6 +164,12 @@ pub fn run_with(exp: &str, opts: ExpOptions, produce: impl FnOnce() -> Vec<Table
     }
 
     let mut snap = metrics.snapshot(exp);
+    snap.set_series(hpop_obs::series_registry());
+    if let Some(report) = PENDING_ATTRIBUTION.lock().unwrap().take() {
+        snap.latency_attribution = Some(report);
+    }
+    snap.slo_breaches
+        .append(&mut PENDING_BREACHES.lock().unwrap());
     snap.set_extra(
         "tables",
         Value::Arr(tables.iter().map(table_to_value).collect()),

@@ -7,7 +7,7 @@
 //! turns them into prefetch hints.
 
 use hpop_obs::json::Value;
-use hpop_obs::MetricsRegistry;
+use hpop_obs::{MetricsRegistry, TraceCtx};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -20,6 +20,11 @@ pub struct Event {
     /// Payload; structured events carry a JSON object (see
     /// [`Event::structured`]), legacy ones free-form text.
     pub payload: String,
+    /// Causal context of the request that produced this event, if it
+    /// is part of a sampled trace. Subscribers that do further work on
+    /// behalf of the event should open child spans under it so the
+    /// trace tree follows the causal chain across the bus.
+    pub ctx: Option<TraceCtx>,
 }
 
 impl Event {
@@ -28,7 +33,16 @@ impl Event {
         Event {
             topic: topic.into(),
             payload: payload.into(),
+            ctx: None,
         }
+    }
+
+    /// Attaches the causal context of the producing request. A null
+    /// (unsampled) context is normalized to `None` so subscribers can
+    /// test `ctx.is_some()` alone.
+    pub fn with_ctx(mut self, ctx: TraceCtx) -> Event {
+        self.ctx = ctx.is_sampled().then_some(ctx);
+        self
     }
 
     /// Creates an event whose payload is a JSON object built from
@@ -48,6 +62,7 @@ impl Event {
         Event {
             topic: topic.into(),
             payload: obj.to_json(),
+            ctx: None,
         }
     }
 
@@ -263,6 +278,26 @@ mod tests {
         assert_eq!(m.counter("bus.published").get(), 2);
         assert_eq!(m.counter("bus.delivered").get(), 2);
         assert_eq!(m.histogram("bus.topic.attic.write.deliver_ns").count(), 2);
+    }
+
+    #[test]
+    fn with_ctx_normalizes_unsampled_to_none() {
+        let tracer = hpop_obs::SpanTracer::new(8);
+        tracer.enable();
+        let ctx = tracer.root();
+        let e = Event::new("attic.write", "x").with_ctx(ctx);
+        assert_eq!(e.ctx, Some(ctx));
+        let unsampled = Event::new("attic.write", "x").with_ctx(TraceCtx::NONE);
+        assert_eq!(unsampled.ctx, None);
+        // Subscribers see the context and can hang children off it.
+        let bus = EventBus::new();
+        let seen = Arc::new(Mutex::new(None));
+        let s = seen.clone();
+        bus.subscribe("attic.write", move |e| {
+            *s.lock() = e.ctx;
+        });
+        bus.publish(e);
+        assert_eq!(*seen.lock(), Some(ctx));
     }
 
     #[test]

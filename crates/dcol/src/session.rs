@@ -77,6 +77,16 @@ impl DcolSession {
             .routing()
             .route(server, client)
             .expect("client and server must be connected");
+        let spans = hpop_obs::spans();
+        let root = spans.root();
+        let t0_us = sim.now().as_nanos() / 1_000;
+        // Tunnel-setup waits, recorded as "queue" children when the
+        // session completes (clamped into the root interval so the
+        // trace tree stays well-formed even if a tunnel outlives the
+        // transfer).
+        let queue_intervals: std::rc::Rc<std::cell::RefCell<Vec<(u64, u64)>>> =
+            std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let q = queue_intervals.clone();
         let handle = MptcpTransfer::launch(
             sim,
             vec![SubflowSpec::new("direct", direct)],
@@ -84,7 +94,17 @@ impl DcolSession {
             cfg.tcp,
             cfg.scheduler,
             cfg.seed,
-            on_done,
+            move |sim: &mut NetSim, stats: MptcpStats| {
+                if root.is_sampled() {
+                    let end_us = sim.now().as_nanos() / 1_000;
+                    spans.record_child(&root, "dcol", "transfer", t0_us, end_us);
+                    for &(qs, qe) in q.borrow().iter() {
+                        spans.record_child(&root, "dcol", "queue", qs.min(end_us), qe.min(end_us));
+                    }
+                    spans.record(&root, "dcol", "request", t0_us, end_us);
+                }
+                on_done(sim, stats)
+            },
         );
 
         for (i, &(member, node)) in waypoints.iter().enumerate() {
@@ -98,6 +118,9 @@ impl DcolSession {
                 .expect("waypoint unreachable");
             let mut tunnel = TunnelState::new(cfg.tunnel);
             let setup = tunnel.prepare(server.index() as u64, 443, leg.rtt(&topo));
+            queue_intervals
+                .borrow_mut()
+                .push((t0_us, t0_us + setup.as_nanos() / 1_000));
             let via = sim
                 .state
                 .net

@@ -301,6 +301,25 @@ impl CoopCache {
     ///
     /// Panics for unknown members.
     pub fn request_at(&mut self, member: u32, url: &Url, bytes: u64, now: SimTime) -> FetchTier {
+        let tier = self.resolve_at(member, url, bytes, now);
+        // Cache resolution is instantaneous in sim time, so the ladder
+        // trace is zero-width: it records *which* tier served the
+        // request on the causal path, not invented latency.
+        let spans = hpop_obs::spans();
+        let root = spans.root();
+        if root.is_sampled() {
+            let t_us = now.as_nanos() / 1_000;
+            let stage = match tier {
+                FetchTier::Origin => "origin_fallback",
+                FetchTier::Local | FetchTier::Neighbor | FetchTier::Stale => "transfer",
+            };
+            spans.record_child(&root, "coop", stage, t_us, t_us);
+            spans.record(&root, "coop", "request", t_us, t_us);
+        }
+        tier
+    }
+
+    fn resolve_at(&mut self, member: u32, url: &Url, bytes: u64, now: SimTime) -> FetchTier {
         assert!(
             self.members.contains_key(&member),
             "unknown member {member}"

@@ -11,6 +11,7 @@ use crate::routing::{Path, RoutingTable};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 use crate::units::Bandwidth;
+use hpop_obs::{SpanTracer, TraceCtx};
 use std::collections::BTreeMap;
 
 /// Identifies an active (or completed) flow.
@@ -32,6 +33,7 @@ struct Flow {
     cap: Option<Bandwidth>,
     rate_bps: f64,
     started_at: SimTime,
+    ctx: TraceCtx,
 }
 
 /// The set of active flows over a topology, with max-min fair rates.
@@ -48,6 +50,8 @@ pub struct FlowNet {
     clock: SimTime,
     /// Cumulative bytes carried per directed link (metrics).
     link_bytes: Vec<f64>,
+    /// Records a `"transfer"` span per traced flow on completion.
+    spans: Option<SpanTracer>,
 }
 
 impl FlowNet {
@@ -61,7 +65,15 @@ impl FlowNet {
             next_id: 0,
             clock: SimTime::ZERO,
             link_bytes,
+            spans: None,
         }
+    }
+
+    /// Attaches a span tracer: every flow started with a sampled
+    /// [`TraceCtx`] records a `"transfer"` child span over its
+    /// start→completion interval when it finishes.
+    pub fn set_span_tracer(&mut self, spans: SpanTracer) {
+        self.spans = Some(spans);
     }
 
     /// The topology flows run over.
@@ -90,8 +102,23 @@ impl FlowNet {
         cap: Option<Bandwidth>,
         now: SimTime,
     ) -> Option<FlowId> {
+        self.start_traced(src, dst, bytes, cap, now, TraceCtx::NONE)
+    }
+
+    /// [`FlowNet::start`] carrying the causal context of the request
+    /// the transfer serves. A sampled context yields a `"transfer"`
+    /// span on completion (when a tracer is attached).
+    pub fn start_traced(
+        &mut self,
+        src: crate::topology::NodeId,
+        dst: crate::topology::NodeId,
+        bytes: u64,
+        cap: Option<Bandwidth>,
+        now: SimTime,
+        ctx: TraceCtx,
+    ) -> Option<FlowId> {
         let path = self.routing.route(src, dst)?;
-        Some(self.start_on_path(path, bytes, cap, now))
+        Some(self.start_on_path_traced(path, bytes, cap, now, ctx))
     }
 
     /// Starts a flow along an explicit path (e.g. a detour).
@@ -101,6 +128,18 @@ impl FlowNet {
         bytes: u64,
         cap: Option<Bandwidth>,
         now: SimTime,
+    ) -> FlowId {
+        self.start_on_path_traced(path, bytes, cap, now, TraceCtx::NONE)
+    }
+
+    /// [`FlowNet::start_on_path`] with a causal context.
+    pub fn start_on_path_traced(
+        &mut self,
+        path: Path,
+        bytes: u64,
+        cap: Option<Bandwidth>,
+        now: SimTime,
+        ctx: TraceCtx,
     ) -> FlowId {
         self.advance(now);
         let id = FlowId(self.next_id);
@@ -114,6 +153,7 @@ impl FlowNet {
                 cap,
                 rate_bps: 0.0,
                 started_at: now,
+                ctx,
             },
         );
         self.reallocate();
@@ -230,6 +270,17 @@ impl FlowNet {
         let mut out = Vec::with_capacity(done.len());
         for id in done {
             let f = self.flows.remove(&id).expect("listed above");
+            if f.ctx.is_sampled() {
+                if let Some(spans) = &self.spans {
+                    spans.record_child(
+                        &f.ctx,
+                        "netsim",
+                        "transfer",
+                        f.started_at.as_nanos() / 1_000,
+                        self.clock.as_nanos() / 1_000,
+                    );
+                }
+            }
             out.push((
                 id,
                 CompletedFlow {
@@ -237,6 +288,7 @@ impl FlowNet {
                     total_bytes: f.total_bytes,
                     started_at: f.started_at,
                     completed_at: self.clock,
+                    ctx: f.ctx,
                 },
             ));
         }
@@ -275,6 +327,9 @@ pub struct CompletedFlow {
     pub started_at: SimTime,
     /// When the last byte was delivered.
     pub completed_at: SimTime,
+    /// Causal context carried by the flow ([`TraceCtx::NONE`] when the
+    /// transfer was not part of a sampled trace).
+    pub ctx: TraceCtx,
 }
 
 impl CompletedFlow {
@@ -404,6 +459,32 @@ mod tests {
     fn cancel_unknown_flow_is_none() {
         let (mut net, _, _) = line();
         assert!(net.cancel(FlowId(42), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn traced_flow_records_transfer_span() {
+        let (mut net, x, y) = line();
+        let tracer = SpanTracer::new(16);
+        tracer.enable();
+        let root = tracer.root();
+        net.set_span_tracer(tracer.clone());
+        net.start_traced(x, y, 125 * MB, None, SimTime::ZERO, root)
+            .unwrap();
+        // Untraced flows record nothing even with a tracer attached.
+        net.start(x, y, MB, None, SimTime::ZERO).unwrap();
+        while let Some((t, _)) = net.next_completion() {
+            net.advance(t);
+            for (_, c) in net.take_completed() {
+                assert_eq!(c.ctx.is_sampled(), c.total_bytes == 125 * MB);
+            }
+        }
+        let spans = tracer.recent();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].stage, "transfer");
+        assert_eq!(spans[0].service, "netsim");
+        assert_eq!(spans[0].trace_id, root.trace_id);
+        assert_eq!(spans[0].parent_span_id, root.span_id);
+        assert!(spans[0].duration_us() >= 1_000_000); // ~1 s at 1 Gbps
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::routing::Path;
 use crate::time::SimTime;
 use crate::topology::{NodeId, Topology};
 use crate::units::Bandwidth;
-use hpop_obs::{event, MetricsRegistry};
+use hpop_obs::{event, MetricsRegistry, SpanTracer, TraceCtx};
 use std::collections::HashMap;
 
 /// Handler invoked when a transfer completes.
@@ -32,6 +32,9 @@ pub struct TransferInfo {
     pub completed_at: SimTime,
     /// Mean throughput over the transfer.
     pub mean_rate: Bandwidth,
+    /// Causal context carried by the flow ([`TraceCtx::NONE`] when
+    /// untraced).
+    pub ctx: TraceCtx,
 }
 
 impl TransferInfo {
@@ -42,6 +45,7 @@ impl TransferInfo {
             started_at: c.started_at,
             completed_at: c.completed_at,
             mean_rate: c.mean_rate(),
+            ctx: c.ctx,
         }
     }
 }
@@ -108,6 +112,12 @@ impl Sim<NetState> {
         self.start_transfer_capped(src, dst, bytes, None, on_done)
     }
 
+    /// Forwards a span tracer to the flow network (see
+    /// [`FlowNet::set_span_tracer`]).
+    pub fn set_span_tracer(&mut self, spans: SpanTracer) {
+        self.state.net.set_span_tracer(spans);
+    }
+
     /// Starts a rate-capped transfer on the native route.
     pub fn start_transfer_capped(
         &mut self,
@@ -117,11 +127,26 @@ impl Sim<NetState> {
         cap: Option<Bandwidth>,
         on_done: impl FnOnce(&mut NetSim, TransferInfo) + 'static,
     ) -> FlowId {
+        self.start_transfer_traced(src, dst, bytes, cap, TraceCtx::NONE, on_done)
+    }
+
+    /// Starts a transfer carrying the causal context of the request it
+    /// serves; the flow records a `"transfer"` span on completion when
+    /// the context is sampled and a tracer is attached.
+    pub fn start_transfer_traced(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u64,
+        cap: Option<Bandwidth>,
+        ctx: TraceCtx,
+        on_done: impl FnOnce(&mut NetSim, TransferInfo) + 'static,
+    ) -> FlowId {
         let now = self.now();
         let id = self
             .state
             .net
-            .start(src, dst, bytes, cap, now)
+            .start_traced(src, dst, bytes, cap, now, ctx)
             .unwrap_or_else(|| panic!("no route between {src:?} and {dst:?}"));
         self.state.handlers.insert(id.raw(), Box::new(on_done));
         self.state.metrics.counter("netsim.flows.started").incr();

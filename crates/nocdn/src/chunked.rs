@@ -12,7 +12,7 @@ use bytes::Bytes;
 use hpop_crypto::sha256::{Digest, Sha256};
 use hpop_http::range::ByteRange;
 use hpop_netsim::time::{SimDuration, SimTime};
-use hpop_obs::event;
+use hpop_obs::{event, SpanScope, SpanTracer};
 use hpop_resilience::{BreakerBank, BreakerConfig, Deadline, Hedge, HedgeConfig, RetryPolicy};
 use std::collections::BTreeMap;
 
@@ -182,6 +182,12 @@ pub struct ResilientFetcher {
     pub hedge: Hedge,
     /// Backoff policy for failed range requests.
     pub retry: RetryPolicy,
+    /// Causal span tracer. Each [`ResilientFetcher::fetch`] opens one
+    /// root `"request"` span and nests `"transfer"` / `"retry"` /
+    /// `"hedge"` / `"verify"` / `"origin_fallback"` children under it.
+    /// Defaults to a disabled tracer, which costs one atomic load per
+    /// fetch.
+    pub spans: SpanTracer,
 }
 
 impl Default for ResilientFetcher {
@@ -206,6 +212,7 @@ impl ResilientFetcher {
             breakers: BreakerBank::new(breakers),
             hedge: Hedge::new(hedge),
             retry,
+            spans: SpanTracer::new(1),
         }
     }
 
@@ -252,14 +259,21 @@ impl ResilientFetcher {
             breakers,
             hedge,
             retry,
+            spans,
         } = self;
+        let root_ctx = spans.root();
+        let fetch_start_us = now.as_nanos() / 1_000;
         for (i, range) in ranges.iter().enumerate() {
             // One rotation cursor per chunk, shared across retry
             // attempts so each attempt moves on to the next admitted
             // peer instead of hammering the same one.
             let mut cursor = i;
             let mut hedged = false;
-            let outcome = retry.run(i as u64, deadline, now, |_, at| {
+            let chunk_start_us = now.as_nanos() / 1_000;
+            let chunk_ctx = spans.child(&root_ctx);
+            let chunk_scope = SpanScope::new(spans.clone(), chunk_ctx);
+            let hedge_scope = chunk_scope.clone();
+            let outcome = retry.run_spanned(i as u64, deadline, now, &chunk_scope, |_, at| {
                 let mut primary = None;
                 for _ in 0..peer_order.len() {
                     let pid = peer_order[cursor % peer_order.len()];
@@ -292,6 +306,7 @@ impl ResilientFetcher {
                 // hedged copy against the next admitted peer and keep
                 // whichever completes first, charging the loser's bytes
                 // as hedge waste.
+                let mut fired_this_attempt = false;
                 if lat_p >= trigger {
                     let mut secondary = None;
                     for _ in 0..peer_order.len() {
@@ -304,6 +319,7 @@ impl ResilientFetcher {
                     }
                     if let Some(s) = secondary {
                         hedged = true;
+                        fired_this_attempt = true;
                         let body_s = peers
                             .get_mut(&s)
                             .and_then(|peer| peer.serve(&host, path, origin));
@@ -327,6 +343,17 @@ impl ResilientFetcher {
                         }
                     }
                 }
+                if fired_this_attempt {
+                    // The hedged copy ran from the trigger point to the
+                    // chunk's resolution (elapsed >= trigger on every
+                    // hedged path).
+                    hedge_scope.record(
+                        "nocdn",
+                        "hedge",
+                        (at + trigger).as_nanos() / 1_000,
+                        (at + elapsed.max(trigger)).as_nanos() / 1_000,
+                    );
+                }
                 hedge.record(elapsed);
                 Ok((winner, chunk, elapsed))
             });
@@ -336,6 +363,13 @@ impl ResilientFetcher {
             match outcome.result {
                 Ok((src, chunk, elapsed)) => {
                     *now += elapsed;
+                    spans.record(
+                        &chunk_ctx,
+                        "nocdn",
+                        "transfer",
+                        chunk_start_us,
+                        now.as_nanos() / 1_000,
+                    );
                     let m = hpop_obs::metrics();
                     m.counter("nocdn.chunks.from_peer").incr();
                     m.histogram("nocdn.chunk.bytes").record(chunk.len() as u64);
@@ -344,6 +378,13 @@ impl ResilientFetcher {
                 }
                 Err(_) => {
                     // Origin fallback: never a failed page.
+                    spans.record(
+                        &chunk_ctx,
+                        "nocdn",
+                        "origin_fallback",
+                        chunk_start_us,
+                        now.as_nanos() / 1_000,
+                    );
                     let full = origin.fetch_object(path).expect("checked above");
                     let c = slice_range(&full, range);
                     let m = hpop_obs::metrics();
@@ -357,7 +398,12 @@ impl ResilientFetcher {
         }
 
         // Whole-object verification over the multi-peer reassembly —
-        // the only check that catches cross-chunk corruption.
+        // the only check that catches cross-chunk corruption. Verify
+        // is instantaneous in sim time, so its span is zero-width: it
+        // marks *where* verification sat on the request path without
+        // inventing latency the simulation never charged.
+        let verify_us = now.as_nanos() / 1_000;
+        spans.record_child(&root_ctx, "nocdn", "verify", verify_us, verify_us);
         let whole_ok = Sha256::digest(&assembled).ct_eq(expected);
         event!(
             hpop_obs::tracer(),
@@ -376,6 +422,13 @@ impl ResilientFetcher {
                 }
             }
             report.verified = true;
+            spans.record(
+                &root_ctx,
+                "nocdn",
+                "request",
+                fetch_start_us,
+                now.as_nanos() / 1_000,
+            );
             return (report, Bytes::from(assembled));
         }
 
@@ -405,6 +458,13 @@ impl ResilientFetcher {
         // Final whole-object re-verify after repair: the page is served
         // only if this passes (it must — the chunks are origin truth).
         report.verified = Sha256::digest(&repaired).ct_eq(expected);
+        spans.record(
+            &root_ctx,
+            "nocdn",
+            "request",
+            fetch_start_us,
+            now.as_nanos() / 1_000,
+        );
         (report, Bytes::from(repaired))
     }
 }
@@ -679,6 +739,109 @@ mod tests {
         assert!(report.verified);
         assert_eq!(body.len(), 100_000);
         assert_eq!(report.fallback_chunks, 4);
+    }
+
+    #[test]
+    fn resilient_fetch_emits_well_formed_span_tree() {
+        let (mut origin, mut peers, digest) = setup(&[
+            PeerBehavior::Honest,
+            PeerBehavior::Unresponsive,
+            PeerBehavior::Honest,
+        ]);
+        let mut f = resilient();
+        let tracer = SpanTracer::new(1024);
+        tracer.enable();
+        f.spans = tracer.clone();
+        let mut now = SimTime::ZERO;
+        let (report, _) = f.fetch(
+            "/big.bin",
+            6,
+            &digest,
+            &order(3),
+            &mut peers,
+            &mut origin,
+            Deadline::UNBOUNDED,
+            &mut now,
+            &flat_latency,
+        );
+        assert!(report.verified);
+        let (trees, malformed) = hpop_obs::build_traces(&tracer.take());
+        assert_eq!(malformed, 0);
+        assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        assert_eq!(tree.root().stage, "request");
+        // The whole fetch latency is attributed across stages exactly.
+        let attrib = tree.attribution();
+        let sum: u64 = attrib.values().sum();
+        assert_eq!(sum, tree.duration_us());
+        assert!(attrib.contains_key("transfer"), "{attrib:?}");
+        // The dead peer forced backoff pauses, so retry time shows up.
+        assert!(attrib.get("retry").copied().unwrap_or(0) > 0, "{attrib:?}");
+        // Stage labels are drawn from the documented vocabulary.
+        for stage in attrib.keys() {
+            assert!(
+                [
+                    "request",
+                    "transfer",
+                    "retry",
+                    "hedge",
+                    "verify",
+                    "origin_fallback"
+                ]
+                .contains(&stage.as_str()),
+                "unexpected stage {stage}"
+            );
+        }
+        // A disabled tracer records nothing for the same fetch.
+        let mut quiet = resilient();
+        let silent = SpanTracer::new(1024);
+        quiet.spans = silent.clone();
+        let mut now2 = SimTime::ZERO;
+        quiet.fetch(
+            "/big.bin",
+            6,
+            &digest,
+            &order(3),
+            &mut peers,
+            &mut origin,
+            Deadline::UNBOUNDED,
+            &mut now2,
+            &flat_latency,
+        );
+        assert!(silent.take().is_empty());
+    }
+
+    #[test]
+    fn resilient_hedged_fetch_nests_hedge_spans() {
+        let (mut origin, mut peers, digest) = setup(&[PeerBehavior::Honest; 3]);
+        let mut f = resilient();
+        let tracer = SpanTracer::new(1024);
+        tracer.enable();
+        f.spans = tracer.clone();
+        let latency = |p: PeerId| {
+            if p.0 == 0 {
+                SimDuration::from_secs(5)
+            } else {
+                SimDuration::from_millis(2)
+            }
+        };
+        let mut now = SimTime::ZERO;
+        let (report, _) = f.fetch(
+            "/big.bin",
+            6,
+            &digest,
+            &order(3),
+            &mut peers,
+            &mut origin,
+            Deadline::UNBOUNDED,
+            &mut now,
+            &latency,
+        );
+        assert!(report.hedged_chunks >= 1);
+        let (trees, malformed) = hpop_obs::build_traces(&tracer.take());
+        assert_eq!(malformed, 0, "hedge spans must nest inside their chunk");
+        let attrib = trees[0].attribution();
+        assert!(attrib.get("hedge").copied().unwrap_or(0) > 0, "{attrib:?}");
     }
 
     #[test]

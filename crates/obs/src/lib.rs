@@ -13,6 +13,15 @@
 //!   buffer with pluggable sinks ([`sink::MemorySink`] for tests,
 //!   [`sink::JsonlSink`] for experiments). A disabled tracer costs one
 //!   relaxed atomic load per event site.
+//! - [`span`] — causal tracing: a [`span::TraceCtx`] propagated through
+//!   messages ties every stage of a request (queue, transfer, retry,
+//!   hedge, verify, origin fallback) into one span tree over sim time;
+//!   [`critical_path`] walks those trees and attributes a slow
+//!   request's latency to the stages actually on its critical path.
+//! - [`series`] / [`slo`] — windowed time-series keyed to sim time and
+//!   declarative SLO monitors (burn-rate floors, latency ceilings,
+//!   zero-sum invariants) evaluated continuously, with breach windows
+//!   recorded in the snapshot.
 //! - [`snapshot::Snapshot`] — a stable JSON schema for experiment
 //!   results; every `exp_*` binary exports one as `BENCH_<exp>.json`.
 //!
@@ -23,18 +32,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod critical_path;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod registry;
+pub mod series;
 pub mod sink;
+pub mod slo;
 pub mod snapshot;
+pub mod span;
+
+#[cfg(test)]
+mod proptests;
 pub mod trace;
 
+pub use critical_path::{attribute_slow, build_traces, AttributionReport, TraceTree};
 pub use hist::Histogram;
 pub use metrics::{Cdf, Counter};
 pub use registry::{CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry};
-pub use snapshot::{HistogramSummary, Snapshot};
+pub use series::{SeriesHandle, SeriesRegistry, WindowAgg};
+pub use slo::{SloBreach, SloKind, SloMonitor, SloSpec};
+pub use snapshot::{HistogramSummary, SeriesSummary, Snapshot};
+pub use span::{SpanRecord, SpanScope, SpanTracer, TraceCtx};
 pub use trace::{SpanGuard, TraceEvent, Tracer};
 
 use std::sync::OnceLock;
@@ -59,6 +79,31 @@ pub fn tracer() -> &'static Tracer {
 pub fn metrics() -> &'static MetricsRegistry {
     static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
     GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// The process-wide causal span tracer.
+///
+/// Starts disabled: every root/child/record call short-circuits to the
+/// null context for ~a relaxed atomic load, so always-on call sites in
+/// service crates (attic placement, DCol detours, co-op ladders) cost
+/// nothing outside traced experiments. Experiment binaries enable it
+/// (optionally sampled) and drain span trees for critical-path
+/// attribution. Unit tests should prefer their own [`SpanTracer`]
+/// instances to avoid cross-test interference.
+pub fn spans() -> &'static SpanTracer {
+    static GLOBAL: OnceLock<SpanTracer> = OnceLock::new();
+    GLOBAL.get_or_init(|| SpanTracer::new(span::DEFAULT_SPAN_CAPACITY))
+}
+
+/// The process-wide windowed time-series registry.
+///
+/// Experiments record sim-time-keyed samples here (delivery burn rate,
+/// fabric detect latency, accounting mismatch); the bench harness folds
+/// every series into the snapshot's `series` section, and SLO monitors
+/// evaluate over the same windows.
+pub fn series_registry() -> &'static SeriesRegistry {
+    static GLOBAL: OnceLock<SeriesRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(SeriesRegistry::new)
 }
 
 /// Records a structured trace event if the tracer is enabled.

@@ -1,0 +1,329 @@
+//! Windowed time-series: breach-resolvable aggregates keyed to sim
+//! time.
+//!
+//! The end-of-run [`Snapshot`](crate::Snapshot) totals answer "how did
+//! the run end?" but hide everything that happened and recovered in the
+//! middle — a mid-run SLO breach is invisible in a final counter. A
+//! [`SeriesHandle`] keeps a bounded ring of **per-window aggregates**
+//! (count / sum / min / max over a fixed sim-time window), so an
+//! experiment can emit `delivery.ok` per 30-sim-second window and the
+//! SLO monitors in [`crate::slo`] can flag exactly *which* windows
+//! breached.
+//!
+//! Windows are keyed purely to the simulated clock, so two runs of a
+//! deterministic experiment produce byte-identical series — the
+//! harness's `--stable` flag needs to pin nothing here. The ring is
+//! bounded: when it overflows, the oldest windows are dropped and
+//! counted ([`SeriesHandle::dropped_windows`]), never silently lost.
+
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Default number of windows a series retains.
+pub const DEFAULT_WINDOW_CAPACITY: usize = 4_096;
+
+/// One window's aggregate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowAgg {
+    /// Window start, sim-time microseconds (multiple of the window
+    /// length).
+    pub start_us: u64,
+    /// Samples recorded in the window.
+    pub count: u64,
+    /// Sum of sample values.
+    pub sum: u64,
+    /// Smallest sample value (0 when empty).
+    pub min: u64,
+    /// Largest sample value (0 when empty).
+    pub max: u64,
+}
+
+impl WindowAgg {
+    fn empty(start_us: u64) -> WindowAgg {
+        WindowAgg {
+            start_us,
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+}
+
+struct SeriesCore {
+    window_us: u64,
+    capacity: usize,
+    ring: VecDeque<WindowAgg>,
+    dropped_windows: u64,
+    /// Samples older than the oldest retained window (discarded).
+    late_samples: u64,
+}
+
+impl SeriesCore {
+    fn window_start(&self, t_us: u64) -> u64 {
+        t_us - t_us % self.window_us
+    }
+
+    fn record(&mut self, t_us: u64, v: u64) {
+        let start = self.window_start(t_us);
+        match self.ring.back() {
+            None => self.ring.push_back(WindowAgg::empty(start)),
+            Some(last) if start > last.start_us => {
+                // Materialize intervening empty windows so gaps are
+                // visible (and evaluable by SLO monitors), not elided.
+                let mut next = last.start_us + self.window_us;
+                while next <= start {
+                    self.ring.push_back(WindowAgg::empty(next));
+                    if self.ring.len() > self.capacity {
+                        self.ring.pop_front();
+                        self.dropped_windows += 1;
+                    }
+                    next += self.window_us;
+                }
+            }
+            Some(_) => {}
+        }
+        // Find the target window (usually the last; occasionally an
+        // earlier one for slightly out-of-order samples).
+        let front_start = self.ring.front().expect("ring nonempty").start_us;
+        if start < front_start {
+            // Materialize earlier windows when they still fit in the
+            // ring; otherwise the sample is beyond retention — late.
+            let back = ((front_start - start) / self.window_us) as usize;
+            if self.ring.len() + back > self.capacity {
+                self.late_samples += 1;
+                return;
+            }
+            let mut next = front_start;
+            while next > start {
+                next -= self.window_us;
+                self.ring.push_front(WindowAgg::empty(next));
+            }
+        }
+        let front_start = self.ring.front().expect("ring nonempty").start_us;
+        let idx = ((start - front_start) / self.window_us) as usize;
+        self.ring[idx].record(v);
+    }
+}
+
+/// A cheaply cloneable handle to one windowed series.
+#[derive(Clone)]
+pub struct SeriesHandle {
+    inner: Arc<Mutex<SeriesCore>>,
+}
+
+impl std::fmt::Debug for SeriesHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let core = self.inner.lock();
+        f.debug_struct("SeriesHandle")
+            .field("window_us", &core.window_us)
+            .field("windows", &core.ring.len())
+            .finish()
+    }
+}
+
+impl SeriesHandle {
+    /// A series with `window_us`-long windows retaining `capacity`
+    /// windows.
+    pub fn new(window_us: u64, capacity: usize) -> SeriesHandle {
+        SeriesHandle {
+            inner: Arc::new(Mutex::new(SeriesCore {
+                window_us: window_us.max(1),
+                capacity: capacity.max(1),
+                ring: VecDeque::new(),
+                dropped_windows: 0,
+                late_samples: 0,
+            })),
+        }
+    }
+
+    /// Records sample `v` at sim time `t_us`.
+    pub fn record(&self, t_us: u64, v: u64) {
+        self.inner.lock().record(t_us, v);
+    }
+
+    /// Records a unit sample (counter-style series).
+    pub fn incr(&self, t_us: u64) {
+        self.record(t_us, 1);
+    }
+
+    /// The window length in microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.inner.lock().window_us
+    }
+
+    /// The retained windows, oldest first.
+    pub fn windows(&self) -> Vec<WindowAgg> {
+        self.inner.lock().ring.iter().copied().collect()
+    }
+
+    /// Windows evicted because the ring was full.
+    pub fn dropped_windows(&self) -> u64 {
+        self.inner.lock().dropped_windows
+    }
+
+    /// Samples discarded for arriving older than the oldest retained
+    /// window.
+    pub fn late_samples(&self) -> u64 {
+        self.inner.lock().late_samples
+    }
+
+    /// The aggregate for the window containing `t_us`, if retained.
+    pub fn window_at(&self, t_us: u64) -> Option<WindowAgg> {
+        let core = self.inner.lock();
+        let start = core.window_start(t_us);
+        core.ring.iter().find(|w| w.start_us == start).copied()
+    }
+}
+
+/// A registry of named series, cloneable like
+/// [`MetricsRegistry`](crate::MetricsRegistry).
+#[derive(Clone, Default)]
+pub struct SeriesRegistry {
+    inner: Arc<Mutex<BTreeMap<String, SeriesHandle>>>,
+}
+
+impl std::fmt::Debug for SeriesRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeriesRegistry")
+            .field("series", &self.inner.lock().len())
+            .finish()
+    }
+}
+
+impl SeriesRegistry {
+    /// An empty registry.
+    pub fn new() -> SeriesRegistry {
+        SeriesRegistry::default()
+    }
+
+    /// The series named `name`, created on first use with `window_us`
+    /// windows and the default capacity. The window length of an
+    /// existing series is kept (first creation wins).
+    pub fn series(&self, name: &str, window_us: u64) -> SeriesHandle {
+        self.inner
+            .lock()
+            .entry(name.to_owned())
+            .or_insert_with(|| SeriesHandle::new(window_us, DEFAULT_WINDOW_CAPACITY))
+            .clone()
+    }
+
+    /// Looks up an existing series without creating it.
+    pub fn get(&self, name: &str) -> Option<SeriesHandle> {
+        self.inner.lock().get(name).cloned()
+    }
+
+    /// All `(name, handle)` pairs, name-ordered.
+    pub fn all(&self) -> Vec<(String, SeriesHandle)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Total windows evicted across every series.
+    pub fn dropped_windows(&self) -> u64 {
+        self.inner
+            .lock()
+            .values()
+            .map(SeriesHandle::dropped_windows)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_aggregate_by_sim_time() {
+        let s = SeriesHandle::new(1_000_000, 16); // 1-second windows
+        s.record(100, 5);
+        s.record(900_000, 7);
+        s.record(1_000_000, 1);
+        let w = s.windows();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].start_us, 0);
+        assert_eq!(w[0].count, 2);
+        assert_eq!(w[0].sum, 12);
+        assert_eq!(w[0].min, 5);
+        assert_eq!(w[0].max, 7);
+        assert_eq!(w[1].start_us, 1_000_000);
+        assert_eq!(w[1].sum, 1);
+    }
+
+    #[test]
+    fn gaps_materialize_empty_windows() {
+        let s = SeriesHandle::new(1_000_000, 16);
+        s.incr(0);
+        s.incr(3_500_000);
+        let w = s.windows();
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[1].count, 0);
+        assert_eq!(w[2].count, 0);
+        assert_eq!(w[3].count, 1);
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let s = SeriesHandle::new(1_000_000, 3);
+        for sec in 0..6u64 {
+            s.incr(sec * 1_000_000);
+        }
+        let w = s.windows();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0].start_us, 3_000_000);
+        assert_eq!(s.dropped_windows(), 3);
+        // A sample now older than the oldest retained window is late.
+        s.incr(0);
+        assert_eq!(s.late_samples(), 1);
+    }
+
+    #[test]
+    fn out_of_order_within_retention_lands_in_its_window() {
+        let s = SeriesHandle::new(1_000_000, 16);
+        s.incr(2_500_000);
+        s.incr(500_000); // older, but retained
+        let w = s.windows();
+        assert_eq!(w[0].start_us, 0);
+        assert_eq!(w[0].count, 1);
+        assert_eq!(w[2].count, 1);
+        assert_eq!(s.late_samples(), 0);
+    }
+
+    #[test]
+    fn registry_shares_handles() {
+        let reg = SeriesRegistry::new();
+        let a = reg.series("delivery.ok", 1_000_000);
+        a.incr(10);
+        assert_eq!(reg.series("delivery.ok", 999).windows()[0].count, 1);
+        // First creation pinned the window length.
+        assert_eq!(reg.series("delivery.ok", 999).window_us(), 1_000_000);
+        assert!(reg.get("missing").is_none());
+        assert_eq!(reg.all().len(), 1);
+    }
+
+    #[test]
+    fn window_at_finds_the_covering_window() {
+        let s = SeriesHandle::new(500_000, 8);
+        s.record(750_000, 3);
+        let w = s.window_at(999_999).unwrap();
+        assert_eq!(w.start_us, 500_000);
+        assert_eq!(w.sum, 3);
+        assert!(s.window_at(5_000_000).is_none());
+    }
+}

@@ -1,0 +1,301 @@
+//! Declarative SLO monitors evaluated continuously over windowed
+//! series.
+//!
+//! An experiment declares what must hold ("delivery success stays above
+//! 99% in every 30-second window", "accounting payable mismatch is
+//! zero", "fabric detection latency never exceeds its ceiling") and
+//! feeds the underlying [`SeriesRegistry`] as the run progresses. The
+//! [`SloMonitor`] evaluates every *closed* window as sim time advances
+//! — not once at the end — so a breach that recovers before the final
+//! snapshot still leaves a [`SloBreach`] record naming the exact
+//! window. Breaches land in the snapshot's `slo_breaches` section and
+//! in the `slo.breach.windows` counter that `check_snapshot` budgets in
+//! CI.
+
+use crate::series::SeriesRegistry;
+use std::collections::BTreeMap;
+
+/// What one SLO requires of each window.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SloKind {
+    /// Burn-rate floor: in every window with `total` samples,
+    /// `sum(good) * 10_000 >= floor_bp * sum(total)`.
+    RatioFloorBp {
+        /// Series of successful events.
+        good: String,
+        /// Series of all events.
+        total: String,
+        /// Minimum good/total ratio, basis points.
+        floor_bp: u64,
+    },
+    /// Ceiling on the windowed maximum of a value series (e.g. a
+    /// detection latency): breaches when `max > ceiling` in a window
+    /// with samples.
+    MaxCeiling {
+        /// The value series.
+        series: String,
+        /// Largest acceptable sample.
+        ceiling: u64,
+    },
+    /// The windowed sum must be exactly zero (e.g. accounting payable
+    /// mismatches); every closed window is evaluated, empty ones pass.
+    ZeroSum {
+        /// The violation-count series.
+        series: String,
+    },
+}
+
+/// One named service-level objective.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSpec {
+    /// Name surfaced in breach records and CI output.
+    pub name: String,
+    /// The windowed condition.
+    pub kind: SloKind,
+}
+
+/// One window that violated an SLO.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SloBreach {
+    /// The violated SLO's name.
+    pub slo: String,
+    /// Window start, sim-time microseconds.
+    pub window_start_us: u64,
+    /// Window end (exclusive), sim-time microseconds.
+    pub window_end_us: u64,
+    /// The observed value (ratio in bp, max, or sum — per the kind).
+    pub value: u64,
+    /// The bound it violated (floor or ceiling).
+    pub bound: u64,
+}
+
+/// Continuous evaluator for a set of [`SloSpec`]s over one
+/// [`SeriesRegistry`].
+#[derive(Clone, Debug)]
+pub struct SloMonitor {
+    registry: SeriesRegistry,
+    specs: Vec<SloSpec>,
+    /// Per-SLO high-water mark: windows starting before this are done.
+    evaluated_until: BTreeMap<String, u64>,
+    breaches: Vec<SloBreach>,
+    windows_evaluated: u64,
+}
+
+impl SloMonitor {
+    /// A monitor with no objectives yet.
+    pub fn new(registry: SeriesRegistry) -> SloMonitor {
+        SloMonitor {
+            registry,
+            specs: Vec::new(),
+            evaluated_until: BTreeMap::new(),
+            breaches: Vec::new(),
+            windows_evaluated: 0,
+        }
+    }
+
+    /// Adds an objective.
+    pub fn add(&mut self, spec: SloSpec) {
+        self.specs.push(spec);
+    }
+
+    /// The declared objectives.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    /// Evaluates every window that is fully closed at sim time
+    /// `now_us` and not yet evaluated. Call this from the experiment's
+    /// main loop; it is idempotent per window.
+    pub fn poll(&mut self, now_us: u64) {
+        let specs = self.specs.clone();
+        for spec in &specs {
+            self.poll_spec(spec, now_us);
+        }
+    }
+
+    /// Evaluates everything up to and including the window containing
+    /// `end_us` (the end-of-run flush: the final, partially-filled
+    /// window is judged too).
+    pub fn finish(&mut self, end_us: u64) {
+        self.poll(end_us.saturating_add(u64::MAX / 2));
+    }
+
+    fn poll_spec(&mut self, spec: &SloSpec, now_us: u64) {
+        let driver = match &spec.kind {
+            SloKind::RatioFloorBp { total, .. } => total,
+            SloKind::MaxCeiling { series, .. } | SloKind::ZeroSum { series } => series,
+        };
+        let Some(handle) = self.registry.get(driver) else {
+            return;
+        };
+        let window_us = handle.window_us();
+        let from = self.evaluated_until.get(&spec.name).copied().unwrap_or(0);
+        let mut evaluated_to = from;
+        for w in handle.windows() {
+            let end = w.start_us + window_us;
+            if w.start_us < from || end > now_us {
+                continue;
+            }
+            self.windows_evaluated += 1;
+            evaluated_to = evaluated_to.max(end);
+            let breach = match &spec.kind {
+                SloKind::RatioFloorBp { good, floor_bp, .. } => {
+                    if w.count == 0 {
+                        None
+                    } else {
+                        let good_sum = self
+                            .registry
+                            .get(good)
+                            .and_then(|g| g.window_at(w.start_us))
+                            .map(|g| g.sum)
+                            .unwrap_or(0);
+                        let bp = good_sum * 10_000 / w.sum.max(1);
+                        (good_sum * 10_000 < floor_bp * w.sum).then_some((bp, *floor_bp))
+                    }
+                }
+                SloKind::MaxCeiling { ceiling, .. } => {
+                    (w.count > 0 && w.max > *ceiling).then_some((w.max, *ceiling))
+                }
+                SloKind::ZeroSum { .. } => (w.sum != 0).then_some((w.sum, 0)),
+            };
+            if let Some((value, bound)) = breach {
+                self.breaches.push(SloBreach {
+                    slo: spec.name.clone(),
+                    window_start_us: w.start_us,
+                    window_end_us: end,
+                    value,
+                    bound,
+                });
+            }
+        }
+        self.evaluated_until.insert(spec.name.clone(), evaluated_to);
+    }
+
+    /// Every breach recorded so far, in evaluation order.
+    pub fn breaches(&self) -> &[SloBreach] {
+        &self.breaches
+    }
+
+    /// Windows evaluated across all objectives.
+    pub fn windows_evaluated(&self) -> u64 {
+        self.windows_evaluated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000;
+
+    fn monitor_with(specs: Vec<SloSpec>) -> (SeriesRegistry, SloMonitor) {
+        let reg = SeriesRegistry::new();
+        let mut mon = SloMonitor::new(reg.clone());
+        for s in specs {
+            mon.add(s);
+        }
+        (reg, mon)
+    }
+
+    #[test]
+    fn ratio_floor_flags_only_bad_windows() {
+        let (reg, mut mon) = monitor_with(vec![SloSpec {
+            name: "delivery".into(),
+            kind: SloKind::RatioFloorBp {
+                good: "ok".into(),
+                total: "all".into(),
+                floor_bp: 9_000,
+            },
+        }]);
+        let ok = reg.series("ok", SEC);
+        let all = reg.series("all", SEC);
+        // Window 0: 10/10 good. Window 1: 5/10 good (breach). Window 2
+        // recovers.
+        for i in 0..10 {
+            all.incr(i);
+            ok.incr(i);
+        }
+        for i in 0..10 {
+            all.incr(SEC + i);
+            if i < 5 {
+                ok.incr(SEC + i);
+            }
+        }
+        for i in 0..10 {
+            all.incr(2 * SEC + i);
+            ok.incr(2 * SEC + i);
+        }
+        mon.poll(3 * SEC);
+        let b = mon.breaches();
+        assert_eq!(b.len(), 1, "{b:?}");
+        assert_eq!(b[0].window_start_us, SEC);
+        assert_eq!(b[0].value, 5_000);
+        assert_eq!(b[0].bound, 9_000);
+    }
+
+    #[test]
+    fn poll_is_incremental_and_idempotent() {
+        let (reg, mut mon) = monitor_with(vec![SloSpec {
+            name: "zero".into(),
+            kind: SloKind::ZeroSum {
+                series: "mismatch".into(),
+            },
+        }]);
+        let s = reg.series("mismatch", SEC);
+        s.record(100, 1);
+        mon.poll(2 * SEC);
+        mon.poll(2 * SEC);
+        mon.poll(5 * SEC);
+        assert_eq!(mon.breaches().len(), 1);
+    }
+
+    #[test]
+    fn open_window_waits_for_closure() {
+        let (reg, mut mon) = monitor_with(vec![SloSpec {
+            name: "zero".into(),
+            kind: SloKind::ZeroSum {
+                series: "mismatch".into(),
+            },
+        }]);
+        let s = reg.series("mismatch", SEC);
+        s.record(500_000, 3);
+        mon.poll(900_000); // window [0, 1s) not closed yet
+        assert!(mon.breaches().is_empty());
+        mon.finish(900_000);
+        assert_eq!(mon.breaches().len(), 1);
+        assert_eq!(mon.breaches()[0].value, 3);
+    }
+
+    #[test]
+    fn max_ceiling_flags_spikes() {
+        let (reg, mut mon) = monitor_with(vec![SloSpec {
+            name: "detect".into(),
+            kind: SloKind::MaxCeiling {
+                series: "latency".into(),
+                ceiling: 100,
+            },
+        }]);
+        let s = reg.series("latency", SEC);
+        s.record(10, 50);
+        s.record(SEC + 10, 170);
+        s.record(2 * SEC + 10, 99);
+        mon.finish(3 * SEC);
+        let b = mon.breaches();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].value, 170);
+        assert_eq!(b[0].window_start_us, SEC);
+    }
+
+    #[test]
+    fn missing_series_is_not_a_breach() {
+        let (_reg, mut mon) = monitor_with(vec![SloSpec {
+            name: "ghost".into(),
+            kind: SloKind::ZeroSum {
+                series: "never.created".into(),
+            },
+        }]);
+        mon.poll(10 * SEC);
+        assert!(mon.breaches().is_empty());
+        assert_eq!(mon.windows_evaluated(), 0);
+    }
+}

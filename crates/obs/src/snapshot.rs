@@ -2,11 +2,11 @@
 //! JSON schema, used by the `BENCH_<exp>.json` files the experiment
 //! binaries write.
 //!
-//! # Schema (version 1)
+//! # Schema (version 2)
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "experiment": "nocdn_offload",
 //!   "counters": { "flows.completed": 128 },
 //!   "gauges": { "link.util": 0.93 },
@@ -16,20 +16,46 @@
 //!       "p50": 1500, "p90": 4100, "p99": 8800, "saturated": 0
 //!     }
 //!   },
+//!   "latency_attribution": {
+//!     "traces_analyzed": 9, "threshold_us": 812000,
+//!     "total_us": 7700000, "accounted_us": 7700000,
+//!     "stages": { "transfer": 2100000, "retry": 5200000 }
+//!   },
+//!   "series": {
+//!     "delivery.ok": {
+//!       "window_us": 30000000, "dropped_windows": 0,
+//!       "windows": [
+//!         { "t_us": 0, "count": 30, "sum": 30, "min": 1, "max": 1 }
+//!       ]
+//!     }
+//!   },
+//!   "slo_breaches": [
+//!     { "slo": "delivery-burn", "window_start_us": 30000000,
+//!       "window_end_us": 60000000, "value": 9333, "bound": 9900 }
+//!   ],
 //!   "extra": { "free-form": "experiment-specific results" }
 //! }
 //! ```
 //!
-//! Unknown top-level keys are rejected only by bumping `schema`;
-//! readers should tolerate additional histogram fields.
+//! Version 2 adds the `latency_attribution`, `series` and
+//! `slo_breaches` sections (all optional); version-1 files still parse,
+//! with those sections empty. Unknown top-level keys are rejected only
+//! by bumping `schema`; readers should tolerate additional histogram
+//! fields.
 
+use crate::critical_path::AttributionReport;
 use crate::hist::Histogram;
 use crate::json::{self, Value};
+use crate::series::{SeriesRegistry, WindowAgg};
+use crate::slo::{SloBreach, SloMonitor};
 use std::collections::BTreeMap;
 use std::path::Path;
 
-/// Current snapshot schema version.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Current snapshot schema version (written by [`Snapshot::to_value`]).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`Snapshot::from_value`] still reads.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Percentile summary of one [`Histogram`].
 #[derive(Clone, Debug, PartialEq)]
@@ -102,6 +128,17 @@ impl HistogramSummary {
     }
 }
 
+/// One exported windowed series (schema v2 `series` section).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SeriesSummary {
+    /// Window length, sim-time microseconds.
+    pub window_us: u64,
+    /// Windows evicted from the bounded ring during the run.
+    pub dropped_windows: u64,
+    /// Retained windows, oldest first.
+    pub windows: Vec<WindowAgg>,
+}
+
 /// A complete registry export with a stable JSON representation.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
@@ -113,6 +150,13 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram summaries by name (empty histograms are omitted).
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Per-stage latency attribution of the slow-request tail
+    /// (schema v2; absent when the run did not trace).
+    pub latency_attribution: Option<AttributionReport>,
+    /// Windowed time series by name (schema v2).
+    pub series: BTreeMap<String, SeriesSummary>,
+    /// SLO breach windows recorded during the run (schema v2).
+    pub slo_breaches: Vec<SloBreach>,
     /// Free-form experiment-specific results, merged into the JSON
     /// under `"extra"`.
     pub extra: Vec<(String, Value)>,
@@ -137,7 +181,26 @@ impl Snapshot {
         }
     }
 
-    /// The schema-v1 JSON value for this snapshot.
+    /// Fills the `series` section from every series in `registry`.
+    pub fn set_series(&mut self, registry: &SeriesRegistry) {
+        for (name, handle) in registry.all() {
+            self.series.insert(
+                name,
+                SeriesSummary {
+                    window_us: handle.window_us(),
+                    dropped_windows: handle.dropped_windows(),
+                    windows: handle.windows(),
+                },
+            );
+        }
+    }
+
+    /// Fills the `slo_breaches` section from `monitor`'s record.
+    pub fn set_slo_breaches(&mut self, monitor: &SloMonitor) {
+        self.slo_breaches = monitor.breaches().to_vec();
+    }
+
+    /// The schema-v2 JSON value for this snapshot.
     pub fn to_value(&self) -> Value {
         let mut v = Value::obj();
         v.set("schema", SCHEMA_VERSION);
@@ -157,6 +220,22 @@ impl Snapshot {
             hists.set(k.clone(), h.to_value());
         }
         v.set("histograms", hists);
+        if let Some(attr) = &self.latency_attribution {
+            v.set("latency_attribution", attribution_to_value(attr));
+        }
+        if !self.series.is_empty() {
+            let mut series = Value::obj();
+            for (k, s) in &self.series {
+                series.set(k.clone(), series_to_value(s));
+            }
+            v.set("series", series);
+        }
+        if !self.slo_breaches.is_empty() {
+            v.set(
+                "slo_breaches",
+                Value::Arr(self.slo_breaches.iter().map(breach_to_value).collect()),
+            );
+        }
         if !self.extra.is_empty() {
             let mut extra = Value::obj();
             for (k, e) in &self.extra {
@@ -167,15 +246,16 @@ impl Snapshot {
         v
     }
 
-    /// Rebuilds a snapshot from its JSON value.
+    /// Rebuilds a snapshot from its JSON value (schema 1 or 2; v1
+    /// files load with the v2 sections empty).
     pub fn from_value(v: &Value) -> Result<Snapshot, String> {
         let schema = v
             .get("schema")
             .and_then(Value::as_u64)
             .ok_or("snapshot missing \"schema\"")?;
-        if schema != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&schema) {
             return Err(format!(
-                "unsupported snapshot schema {schema} (expected {SCHEMA_VERSION})"
+                "unsupported snapshot schema {schema} (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             ));
         }
         let mut snap = Snapshot::new(
@@ -214,6 +294,25 @@ impl Snapshot {
                     .insert(k.clone(), HistogramSummary::from_value(h)?);
             }
         }
+        if let Some(attr) = v.get("latency_attribution") {
+            snap.latency_attribution = Some(attribution_from_value(attr)?);
+        }
+        if let Some(series) = v.get("series") {
+            for (k, s) in series
+                .entries()
+                .ok_or("snapshot \"series\" is not an object")?
+            {
+                snap.series.insert(k.clone(), series_from_value(s)?);
+            }
+        }
+        if let Some(breaches) = v.get("slo_breaches") {
+            let items = breaches
+                .items()
+                .ok_or("snapshot \"slo_breaches\" is not an array")?;
+            for b in items {
+                snap.slo_breaches.push(breach_from_value(b)?);
+            }
+        }
         if let Some(extra) = v.get("extra") {
             for (k, e) in extra
                 .entries()
@@ -249,6 +348,117 @@ impl Snapshot {
             .map_err(|e| format!("{}: {e}", path.as_ref().display()))?;
         Snapshot::parse(&text)
     }
+}
+
+fn need_u64(v: &Value, k: &str, what: &str) -> Result<u64, String> {
+    v.get(k)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("{what} missing u64 field {k:?}"))
+}
+
+fn attribution_to_value(a: &AttributionReport) -> Value {
+    let mut v = Value::obj();
+    v.set("traces_analyzed", a.traces_analyzed);
+    v.set("threshold_us", a.threshold_us);
+    v.set("total_us", a.total_us);
+    v.set("accounted_us", a.accounted_us);
+    let mut stages = Value::obj();
+    for (k, us) in &a.stages {
+        stages.set(k.clone(), *us);
+    }
+    v.set("stages", stages);
+    v
+}
+
+fn attribution_from_value(v: &Value) -> Result<AttributionReport, String> {
+    let mut a = AttributionReport {
+        traces_analyzed: need_u64(v, "traces_analyzed", "latency_attribution")?,
+        threshold_us: need_u64(v, "threshold_us", "latency_attribution")?,
+        total_us: need_u64(v, "total_us", "latency_attribution")?,
+        accounted_us: need_u64(v, "accounted_us", "latency_attribution")?,
+        stages: BTreeMap::new(),
+    };
+    for (k, us) in v
+        .get("stages")
+        .and_then(|s| s.entries())
+        .ok_or("latency_attribution missing \"stages\" object")?
+    {
+        let us = us
+            .as_u64()
+            .ok_or_else(|| format!("attribution stage {k:?} is not a u64"))?;
+        a.stages.insert(k.clone(), us);
+    }
+    Ok(a)
+}
+
+fn series_to_value(s: &SeriesSummary) -> Value {
+    let mut v = Value::obj();
+    v.set("window_us", s.window_us);
+    v.set("dropped_windows", s.dropped_windows);
+    v.set(
+        "windows",
+        Value::Arr(
+            s.windows
+                .iter()
+                .map(|w| {
+                    let mut wv = Value::obj();
+                    wv.set("t_us", w.start_us);
+                    wv.set("count", w.count);
+                    wv.set("sum", w.sum);
+                    wv.set("min", w.min);
+                    wv.set("max", w.max);
+                    wv
+                })
+                .collect(),
+        ),
+    );
+    v
+}
+
+fn series_from_value(v: &Value) -> Result<SeriesSummary, String> {
+    let mut s = SeriesSummary {
+        window_us: need_u64(v, "window_us", "series")?,
+        dropped_windows: need_u64(v, "dropped_windows", "series")?,
+        windows: Vec::new(),
+    };
+    for w in v
+        .get("windows")
+        .and_then(Value::items)
+        .ok_or("series missing \"windows\" array")?
+    {
+        s.windows.push(WindowAgg {
+            start_us: need_u64(w, "t_us", "series window")?,
+            count: need_u64(w, "count", "series window")?,
+            sum: need_u64(w, "sum", "series window")?,
+            min: need_u64(w, "min", "series window")?,
+            max: need_u64(w, "max", "series window")?,
+        });
+    }
+    Ok(s)
+}
+
+fn breach_to_value(b: &SloBreach) -> Value {
+    let mut v = Value::obj();
+    v.set("slo", b.slo.as_str());
+    v.set("window_start_us", b.window_start_us);
+    v.set("window_end_us", b.window_end_us);
+    v.set("value", b.value);
+    v.set("bound", b.bound);
+    v
+}
+
+fn breach_from_value(v: &Value) -> Result<SloBreach, String> {
+    Ok(SloBreach {
+        slo: v
+            .get("slo")
+            .and_then(Value::as_str)
+            .ok_or("slo breach missing \"slo\"")?
+            .to_owned(),
+        window_start_us: need_u64(v, "window_start_us", "slo breach")?,
+        window_end_us: need_u64(v, "window_end_us", "slo breach")?,
+        value: need_u64(v, "value", "slo breach")?,
+        bound: need_u64(v, "bound", "slo breach")?,
+    })
 }
 
 #[cfg(test)]
@@ -305,6 +515,59 @@ mod tests {
         assert!(Snapshot::from_value(&v).is_err());
         let garbage = "{\"experiment\": \"x\"}";
         assert!(Snapshot::parse(garbage).is_err());
+    }
+
+    #[test]
+    fn v2_sections_roundtrip() {
+        let mut snap = sample_snapshot();
+        let mut report = AttributionReport {
+            traces_analyzed: 3,
+            threshold_us: 2_500_000,
+            total_us: 9_000_000,
+            accounted_us: 8_700_000,
+            stages: BTreeMap::new(),
+        };
+        report.stages.insert("transfer".into(), 6_000_000);
+        report.stages.insert("retry".into(), 2_700_000);
+        report.stages.insert("request".into(), 300_000);
+        snap.latency_attribution = Some(report.clone());
+
+        let reg = SeriesRegistry::new();
+        let s = reg.series("delivery.ok", 1_000_000);
+        s.record(10, 1);
+        s.record(1_500_000, 2);
+        snap.set_series(&reg);
+
+        let mut mon = SloMonitor::new(reg.clone());
+        mon.add(crate::slo::SloSpec {
+            name: "nonzero".into(),
+            kind: crate::slo::SloKind::ZeroSum {
+                series: "delivery.ok".into(),
+            },
+        });
+        mon.finish(2_000_000);
+        snap.set_slo_breaches(&mon);
+        assert_eq!(snap.slo_breaches.len(), 2);
+
+        let back = Snapshot::from_value(&snap.to_value()).expect("roundtrip");
+        assert_eq!(back.latency_attribution, Some(report));
+        assert_eq!(back.series.len(), 1);
+        let series = &back.series["delivery.ok"];
+        assert_eq!(series.window_us, 1_000_000);
+        assert_eq!(series.windows.len(), 2);
+        assert_eq!(series.windows[0].sum, 1);
+        assert_eq!(series.windows[1].sum, 2);
+        assert_eq!(back.slo_breaches, snap.slo_breaches);
+    }
+
+    #[test]
+    fn v1_snapshot_still_parses() {
+        let mut v = sample_snapshot().to_value();
+        v.set("schema", 1u64);
+        let back = Snapshot::from_value(&v).expect("v1 accepted");
+        assert!(back.latency_attribution.is_none());
+        assert!(back.series.is_empty());
+        assert!(back.slo_breaches.is_empty());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::deadline::Deadline;
 use hpop_netsim::time::{SimDuration, SimTime};
+use hpop_obs::SpanScope;
 
 /// Backoff and attempt limits for one class of operation.
 #[derive(Clone, Copy, Debug)]
@@ -125,6 +126,33 @@ impl RetryPolicy {
         key: u64,
         deadline: Deadline,
         now: &mut SimTime,
+        op: impl FnMut(u32, SimTime) -> Result<T, E>,
+    ) -> RetryOutcome<T, E> {
+        self.run_inner(key, deadline, now, None, op)
+    }
+
+    /// [`RetryPolicy::run`], additionally recording each backoff pause
+    /// as a `"retry"` child span under `scope` — the time a request
+    /// spends *waiting to retry* becomes visible to critical-path
+    /// attribution instead of vanishing into the gap between attempt
+    /// spans. A null scope costs one branch per pause.
+    pub fn run_spanned<T, E>(
+        &self,
+        key: u64,
+        deadline: Deadline,
+        now: &mut SimTime,
+        scope: &SpanScope,
+        op: impl FnMut(u32, SimTime) -> Result<T, E>,
+    ) -> RetryOutcome<T, E> {
+        self.run_inner(key, deadline, now, Some(scope), op)
+    }
+
+    fn run_inner<T, E>(
+        &self,
+        key: u64,
+        deadline: Deadline,
+        now: &mut SimTime,
+        scope: Option<&SpanScope>,
         mut op: impl FnMut(u32, SimTime) -> Result<T, E>,
     ) -> RetryOutcome<T, E> {
         let m = hpop_obs::metrics();
@@ -166,8 +194,17 @@ impl RetryPolicy {
                             backoff_waited: waited,
                         };
                     }
+                    let pause_start_us = now.as_nanos() / 1_000;
                     *now += pause;
                     waited += pause;
+                    if let Some(s) = scope {
+                        s.record(
+                            "resilience",
+                            "retry",
+                            pause_start_us,
+                            now.as_nanos() / 1_000,
+                        );
+                    }
                     m.counter("resilience.retry.attempts").incr();
                 }
             }
@@ -255,6 +292,48 @@ mod tests {
         // The clock never crossed the deadline.
         assert!(!deadline.expired(now) || deadline.remaining(now) == SimDuration::ZERO);
         assert!(now.as_nanos() <= deadline.expires_at().as_nanos());
+    }
+
+    #[test]
+    fn run_spanned_records_each_backoff_pause() {
+        let tracer = hpop_obs::SpanTracer::new(64);
+        tracer.enable();
+        let root = tracer.root();
+        let scope = SpanScope::new(tracer.clone(), root);
+        let mut now = SimTime::ZERO;
+        let out = policy().run_spanned(9, Deadline::UNBOUNDED, &mut now, &scope, |attempt, _| {
+            if attempt < 2 {
+                Err("down")
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.result, Ok(2));
+        let spans = tracer.recent();
+        assert_eq!(spans.len(), 2, "{spans:?}"); // two pauses before success
+        let mut pause_total = 0u64;
+        for s in &spans {
+            assert_eq!(s.stage, "retry");
+            assert_eq!(s.parent_span_id, root.span_id);
+            pause_total += s.duration_us();
+        }
+        assert_eq!(pause_total, out.backoff_waited.as_nanos() / 1_000);
+        // The null scope records nothing.
+        let mut now2 = SimTime::ZERO;
+        policy().run_spanned(
+            9,
+            Deadline::UNBOUNDED,
+            &mut now2,
+            &SpanScope::none(),
+            |a, _| {
+                if a < 2 {
+                    Err("down")
+                } else {
+                    Ok(a)
+                }
+            },
+        );
+        assert_eq!(tracer.recent().len(), 2);
     }
 
     #[test]
