@@ -1,0 +1,86 @@
+//! `attic-daemon` — the data attic on a real socket.
+//!
+//! The same [`hpop_attic::DavCore`] that the netsim fabric drives
+//! in-process is bound here to a loopback TCP listener via the
+//! [`hpop_attic::AtticDaemon`] adapter: HTTP/1.1 framing, per-connection
+//! deadlines, graceful shutdown.
+//!
+//! ```text
+//! attic-daemon [--bind ADDR] [--durable]
+//! ```
+//!
+//! `--bind` defaults to `127.0.0.1:0` (ephemeral port, printed on
+//! stdout). `--durable` journals every mutation through the
+//! write-ahead-log backend instead of the volatile store. The daemon
+//! runs until stdin reaches EOF (pipe-friendly: `attic-daemon <
+//! /dev/null` serves nothing and exits cleanly after binding).
+
+use hpop_attic::{AtticDaemon, DaemonConfig, DavCore, DurableAttic, VolatileBackend};
+use hpop_core::auth::TokenVerifier;
+use hpop_durability::DurabilityConfig;
+use hpop_netsim::storage::SimDisk;
+use std::io::BufRead;
+
+/// Capability-token key for external grants. A real deployment would
+/// provision this at pairing time (the paper's QR-code bootstrap); the
+/// demo daemon uses a fixed key so grant flows are reproducible.
+const DEMO_KEY: [u8; 32] = [7u8; 32];
+
+fn main() {
+    let mut bind = "127.0.0.1:0".to_owned();
+    let mut durable = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bind" => bind = args.next().expect("--bind needs an address"),
+            "--durable" => durable = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                eprintln!("usage: attic-daemon [--bind ADDR] [--durable]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let cfg = DaemonConfig {
+        bind,
+        ..DaemonConfig::default()
+    };
+    let verifier = TokenVerifier::new(DEMO_KEY);
+    if durable {
+        let attic = DurableAttic::open(SimDisk::new(1), "attic", DurabilityConfig::default())
+            .expect("open journal");
+        serve(AtticDaemon::spawn(cfg, DavCore::new(attic, verifier)));
+    } else {
+        serve(AtticDaemon::spawn(
+            cfg,
+            DavCore::new(VolatileBackend::new(), verifier),
+        ));
+    }
+}
+
+fn serve<B: hpop_attic::AtticBackend + Send + 'static>(
+    handle: std::io::Result<hpop_attic::DaemonHandle<B>>,
+) {
+    let handle = match handle {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("attic-daemon listening on {}", handle.addr());
+
+    // Serve until the controlling pipe closes.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        if line.is_err() {
+            break;
+        }
+    }
+    let stats = handle.stop();
+    eprintln!(
+        "attic-daemon: {} connections, {} requests, {} bad frames",
+        stats.connections, stats.requests, stats.bad_frames
+    );
+}

@@ -1,0 +1,344 @@
+//! The real-socket adapter: the attic as a deployable appliance.
+//!
+//! Where [`AtticServer`](crate::server::AtticServer) answers simulated
+//! requests, [`AtticDaemon`] binds a `std::net::TcpListener`, frames
+//! HTTP/1.1 with [`hpop_http::h1`], and drives the *same*
+//! [`DavCore`] engine — the tentpole claim of the ports-and-adapters
+//! split is that the conformance suite cannot tell the two apart.
+//!
+//! Mechanics:
+//!
+//! - **Accept loop** — nonblocking accept polled every few
+//!   milliseconds so a graceful-shutdown flag is honored promptly; each
+//!   connection gets a handler thread, all joined before
+//!   [`DaemonHandle::stop`] returns (no dropped in-flight responses).
+//! - **Per-connection deadlines** — every connection gets a
+//!   [`Deadline`] budget; the remaining budget becomes the socket read
+//!   timeout before each request, so an idle or stalled client cannot
+//!   pin a handler thread forever.
+//! - **Deterministic time** — WebDAV semantics depend on *when* (lock
+//!   expiry, version timestamps). The daemon derives `now` from the
+//!   process clock against a fixed epoch, but honors an `x-sim-time`
+//!   request header carrying nanoseconds: the conformance suite pins
+//!   time with it, making daemon responses byte-identical to the sim
+//!   adapter's.
+
+use crate::ports::{AtticBackend, Origin};
+use crate::webdav::DavCore;
+use hpop_http::h1;
+use hpop_http::message::{Response, StatusCode};
+use hpop_netsim::time::{SimDuration, SimTime};
+use hpop_resilience::deadline::Deadline;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for the daemon.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Address to bind (`"127.0.0.1:0"` picks a free port).
+    pub bind: String,
+    /// Wall-clock budget per connection; when it runs out the
+    /// connection is closed after the in-flight response.
+    pub connection_budget: SimDuration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> DaemonConfig {
+        DaemonConfig {
+            bind: "127.0.0.1:0".to_owned(),
+            connection_budget: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Counters the daemon exposes after shutdown.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests served (any status).
+    pub requests: u64,
+    /// Connections dropped on framing errors.
+    pub bad_frames: u64,
+}
+
+struct Shared<B: AtticBackend> {
+    core: Mutex<DavCore<B>>,
+    stop: AtomicBool,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    bad_frames: AtomicU64,
+    epoch: Instant,
+}
+
+/// A running attic daemon; dropping the handle without calling
+/// [`DaemonHandle::stop`] aborts ungracefully (the accept thread is
+/// detached), so call `stop`.
+pub struct AtticDaemon;
+
+/// Control handle for a spawned daemon.
+pub struct DaemonHandle<B: AtticBackend> {
+    shared: Arc<Shared<B>>,
+    addr: std::net::SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl AtticDaemon {
+    /// Binds and starts serving `core` in background threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn<B: AtticBackend + Send + 'static>(
+        cfg: DaemonConfig,
+        core: DavCore<B>,
+    ) -> std::io::Result<DaemonHandle<B>> {
+        let listener = TcpListener::bind(&cfg.bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            core: Mutex::new(core),
+            stop: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            bad_frames: AtomicU64::new(0),
+            epoch: Instant::now(),
+        });
+        let accept_shared = shared.clone();
+        let budget = cfg.connection_budget;
+        let accept_thread = std::thread::spawn(move || {
+            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        accept_shared.connections.fetch_add(1, Ordering::SeqCst);
+                        let conn_shared = accept_shared.clone();
+                        handlers.push(std::thread::spawn(move || {
+                            handle_connection(stream, &conn_shared, budget);
+                        }));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if accept_shared.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => {
+                        if accept_shared.stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+                handlers.retain(|h| !h.is_finished());
+            }
+            // Graceful: every in-flight connection completes.
+            for h in handlers {
+                let _ = h.join();
+            }
+        });
+        Ok(DaemonHandle {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+impl<B: AtticBackend> DaemonHandle<B> {
+    /// The bound address (use for loopback clients).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins the accept loop (and through it every
+    /// connection handler). Returns the final stats.
+    pub fn stop(mut self) -> DaemonStats {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        DaemonStats {
+            connections: self.shared.connections.load(Ordering::SeqCst),
+            requests: self.shared.requests.load(Ordering::SeqCst),
+            bad_frames: self.shared.bad_frames.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// The logical "now" for one request: the `x-sim-time` header (nanos)
+/// when present, else process-clock nanoseconds since daemon start.
+fn request_time<B: AtticBackend>(shared: &Shared<B>, req: &hpop_http::message::Request) -> SimTime {
+    if let Some(nanos) = req
+        .headers
+        .get("x-sim-time")
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        return SimTime::from_nanos(nanos);
+    }
+    SimTime::from_nanos(shared.epoch.elapsed().as_nanos() as u64)
+}
+
+fn handle_connection<B: AtticBackend>(
+    mut stream: TcpStream,
+    shared: &Shared<B>,
+    budget: SimDuration,
+) {
+    let started = Instant::now();
+    let deadline = Deadline::after(SimTime::ZERO, budget);
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut scratch = [0u8; 4096];
+    loop {
+        // The connection's remaining budget becomes the read timeout.
+        let now = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
+        if deadline.expired(now) {
+            return;
+        }
+        let remaining = deadline.remaining(now);
+        let timeout = Duration::from_nanos(remaining.as_nanos().max(1));
+        if stream.set_read_timeout(Some(timeout)).is_err() {
+            return;
+        }
+        // Parse-or-read loop: consume complete requests from the front
+        // of the buffer, read more bytes when incomplete.
+        match h1::decode_request(&buf) {
+            Ok(Some((req, consumed))) => {
+                buf.drain(..consumed);
+                let origin = match req.headers.get("x-attic-origin") {
+                    Some("external") => Origin::External,
+                    _ => Origin::Local,
+                };
+                let at = request_time(shared, &req);
+                let resp = {
+                    let mut core = shared.core.lock().expect("engine lock never poisoned");
+                    core.serve(&req, origin, at)
+                };
+                shared.requests.fetch_add(1, Ordering::SeqCst);
+                if stream.write_all(&h1::encode_response(&resp)).is_err() {
+                    return;
+                }
+                if req.headers.get("connection") == Some("close") {
+                    let _ = stream.flush();
+                    return;
+                }
+            }
+            Ok(None) => match stream.read(&mut scratch) {
+                Ok(0) => return, // peer closed
+                Ok(n) => buf.extend_from_slice(&scratch[..n]),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return; // budget exhausted waiting for bytes
+                }
+                Err(_) => return,
+            },
+            Err(_) => {
+                shared.bad_frames.fetch_add(1, Ordering::SeqCst);
+                let resp = Response::new(StatusCode::BAD_REQUEST);
+                let _ = stream.write_all(&h1::encode_response(&resp));
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ports::VolatileBackend;
+    use hpop_core::auth::TokenVerifier;
+    use hpop_http::message::{Method, Request};
+    use hpop_http::url::Url;
+
+    fn spawn_daemon() -> DaemonHandle<VolatileBackend> {
+        let core = DavCore::new(VolatileBackend::new(), TokenVerifier::new([7u8; 32]));
+        AtticDaemon::spawn(DaemonConfig::default(), core).expect("bind loopback")
+    }
+
+    fn round_trip(stream: &mut TcpStream, req: &Request) -> Response {
+        stream.write_all(&h1::encode_request(req)).unwrap();
+        let mut buf = Vec::new();
+        let mut scratch = [0u8; 4096];
+        loop {
+            if let Some((resp, consumed)) = h1::decode_response(&buf).unwrap() {
+                assert_eq!(consumed, buf.len(), "no trailing bytes in tests");
+                return resp;
+            }
+            let n = stream.read(&mut scratch).unwrap();
+            assert!(n > 0, "daemon closed mid-response");
+            buf.extend_from_slice(&scratch[..n]);
+        }
+    }
+
+    fn url(p: &str) -> Url {
+        Url::new("http", "attic.home", p)
+    }
+
+    #[test]
+    fn serves_webdav_over_loopback_and_stops_gracefully() {
+        let handle = spawn_daemon();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+
+        let put = Request::put(url("/note.txt"), &b"over a real socket"[..])
+            .with_header("x-sim-time", "1000000000");
+        let r = round_trip(&mut stream, &put);
+        assert_eq!(r.status, StatusCode::CREATED);
+        let etag = r.headers.get("etag").unwrap().to_owned();
+
+        // Same connection, second request (keep-alive).
+        let get = Request::get(url("/note.txt")).with_header("x-sim-time", "2000000000");
+        let r = round_trip(&mut stream, &get);
+        assert_eq!(r.status, StatusCode::OK);
+        assert_eq!(&r.body[..], b"over a real socket");
+        assert_eq!(r.headers.get("etag"), Some(etag.as_str()));
+
+        let options =
+            Request::new(Method::Options, url("/")).with_header("x-sim-time", "3000000000");
+        let r = round_trip(&mut stream, &options);
+        assert_eq!(r.headers.get("dav"), Some("1, 2"));
+
+        drop(stream);
+        let stats = handle.stop();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.bad_frames, 0);
+    }
+
+    #[test]
+    fn malformed_frames_get_400_and_close() {
+        let handle = spawn_daemon();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.write_all(b"BREW /pot HTTP/1.1\r\n\r\n").unwrap();
+        let mut buf = Vec::new();
+        let mut scratch = [0u8; 1024];
+        loop {
+            match stream.read(&mut scratch) {
+                Ok(0) => break,
+                Ok(n) => buf.extend_from_slice(&scratch[..n]),
+                Err(_) => break,
+            }
+        }
+        let (resp, _) = h1::decode_response(&buf).unwrap().expect("a 400 came back");
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        let stats = handle.stop();
+        assert_eq!(stats.bad_frames, 1);
+    }
+
+    #[test]
+    fn external_origin_header_enforces_grants() {
+        let handle = spawn_daemon();
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        let put = Request::put(url("/secret"), &b"x"[..])
+            .with_header("x-attic-origin", "external")
+            .with_header("x-sim-time", "0");
+        let r = round_trip(&mut stream, &put);
+        assert_eq!(r.status, StatusCode::UNAUTHORIZED);
+        drop(stream);
+        handle.stop();
+    }
+}

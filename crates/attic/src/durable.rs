@@ -23,7 +23,7 @@
 //!   state in lockstep with what the live process saw.
 
 use crate::lock::{LockDepth, LockError, LockManager, LockScope, LockToken};
-use crate::store::{ObjectStore, StoreError};
+use crate::store::{ObjectStore, PruneReport, StoreError};
 use hpop_durability::codec::{ByteReader, ByteWriter};
 use hpop_durability::{DurabilityConfig, Durable, Persistent, RecoveryReport};
 use hpop_netsim::storage::{DiskError, SimDisk};
@@ -75,6 +75,11 @@ enum AtticOp {
         token: LockToken,
         ttl: SimDuration,
         now: SimTime,
+    },
+    Prune {
+        path: String,
+        keep: u64,
+        min_modified: SimTime,
     },
 }
 
@@ -161,6 +166,13 @@ impl AtticOp {
                     .u64(ttl.as_nanos())
                     .u64(now.as_nanos());
             }
+            AtticOp::Prune {
+                path,
+                keep,
+                min_modified,
+            } => {
+                w.u8(10).str(path).u64(*keep).u64(min_modified.as_nanos());
+            }
         }
         w.into_bytes()
     }
@@ -205,6 +217,11 @@ impl AtticOp {
                 ttl: SimDuration::from_nanos(r.u64()?),
                 now: SimTime::from_nanos(r.u64()?),
             },
+            10 => AtticOp::Prune {
+                path: r.str()?,
+                keep: r.u64()?,
+                min_modified: SimTime::from_nanos(r.u64()?),
+            },
             _ => return None,
         };
         if r.remaining() != 0 {
@@ -227,6 +244,8 @@ pub enum AtticOutcome {
     Lock(Result<LockToken, LockError>),
     /// `unlock` / `refresh` result.
     LockUnit(Result<(), LockError>),
+    /// `prune` result (lifecycle compaction tally).
+    Pruned(Result<PruneReport, StoreError>),
 }
 
 /// The attic's durable state: object store + lock table.
@@ -275,6 +294,15 @@ impl AtticState {
                 ttl,
                 now,
             } => AtticOutcome::LockUnit(self.locks.refresh(path, *token, *ttl, *now)),
+            AtticOp::Prune {
+                path,
+                keep,
+                min_modified,
+            } => AtticOutcome::Pruned(self.store.prune_noncurrent(
+                path,
+                usize::try_from(*keep).unwrap_or(usize::MAX),
+                *min_modified,
+            )),
         }
     }
 }
@@ -555,6 +583,42 @@ impl DurableAttic {
         }
     }
 
+    /// Durable lifecycle compaction: removes noncurrent versions of
+    /// `path` beyond the `keep` newest or older than `min_modified`.
+    /// Journaled like every other mutation, so a crash mid-compaction
+    /// replays to the same post-compaction state — and the current
+    /// version is never part of the op by construction.
+    pub fn prune(
+        &mut self,
+        path: &str,
+        keep: usize,
+        min_modified: SimTime,
+    ) -> Result<Result<PruneReport, StoreError>, DiskError> {
+        match self.run(AtticOp::Prune {
+            path: path.into(),
+            keep: keep as u64,
+            min_modified,
+        })? {
+            AtticOutcome::Pruned(r) => Ok(r),
+            _ => unreachable!("prune yields a pruned outcome"),
+        }
+    }
+
+    /// Read-only write admissibility (lock mediation) — not journaled:
+    /// lock expiry is lazy, so a pure check never changes durable state.
+    ///
+    /// # Errors
+    ///
+    /// As [`LockManager::check_write_at`].
+    pub fn check_write(
+        &self,
+        path: &str,
+        token: Option<LockToken>,
+        now: SimTime,
+    ) -> Result<(), LockError> {
+        self.inner.state().locks.check_write_at(path, token, now)
+    }
+
     /// Read-only view of the recovered/live object store.
     pub fn store(&self) -> &ObjectStore {
         &self.inner.state().store
@@ -654,6 +718,11 @@ mod tests {
                 token: LockToken::from_value(7),
                 ttl: TTL,
                 now: t(8),
+            },
+            AtticOp::Prune {
+                path: "/d/f".into(),
+                keep: 3,
+                min_modified: t(2),
             },
         ];
         for op in ops {
@@ -828,6 +897,14 @@ mod tests {
                 path: "/h/c/r.json".into(),
                 token: LockToken::from_value(1),
                 now: t(7),
+            }
+            .encode(),
+        );
+        ops.push(
+            AtticOp::Prune {
+                path: "/h/c/r.json".into(),
+                keep: 1,
+                min_modified: SimTime::ZERO,
             }
             .encode(),
         );

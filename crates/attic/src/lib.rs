@@ -41,25 +41,37 @@ mod proptests;
 
 pub mod backup;
 pub mod cloudenc;
+pub mod conformance;
+pub mod daemon;
+pub mod dav;
 pub mod driver;
 pub mod durable;
 pub mod grant;
 pub mod health;
+pub mod lifecycle;
 pub mod lock;
 pub mod personal;
 pub mod placement;
+pub mod ports;
 pub mod server;
 pub mod store;
 pub mod sync;
+pub mod webdav;
 
 pub use backup::{BackupPlan, BackupSet};
 pub use cloudenc::EncryptedCloudStore;
+pub use conformance::{run_suite, ConformanceOutcome, DavTransport, SimTransport, TcpTransport};
+pub use daemon::{AtticDaemon, DaemonConfig, DaemonHandle, DaemonStats};
+pub use dav::{MultiStatus, PropValue, PropfindBody};
 pub use driver::FileDriver;
 pub use durable::{AtticState, DurableAttic};
 pub use grant::AccessGrant;
+pub use lifecycle::{LifecycleEngine, LifecyclePolicy, LifecycleReport, LifecycleRule};
 pub use lock::{LockError, LockManager, LockToken};
 pub use personal::{Calendar, CalendarEvent, Contact, ContactsBook};
 pub use placement::{place_shards, PlacedBackup, PlacementError};
+pub use ports::{AtticBackend, BackendFault, DavPort, Origin, VolatileBackend};
 pub use server::AtticServer;
-pub use store::{ObjectStore, StoreError};
+pub use store::{ObjectStore, PruneReport, StoreError};
 pub use sync::{OfflineReplica, ReconcileOutcome};
+pub use webdav::DavCore;

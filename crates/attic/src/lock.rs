@@ -267,6 +267,24 @@ impl LockManager {
         now: SimTime,
     ) -> Result<(), LockError> {
         self.purge(now);
+        self.check_write_at(path, token, now)
+    }
+
+    /// [`LockManager::check_write`] without the purge — a read-only
+    /// admissibility check. Expiry is evaluated lazily against `now`,
+    /// so skipping the purge never changes the verdict; this variant is
+    /// what backends without interior mutability (the durable attic,
+    /// whose lock table is only mutated through the journal) use.
+    ///
+    /// # Errors
+    ///
+    /// As [`LockManager::check_write`].
+    pub fn check_write_at(
+        &self,
+        path: &str,
+        token: Option<LockToken>,
+        now: SimTime,
+    ) -> Result<(), LockError> {
         let mediate_hist = hpop_obs::metrics().histogram("attic.lock.mediate_ns");
         let _mediate = hpop_obs::span!(mediate_hist);
         let covering = self.covering_vec(path, now);

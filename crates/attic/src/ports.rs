@@ -1,0 +1,470 @@
+//! Ports of the attic's hexagonal architecture.
+//!
+//! The domain core — versioned [`ObjectStore`], [`LockManager`]
+//! mediation, WebDAV protocol semantics — knows nothing about *how* it
+//! is driven or *where* state lives. Two port families make that
+//! explicit:
+//!
+//! - **Driving port** ([`DavPort`]): anything that can serve a WebDAV
+//!   request. The protocol engine
+//!   ([`DavCore`](crate::webdav::DavCore)) implements it; so do the
+//!   adapters wrapping it — [`AtticServer`](crate::server::AtticServer)
+//!   (the deterministic netsim adapter experiments drive) and
+//!   [`AtticDaemon`](crate::daemon) (the real-socket appliance). One
+//!   conformance suite runs against both and must produce
+//!   byte-identical transcripts: the simulated results describe the
+//!   code that actually serves traffic.
+//! - **Driven port** ([`AtticBackend`]): the storage the engine runs
+//!   over. [`VolatileBackend`] keeps everything in memory (simulation,
+//!   tests); [`DurableAttic`](crate::durable::DurableAttic) journals
+//!   every mutation through `hpop-durability` so acked writes —
+//!   including lifecycle compactions — survive crashes.
+
+use crate::durable::DurableAttic;
+use crate::lock::{LockDepth, LockError, LockManager, LockScope, LockToken};
+use crate::store::{ObjectStore, PruneReport, StoreError};
+use hpop_http::message::{Request, Response};
+use hpop_netsim::storage::DiskError;
+use hpop_netsim::time::{SimDuration, SimTime};
+use std::fmt;
+
+/// Where a request entered the attic: inside the home (trusted) or
+/// from an external application (must present a capability grant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Origin {
+    /// In-home traffic; no grant required (the paper's trust model).
+    Local,
+    /// External traffic; `Authorization: Capability <wire>` enforced.
+    External,
+}
+
+/// A device-level fault from the driven side — the request was not
+/// (fully) applied because the storage layer failed, not because WebDAV
+/// semantics rejected it. Adapters map this to `500`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendFault {
+    /// The simulated disk failed mid-write (power cut, torn sector).
+    Disk(DiskError),
+}
+
+impl fmt::Display for BackendFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendFault::Disk(e) => write!(f, "storage fault: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendFault {}
+
+impl From<DiskError> for BackendFault {
+    fn from(e: DiskError) -> BackendFault {
+        BackendFault::Disk(e)
+    }
+}
+
+/// The driving port: serve one WebDAV request at a logical instant.
+pub trait DavPort {
+    /// Handles `req`, entering via `origin`, at simulation time `now`.
+    fn serve(&mut self, req: &Request, origin: Origin, now: SimTime) -> Response;
+}
+
+/// The driven port: everything the protocol engine asks of storage.
+///
+/// The double `Result` mirrors [`DurableAttic`]: the outer layer is the
+/// device (did the mutation land durably?), the inner one the WebDAV
+/// service semantics (was it allowed?).
+pub trait AtticBackend {
+    /// Read-only view of the object store (GET/PROPFIND paths).
+    fn store(&self) -> &ObjectStore;
+
+    /// `MKCOL`.
+    ///
+    /// # Errors
+    ///
+    /// Outer: device fault. Inner: store semantics.
+    fn mkcol(&mut self, path: &str) -> Result<Result<(), StoreError>, BackendFault>;
+
+    /// `PUT` — appends a version; inner `Ok` is the new ETag.
+    ///
+    /// # Errors
+    ///
+    /// Outer: device fault. Inner: store semantics.
+    fn put(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        now: SimTime,
+    ) -> Result<Result<String, StoreError>, BackendFault>;
+
+    /// `DELETE` — inner `Ok` is nodes removed.
+    ///
+    /// # Errors
+    ///
+    /// Outer: device fault. Inner: store semantics.
+    fn delete(&mut self, path: &str) -> Result<Result<usize, StoreError>, BackendFault>;
+
+    /// `COPY` (no overwrite).
+    ///
+    /// # Errors
+    ///
+    /// Outer: device fault. Inner: store semantics.
+    fn copy(
+        &mut self,
+        src: &str,
+        dst: &str,
+        now: SimTime,
+    ) -> Result<Result<(), StoreError>, BackendFault>;
+
+    /// `MOVE`.
+    ///
+    /// # Errors
+    ///
+    /// Outer: device fault. Inner: store semantics.
+    fn rename(
+        &mut self,
+        src: &str,
+        dst: &str,
+        now: SimTime,
+    ) -> Result<Result<(), StoreError>, BackendFault>;
+
+    /// `LOCK` — inner `Ok` is the token.
+    ///
+    /// # Errors
+    ///
+    /// Outer: device fault. Inner: lock semantics.
+    #[allow(clippy::too_many_arguments)]
+    fn lock(
+        &mut self,
+        path: &str,
+        owner: &str,
+        scope: LockScope,
+        depth: LockDepth,
+        ttl: SimDuration,
+        now: SimTime,
+    ) -> Result<Result<LockToken, LockError>, BackendFault>;
+
+    /// `UNLOCK`.
+    ///
+    /// # Errors
+    ///
+    /// Outer: device fault. Inner: lock semantics.
+    fn unlock(
+        &mut self,
+        path: &str,
+        token: LockToken,
+        now: SimTime,
+    ) -> Result<Result<(), LockError>, BackendFault>;
+
+    /// `LOCK` refresh (extends the lifetime of a held lock).
+    ///
+    /// # Errors
+    ///
+    /// Outer: device fault. Inner: lock semantics.
+    fn refresh(
+        &mut self,
+        path: &str,
+        token: LockToken,
+        ttl: SimDuration,
+        now: SimTime,
+    ) -> Result<Result<(), LockError>, BackendFault>;
+
+    /// Write admissibility under the lock table (never journaled —
+    /// purely a read).
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::Locked`] when an exclusive lock covers the path and
+    /// the token doesn't match.
+    fn check_write(
+        &mut self,
+        path: &str,
+        token: Option<LockToken>,
+        now: SimTime,
+    ) -> Result<(), LockError>;
+
+    /// The live lock matching `(path, token)` at `now`, as
+    /// `(owner, expires_at)`.
+    fn find_lock(&self, path: &str, token: LockToken, now: SimTime) -> Option<(String, SimTime)>;
+
+    /// Lifecycle compaction: drop noncurrent versions beyond the `keep`
+    /// newest or written before `min_modified`.
+    ///
+    /// # Errors
+    ///
+    /// Outer: device fault. Inner: store semantics.
+    fn prune(
+        &mut self,
+        path: &str,
+        keep: usize,
+        min_modified: SimTime,
+    ) -> Result<Result<PruneReport, StoreError>, BackendFault>;
+}
+
+/// The in-memory backend: the netsim adapter's storage. Fast,
+/// deterministic, forgets everything on drop — exactly what
+/// experiments want.
+#[derive(Clone, Debug, Default)]
+pub struct VolatileBackend {
+    /// The versioned object store.
+    pub store: ObjectStore,
+    /// The WebDAV lock table.
+    pub locks: LockManager,
+}
+
+impl VolatileBackend {
+    /// An empty backend.
+    pub fn new() -> VolatileBackend {
+        VolatileBackend {
+            store: ObjectStore::new(),
+            locks: LockManager::new(),
+        }
+    }
+}
+
+impl AtticBackend for VolatileBackend {
+    fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    fn mkcol(&mut self, path: &str) -> Result<Result<(), StoreError>, BackendFault> {
+        Ok(self.store.mkcol(path))
+    }
+
+    fn put(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        now: SimTime,
+    ) -> Result<Result<String, StoreError>, BackendFault> {
+        Ok(self.store.put(path, body.to_vec(), now))
+    }
+
+    fn delete(&mut self, path: &str) -> Result<Result<usize, StoreError>, BackendFault> {
+        Ok(self.store.delete(path))
+    }
+
+    fn copy(
+        &mut self,
+        src: &str,
+        dst: &str,
+        now: SimTime,
+    ) -> Result<Result<(), StoreError>, BackendFault> {
+        Ok(self.store.copy(src, dst, now))
+    }
+
+    fn rename(
+        &mut self,
+        src: &str,
+        dst: &str,
+        now: SimTime,
+    ) -> Result<Result<(), StoreError>, BackendFault> {
+        Ok(self.store.rename(src, dst, now))
+    }
+
+    fn lock(
+        &mut self,
+        path: &str,
+        owner: &str,
+        scope: LockScope,
+        depth: LockDepth,
+        ttl: SimDuration,
+        now: SimTime,
+    ) -> Result<Result<LockToken, LockError>, BackendFault> {
+        Ok(self.locks.lock(path, owner, scope, depth, ttl, now))
+    }
+
+    fn unlock(
+        &mut self,
+        path: &str,
+        token: LockToken,
+        now: SimTime,
+    ) -> Result<Result<(), LockError>, BackendFault> {
+        Ok(self.locks.unlock(path, token, now))
+    }
+
+    fn refresh(
+        &mut self,
+        path: &str,
+        token: LockToken,
+        ttl: SimDuration,
+        now: SimTime,
+    ) -> Result<Result<(), LockError>, BackendFault> {
+        Ok(self.locks.refresh(path, token, ttl, now))
+    }
+
+    fn check_write(
+        &mut self,
+        path: &str,
+        token: Option<LockToken>,
+        now: SimTime,
+    ) -> Result<(), LockError> {
+        self.locks.check_write(path, token, now)
+    }
+
+    fn find_lock(&self, path: &str, token: LockToken, now: SimTime) -> Option<(String, SimTime)> {
+        self.locks.find(path, token, now)
+    }
+
+    fn prune(
+        &mut self,
+        path: &str,
+        keep: usize,
+        min_modified: SimTime,
+    ) -> Result<Result<PruneReport, StoreError>, BackendFault> {
+        Ok(self.store.prune_noncurrent(path, keep, min_modified))
+    }
+}
+
+impl AtticBackend for DurableAttic {
+    fn store(&self) -> &ObjectStore {
+        DurableAttic::store(self)
+    }
+
+    fn mkcol(&mut self, path: &str) -> Result<Result<(), StoreError>, BackendFault> {
+        Ok(DurableAttic::mkcol(self, path)?)
+    }
+
+    fn put(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        now: SimTime,
+    ) -> Result<Result<String, StoreError>, BackendFault> {
+        Ok(DurableAttic::put(self, path, body, now)?)
+    }
+
+    fn delete(&mut self, path: &str) -> Result<Result<usize, StoreError>, BackendFault> {
+        Ok(DurableAttic::delete(self, path)?)
+    }
+
+    fn copy(
+        &mut self,
+        src: &str,
+        dst: &str,
+        now: SimTime,
+    ) -> Result<Result<(), StoreError>, BackendFault> {
+        Ok(DurableAttic::copy(self, src, dst, now)?)
+    }
+
+    fn rename(
+        &mut self,
+        src: &str,
+        dst: &str,
+        now: SimTime,
+    ) -> Result<Result<(), StoreError>, BackendFault> {
+        Ok(DurableAttic::rename(self, src, dst, now)?)
+    }
+
+    fn lock(
+        &mut self,
+        path: &str,
+        owner: &str,
+        scope: LockScope,
+        depth: LockDepth,
+        ttl: SimDuration,
+        now: SimTime,
+    ) -> Result<Result<LockToken, LockError>, BackendFault> {
+        Ok(DurableAttic::lock(
+            self, path, owner, scope, depth, ttl, now,
+        )?)
+    }
+
+    fn unlock(
+        &mut self,
+        path: &str,
+        token: LockToken,
+        now: SimTime,
+    ) -> Result<Result<(), LockError>, BackendFault> {
+        Ok(DurableAttic::unlock(self, path, token, now)?)
+    }
+
+    fn refresh(
+        &mut self,
+        path: &str,
+        token: LockToken,
+        ttl: SimDuration,
+        now: SimTime,
+    ) -> Result<Result<(), LockError>, BackendFault> {
+        Ok(DurableAttic::refresh(self, path, token, ttl, now)?)
+    }
+
+    fn check_write(
+        &mut self,
+        path: &str,
+        token: Option<LockToken>,
+        now: SimTime,
+    ) -> Result<(), LockError> {
+        DurableAttic::check_write(self, path, token, now)
+    }
+
+    fn find_lock(&self, path: &str, token: LockToken, now: SimTime) -> Option<(String, SimTime)> {
+        self.locks().find(path, token, now)
+    }
+
+    fn prune(
+        &mut self,
+        path: &str,
+        keep: usize,
+        min_modified: SimTime,
+    ) -> Result<Result<PruneReport, StoreError>, BackendFault> {
+        Ok(DurableAttic::prune(self, path, keep, min_modified)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpop_durability::DurabilityConfig;
+    use hpop_netsim::storage::SimDisk;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    /// The same op sequence through both backends lands in the same
+    /// observable state — the ports contract the adapters rely on.
+    #[test]
+    fn volatile_and_durable_backends_agree() {
+        let mut vol = VolatileBackend::new();
+        let mut dur = DurableAttic::open(SimDisk::new(7), "attic", DurabilityConfig::default())
+            .expect("open");
+
+        fn drive<B: AtticBackend>(b: &mut B) -> (String, LockToken) {
+            b.mkcol("/d").unwrap().unwrap();
+            b.put("/d/f", b"v1", t(1)).unwrap().unwrap();
+            let etag = b.put("/d/f", b"v2", t(2)).unwrap().unwrap();
+            let token = b
+                .lock(
+                    "/d/f",
+                    "app",
+                    LockScope::Exclusive,
+                    LockDepth::Zero,
+                    SimDuration::from_secs(60),
+                    t(3),
+                )
+                .unwrap()
+                .unwrap();
+            assert!(b.check_write("/d/f", None, t(4)).is_err());
+            assert!(b.check_write("/d/f", Some(token), t(4)).is_ok());
+            let prune = b.prune("/d/f", 0, SimTime::ZERO).unwrap().unwrap();
+            assert_eq!(prune.removed_versions, 1);
+            (etag, token)
+        }
+
+        let (ev, tv) = drive(&mut vol);
+        let (ed, td) = drive(&mut dur);
+        assert_eq!(ev, ed, "etags agree across backends");
+        assert_eq!(tv, td, "deterministic tokens agree");
+        assert_eq!(
+            vol.store().get("/d/f").unwrap().etag,
+            dur.store().get("/d/f").unwrap().etag
+        );
+        assert_eq!(vol.store().history("/d/f").unwrap().len(), 1);
+        assert_eq!(dur.store().history("/d/f").unwrap().len(), 1);
+        assert_eq!(
+            vol.find_lock("/d/f", tv, t(5)).unwrap(),
+            dur.find_lock("/d/f", td, t(5)).unwrap()
+        );
+    }
+}

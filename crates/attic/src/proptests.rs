@@ -107,6 +107,108 @@ proptest! {
     }
 }
 
+mod dav_xml {
+    use crate::dav::{
+        xml_escape, xml_unescape, DavResponse, MultiStatus, PropValue, PropfindBody, Propstat,
+    };
+    use hpop_http::message::StatusCode;
+    use proptest::prelude::*;
+
+    /// Property names as the encoder emits them (element names, so no
+    /// spaces or XML metacharacters).
+    fn prop_name() -> impl Strategy<Value = String> {
+        "[a-z][a-z0-9-]{0,11}".prop_map(|s| s)
+    }
+
+    /// Text content including every escapable character. The tokenizer
+    /// trims surrounding whitespace, so strategies pre-trim — interior
+    /// whitespace and entities are the interesting cases anyway.
+    fn text_value() -> impl Strategy<Value = String> {
+        "[ -~]{0,24}".prop_map(|s| s.trim().to_owned())
+    }
+
+    fn prop_value() -> impl Strategy<Value = PropValue> {
+        prop_oneof![
+            text_value().prop_map(PropValue::Text),
+            Just(PropValue::Collection),
+            Just(PropValue::Empty),
+        ]
+    }
+
+    fn propstat() -> impl Strategy<Value = Propstat> {
+        (
+            prop_oneof![Just(200u16), Just(403), Just(404), Just(423), Just(507)],
+            proptest::collection::vec((prop_name(), prop_value()), 0..6),
+        )
+            .prop_map(|(code, props)| Propstat {
+                status: StatusCode(code),
+                props,
+            })
+    }
+
+    fn dav_response() -> impl Strategy<Value = DavResponse> {
+        (
+            "(/[a-zA-Z0-9 &<>'\"._-]{1,8}){1,4}(\\?version=[0-9]{1,3})?",
+            proptest::collection::vec(propstat(), 1..4),
+        )
+            .prop_map(|(href, propstats)| DavResponse {
+                href: href.trim().to_owned(),
+                propstats,
+            })
+    }
+
+    proptest! {
+        /// Escaping is lossless for arbitrary text, and the escaped form
+        /// never contains raw XML metacharacters.
+        #[test]
+        fn escape_round_trips(s in "\\PC{0,40}") {
+            let escaped = xml_escape(&s);
+            prop_assert!(!escaped.contains('<'));
+            prop_assert!(!escaped.contains('>'));
+            prop_assert!(!escaped.contains('"'));
+            prop_assert_eq!(xml_unescape(&escaped), s);
+        }
+
+        /// encode ∘ parse = id for the full Multi-Status document
+        /// shape: nested hrefs (with metacharacters and `?version=`
+        /// suffixes), mixed 200/404/other propstats, all three property
+        /// value kinds.
+        #[test]
+        fn multistatus_round_trips(
+            responses in proptest::collection::vec(dav_response(), 0..6),
+        ) {
+            let doc = MultiStatus { responses };
+            let xml = doc.to_xml();
+            let back = MultiStatus::parse(&xml).expect("own output parses");
+            prop_assert_eq!(back, doc);
+        }
+
+        /// A re-encode of a parse is byte-stable (the codec has one
+        /// canonical form).
+        #[test]
+        fn multistatus_encoding_is_canonical(
+            responses in proptest::collection::vec(dav_response(), 0..4),
+        ) {
+            let xml = MultiStatus { responses }.to_xml();
+            let again = MultiStatus::parse(&xml).expect("parses").to_xml();
+            prop_assert_eq!(again, xml);
+        }
+
+        /// PROPFIND bodies round-trip through their XML form.
+        #[test]
+        fn propfind_body_round_trips(
+            body in prop_oneof![
+                Just(PropfindBody::AllProp),
+                Just(PropfindBody::PropName),
+                proptest::collection::vec(prop_name(), 1..8).prop_map(PropfindBody::Props),
+            ],
+        ) {
+            let xml = body.to_xml();
+            prop_assert_eq!(PropfindBody::parse(&xml).expect("parses"), body);
+        }
+    }
+}
+
 mod server_fuzz {
     use crate::server::AtticServer;
     use hpop_core::auth::TokenVerifier;

@@ -1,18 +1,22 @@
-//! The attic's WebDAV-semantics HTTP server.
+//! The netsim adapter: the attic as the simulator drives it.
 //!
 //! The paper's prototype "implements a data attic as a WebDAV server"
 //! reachable over HTTP(S) for "decoupled communication between the
 //! external applications and the attic and ease of firewall traversal"
-//! (§IV-A). [`AtticServer`] dispatches the WebDAV verb set over the
-//! versioned store and lock table, enforcing capability grants on
-//! external requests.
+//! (§IV-A). [`AtticServer`] is the *deterministic* driving adapter of
+//! the hexagonal core (see [`ports`](crate::ports)): it wraps
+//! [`DavCore`] over the in-memory [`VolatileBackend`] and exposes the
+//! call-style interface the simulated home network uses. The
+//! `attic-daemon` binary drives the identical engine over real sockets
+//! — the conformance suite holds the two byte-identical.
 
-use crate::lock::{LockDepth, LockError, LockManager, LockScope, LockToken};
-use crate::store::{ObjectStore, StoreError};
-use hpop_core::auth::{CapabilityToken, TokenVerifier};
-use hpop_core::events::{Event, EventBus};
-use hpop_http::message::{Method, Request, Response, StatusCode};
-use hpop_netsim::time::{SimDuration, SimTime};
+use crate::ports::{Origin, VolatileBackend};
+use crate::store::ObjectStore;
+use crate::webdav::DavCore;
+use hpop_core::auth::TokenVerifier;
+use hpop_core::events::EventBus;
+use hpop_http::message::{Request, Response};
+use hpop_netsim::time::SimTime;
 
 /// The data attic server: store + locks + access control.
 ///
@@ -29,64 +33,49 @@ use hpop_netsim::time::{SimDuration, SimTime};
 /// assert!(resp.status.is_success());
 /// ```
 pub struct AtticServer {
-    store: ObjectStore,
-    locks: LockManager,
-    verifier: TokenVerifier,
-    bus: Option<EventBus>,
+    core: DavCore<VolatileBackend>,
 }
 
 impl std::fmt::Debug for AtticServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AtticServer")
-            .field("files", &self.store.files_under("/").len())
+            .field("files", &self.store().files_under("/").len())
             .finish()
     }
-}
-
-fn store_error_response(e: StoreError) -> Response {
-    let status = match e {
-        StoreError::NotFound => StatusCode::NOT_FOUND,
-        StoreError::MissingParent | StoreError::Conflict => StatusCode::CONFLICT,
-        StoreError::BadPath => StatusCode::BAD_REQUEST,
-        StoreError::DestinationExists => StatusCode::PRECONDITION_FAILED,
-    };
-    Response::new(status)
-}
-
-fn parse_lock_token(header: Option<&str>) -> Option<LockToken> {
-    header.and_then(LockToken::parse)
 }
 
 impl AtticServer {
     /// Creates an attic bound to the appliance's token verifier.
     pub fn new(verifier: TokenVerifier) -> AtticServer {
         AtticServer {
-            store: ObjectStore::new(),
-            locks: LockManager::new(),
-            verifier,
-            bus: None,
+            core: DavCore::new(VolatileBackend::new(), verifier),
         }
     }
 
     /// Attaches the appliance event bus; writes publish `attic.write`.
     pub fn with_bus(mut self, bus: EventBus) -> AtticServer {
-        self.bus = Some(bus);
+        self.core = self.core.with_bus(bus);
         self
     }
 
     /// Direct store access for in-home (trusted) tooling and tests.
     pub fn store(&self) -> &ObjectStore {
-        &self.store
+        &self.core.backend().store
     }
 
     /// Mutable direct store access (trusted local tooling).
     pub fn store_mut(&mut self) -> &mut ObjectStore {
-        &mut self.store
+        &mut self.core.backend_mut().store
+    }
+
+    /// The protocol engine itself, for adapters layered on top.
+    pub fn core_mut(&mut self) -> &mut DavCore<VolatileBackend> {
+        &mut self.core
     }
 
     /// Handles a request from inside the home (trusted; no grant needed).
     pub fn handle_local(&mut self, req: &Request, now: SimTime) -> Response {
-        self.dispatch(req, now)
+        self.core.serve(req, Origin::Local, now)
     }
 
     /// Handles a request from an external application: the request must
@@ -94,207 +83,16 @@ impl AtticServer {
     /// token whose scope covers the path and whose permission matches
     /// the method.
     pub fn handle_external(&mut self, req: &Request, now: SimTime) -> Response {
-        let Some(auth) = req.headers.get("authorization") else {
-            return Response::new(StatusCode::UNAUTHORIZED);
-        };
-        let Some(wire) = auth.strip_prefix("Capability ") else {
-            return Response::new(StatusCode::UNAUTHORIZED);
-        };
-        let Some(token) = CapabilityToken::decode(wire) else {
-            return Response::new(StatusCode::UNAUTHORIZED);
-        };
-        if !self.verifier.verify(&token, now) {
-            return Response::new(StatusCode::UNAUTHORIZED);
-        }
-        let path = req.url.path();
-        if !token.covers(path) {
-            return Response::new(StatusCode::FORBIDDEN);
-        }
-        let needs_write = !req.method.is_safe();
-        let allowed = if needs_write {
-            token.permission.allows_write()
-        } else {
-            token.permission.allows_read()
-        };
-        if !allowed {
-            return Response::new(StatusCode::FORBIDDEN);
-        }
-        self.dispatch(req, now)
-    }
-
-    fn dispatch(&mut self, req: &Request, now: SimTime) -> Response {
-        let path = req.url.path().to_owned();
-        match req.method {
-            Method::Get | Method::Head => self.get(&path, req),
-            Method::Put => self.put(&path, req, now),
-            Method::Delete => self.delete(&path, req, now),
-            Method::MkCol => match self.store.mkcol(&path) {
-                Ok(()) => Response::new(StatusCode::CREATED),
-                Err(e) => store_error_response(e),
-            },
-            Method::PropFind => self.propfind(&path, req),
-            Method::Copy | Method::Move => self.copy_move(&path, req, now),
-            Method::Lock => self.lock(&path, req, now),
-            Method::Unlock => self.unlock(&path, req, now),
-            Method::Options => Response::new(StatusCode::OK)
-                .with_header("dav", "1, 2")
-                .with_header(
-                    "allow",
-                    "GET, PUT, DELETE, MKCOL, PROPFIND, COPY, MOVE, LOCK, UNLOCK",
-                ),
-            _ => Response::new(StatusCode::METHOD_NOT_ALLOWED),
-        }
-    }
-
-    fn get(&mut self, path: &str, req: &Request) -> Response {
-        match self.store.get(path) {
-            Ok(v) => {
-                if req.headers.get("if-none-match") == Some(v.etag.as_str()) {
-                    return Response::new(StatusCode::NOT_MODIFIED)
-                        .with_header("etag", v.etag.clone());
-                }
-                let mut resp = Response::ok(v.body.clone()).with_header("etag", v.etag.clone());
-                if req.method == Method::Head {
-                    resp.body = bytes::Bytes::new();
-                }
-                resp
-            }
-            Err(e) => store_error_response(e),
-        }
-    }
-
-    fn put(&mut self, path: &str, req: &Request, now: SimTime) -> Response {
-        let token = parse_lock_token(req.headers.get("lock-token"));
-        if let Err(LockError::Locked { holder }) = self.locks.check_write(path, token, now) {
-            return Response::new(StatusCode::LOCKED).with_header("x-lock-holder", holder);
-        }
-        // Conditional write: If-Match guards against lost updates.
-        if let Some(expected) = req.headers.get("if-match") {
-            match self.store.get(path) {
-                Ok(v) if v.etag == expected => {}
-                _ => return Response::new(StatusCode::PRECONDITION_FAILED),
-            }
-        }
-        let created = !self.store.exists(path);
-        match self.store.put(path, req.body.clone(), now) {
-            Ok(etag) => {
-                if let Some(bus) = &self.bus {
-                    bus.publish(Event::new("attic.write", path.to_owned()));
-                }
-                let status = if created {
-                    StatusCode::CREATED
-                } else {
-                    StatusCode::NO_CONTENT
-                };
-                Response::new(status).with_header("etag", etag)
-            }
-            Err(e) => store_error_response(e),
-        }
-    }
-
-    fn delete(&mut self, path: &str, req: &Request, now: SimTime) -> Response {
-        let token = parse_lock_token(req.headers.get("lock-token"));
-        if let Err(LockError::Locked { holder }) = self.locks.check_write(path, token, now) {
-            return Response::new(StatusCode::LOCKED).with_header("x-lock-holder", holder);
-        }
-        match self.store.delete(path) {
-            Ok(_) => Response::new(StatusCode::NO_CONTENT),
-            Err(e) => store_error_response(e),
-        }
-    }
-
-    fn propfind(&mut self, path: &str, req: &Request) -> Response {
-        let depth = req.headers.get("depth").unwrap_or("1");
-        if depth == "0" {
-            return if self.store.exists(path) {
-                let kind = if self.store.is_collection(path) {
-                    "collection"
-                } else {
-                    "file"
-                };
-                Response::new(StatusCode::MULTI_STATUS).with_body(format!("{path} {kind}\n"))
-            } else {
-                Response::not_found()
-            };
-        }
-        match self.store.list(path) {
-            Ok(children) => {
-                let mut body = String::new();
-                for (name, is_col) in children {
-                    body.push_str(&format!(
-                        "{name} {}\n",
-                        if is_col { "collection" } else { "file" }
-                    ));
-                }
-                Response::new(StatusCode::MULTI_STATUS).with_body(body)
-            }
-            Err(e) => store_error_response(e),
-        }
-    }
-
-    fn copy_move(&mut self, path: &str, req: &Request, now: SimTime) -> Response {
-        let Some(dst) = req.headers.get("destination").map(str::to_owned) else {
-            return Response::new(StatusCode::BAD_REQUEST);
-        };
-        let token = parse_lock_token(req.headers.get("lock-token"));
-        if let Err(LockError::Locked { holder }) = self.locks.check_write(&dst, token, now) {
-            return Response::new(StatusCode::LOCKED).with_header("x-lock-holder", holder);
-        }
-        let result = if req.method == Method::Copy {
-            self.store.copy(path, &dst, now)
-        } else {
-            if let Err(LockError::Locked { holder }) = self.locks.check_write(path, token, now) {
-                return Response::new(StatusCode::LOCKED).with_header("x-lock-holder", holder);
-            }
-            self.store.rename(path, &dst, now)
-        };
-        match result {
-            Ok(()) => Response::new(StatusCode::CREATED),
-            Err(e) => store_error_response(e),
-        }
-    }
-
-    fn lock(&mut self, path: &str, req: &Request, now: SimTime) -> Response {
-        let owner = req.headers.get("x-lock-owner").unwrap_or("anonymous");
-        let scope = match req.headers.get("x-lock-scope") {
-            Some("shared") => LockScope::Shared,
-            _ => LockScope::Exclusive,
-        };
-        let depth = match req.headers.get("depth") {
-            Some("infinity") => LockDepth::Infinity,
-            _ => LockDepth::Zero,
-        };
-        let ttl = req
-            .headers
-            .get("timeout")
-            .and_then(|t| t.strip_prefix("Second-"))
-            .and_then(|s| s.parse().ok())
-            .map(SimDuration::from_secs)
-            .unwrap_or(SimDuration::from_secs(600));
-        match self.locks.lock(path, owner, scope, depth, ttl, now) {
-            Ok(token) => Response::new(StatusCode::OK).with_header("lock-token", token.to_string()),
-            Err(LockError::Locked { holder }) => {
-                Response::new(StatusCode::LOCKED).with_header("x-lock-holder", holder)
-            }
-            Err(LockError::BadToken) => Response::new(StatusCode::BAD_REQUEST),
-        }
-    }
-
-    fn unlock(&mut self, path: &str, req: &Request, now: SimTime) -> Response {
-        match parse_lock_token(req.headers.get("lock-token")) {
-            Some(token) => match self.locks.unlock(path, token, now) {
-                Ok(()) => Response::new(StatusCode::NO_CONTENT),
-                Err(_) => Response::new(StatusCode::CONFLICT),
-            },
-            None => Response::new(StatusCode::BAD_REQUEST),
-        }
+        self.core.serve(req, Origin::External, now)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dav::{MultiStatus, PropValue};
     use hpop_core::auth::Permission;
+    use hpop_http::message::{Method, StatusCode};
     use hpop_http::url::Url;
 
     fn server() -> AtticServer {
@@ -423,23 +221,32 @@ mod tests {
     }
 
     #[test]
-    fn propfind_lists() {
+    fn propfind_lists_as_multistatus_xml() {
         let mut s = server();
         s.store_mut().mkcol("/d").unwrap();
         s.store_mut().put("/d/a", "1", t(0)).unwrap();
         s.store_mut().put("/d/b", "2", t(0)).unwrap();
-        let pf = Request::new(Method::PropFind, url("/d"));
+        let pf = Request::new(Method::PropFind, url("/d")).with_header("depth", "1");
         let r = s.handle_local(&pf, t(1));
         assert_eq!(r.status, StatusCode::MULTI_STATUS);
-        let body = String::from_utf8(r.body.to_vec()).unwrap();
-        assert!(body.contains("/d/a file"));
-        assert!(body.contains("/d/b file"));
+        let ms = MultiStatus::parse(std::str::from_utf8(&r.body).unwrap()).expect("valid XML");
+        let hrefs: Vec<&str> = ms.responses.iter().map(|x| x.href.as_str()).collect();
+        assert_eq!(hrefs, vec!["/d", "/d/a", "/d/b"]);
+        // The collection is typed as one; files carry etags.
+        assert!(ms.responses[0].propstats[0]
+            .props
+            .iter()
+            .any(|(n, v)| n == "resourcetype" && *v == PropValue::Collection));
+        assert!(ms.responses[1].propstats[0]
+            .props
+            .iter()
+            .any(|(n, _)| n == "getetag"));
+
         let pf0 = Request::new(Method::PropFind, url("/d")).with_header("depth", "0");
         let r0 = s.handle_local(&pf0, t(1));
-        assert_eq!(
-            String::from_utf8(r0.body.to_vec()).unwrap(),
-            "/d collection\n"
-        );
+        let ms0 = MultiStatus::parse(std::str::from_utf8(&r0.body).unwrap()).unwrap();
+        assert_eq!(ms0.responses.len(), 1);
+        assert_eq!(ms0.responses[0].href, "/d");
     }
 
     #[test]
@@ -465,6 +272,10 @@ mod tests {
         let mut s = server();
         let r = s.handle_local(&Request::new(Method::Options, url("/")), t(0));
         assert_eq!(r.headers.get("dav"), Some("1, 2"));
+        let allow = r.headers.get("allow").unwrap();
+        for verb in ["OPTIONS", "HEAD", "PROPPATCH", "LOCK"] {
+            assert!(allow.contains(verb), "{verb} in Allow");
+        }
     }
 
     #[test]

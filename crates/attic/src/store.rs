@@ -40,6 +40,15 @@ impl fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
+/// What a lifecycle prune removed from one file's history.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Noncurrent versions removed.
+    pub removed_versions: u64,
+    /// Bytes those versions held.
+    pub reclaimed_bytes: u64,
+}
+
 /// A stored file version.
 #[derive(Clone, Debug)]
 pub struct Version {
@@ -277,6 +286,85 @@ impl ObjectStore {
             .collect())
     }
 
+    /// Every descendant of a collection (`PROPFIND` depth infinity),
+    /// as `(path, is_collection)` pairs in sorted path order; the
+    /// resource itself is not included.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] / [`StoreError::Conflict`] as
+    /// [`ObjectStore::list`].
+    pub fn descendants(&self, path: &str) -> Result<Vec<(String, bool)>, StoreError> {
+        match self.nodes.get(path) {
+            Some(Node::Collection) => {}
+            Some(Node::File { .. }) => return Err(StoreError::Conflict),
+            None => return Err(StoreError::NotFound),
+        }
+        let prefix = if path == "/" {
+            "/".to_owned()
+        } else {
+            format!("{path}/")
+        };
+        Ok(self
+            .nodes
+            .iter()
+            .filter(|(k, _)| k.starts_with(&prefix) && k.len() > prefix.len())
+            .map(|(k, n)| (k.clone(), matches!(n, Node::Collection)))
+            .collect())
+    }
+
+    /// Removes noncurrent versions of a file: a noncurrent version
+    /// survives only if it is among the `keep` newest noncurrent
+    /// versions **and** was written at or after `min_modified`. The
+    /// current (latest) version is never touched — lifecycle compaction
+    /// must not delete acknowledged data.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if `path` is missing,
+    /// [`StoreError::Conflict`] if it names a collection.
+    pub fn prune_noncurrent(
+        &mut self,
+        path: &str,
+        keep: usize,
+        min_modified: SimTime,
+    ) -> Result<PruneReport, StoreError> {
+        let versions = match self.nodes.get_mut(path) {
+            Some(Node::File { versions }) => versions,
+            Some(Node::Collection) => return Err(StoreError::Conflict),
+            None => return Err(StoreError::NotFound),
+        };
+        let n = versions.len();
+        let mut report = PruneReport::default();
+        let mut idx = 0usize;
+        versions.retain(|v| {
+            let i = idx;
+            idx += 1;
+            let is_current = i + 1 == n;
+            // Rank 1 = newest noncurrent, rank 2 = the one before it …
+            let rank = n - 1 - i;
+            let keep_it = is_current || (rank <= keep && v.modified_at >= min_modified);
+            if !keep_it {
+                report.removed_versions += 1;
+                report.reclaimed_bytes += v.body.len() as u64;
+            }
+            keep_it
+        });
+        Ok(report)
+    }
+
+    /// Total bytes across *all* versions (the number lifecycle
+    /// compaction shrinks; compare [`ObjectStore::latest_bytes`]).
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes
+            .values()
+            .map(|n| match n {
+                Node::File { versions } => versions.iter().map(|v| v.body.len() as u64).sum(),
+                Node::Collection => 0,
+            })
+            .sum()
+    }
+
     /// Copies a file (`COPY`). The destination must not exist.
     ///
     /// # Errors
@@ -457,6 +545,62 @@ mod tests {
         s.put("/x", "same", t(1)).unwrap();
         s.put("/y", "same", t(2)).unwrap();
         assert_eq!(s.get("/x").unwrap().etag, s.get("/y").unwrap().etag);
+    }
+
+    #[test]
+    fn descendants_walk_whole_subtrees() {
+        let mut s = ObjectStore::new();
+        s.mkcol_recursive("/d/sub").unwrap();
+        s.put("/d/a.txt", "x", t(1)).unwrap();
+        s.put("/d/sub/deep.txt", "y", t(1)).unwrap();
+        let all = s.descendants("/d").unwrap();
+        assert_eq!(
+            all,
+            vec![
+                ("/d/a.txt".to_owned(), false),
+                ("/d/sub".to_owned(), true),
+                ("/d/sub/deep.txt".to_owned(), false),
+            ]
+        );
+        assert_eq!(s.descendants("/").unwrap().len(), 4);
+        assert_eq!(s.descendants("/d/a.txt"), Err(StoreError::Conflict));
+        assert_eq!(s.descendants("/nope"), Err(StoreError::NotFound));
+    }
+
+    #[test]
+    fn prune_keeps_current_and_newest_noncurrent() {
+        let mut s = ObjectStore::new();
+        for i in 0..5u64 {
+            s.put("/f", vec![b'x'; 10], t(i)).unwrap();
+        }
+        // Keep 2 noncurrent, no age cutoff: v0, v1 go (20 bytes).
+        let r = s.prune_noncurrent("/f", 2, SimTime::ZERO).unwrap();
+        assert_eq!(r.removed_versions, 2);
+        assert_eq!(r.reclaimed_bytes, 20);
+        assert_eq!(s.history("/f").unwrap().len(), 3);
+        // Age cutoff t(4): only the current version survives.
+        let r = s.prune_noncurrent("/f", 99, t(4)).unwrap();
+        assert_eq!(r.removed_versions, 2);
+        let h = s.history("/f").unwrap();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h[0].modified_at, t(4));
+        // Pruning everything noncurrent never touches the current body.
+        let r = s.prune_noncurrent("/f", 0, SimTime::MAX).unwrap();
+        assert_eq!(r.removed_versions, 0);
+        assert!(s.get("/f").is_ok());
+        assert_eq!(
+            s.prune_noncurrent("/missing", 0, t(0)),
+            Err(StoreError::NotFound)
+        );
+    }
+
+    #[test]
+    fn total_bytes_counts_all_versions() {
+        let mut s = ObjectStore::new();
+        s.put("/f", vec![0u8; 7], t(0)).unwrap();
+        s.put("/f", vec![0u8; 5], t(1)).unwrap();
+        assert_eq!(s.total_bytes(), 12);
+        assert_eq!(s.latest_bytes(), 5);
     }
 
     #[test]

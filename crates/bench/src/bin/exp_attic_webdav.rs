@@ -1,0 +1,21 @@
+//! E23: the attic's WebDAV surface — conformance parity between the
+//! netsim adapter and the real-socket daemon, per-adapter throughput,
+//! lifecycle reclamation, and the lifecycle crash matrix (see DESIGN.md
+//! experiment index).
+//!
+//! `--smoke` reduces the throughput iteration count (the deterministic
+//! parity/lifecycle/crash legs run at full scale either way); add
+//! `--stable` for a byte-identical replayable snapshot (pins wall-clock
+//! and the requests/sec columns). CI runs the smoke preset *without*
+//! `--stable` so throughput is measured on a real socket.
+
+use hpop_bench::experiments::e23_attic_webdav;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        hpop_bench::harness::run_opts("attic_webdav", e23_attic_webdav::run_smoke);
+    } else {
+        hpop_bench::harness::run_opts("attic_webdav", e23_attic_webdav::run_default);
+    }
+}

@@ -1,4 +1,4 @@
-//! The per-experiment implementations (DESIGN.md index E1–E22).
+//! The per-experiment implementations (DESIGN.md index E1–E23).
 
 pub mod e01_ccz_utilization;
 pub mod e02_tcp_rampup;
@@ -22,6 +22,7 @@ pub mod e19_gossip_bytes;
 pub mod e20_chaos;
 pub mod e21_recovery;
 pub mod e22_trace_attribution;
+pub mod e23_attic_webdav;
 
 use crate::table::Table;
 
@@ -58,5 +59,11 @@ pub fn run_all() -> Vec<Table> {
             ..crate::harness::ExpOptions::default()
         },
     ));
+    // E23's throughput columns wall-clock the daemon; inside the
+    // aggregate run they stay pinned (stable) for determinism.
+    out.extend(e23_attic_webdav::run_default(&crate::harness::ExpOptions {
+        stable: true,
+        ..crate::harness::ExpOptions::default()
+    }));
     out
 }

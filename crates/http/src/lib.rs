@@ -24,6 +24,7 @@
 mod proptests;
 
 pub mod cache;
+pub mod h1;
 pub mod message;
 pub mod range;
 pub mod url;

@@ -36,6 +36,27 @@ impl Method {
         )
     }
 
+    /// Parses the canonical token (`"PROPFIND"` etc.). Method tokens
+    /// are case-sensitive per RFC 9110; `None` for unknown tokens.
+    pub fn parse(s: &str) -> Option<Method> {
+        Some(match s {
+            "GET" => Method::Get,
+            "HEAD" => Method::Head,
+            "PUT" => Method::Put,
+            "POST" => Method::Post,
+            "DELETE" => Method::Delete,
+            "OPTIONS" => Method::Options,
+            "PROPFIND" => Method::PropFind,
+            "PROPPATCH" => Method::PropPatch,
+            "MKCOL" => Method::MkCol,
+            "COPY" => Method::Copy,
+            "MOVE" => Method::Move,
+            "LOCK" => Method::Lock,
+            "UNLOCK" => Method::Unlock,
+            _ => return None,
+        })
+    }
+
     /// The canonical token (`"PROPFIND"` etc.).
     pub fn as_str(self) -> &'static str {
         match self {
@@ -81,6 +102,7 @@ impl StatusCode {
     pub const METHOD_NOT_ALLOWED: StatusCode = StatusCode(405);
     pub const CONFLICT: StatusCode = StatusCode(409);
     pub const PRECONDITION_FAILED: StatusCode = StatusCode(412);
+    pub const UNSUPPORTED_MEDIA_TYPE: StatusCode = StatusCode(415);
     pub const RANGE_NOT_SATISFIABLE: StatusCode = StatusCode(416);
     pub const LOCKED: StatusCode = StatusCode(423);
     pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
@@ -108,6 +130,7 @@ impl StatusCode {
             405 => "Method Not Allowed",
             409 => "Conflict",
             412 => "Precondition Failed",
+            415 => "Unsupported Media Type",
             416 => "Range Not Satisfiable",
             423 => "Locked",
             500 => "Internal Server Error",
@@ -306,6 +329,29 @@ mod tests {
         assert!(!Method::Put.is_safe());
         assert!(!Method::Lock.is_safe());
         assert_eq!(Method::MkCol.as_str(), "MKCOL");
+    }
+
+    #[test]
+    fn method_parse_round_trips() {
+        for m in [
+            Method::Get,
+            Method::Head,
+            Method::Put,
+            Method::Post,
+            Method::Delete,
+            Method::Options,
+            Method::PropFind,
+            Method::PropPatch,
+            Method::MkCol,
+            Method::Copy,
+            Method::Move,
+            Method::Lock,
+            Method::Unlock,
+        ] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::parse("get"), None);
+        assert_eq!(Method::parse("BREW"), None);
     }
 
     #[test]
