@@ -1,4 +1,4 @@
-//! The per-experiment implementations (DESIGN.md index E1–E23).
+//! The per-experiment implementations (DESIGN.md index E1–E24).
 
 pub mod e01_ccz_utilization;
 pub mod e02_tcp_rampup;
@@ -23,6 +23,7 @@ pub mod e20_chaos;
 pub mod e21_recovery;
 pub mod e22_trace_attribution;
 pub mod e23_attic_webdav;
+pub mod e24_scale;
 
 use crate::table::Table;
 
@@ -65,5 +66,9 @@ pub fn run_all() -> Vec<Table> {
         stable: true,
         ..crate::harness::ExpOptions::default()
     }));
+    // E24 is deliberately absent: its columns are wall-clock throughput
+    // measurements with no meaningful pinned form, and the full sweep
+    // simulates a million-home city. It runs only via `exp_scale`
+    // (`--smoke` for the CI preset).
     out
 }

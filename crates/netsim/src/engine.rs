@@ -6,38 +6,10 @@
 //! schedule further events. Ties in event time are broken by insertion
 //! order, which keeps runs fully deterministic.
 
+use crate::calendar::CalendarQueue;
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 type EventFn<S> = Box<dyn FnOnce(&mut Sim<S>)>;
-
-struct Scheduled<S> {
-    at: SimTime,
-    seq: u64,
-    run: EventFn<S>,
-}
-
-impl<S> PartialEq for Scheduled<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<S> Eq for Scheduled<S> {}
-impl<S> PartialOrd for Scheduled<S> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<S> Ord for Scheduled<S> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 /// A discrete-event simulation over user state `S`.
 ///
@@ -54,7 +26,7 @@ impl<S> Ord for Scheduled<S> {
 /// ```
 pub struct Sim<S> {
     now: SimTime,
-    queue: BinaryHeap<Scheduled<S>>,
+    queue: CalendarQueue<EventFn<S>>,
     next_seq: u64,
     events_run: u64,
     /// User-owned simulation state, freely accessible from event handlers.
@@ -66,7 +38,7 @@ impl<S> Sim<S> {
     pub fn new(state: S) -> Self {
         Sim {
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             next_seq: 0,
             events_run: 0,
             state,
@@ -101,11 +73,7 @@ impl<S> Sim<S> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            run: Box::new(event),
-        });
+        self.queue.push(at.as_nanos(), seq, Box::new(event));
     }
 
     /// Schedules `event` to run `delay` after the current instant.
@@ -124,8 +92,8 @@ impl<S> Sim<S> {
     /// sampled afterwards see the full window).
     pub fn run_until(&mut self, deadline: SimTime) {
         loop {
-            match self.queue.peek() {
-                Some(ev) if ev.at <= deadline => {
+            match self.queue.peek_key() {
+                Some((at, _)) if at <= deadline.as_nanos() => {
                     self.step();
                 }
                 _ => break,
@@ -138,12 +106,13 @@ impl<S> Sim<S> {
 
     /// Executes the next event, if any. Returns whether one ran.
     pub fn step(&mut self) -> bool {
-        match self.queue.pop() {
-            Some(ev) => {
-                debug_assert!(ev.at >= self.now);
-                self.now = ev.at;
+        match self.queue.pop_min() {
+            Some((at, _seq, run)) => {
+                let at = SimTime::from_nanos(at);
+                debug_assert!(at >= self.now);
+                self.now = at;
                 self.events_run += 1;
-                (ev.run)(self);
+                run(self);
                 true
             }
             None => false,
@@ -152,7 +121,7 @@ impl<S> Sim<S> {
 
     /// The time of the next pending event, if any.
     pub fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|ev| ev.at)
+        self.queue.peek_key().map(|(at, _)| SimTime::from_nanos(at))
     }
 }
 

@@ -26,8 +26,11 @@ pub struct Demand {
 /// that fair share, remove their consumption, and repeat. A flow whose cap
 /// is lower than the current global fair share is frozen at its cap first.
 ///
-/// Complexity is `O(F * (F + L))` per call — fine at experiment scale
-/// (hundreds of flows); calls happen only when the flow set changes.
+/// Caps are pre-sorted once (`O(F log F)`), so each filling round costs
+/// `O(F + L)` rather than rescanning every demand for its minimum cap;
+/// the function stays the reference oracle the incremental allocator in
+/// [`crate::flow`] is property-tested against, and must remain usable at
+/// 10k+ flows.
 pub fn max_min_rates(topo: &Topology, demands: &[Demand]) -> Vec<f64> {
     let nl = topo.dir_link_count();
     let mut residual: Vec<f64> = (0..nl)
@@ -42,6 +45,18 @@ pub fn max_min_rates(topo: &Topology, demands: &[Demand]) -> Vec<f64> {
             active_on_link[l.index()] += 1;
         }
     }
+
+    // Caps of link-crossing flows, pre-sorted ascending so each filling
+    // round reads the minimum unfixed cap from a cursor instead of
+    // rescanning all F demands.
+    let mut caps_sorted: Vec<(f64, usize)> = demands
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| !d.links.is_empty())
+        .filter_map(|(i, d)| d.cap.map(|c| (c.bits_per_sec(), i)))
+        .collect();
+    caps_sorted.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+    let mut cap_cursor = 0usize;
 
     // Unconstrained flows (no links) get their cap, or effectively
     // infinite rate (represented as f64::INFINITY; callers treat local
@@ -69,30 +84,27 @@ pub fn max_min_rates(topo: &Topology, demands: &[Demand]) -> Vec<f64> {
         }
 
         // Lowest cap among unfixed flows, if any cap undercuts the share.
-        let mut min_cap = f64::INFINITY;
-        for (i, d) in demands.iter().enumerate() {
-            if !fixed[i] {
-                if let Some(c) = d.cap {
-                    min_cap = min_cap.min(c.bits_per_sec());
-                }
-            }
+        while cap_cursor < caps_sorted.len() && fixed[caps_sorted[cap_cursor].1] {
+            cap_cursor += 1;
         }
+        let min_cap = caps_sorted
+            .get(cap_cursor)
+            .map_or(f64::INFINITY, |&(c, _)| c);
 
         if min_cap < bottleneck_share {
             // Freeze all cap-limited flows at or below this level.
-            for (i, d) in demands.iter().enumerate() {
+            let mut j = cap_cursor;
+            while j < caps_sorted.len() && caps_sorted[j].0 <= min_cap {
+                let (c, i) = caps_sorted[j];
+                j += 1;
                 if fixed[i] {
                     continue;
                 }
-                let Some(c) = d.cap else { continue };
-                let c = c.bits_per_sec();
-                if c <= min_cap {
-                    rate[i] = c;
-                    fixed[i] = true;
-                    for &l in &d.links {
-                        residual[l.index()] = (residual[l.index()] - c).max(0.0);
-                        active_on_link[l.index()] -= 1;
-                    }
+                rate[i] = c;
+                fixed[i] = true;
+                for &l in &demands[i].links {
+                    residual[l.index()] = (residual[l.index()] - c).max(0.0);
+                    active_on_link[l.index()] -= 1;
                 }
             }
         } else {

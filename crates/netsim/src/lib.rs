@@ -62,6 +62,7 @@
 #[cfg(test)]
 mod proptests;
 
+pub mod calendar;
 pub mod churn;
 pub mod engine;
 pub mod fairshare;
@@ -79,7 +80,7 @@ pub mod units;
 pub use churn::{ChurnConfig, ChurnEvent, ChurnSchedule};
 pub use engine::Sim;
 pub use faults::{FaultConfig, FaultPlan, PeerMode};
-pub use flow::{FlowId, FlowNet};
+pub use flow::{AllocMode, AllocStats, CompletedInfo, FlowId, FlowNet};
 pub use netsim::{NetSim, TransferInfo};
 pub use routing::{Path, RoutingTable};
 pub use storage::{DiskError, DiskStats, SimDisk, StorageFaults, SECTOR_BYTES};
@@ -91,7 +92,7 @@ pub use units::{Bandwidth, GB, KB, MB};
 pub mod prelude {
     pub use crate::churn::{ChurnConfig, ChurnEvent, ChurnSchedule};
     pub use crate::engine::Sim;
-    pub use crate::flow::{FlowId, FlowNet};
+    pub use crate::flow::{AllocMode, AllocStats, FlowId, FlowNet};
     pub use crate::metrics::{Cdf, Counter, TimeSeries};
     pub use crate::netsim::{NetSim, TransferInfo};
     pub use crate::routing::{Path, RoutingTable};

@@ -8,13 +8,18 @@
 //! next request of a session, which is how the workload drivers operate.
 
 use crate::engine::Sim;
-use crate::flow::{CompletedFlow, FlowId, FlowNet};
+use crate::flow::{AllocMode, AllocStats, FlowId, FlowNet};
 use crate::routing::Path;
 use crate::time::SimTime;
-use crate::topology::{NodeId, Topology};
+use crate::topology::{DirLinkId, NodeId, Topology};
 use crate::units::Bandwidth;
-use hpop_obs::{event, MetricsRegistry, SpanTracer, TraceCtx};
+use hpop_obs::{event, CounterHandle, HistogramHandle, MetricsRegistry, SpanTracer, TraceCtx};
 use std::collections::HashMap;
+
+/// Per-link byte counters are only materialised for topologies up to this
+/// many directed links; metro-scale topologies would otherwise drown the
+/// registry in hundreds of thousands of counters.
+const PER_LINK_METRIC_MAX: usize = 4096;
 
 /// Handler invoked when a transfer completes.
 pub type TransferHandler = Box<dyn FnOnce(&mut NetSim, TransferInfo)>;
@@ -37,15 +42,38 @@ pub struct TransferInfo {
     pub ctx: TraceCtx,
 }
 
-impl TransferInfo {
-    fn from_completed(flow: FlowId, c: &CompletedFlow) -> Self {
-        TransferInfo {
-            flow,
-            bytes: c.total_bytes,
-            started_at: c.started_at,
-            completed_at: c.completed_at,
-            mean_rate: c.mean_rate(),
-            ctx: c.ctx,
+/// Metric handles resolved once per registry, so the completion path
+/// records into atomics instead of doing name lookups (and allocations).
+struct MetricHandles {
+    flows_started: CounterHandle,
+    flows_completed: CounterHandle,
+    flows_cancelled: CounterHandle,
+    bytes_completed: CounterHandle,
+    duration_us: HistogramHandle,
+    flow_bytes: HistogramHandle,
+    rate_kbps: HistogramHandle,
+    /// One byte counter per directed link; empty above
+    /// [`PER_LINK_METRIC_MAX`] links.
+    link_bytes: Vec<CounterHandle>,
+}
+
+impl MetricHandles {
+    fn resolve(m: &MetricsRegistry, dir_links: usize) -> Self {
+        MetricHandles {
+            flows_started: m.counter("netsim.flows.started"),
+            flows_completed: m.counter("netsim.flows.completed"),
+            flows_cancelled: m.counter("netsim.flows.cancelled"),
+            bytes_completed: m.counter("netsim.bytes.completed"),
+            duration_us: m.histogram("netsim.flow.duration_us"),
+            flow_bytes: m.histogram("netsim.flow.bytes"),
+            rate_kbps: m.histogram("netsim.flow.rate_kbps"),
+            link_bytes: if dir_links <= PER_LINK_METRIC_MAX {
+                (0..dir_links)
+                    .map(|i| m.counter(&format!("netsim.link.{i}.bytes")))
+                    .collect()
+            } else {
+                Vec::new()
+            },
         }
     }
 }
@@ -56,7 +84,15 @@ pub struct NetState {
     pub net: FlowNet,
     handlers: HashMap<u64, TransferHandler>,
     epoch: u64,
+    /// Instant of the currently scheduled completion event (so a
+    /// reallocation that doesn't move the next completion doesn't
+    /// schedule a redundant event).
+    pending_at: Option<SimTime>,
     metrics: MetricsRegistry,
+    handles: MetricHandles,
+    /// Reused buffer of completions drained per event (no allocation in
+    /// the steady state).
+    done: Vec<(FlowId, TransferInfo)>,
 }
 
 impl std::fmt::Debug for NetState {
@@ -74,11 +110,16 @@ pub type NetSim = Sim<NetState>;
 impl Sim<NetState> {
     /// Creates a network simulation over `topo`, clock at zero.
     pub fn with_topology(topo: Topology) -> NetSim {
+        let metrics = MetricsRegistry::new();
+        let handles = MetricHandles::resolve(&metrics, topo.dir_link_count());
         Sim::new(NetState {
             net: FlowNet::new(topo),
             handlers: HashMap::new(),
             epoch: 0,
-            metrics: MetricsRegistry::new(),
+            pending_at: None,
+            metrics,
+            handles,
+            done: Vec::new(),
         })
     }
 
@@ -92,7 +133,24 @@ impl Sim<NetState> {
     /// metrics land in the same snapshot as service metrics. Call before
     /// starting transfers; earlier metrics stay in the old registry.
     pub fn use_metrics(&mut self, metrics: MetricsRegistry) {
+        self.state.handles =
+            MetricHandles::resolve(&metrics, self.state.net.topology().dir_link_count());
         self.state.metrics = metrics;
+    }
+
+    /// Selects the rate-allocation strategy (incremental vs the legacy
+    /// global re-solve); safe mid-run — rates are re-solved at the
+    /// switch and the pending completion event refreshed.
+    pub fn set_alloc_mode(&mut self, mode: AllocMode) {
+        let now = self.now();
+        self.state.net.advance(now);
+        self.state.net.set_alloc_mode(mode);
+        self.reschedule_completion();
+    }
+
+    /// Cumulative allocator work counters (see [`AllocStats`]).
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.state.net.alloc_stats()
     }
 
     /// Starts a transfer on the native route and registers a completion
@@ -149,7 +207,7 @@ impl Sim<NetState> {
             .start_traced(src, dst, bytes, cap, now, ctx)
             .unwrap_or_else(|| panic!("no route between {src:?} and {dst:?}"));
         self.state.handlers.insert(id.raw(), Box::new(on_done));
-        self.state.metrics.counter("netsim.flows.started").incr();
+        self.state.handles.flows_started.incr();
         self.reschedule_completion();
         id
     }
@@ -165,7 +223,29 @@ impl Sim<NetState> {
         let now = self.now();
         let id = self.state.net.start_on_path(path, bytes, cap, now);
         self.state.handlers.insert(id.raw(), Box::new(on_done));
-        self.state.metrics.counter("netsim.flows.started").incr();
+        self.state.handles.flows_started.incr();
+        self.reschedule_completion();
+        id
+    }
+
+    /// Starts a fire-and-forget transfer along explicit hops without
+    /// constructing a [`Path`] or boxing a handler — the allocation-free
+    /// bulk path metro-scale workload drivers use. Completion is still
+    /// metered; there is just no per-flow callback.
+    pub fn start_transfer_on_hops(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        hops: &[DirLinkId],
+        bytes: u64,
+        cap: Option<Bandwidth>,
+    ) -> FlowId {
+        let now = self.now();
+        let id = self
+            .state
+            .net
+            .start_on_hops(src, dst, hops, bytes, cap, now, TraceCtx::NONE);
+        self.state.handles.flows_started.incr();
         self.reschedule_completion();
         id
     }
@@ -183,23 +263,30 @@ impl Sim<NetState> {
         let now = self.now();
         let left = self.state.net.cancel(id, now)?;
         self.state.handlers.remove(&id.raw());
-        self.state.metrics.counter("netsim.flows.cancelled").incr();
+        self.state.handles.flows_cancelled.incr();
         self.reschedule_completion();
         Some(left)
     }
 
-    /// Invalidates any pending completion event and schedules a fresh one
-    /// at the earliest completion instant.
+    /// Ensures a completion event is pending at the earliest completion
+    /// instant. When a flow-set change leaves the next completion where
+    /// it was, the already-scheduled event is kept; otherwise it is
+    /// invalidated (by bumping the epoch) and a fresh one scheduled.
     fn reschedule_completion(&mut self) {
+        let now = self.now();
+        let next = self.state.net.next_completion().map(|(t, _)| t.max(now));
+        if next == self.state.pending_at {
+            return; // the pending event already fires at the right instant
+        }
         self.state.epoch += 1;
         let epoch = self.state.epoch;
-        let now = self.now();
-        if let Some((t, _)) = self.state.net.next_completion() {
-            let at = t.max(now);
+        self.state.pending_at = next;
+        if let Some(at) = next {
             self.schedule_at(at, move |sim| {
                 if sim.state.epoch != epoch {
                     return; // superseded by a later flow-set change
                 }
+                sim.state.pending_at = None;
                 sim.drain_completions();
             });
         }
@@ -207,49 +294,61 @@ impl Sim<NetState> {
 
     fn drain_completions(&mut self) {
         let now = self.now();
-        self.state.net.advance(now);
-        let done = self.state.net.take_completed();
-        let infos: Vec<(FlowId, TransferInfo)> = done
-            .iter()
-            .map(|(id, c)| (*id, TransferInfo::from_completed(*id, c)))
-            .collect();
-        for (id, c) in &done {
-            self.record_completion(*id, c, now);
-        }
+        let st = &mut self.state;
+        st.net.advance(now);
+        st.done.clear();
+        let (net, done, handles) = (&mut st.net, &mut st.done, &st.handles);
+        net.drain_completed_with(|id, info, hops| {
+            handles.flows_completed.incr();
+            handles.bytes_completed.add(info.total_bytes);
+            let duration = info.completed_at.saturating_since(info.started_at);
+            let dt = duration.as_secs_f64();
+            let mean_rate = if dt <= 0.0 {
+                Bandwidth::ZERO
+            } else {
+                Bandwidth::from_bps(info.total_bytes as f64 * 8.0 / dt)
+            };
+            handles.duration_us.record(duration.as_nanos() / 1_000);
+            handles.flow_bytes.record(info.total_bytes);
+            handles
+                .rate_kbps
+                .record((mean_rate.bits_per_sec() / 1e3) as u64);
+            if !handles.link_bytes.is_empty() {
+                for hop in hops {
+                    handles.link_bytes[hop.index()].add(info.total_bytes);
+                }
+            }
+            event!(
+                hpop_obs::tracer(),
+                now.as_nanos() / 1_000,
+                "netsim",
+                "flow.complete",
+                flow = id.raw(),
+                bytes = info.total_bytes,
+                duration_us = duration.as_nanos() / 1_000,
+                hops = hops.len() as u64
+            );
+            done.push((
+                id,
+                TransferInfo {
+                    flow: id,
+                    bytes: info.total_bytes,
+                    started_at: info.started_at,
+                    completed_at: info.completed_at,
+                    mean_rate,
+                    ctx: info.ctx,
+                },
+            ));
+        });
         // Reschedule *before* running handlers: handlers may start flows,
         // which reschedules again with a fresher epoch.
         self.reschedule_completion();
-        for (id, info) in infos {
+        for k in 0..self.state.done.len() {
+            let (id, info) = self.state.done[k].clone();
             if let Some(h) = self.state.handlers.remove(&id.raw()) {
                 h(self, info);
             }
         }
-    }
-
-    fn record_completion(&mut self, id: FlowId, c: &CompletedFlow, now: SimTime) {
-        let m = &self.state.metrics;
-        m.counter("netsim.flows.completed").incr();
-        m.counter("netsim.bytes.completed").add(c.total_bytes);
-        let duration = c.completed_at.saturating_since(c.started_at);
-        m.histogram("netsim.flow.duration_us")
-            .record(duration.as_nanos() / 1_000);
-        m.histogram("netsim.flow.bytes").record(c.total_bytes);
-        m.histogram("netsim.flow.rate_kbps")
-            .record((c.mean_rate().bits_per_sec() / 1e3) as u64);
-        for hop in c.path.hops() {
-            m.counter(&format!("netsim.link.{}.bytes", hop.index()))
-                .add(c.total_bytes);
-        }
-        event!(
-            hpop_obs::tracer(),
-            now.as_nanos() / 1_000,
-            "netsim",
-            "flow.complete",
-            flow = id.raw(),
-            bytes = c.total_bytes,
-            duration_us = duration.as_nanos() / 1_000,
-            hops = c.path.hops().len() as u64
-        );
     }
 }
 

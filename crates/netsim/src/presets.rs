@@ -6,9 +6,12 @@
 //!   bottleneck-shift experiment.
 //! - [`detour_triangle`]: a client/waypoint/server triangle whose direct
 //!   path violates the triangle inequality — the §IV-C detour setting.
+//! - [`metro`]: the hierarchical city (homes → aggregation → metro →
+//!   backbone) for metro-scale experiments; tree paths are computed in
+//!   O(1) without Dijkstra, which the incremental allocator exploits.
 
 use crate::time::SimDuration;
-use crate::topology::{NodeId, Topology, TopologyBuilder};
+use crate::topology::{DirLinkId, NodeId, Topology, TopologyBuilder};
 use crate::units::Bandwidth;
 
 /// A built CCZ-style neighborhood: node handles for experiments.
@@ -226,6 +229,150 @@ pub fn detour_triangle(p: &DetourParams) -> DetourTriangle {
     }
 }
 
+/// Parameters for [`metro`]. Defaults model a CCZ-style city: 1 Gbps
+/// homes, 32 per aggregation switch on oversubscribed 10 Gbps uplinks,
+/// 16 aggregations per metro PoP on 100 Gbps, all metro PoPs on a
+/// 1 Tbps backbone node.
+#[derive(Clone, Debug)]
+pub struct MetroParams {
+    /// Total number of homes in the city.
+    pub homes: usize,
+    /// Homes per aggregation switch.
+    pub homes_per_agg: usize,
+    /// Aggregation switches per metro PoP.
+    pub aggs_per_metro: usize,
+    /// Per-home access capacity (symmetric FTTH).
+    pub home_capacity: Bandwidth,
+    /// Aggregation→metro uplink capacity (shared by its homes).
+    pub agg_uplink: Bandwidth,
+    /// Metro→backbone uplink capacity (shared by its aggregations).
+    pub metro_uplink: Bandwidth,
+    /// One-way home↔aggregation latency.
+    pub access_latency: SimDuration,
+    /// One-way aggregation↔metro latency.
+    pub agg_latency: SimDuration,
+    /// One-way metro↔backbone latency.
+    pub metro_latency: SimDuration,
+}
+
+impl Default for MetroParams {
+    fn default() -> Self {
+        MetroParams {
+            homes: 1024,
+            homes_per_agg: 32,
+            aggs_per_metro: 16,
+            home_capacity: Bandwidth::gbps(1.0),
+            agg_uplink: Bandwidth::gbps(10.0),
+            metro_uplink: Bandwidth::gbps(100.0),
+            access_latency: SimDuration::from_micros(500),
+            agg_latency: SimDuration::from_millis(1),
+            metro_latency: SimDuration::from_millis(2),
+        }
+    }
+}
+
+/// A built hierarchical city. Paths between any two homes (or a home and
+/// the backbone) follow the unique tree route and are produced in O(1)
+/// from precomputed uplink hops — no Dijkstra, which matters at a
+/// million nodes where a single `RoutingTable::route` call is O(n).
+#[derive(Clone, Debug)]
+pub struct MetroNetwork {
+    /// The topology itself.
+    pub topology: Topology,
+    /// One node per home.
+    pub homes: Vec<NodeId>,
+    /// The city backbone node (the root of the tree).
+    pub backbone: NodeId,
+    homes_per_agg: usize,
+    aggs_per_metro: usize,
+    /// Per home: `[home→agg, agg→metro, metro→backbone]` directed hops.
+    up: Vec<[DirLinkId; 3]>,
+}
+
+impl MetroNetwork {
+    /// Number of homes in the city.
+    pub fn home_count(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// The three uplink hops from a home to the backbone, in order.
+    pub fn up_hops(&self, home: usize) -> [DirLinkId; 3] {
+        self.up[home]
+    }
+
+    /// Fills `buf` with the unique tree path between two distinct homes:
+    /// up from `a` to the lowest common ancestor, then down to `b`.
+    pub fn path_between(&self, a: usize, b: usize, buf: &mut Vec<DirLinkId>) {
+        buf.clear();
+        if a == b {
+            return;
+        }
+        let (ua, ub) = (self.up[a], self.up[b]);
+        let (agg_a, agg_b) = (a / self.homes_per_agg, b / self.homes_per_agg);
+        let depth = if agg_a == agg_b {
+            1
+        } else if agg_a / self.aggs_per_metro == agg_b / self.aggs_per_metro {
+            2
+        } else {
+            3
+        };
+        for hop in ua.iter().take(depth) {
+            buf.push(*hop);
+        }
+        for hop in ub.iter().take(depth).rev() {
+            buf.push(hop.reversed());
+        }
+    }
+}
+
+/// Builds a hierarchical city: homes → aggregation → metro → backbone.
+///
+/// ```
+/// use hpop_netsim::presets::{metro, MetroParams};
+/// let city = metro(&MetroParams { homes: 256, ..MetroParams::default() });
+/// assert_eq!(city.home_count(), 256);
+/// assert_eq!(city.up_hops(0).len(), 3);
+/// ```
+pub fn metro(params: &MetroParams) -> MetroNetwork {
+    assert!(params.homes > 0, "a city needs homes");
+    assert!(params.homes_per_agg > 0 && params.aggs_per_metro > 0);
+    let n_aggs = params.homes.div_ceil(params.homes_per_agg);
+    let n_metros = n_aggs.div_ceil(params.aggs_per_metro);
+
+    let mut b = TopologyBuilder::new();
+    let backbone = b.add_node("backbone");
+    let mut metro_up = Vec::with_capacity(n_metros);
+    for m in 0..n_metros {
+        let pop = b.add_node(format!("metro{m}"));
+        let l = b.add_link(pop, backbone, params.metro_uplink, params.metro_latency);
+        metro_up.push((pop, l.forward()));
+    }
+    let mut agg_up = Vec::with_capacity(n_aggs);
+    for a in 0..n_aggs {
+        let (pop, pop_up) = metro_up[a / params.aggs_per_metro];
+        let sw = b.add_node(format!("agg{a}"));
+        let l = b.add_link(sw, pop, params.agg_uplink, params.agg_latency);
+        agg_up.push((sw, l.forward(), pop_up));
+    }
+    let mut homes = Vec::with_capacity(params.homes);
+    let mut up = Vec::with_capacity(params.homes);
+    for h in 0..params.homes {
+        let (sw, sw_up, pop_up) = agg_up[h / params.homes_per_agg];
+        let home = b.add_node(format!("h{h}"));
+        let l = b.add_link(home, sw, params.home_capacity, params.access_latency);
+        homes.push(home);
+        up.push([l.forward(), sw_up, pop_up]);
+    }
+    MetroNetwork {
+        topology: b.build(),
+        homes,
+        backbone,
+        homes_per_agg: params.homes_per_agg,
+        aggs_per_metro: params.aggs_per_metro,
+        up,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,5 +437,77 @@ mod tests {
         let via = rt.route_via(t.client, t.waypoint, t.server).unwrap();
         assert!(via.latency(&t.topology) < native.latency(&t.topology));
         assert_eq!(via.loss(&t.topology), 0.0);
+    }
+
+    #[test]
+    fn metro_shape() {
+        let city = metro(&MetroParams {
+            homes: 100,
+            homes_per_agg: 10,
+            aggs_per_metro: 4,
+            ..MetroParams::default()
+        });
+        // 100 homes, 10 aggs, 3 metros, 1 backbone; one link per child.
+        assert_eq!(city.home_count(), 100);
+        assert_eq!(city.topology.node_count(), 114);
+        assert_eq!(city.topology.link_count(), 113);
+    }
+
+    #[test]
+    fn metro_tree_paths_match_dijkstra() {
+        let city = metro(&MetroParams {
+            homes: 48,
+            homes_per_agg: 8,
+            aggs_per_metro: 2,
+            ..MetroParams::default()
+        });
+        let mut rt = RoutingTable::new(&city.topology);
+        let mut buf = Vec::new();
+        // Same agg (1+1 hops), same metro (2+2), cross-metro (3+3).
+        for (a, b, hops) in [(0usize, 1usize, 2), (0, 9, 4), (0, 40, 6)] {
+            city.path_between(a, b, &mut buf);
+            assert_eq!(buf.len(), hops, "{a}->{b}");
+            let want = rt.route(city.homes[a], city.homes[b]).unwrap();
+            assert_eq!(buf.as_slice(), want.hops(), "{a}->{b}");
+        }
+        // Up-hops reach the backbone contiguously.
+        let up = city.up_hops(17);
+        assert_eq!(city.topology.dir_from(up[0]), city.homes[17]);
+        assert_eq!(city.topology.dir_to(up[2]), city.backbone);
+        assert_eq!(city.topology.dir_to(up[0]), city.topology.dir_from(up[1]));
+        assert_eq!(city.topology.dir_to(up[1]), city.topology.dir_from(up[2]));
+    }
+
+    #[test]
+    fn metro_flows_contend_on_agg_uplink() {
+        // 64 homes under one agg, all pushing to the backbone: the
+        // 10 Gbps agg uplink is the bottleneck, so each gets ~156 Mbps.
+        use crate::flow::FlowNet;
+        use crate::time::SimTime;
+        use hpop_obs::TraceCtx;
+        let city = metro(&MetroParams {
+            homes: 64,
+            homes_per_agg: 64,
+            ..MetroParams::default()
+        });
+        let mut net = FlowNet::new(city.topology.clone());
+        let mut ids = Vec::new();
+        for h in 0..64 {
+            let id = net.start_on_hops(
+                city.homes[h],
+                city.backbone,
+                &city.up_hops(h),
+                1 << 30,
+                None,
+                SimTime::ZERO,
+                TraceCtx::NONE,
+            );
+            ids.push(id);
+        }
+        let want = 10e9 / 64.0;
+        for id in ids {
+            let got = net.rate(id).unwrap().bits_per_sec();
+            assert!((got - want).abs() < want * 1e-6, "rate {got}");
+        }
     }
 }

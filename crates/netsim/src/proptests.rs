@@ -1,9 +1,10 @@
 //! Property-based tests of the simulator's core invariants.
 
 use crate::fairshare::{max_min_rates, Demand};
+use crate::flow::{FlowId, FlowNet};
 use crate::routing::RoutingTable;
-use crate::time::SimDuration;
-use crate::topology::{Topology, TopologyBuilder};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{DirLinkId, Topology, TopologyBuilder};
 use crate::units::Bandwidth;
 use proptest::prelude::*;
 
@@ -92,6 +93,103 @@ proptest! {
                 after[i] >= before[i] * (1.0 - 1e-6),
                 "flow {i} shrank: {} -> {}", before[i], after[i]
             );
+        }
+    }
+
+    /// The incremental bottleneck-set allocator in [`FlowNet`] produces
+    /// the same rates as the global progressive-filling oracle
+    /// (`max_min_rates`) after every operation of a random add / cancel /
+    /// re-cap sequence over a random topology, within 1e-6 relative.
+    #[test]
+    fn incremental_allocator_matches_oracle(
+        chain in proptest::collection::vec(1u32..10_000, 4..9),
+        extra in proptest::collection::vec((0usize..16, 0usize..16, 1u32..10_000), 0..6),
+        ops in proptest::collection::vec(
+            (0usize..64, 0u8..5, 0usize..16, 0usize..16, 0u32..2_000),
+            1..40,
+        ),
+    ) {
+        // Random connected topology: a chain plus random extra links.
+        let mut b = TopologyBuilder::new();
+        let n = chain.len() + 1;
+        let nodes: Vec<_> = (0..n).map(|i| b.add_node(format!("n{i}"))).collect();
+        for (i, &c) in chain.iter().enumerate() {
+            b.add_link(
+                nodes[i],
+                nodes[i + 1],
+                Bandwidth::mbps(c as f64),
+                SimDuration::from_millis(1),
+            );
+        }
+        for &(x, y, c) in &extra {
+            let (x, y) = (x % n, y % n);
+            if x != y {
+                b.add_link(
+                    nodes[x],
+                    nodes[y],
+                    Bandwidth::mbps(c as f64),
+                    SimDuration::from_millis(1),
+                );
+            }
+        }
+        let topo = b.build();
+        let mut rt = RoutingTable::new(&topo);
+        let mut net = FlowNet::new(topo.clone());
+        // (id, hops, cap) of every flow we believe to be live.
+        let mut live: Vec<(FlowId, Vec<DirLinkId>, Option<Bandwidth>)> = Vec::new();
+        let mut t_ns = 0u64;
+        for &(pick, kind, x, y, c) in &ops {
+            t_ns += 1_000_000;
+            let now = SimTime::from_nanos(t_ns);
+            net.advance(now);
+            for (id, _) in net.take_completed() {
+                live.retain(|(l, _, _)| *l != id);
+            }
+            match kind {
+                // Start (weighted 3/5; mixes short flows that complete
+                // mid-sequence with long ones that persist).
+                0..=2 => {
+                    let (src, dst) = (nodes[x % n], nodes[y % n]);
+                    if src != dst {
+                        if let Some(path) = rt.route(src, dst) {
+                            let cap = (c % 3 != 0).then(|| Bandwidth::mbps((c + 1) as f64));
+                            let bytes = if c % 5 == 0 { 10_000 } else { 1 << 30 };
+                            let hops = path.hops().to_vec();
+                            let id = net.start(src, dst, bytes, cap, now).unwrap();
+                            live.push((id, hops, cap));
+                        }
+                    }
+                }
+                3 => {
+                    if !live.is_empty() {
+                        let (id, _, _) = live.remove(pick % live.len());
+                        net.cancel(id, now);
+                    }
+                }
+                _ => {
+                    if !live.is_empty() {
+                        let k = pick % live.len();
+                        let cap = (c % 2 == 0).then(|| Bandwidth::mbps((c + 1) as f64));
+                        net.set_cap(live[k].0, cap, now);
+                        live[k].2 = cap;
+                    }
+                }
+            }
+            for (id, _) in net.take_completed() {
+                live.retain(|(l, _, _)| *l != id);
+            }
+            let demands: Vec<Demand> = live
+                .iter()
+                .map(|(_, hops, cap)| Demand { links: hops.clone(), cap: *cap })
+                .collect();
+            let oracle = max_min_rates(&topo, &demands);
+            for ((id, _, _), &want) in live.iter().zip(&oracle) {
+                let got = net.rate(*id).unwrap().bits_per_sec();
+                prop_assert!(
+                    (got - want).abs() <= want.abs() * 1e-6 + 1e-3,
+                    "flow {id:?}: incremental {got} vs oracle {want}"
+                );
+            }
         }
     }
 

@@ -1,0 +1,122 @@
+//! Steady-state allocation audit of the flow-engine tick path.
+//!
+//! A metro-scale run spends its life in a churn loop: flows complete,
+//! replacements start, rates ripple. After warm-up every buffer involved
+//! (arena slots, per-link flow lists, the completion heap, the ripple
+//! scratch vectors, the drain buffer) must have reached capacity — the
+//! loop must run without touching the heap allocator at all. A counting
+//! `#[global_allocator]` enforces exactly that.
+
+use hpop_netsim::prelude::*;
+use hpop_obs::TraceCtx;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// A small CCZ-style tree: `n` homes on 1 Gbps access links into an
+/// aggregation node whose oversubscribed 2 Gbps uplink feeds a core node.
+/// Every home→core flow contends on the uplink, so churn genuinely
+/// ripples rates across flows.
+type Star = (
+    Topology,
+    NodeId,
+    Vec<(NodeId, [hpop_netsim::topology::DirLinkId; 2])>,
+);
+
+fn star(n: usize) -> Star {
+    let mut b = TopologyBuilder::new();
+    let agg = b.add_node("agg");
+    let core = b.add_node("core");
+    let uplink = b.add_link(agg, core, Bandwidth::gbps(2.0), SimDuration::from_millis(1));
+    let mut homes = Vec::with_capacity(n);
+    let mut links = Vec::with_capacity(n);
+    for i in 0..n {
+        let h = b.add_node(format!("home{i}"));
+        let l = b.add_link(h, agg, Bandwidth::gbps(1.0), SimDuration::from_millis(1));
+        homes.push(h);
+        links.push(l);
+    }
+    let topo = b.build();
+    let out = homes
+        .iter()
+        .zip(&links)
+        .map(|(&h, &l)| (h, [l.forward(), uplink.forward()]))
+        .collect();
+    (topo, core, out)
+}
+
+#[test]
+fn steady_state_churn_does_not_allocate() {
+    let (topo, agg, homes) = star(16);
+    let mut net = FlowNet::new(topo);
+    let mut clock = SimTime::ZERO;
+
+    // Churn loop body: drain whatever completed, start a replacement on
+    // the same home, advance to the next completion.
+    let cycle = |net: &mut FlowNet, clock: &mut SimTime, i: usize| {
+        let (home, hops) = &homes[i % homes.len()];
+        net.start_on_hops(
+            *home,
+            agg,
+            hops,
+            1_000_000 + (i as u64 % 7) * 100_000,
+            Some(Bandwidth::mbps(200.0 + (i % 5) as f64 * 50.0)),
+            *clock,
+            TraceCtx::NONE,
+        );
+        let (t, _) = net.next_completion().expect("flows in flight");
+        *clock = t;
+        net.advance(t);
+        net.drain_completed_with(|_, _, _| {});
+    };
+
+    // Warm-up: grow every arena, list, heap and scratch buffer to its
+    // steady-state capacity.
+    for i in 0..4_096 {
+        cycle(&mut net, &mut clock, i);
+    }
+
+    let before = allocs();
+    for i in 0..4_096 {
+        cycle(&mut net, &mut clock, i);
+    }
+    let after = allocs();
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state churn performed {} heap allocations",
+        after - before
+    );
+    let stats = net.alloc_stats();
+    assert!(stats.reallocations > 8_000, "churn exercised the allocator");
+    assert!(stats.heap_pushes > 8_000, "completions were heap-tracked");
+}
