@@ -1,0 +1,20 @@
+//! E25: adversarial accounting — Sybil/collusion campaigns against the
+//! usage-record plane with the accountability-puzzle defense off and on
+//! (see DESIGN.md experiment index).
+//!
+//! `--smoke` runs the CI preset (smaller populations) under the *same*
+//! experiment name: every budgeted counter is a scale-free ratio or an
+//! exact zero, so the same bounds hold at both scales. CI passes
+//! `--out BENCH_accounting_smoke.json` to keep the committed full-run
+//! artifact intact.
+
+use hpop_bench::experiments::e25_accounting_attacks;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        hpop_bench::harness::run("accounting", e25_accounting_attacks::run_smoke);
+    } else {
+        hpop_bench::harness::run("accounting", e25_accounting_attacks::run_default);
+    }
+}

@@ -147,7 +147,7 @@ pub fn collusion_table(honest_peers: u32) -> Table {
     let mut t = Table::new(
         "E6c",
         format!("collusion anomaly scores ({honest_peers} honest peers + 1 colluding clique)"),
-        &["peer", "score (vs median)", "flagged (>2.0)"],
+        &["peer", "score (vs trimmed baseline)", "flagged (>2.0)"],
     );
     for (p, s) in scores {
         let is_colluder = p == colluder;

@@ -632,6 +632,60 @@ mod tests {
         assert_eq!(a.replay_bytes, b.replay_bytes);
     }
 
+    /// Replay at scale: thousands of settled records survive a power
+    /// cut, and the recovered NonceRegistry bounces the *entire* acked
+    /// history — replayed three full passes — without double-crediting
+    /// a byte. Settle is idempotent across repeated recovery, not just
+    /// for the single probe pass the chaos run performs.
+    #[test]
+    fn nonce_registry_replay_at_scale_is_idempotent() {
+        const MASTER: [u8; 32] = [0x1d; 32];
+        const RECORDS: u64 = 2_000;
+        let cfg = DurabilityConfig {
+            max_segment_bytes: 64 * 1024,
+            snapshot_every_ops: 256,
+            keep_snapshots: 2,
+        };
+        let disk = SimDisk::new(0x5ca1e);
+        let mut acct = DurableAccounting::open(disk, "acct", cfg).expect("fresh open");
+        let mut acked = Vec::new();
+        for i in 0..RECORDS {
+            let peer = NoCdnPeerId((i % 7) as u32);
+            let bytes = 500 + i % 900;
+            let key = acct.issue(i, peer, bytes, &MASTER).expect("issue");
+            let rec = UsageRecord::sign(&key, peer, i, bytes, 1, Nonce(i as u128));
+            assert_eq!(acct.settle(&rec).expect("settle"), Ok(()));
+            acked.push(rec);
+        }
+        let payable: Vec<u64> = (0..7)
+            .map(|p| acct.accounting().payable_bytes(NoCdnPeerId(p)))
+            .collect();
+
+        // Two crash/recover cycles; after each, the full history is
+        // replayed multiple times.
+        for cycle in 0..2 {
+            let mut disk = acct.into_disk();
+            disk.restart();
+            acct = DurableAccounting::open(disk, "acct", cfg).expect("recovery");
+            for pass in 0..3 {
+                for rec in &acked {
+                    assert_eq!(
+                        acct.settle(rec).expect("probe"),
+                        Err(RejectReason::Replay),
+                        "cycle {cycle} pass {pass} double-credited"
+                    );
+                }
+            }
+            for (p, want) in payable.iter().enumerate() {
+                assert_eq!(
+                    acct.accounting().payable_bytes(NoCdnPeerId(p as u32)),
+                    *want,
+                    "cycle {cycle}: payable drifted for peer {p}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn all_rejoin_modes_are_false_positive_free() {
         for mode in [

@@ -1,4 +1,4 @@
-//! The per-experiment implementations (DESIGN.md index E1–E24).
+//! The per-experiment implementations (DESIGN.md index E1–E25).
 
 pub mod e01_ccz_utilization;
 pub mod e02_tcp_rampup;
@@ -24,6 +24,7 @@ pub mod e21_recovery;
 pub mod e22_trace_attribution;
 pub mod e23_attic_webdav;
 pub mod e24_scale;
+pub mod e25_accounting_attacks;
 
 use crate::table::Table;
 
@@ -70,5 +71,6 @@ pub fn run_all() -> Vec<Table> {
     // measurements with no meaningful pinned form, and the full sweep
     // simulates a million-home city. It runs only via `exp_scale`
     // (`--smoke` for the CI preset).
+    out.extend(e25_accounting_attacks::run_default());
     out
 }

@@ -9,6 +9,9 @@
 //! - [`hmac`] — HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
 //! - [`chacha20`] — the ChaCha20 stream cipher (RFC 8439).
 //! - [`nonce`] — a replay-protection registry for signed usage records.
+//! - [`puzzle`] — the CAPnet-style cache accountability puzzle: a
+//!   data-dependent proof of serving that bounds what fabricated usage
+//!   records can earn per unit of attacker work.
 //! - [`constant_time_eq`] — timing-safe comparison for MAC verification.
 //!
 //! Every primitive is validated against official test vectors in its
@@ -35,11 +38,13 @@ mod proptests;
 pub mod chacha20;
 pub mod hmac;
 pub mod nonce;
+pub mod puzzle;
 pub mod sha256;
 
 pub use chacha20::ChaCha20;
 pub use hmac::{hmac_sha256, verify_hmac_sha256, HmacTag};
 pub use nonce::{Nonce, NonceRegistry};
+pub use puzzle::{PuzzleChallenge, PuzzleParams, PuzzleProof, PuzzleWork};
 pub use sha256::{Digest, Sha256};
 
 /// Compares two byte slices in time independent of their contents

@@ -2,6 +2,7 @@
 
 use crate::chacha20::ChaCha20;
 use crate::hmac::{hmac_sha256, verify_hmac_sha256};
+use crate::puzzle::{self, PuzzleChallenge, PuzzleParams, PuzzleProof};
 use crate::sha256::{Digest, Sha256};
 use proptest::prelude::*;
 
@@ -65,5 +66,75 @@ proptest! {
             m2[i] ^= 1 << bit;
         }
         prop_assert!(!verify_hmac_sha256(&k2, &m2, &tag));
+    }
+
+    /// Accountability puzzle **completeness**: an honest solve over the
+    /// authentic bytes verifies for every data size, challenge, and
+    /// parameterization.
+    #[test]
+    fn puzzle_honest_solves_always_verify(
+        challenge in proptest::array::uniform32(any::<u8>()),
+        data in proptest::collection::vec(any::<u8>(), 0..20_000),
+        block_shift in 6u32..13,
+        checkpoint_rounds in 1u32..10,
+        verify_segments in 1u32..6,
+    ) {
+        let params = PuzzleParams {
+            block_bytes: 1usize << block_shift,
+            passes: 1,
+            checkpoint_rounds,
+            verify_segments,
+        };
+        let chal = PuzzleChallenge(challenge);
+        let (proof, work) = puzzle::solve(&chal, &data, &params);
+        prop_assert_eq!(work.rounds, params.rounds_for(data.len()) as u64);
+        let (ok, vwork) = puzzle::verify(&chal, &data, &proof, &params);
+        prop_assert!(ok, "honest solve rejected");
+        prop_assert!(vwork.rounds <= work.rounds);
+    }
+
+    /// Accountability puzzle **soundness**: a proof fabricated without
+    /// the data — a random tag, a proof for different bytes, or a proof
+    /// for a different record binding — never verifies.
+    #[test]
+    fn puzzle_fabricated_proofs_never_verify(
+        challenge in proptest::array::uniform32(any::<u8>()),
+        data in proptest::collection::vec(any::<u8>(), 1..8_000),
+        fake_tag in proptest::array::uniform32(any::<u8>()),
+        flip in any::<prop::sample::Index>(),
+    ) {
+        // Full (unsampled) verification: every segment replayed, so the
+        // per-pass coverage guarantee applies to the whole claim.
+        let params = PuzzleParams {
+            block_bytes: 512,
+            passes: 1,
+            checkpoint_rounds: 3,
+            verify_segments: 32,
+        };
+        let chal = PuzzleChallenge(challenge);
+        let (real, _) = puzzle::solve(&chal, &data, &params);
+
+        // A data-less forgery: right checkpoint shape, made-up states.
+        let segments = (params.rounds_for(data.len()).div_ceil(3)).max(1) as usize;
+        let forged = PuzzleProof {
+            tag: fake_tag,
+            checkpoints: vec![fake_tag; segments - 1],
+        };
+        // (The astronomically unlikely collision fake_tag == real.tag
+        // would still fail: the final segment replay pins the chain.)
+        prop_assert!(!puzzle::verify(&chal, &data, &forged, &params).0);
+
+        // A real proof over *different* bytes (peer claims data it
+        // never held).
+        let mut other = data.clone();
+        let at = flip.index(other.len());
+        other[at] ^= 0x01;
+        let (stolen, _) = puzzle::solve(&chal, &other, &params);
+        prop_assert!(!puzzle::verify(&chal, &data, &stolen, &params).0);
+
+        // A real proof bound to a different record identity.
+        let mut chal2 = challenge;
+        chal2[0] ^= 0x01;
+        prop_assert!(!puzzle::verify(&PuzzleChallenge(chal2), &data, &real, &params).0);
     }
 }

@@ -35,6 +35,9 @@
 //! - [`faults`] — seeded fault-injection plans composing link loss,
 //!   delay spikes, blackholes, peer crashes/slowness/corruption and
 //!   named partitions on the same clock as the churn schedules.
+//! - [`attacks`] — seeded adversarial campaigns (Sybil swarms,
+//!   accounting collusion, record laundering, adaptive throttling):
+//!   the same passive-oracle shape as [`faults`], composable with it.
 //! - [`storage`] — [`SimDisk`]: a deterministic block device with
 //!   crash-point injection, torn sector writes and bit-rot, the
 //!   substrate of the `hpop-durability` crash-recovery layer.
@@ -62,6 +65,7 @@
 #[cfg(test)]
 mod proptests;
 
+pub mod attacks;
 pub mod calendar;
 pub mod churn;
 pub mod engine;

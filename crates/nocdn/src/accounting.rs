@@ -17,12 +17,25 @@
 //!    peer, so a record claiming more bytes than the issued work is
 //!    rejected.
 //! 4. **Anomaly scoring** — collusion (peer + client inventing traffic)
-//!    is surfaced by comparing per-peer payment rates against the
-//!    population median (the paper's "anomalous behavior detection").
+//!    is surfaced by comparing per-peer payment rates against a robust
+//!    trimmed baseline (the paper's "anomalous behavior detection").
+//! 5. **Accountability puzzles** (optional, CAPnet-style; see
+//!    [`crate::puzzle`]) — when a [`PuzzleSpec`] policy is set, a
+//!    record is payable only with a verified data-dependent proof of
+//!    serving, so colluders who *fabricate* retrievals are rejected
+//!    ([`RejectReason::UnbackedServe`]) and colluders who do the work
+//!    gain at most a constant payable-bytes-per-work ratio.
+//!
+//! Layers 1–3 defeat a lone dishonest peer; layer 4 surfaces colluding
+//! cliques; layer 5 bounds what even a Sybil swarm with full protocol
+//! compliance can extract (experiment E25).
 
 use crate::peer::PeerId;
+use crate::puzzle::PuzzleSpec;
+use bytes::Bytes;
 use hpop_crypto::hmac::{hmac_sha256, verify_hmac_sha256, HmacTag};
 use hpop_crypto::nonce::{Nonce, NonceRegistry};
+use hpop_crypto::puzzle::{self, PuzzleProof};
 use std::collections::BTreeMap;
 
 /// A client-signed record of bytes served by one peer.
@@ -38,12 +51,37 @@ pub struct UsageRecord {
     pub objects: u32,
     /// Anti-replay nonce.
     pub nonce: Nonce,
+    /// Accountability-puzzle proof of serving, when the provider's
+    /// policy demands one. The proof tag is covered by the signature,
+    /// so it cannot be stripped or swapped without tripping
+    /// [`RejectReason::BadSignature`].
+    pub proof: Option<PuzzleProof>,
     tag: HmacTag,
 }
 
+fn tag_hex(proof: Option<&PuzzleProof>) -> String {
+    match proof {
+        None => "-".to_owned(),
+        Some(p) => p.tag.iter().map(|b| format!("{b:02x}")).collect(),
+    }
+}
+
 impl UsageRecord {
-    fn message(peer: PeerId, client: u64, bytes: u64, objects: u32, nonce: Nonce) -> Vec<u8> {
-        format!("usage|{}|{client}|{bytes}|{objects}|{}", peer.0, nonce.0).into_bytes()
+    fn message(
+        peer: PeerId,
+        client: u64,
+        bytes: u64,
+        objects: u32,
+        nonce: Nonce,
+        proof: Option<&PuzzleProof>,
+    ) -> Vec<u8> {
+        format!(
+            "usage|{}|{client}|{bytes}|{objects}|{}|{}",
+            peer.0,
+            nonce.0,
+            tag_hex(proof)
+        )
+        .into_bytes()
     }
 
     /// Signs a record with the provider-issued short-term key.
@@ -55,13 +93,32 @@ impl UsageRecord {
         objects: u32,
         nonce: Nonce,
     ) -> UsageRecord {
-        let tag = hmac_sha256(key, &Self::message(peer, client, bytes, objects, nonce));
+        Self::sign_with_proof(key, peer, client, bytes, objects, nonce, None)
+    }
+
+    /// Signs a record carrying an accountability-puzzle proof. The
+    /// proof tag is part of the signed message.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sign_with_proof(
+        key: &[u8; 32],
+        peer: PeerId,
+        client: u64,
+        bytes: u64,
+        objects: u32,
+        nonce: Nonce,
+        proof: Option<PuzzleProof>,
+    ) -> UsageRecord {
+        let tag = hmac_sha256(
+            key,
+            &Self::message(peer, client, bytes, objects, nonce, proof.as_ref()),
+        );
         UsageRecord {
             peer,
             client,
             bytes,
             objects,
             nonce,
+            proof,
             tag,
         }
     }
@@ -70,7 +127,14 @@ impl UsageRecord {
     pub fn verify(&self, key: &[u8; 32]) -> bool {
         verify_hmac_sha256(
             key,
-            &Self::message(self.peer, self.client, self.bytes, self.objects, self.nonce),
+            &Self::message(
+                self.peer,
+                self.client,
+                self.bytes,
+                self.objects,
+                self.nonce,
+                self.proof.as_ref(),
+            ),
             &self.tag,
         )
     }
@@ -83,6 +147,7 @@ impl UsageRecord {
         bytes: u64,
         objects: u32,
         nonce: Nonce,
+        proof: Option<PuzzleProof>,
         tag: HmacTag,
     ) -> UsageRecord {
         UsageRecord {
@@ -91,6 +156,7 @@ impl UsageRecord {
             bytes,
             objects,
             nonce,
+            proof,
             tag,
         }
     }
@@ -100,7 +166,9 @@ impl UsageRecord {
         &self.tag
     }
 
-    /// An unsigned record for unit tests of non-crypto paths.
+    /// An unsigned record for unit tests of non-crypto paths. Gated out
+    /// of production builds: real records always carry a signature.
+    #[cfg(any(test, feature = "testutil"))]
     #[doc(hidden)]
     pub fn unsigned_for_tests(peer: PeerId, bytes: u64) -> UsageRecord {
         UsageRecord {
@@ -109,6 +177,7 @@ impl UsageRecord {
             bytes,
             objects: 1,
             nonce: Nonce(0),
+            proof: None,
             tag: HmacTag([0u8; 32]),
         }
     }
@@ -125,12 +194,31 @@ pub enum RejectReason {
     ExceedsIssuedWork,
     /// No issuance is outstanding for this (client, peer).
     UnknownIssuance,
+    /// The accountability-puzzle policy is on and the record's proof is
+    /// missing or does not verify against the authentic bytes — a
+    /// fabricated retrieval (confirmed misbehavior, fed to the fabric
+    /// reputation ledger).
+    UnbackedServe,
+}
+
+/// The accountability-puzzle verdict attached to a settlement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PuzzleCheck {
+    /// No puzzle policy applies (defense off).
+    NotRequired,
+    /// The proof verified against the authentic bytes.
+    Verified,
+    /// The proof is missing or wrong: the serve is unbacked.
+    Unbacked,
 }
 
 #[derive(Clone, Debug)]
 pub(crate) struct Issuance {
     pub(crate) key: [u8; 32],
     pub(crate) max_bytes: u64,
+    /// The object paths mapped to the peer (sorted), so a puzzle proof
+    /// can be verified against the authentic bytes at settle time.
+    pub(crate) objects: Vec<String>,
 }
 
 /// Derives the short-term `(client, peer)` key from the provider's
@@ -157,12 +245,31 @@ pub struct Accounting {
     issued_count: BTreeMap<PeerId, u64>,
     /// Rejections per peer with reasons.
     rejections: Vec<(PeerId, RejectReason)>,
+    /// The accountability-puzzle policy, when the defense is on.
+    /// Provider configuration, not payment state — it is not part of
+    /// the durable snapshot and is re-set after recovery.
+    puzzle: Option<PuzzleSpec>,
+    /// Data bytes the provider touched verifying puzzle proofs (the
+    /// honest-path overhead E25c budgets). Transient measurement.
+    verify_work_bytes: u64,
 }
 
 impl Accounting {
     /// Fresh accounting state.
     pub fn new() -> Accounting {
         Accounting::default()
+    }
+
+    /// Turns the accountability-puzzle defense on: every subsequent
+    /// settlement must carry a proof verifiable against the authentic
+    /// bytes of its issuance's objects.
+    pub fn set_puzzle(&mut self, spec: PuzzleSpec) {
+        self.puzzle = Some(spec);
+    }
+
+    /// The active puzzle policy, if any (wrapper pages publish it).
+    pub fn puzzle_spec(&self) -> Option<&PuzzleSpec> {
+        self.puzzle.as_ref()
     }
 
     /// Issues a short-term key for `(client, peer)` covering at most
@@ -175,25 +282,133 @@ impl Accounting {
         max_bytes: u64,
         master: &[u8; 32],
     ) -> [u8; 32] {
+        self.issue_with_objects(client, peer, max_bytes, &[], master)
+    }
+
+    /// [`Accounting::issue`] recording the object paths mapped to the
+    /// peer, so the puzzle defense can verify proofs at settle time.
+    pub fn issue_with_objects(
+        &mut self,
+        client: u64,
+        peer: PeerId,
+        max_bytes: u64,
+        objects: &[String],
+        master: &[u8; 32],
+    ) -> [u8; 32] {
         let key = derive_issue_key(master, client, peer, max_bytes);
-        self.apply_issue(client, peer, max_bytes, key);
+        self.apply_issue(client, peer, max_bytes, objects.to_vec(), key);
         key
     }
 
     /// Records an issuance whose key was already derived — the replay
     /// path of the durability adapter.
-    pub(crate) fn apply_issue(&mut self, client: u64, peer: PeerId, max_bytes: u64, key: [u8; 32]) {
-        self.issuances
-            .insert((client, peer.0), Issuance { key, max_bytes });
+    pub(crate) fn apply_issue(
+        &mut self,
+        client: u64,
+        peer: PeerId,
+        max_bytes: u64,
+        mut objects: Vec<String>,
+        key: [u8; 32],
+    ) {
+        objects.sort();
+        self.issuances.insert(
+            (client, peer.0),
+            Issuance {
+                key,
+                max_bytes,
+                objects,
+            },
+        );
         *self.issued_count.entry(peer).or_default() += 1;
     }
 
+    /// Checks a record's accountability-puzzle proof under `spec`,
+    /// resolving each issued object path to its authentic bytes. A
+    /// record is [`PuzzleCheck::Unbacked`] when the proof is absent,
+    /// when any issued object cannot be resolved (the provider cannot
+    /// confirm backing), or when the sampled replay disagrees.
+    ///
+    /// Read-only so the durability adapter can compute the verdict
+    /// *before* logging the settlement — replay then re-applies the
+    /// logged verdict instead of needing the object bytes again.
+    /// Returns the verdict plus the data bytes the verification walked
+    /// (the provider's overhead currency).
+    pub fn check_puzzle<F>(
+        &self,
+        record: &UsageRecord,
+        spec: &PuzzleSpec,
+        mut resolve: F,
+    ) -> (PuzzleCheck, u64)
+    where
+        F: FnMut(&str) -> Option<Bytes>,
+    {
+        let Some(iss) = self.issuances.get(&(record.client, record.peer.0)) else {
+            // No issuance: the settle path rejects as UnknownIssuance
+            // before the puzzle is consulted.
+            return (PuzzleCheck::NotRequired, 0);
+        };
+        let Some(proof) = record.proof.as_ref() else {
+            return (PuzzleCheck::Unbacked, 0);
+        };
+        let mut data = Vec::new();
+        for path in &iss.objects {
+            match resolve(path) {
+                Some(body) => data.extend_from_slice(&body),
+                None => return (PuzzleCheck::Unbacked, 0),
+            }
+        }
+        let challenge = spec.challenge(record.client, record.peer, record.nonce);
+        let (ok, work) = puzzle::verify(&challenge, &data, proof, &spec.params);
+        hpop_obs::metrics()
+            .counter("nocdn.acct.puzzle.verify_bytes")
+            .add(work.data_bytes);
+        let check = if ok {
+            PuzzleCheck::Verified
+        } else {
+            PuzzleCheck::Unbacked
+        };
+        (check, work.data_bytes)
+    }
+
     /// Settles one uploaded record: verify, replay-check, work-check.
+    /// With the puzzle policy on, this no-resolver form cannot confirm
+    /// backing and therefore rejects every record as
+    /// [`RejectReason::UnbackedServe`] — use [`Accounting::settle_with`]
+    /// and hand it the provider's object store.
     ///
     /// # Errors
     ///
     /// Returns the [`RejectReason`] and records it against the peer.
     pub fn settle(&mut self, record: &UsageRecord) -> Result<(), RejectReason> {
+        self.settle_with(record, |_| None)
+    }
+
+    /// [`Accounting::settle`] with access to the authentic object
+    /// bytes, so the accountability-puzzle policy (when set) can verify
+    /// the record's proof of serving.
+    pub fn settle_with<F>(&mut self, record: &UsageRecord, resolve: F) -> Result<(), RejectReason>
+    where
+        F: FnMut(&str) -> Option<Bytes>,
+    {
+        let check = match self.puzzle {
+            None => PuzzleCheck::NotRequired,
+            Some(spec) => {
+                let (check, work) = self.check_puzzle(record, &spec, resolve);
+                self.verify_work_bytes += work;
+                check
+            }
+        };
+        self.settle_checked(record, check)
+    }
+
+    /// The settlement core, taking a precomputed puzzle verdict (the
+    /// durability adapter logs the verdict with the record and replays
+    /// it deterministically).
+    pub(crate) fn settle_checked(
+        &mut self,
+        record: &UsageRecord,
+        check: PuzzleCheck,
+    ) -> Result<(), RejectReason> {
         let Some(iss) = self.issuances.get(&(record.client, record.peer.0)) else {
             self.rejections
                 .push((record.peer, RejectReason::UnknownIssuance));
@@ -208,6 +423,14 @@ impl Accounting {
             self.rejections
                 .push((record.peer, RejectReason::ExceedsIssuedWork));
             return Err(RejectReason::ExceedsIssuedWork);
+        }
+        if check == PuzzleCheck::Unbacked {
+            self.rejections
+                .push((record.peer, RejectReason::UnbackedServe));
+            hpop_obs::metrics()
+                .counter("nocdn.acct.puzzle.unbacked_rejected")
+                .incr();
+            return Err(RejectReason::UnbackedServe);
         }
         if !self.nonces.accept(&record.peer.0.to_string(), record.nonce) {
             self.rejections.push((record.peer, RejectReason::Replay));
@@ -232,26 +455,74 @@ impl Accounting {
         self.rejections.iter().filter(|(p, _)| *p == peer).count()
     }
 
-    /// Payment-rate anomaly scores: a peer's accepted bytes per issuance
-    /// divided by the population median of the same quantity. Honest
-    /// peers cluster near 1.0; colluding cliques that cycle fake
-    /// downloads through themselves stand out well above it.
-    pub fn anomaly_scores(&self) -> BTreeMap<PeerId, f64> {
-        let mut rates: Vec<(PeerId, f64)> = self
-            .issued_count
+    /// Peers with confirmed fabricated serves (puzzle rejections),
+    /// worst first — the feed into the fabric reputation ledger: a
+    /// [`RejectReason::UnbackedServe`] is cryptographic evidence of
+    /// fabrication, not an anomaly-score suspicion.
+    pub fn confirmed_offenders(&self) -> Vec<(PeerId, u32)> {
+        let mut counts: BTreeMap<PeerId, u32> = BTreeMap::new();
+        for &(peer, reason) in &self.rejections {
+            if reason == RejectReason::UnbackedServe {
+                *counts.entry(peer).or_default() += 1;
+            }
+        }
+        let mut out: Vec<(PeerId, u32)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Data bytes spent verifying puzzle proofs so far (the provider's
+    /// honest-path overhead, budgeted by E25c).
+    pub fn puzzle_verify_bytes(&self) -> u64 {
+        self.verify_work_bytes
+    }
+
+    /// Per-issuance payment rates (accepted bytes / issuances), the
+    /// anomaly-score raw material.
+    fn payment_rates(&self) -> Vec<(PeerId, f64)> {
+        self.issued_count
             .iter()
             .map(|(&p, &n)| {
                 let bytes = self.accepted.get(&p).copied().unwrap_or(0);
                 (p, bytes as f64 / n.max(1) as f64)
             })
-            .collect();
+            .collect()
+    }
+
+    /// Payment-rate anomaly scores: a peer's accepted bytes per
+    /// issuance divided by a **trimmed baseline** — the lower-quartile
+    /// rate of the population — rather than the raw median. Inflation
+    /// attacks can only push rates *up*, so the low end of the
+    /// distribution stays honest until more than three quarters of the
+    /// population colludes; the raw median is attacker-controlled as
+    /// soon as colluders reach 50% (the E25 laundering campaign), which
+    /// would make every honest peer look cheap instead of the
+    /// colluders looking expensive.
+    pub fn anomaly_scores(&self) -> BTreeMap<PeerId, f64> {
+        let rates = self.payment_rates();
         if rates.is_empty() {
             return BTreeMap::new();
         }
         let mut sorted: Vec<f64> = rates.iter().map(|&(_, r)| r).collect();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
-        let median = sorted[sorted.len() / 2].max(1.0);
-        rates.drain(..).map(|(p, r)| (p, r / median)).collect()
+        let baseline = sorted[sorted.len() / 4].max(1.0);
+        rates.into_iter().map(|(p, r)| (p, r / baseline)).collect()
+    }
+
+    /// Median absolute deviation of the trimmed (lower-half) rates: the
+    /// robust spread estimate [`Accounting::flag_anomalies`] uses to
+    /// avoid ratio-flagging tight honest populations.
+    fn trimmed_mad(&self) -> (f64, f64) {
+        let mut sorted: Vec<f64> = self.payment_rates().iter().map(|&(_, r)| r).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+        if sorted.is_empty() {
+            return (0.0, 0.0);
+        }
+        let baseline = sorted[sorted.len() / 4];
+        let lower = &sorted[..(sorted.len() / 2).max(1)];
+        let mut dev: Vec<f64> = lower.iter().map(|r| (r - baseline).abs()).collect();
+        dev.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        (baseline, dev[dev.len() / 2])
     }
 
     /// Every private field by reference, for the durability adapter's
@@ -290,14 +561,28 @@ impl Accounting {
             accepted,
             issued_count,
             rejections,
+            puzzle: None,
+            verify_work_bytes: 0,
         }
     }
 
-    /// Peers whose anomaly score exceeds `threshold` (e.g. 3.0).
+    /// Peers whose trimmed-baseline score exceeds `threshold` (e.g.
+    /// 3.0) **and** whose rate sits more than three MADs above the
+    /// trimmed population — a peer must be both relatively and robustly
+    /// anomalous to be flagged.
     pub fn flag_anomalies(&self, threshold: f64) -> Vec<PeerId> {
+        let (baseline, mad) = self.trimmed_mad();
         self.anomaly_scores()
             .into_iter()
-            .filter(|&(_, s)| s > threshold)
+            .filter(|&(p, s)| {
+                let rate = self
+                    .payment_rates()
+                    .iter()
+                    .find(|&&(q, _)| q == p)
+                    .map(|&(_, r)| r)
+                    .unwrap_or(0.0);
+                s > threshold && (rate - baseline) > 3.0 * mad
+            })
             .map(|(p, _)| p)
             .collect()
     }
@@ -306,6 +591,7 @@ impl Accounting {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpop_crypto::puzzle::PuzzleParams;
 
     const MASTER: [u8; 32] = [42u8; 32];
 
@@ -386,11 +672,135 @@ mod tests {
         assert_eq!(flagged, vec![PeerId(9)]);
     }
 
+    /// Satellite regression: when colluders are the *majority*, the raw
+    /// median is attacker-controlled — the old median-based score gave
+    /// every colluder 1.0 (invisible) and every honest peer 0.5. The
+    /// trimmed baseline anchors on the honest low end instead.
+    #[test]
+    fn majority_collusion_still_flagged() {
+        let mut acct = Accounting::new();
+        let mut nonce = 0u64;
+        // Four honest peers at ~500/issuance.
+        for p in 0..4u32 {
+            for c in 0..10u64 {
+                nonce += 1;
+                let r = issue_and_sign(&mut acct, c * 100 + p as u64, PeerId(p), 1000, 500, nonce);
+                acct.settle(&r).unwrap();
+            }
+        }
+        // SIX colluders (60% of the population) at the full 1000.
+        for p in 4..10u32 {
+            for c in 0..10u64 {
+                nonce += 1;
+                let r = issue_and_sign(
+                    &mut acct,
+                    5000 + c * 100 + p as u64,
+                    PeerId(p),
+                    1000,
+                    1000,
+                    nonce,
+                );
+                acct.settle(&r).unwrap();
+            }
+        }
+        let scores = acct.anomaly_scores();
+        for p in 0..4u32 {
+            assert!(
+                (scores[&PeerId(p)] - 1.0).abs() < 0.01,
+                "honest peer {p} score {}",
+                scores[&PeerId(p)]
+            );
+        }
+        let flagged = acct.flag_anomalies(1.8);
+        assert_eq!(
+            flagged,
+            (4..10).map(PeerId).collect::<Vec<_>>(),
+            "all six majority colluders flagged, no honest peer"
+        );
+    }
+
     #[test]
     fn empty_accounting_edge_cases() {
         let acct = Accounting::new();
         assert!(acct.anomaly_scores().is_empty());
         assert!(acct.flag_anomalies(1.0).is_empty());
         assert_eq!(acct.payable_bytes(PeerId(0)), 0);
+    }
+
+    fn puzzle_setup() -> (Accounting, PuzzleSpec, Bytes) {
+        let mut acct = Accounting::new();
+        let spec = PuzzleSpec::for_epoch(&MASTER, 1, PuzzleParams::default());
+        acct.set_puzzle(spec);
+        (acct, spec, Bytes::from(vec![7u8; 20_000]))
+    }
+
+    #[test]
+    fn backed_record_settles_under_puzzle_policy() {
+        let (mut acct, spec, body) = puzzle_setup();
+        let key = acct.issue_with_objects(1, PeerId(2), 20_000, &["/a.bin".to_owned()], &MASTER);
+        let nonce = Nonce(5);
+        let challenge = spec.challenge(1, PeerId(2), nonce);
+        let (proof, _) = puzzle::solve(&challenge, &body, &spec.params);
+        let r = UsageRecord::sign_with_proof(&key, PeerId(2), 1, 20_000, 1, nonce, Some(proof));
+        let body2 = body.clone();
+        assert_eq!(acct.settle_with(&r, |_| Some(body2.clone())), Ok(()));
+        assert_eq!(acct.payable_bytes(PeerId(2)), 20_000);
+        assert!(acct.puzzle_verify_bytes() > 0);
+    }
+
+    #[test]
+    fn unbacked_record_rejected_and_confirmed() {
+        let (mut acct, _spec, body) = puzzle_setup();
+        let key = acct.issue_with_objects(1, PeerId(2), 20_000, &["/a.bin".to_owned()], &MASTER);
+        // Fabricated retrieval: signed with the real key, but no proof.
+        let r = UsageRecord::sign(&key, PeerId(2), 1, 20_000, 1, Nonce(5));
+        assert_eq!(
+            acct.settle_with(&r, |_| Some(body.clone())),
+            Err(RejectReason::UnbackedServe)
+        );
+        assert_eq!(acct.payable_bytes(PeerId(2)), 0);
+        assert_eq!(acct.confirmed_offenders(), vec![(PeerId(2), 1)]);
+    }
+
+    #[test]
+    fn wrong_data_proof_rejected() {
+        let (mut acct, spec, body) = puzzle_setup();
+        let key = acct.issue_with_objects(1, PeerId(2), 20_000, &["/a.bin".to_owned()], &MASTER);
+        let nonce = Nonce(5);
+        let challenge = spec.challenge(1, PeerId(2), nonce);
+        // Proof over garbage the peer invented instead of the content.
+        let (proof, _) = puzzle::solve(&challenge, &vec![0u8; 20_000], &spec.params);
+        let r = UsageRecord::sign_with_proof(&key, PeerId(2), 1, 20_000, 1, nonce, Some(proof));
+        assert_eq!(
+            acct.settle_with(&r, |_| Some(body.clone())),
+            Err(RejectReason::UnbackedServe)
+        );
+    }
+
+    #[test]
+    fn stripped_proof_fails_signature() {
+        let (mut acct, spec, body) = puzzle_setup();
+        let key = acct.issue_with_objects(1, PeerId(2), 20_000, &["/a.bin".to_owned()], &MASTER);
+        let nonce = Nonce(5);
+        let challenge = spec.challenge(1, PeerId(2), nonce);
+        let (proof, _) = puzzle::solve(&challenge, &body, &spec.params);
+        let mut r = UsageRecord::sign_with_proof(&key, PeerId(2), 1, 20_000, 1, nonce, Some(proof));
+        r.proof = None; // stripping the proof breaks the signature
+        assert_eq!(
+            acct.settle_with(&r, |_| Some(body.clone())),
+            Err(RejectReason::BadSignature)
+        );
+    }
+
+    #[test]
+    fn no_resolver_settle_fails_closed_under_policy() {
+        let (mut acct, spec, body) = puzzle_setup();
+        let key = acct.issue_with_objects(1, PeerId(2), 20_000, &["/a.bin".to_owned()], &MASTER);
+        let nonce = Nonce(5);
+        let challenge = spec.challenge(1, PeerId(2), nonce);
+        let (proof, _) = puzzle::solve(&challenge, &body, &spec.params);
+        let r = UsageRecord::sign_with_proof(&key, PeerId(2), 1, 20_000, 1, nonce, Some(proof));
+        // Even a valid proof cannot be confirmed without the bytes.
+        assert_eq!(acct.settle(&r), Err(RejectReason::UnbackedServe));
     }
 }

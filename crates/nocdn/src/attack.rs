@@ -1,0 +1,391 @@
+//! Adversarial accounting campaigns end-to-end (experiment E25).
+//!
+//! [`hpop_netsim::attacks`] decides *who* colludes and *how much* they
+//! fabricate; this module executes the campaign against a real NoCDN
+//! provider — wrapper pages, loaders, peers, accounting, and (when the
+//! defense is on) the accountability puzzle — and measures what the
+//! attacker actually extracted:
+//!
+//! - **Defense off**: a fabricated record that respects the protocol
+//!   (valid short-term key, fresh nonce, claim within issued work) is
+//!   indistinguishable from a real one. Sybil clients mint synthetic
+//!   page views, steer them at colluding peers, and claim the full
+//!   issued bytes with *zero* data moved — payable bytes grow linearly
+//!   in Sybil count while attacker work stays ~0.
+//! - **Defense on**: every record needs a puzzle proof over the
+//!   authentic bytes. The *lazy* attacker (no data work) is rejected
+//!   outright and lands on the reputation ledger; the *diligent*
+//!   attacker must hold the content and walk it per record, pinning
+//!   payable-bytes-per-work to a small constant no matter the Sybil
+//!   count — CAPnet's bound, reproduced.
+//!
+//! Campaign runs are pure functions of their config: seeded role
+//! assignment, seeded peer selection, deterministic puzzles.
+
+use crate::accounting::{Accounting, RejectReason};
+use crate::loader::PageLoader;
+use crate::origin::{ContentProvider, PageSpec};
+use crate::peer::{NoCdnPeer, PeerBehavior, PeerId};
+use crate::puzzle::PuzzleSpec;
+use crate::select::{PeerDirectory, PeerInfo, SelectionPolicy};
+use crate::wrapper::WrapperPage;
+use crate::UsageRecord;
+use hpop_crypto::nonce::Nonce;
+use hpop_crypto::puzzle::PuzzleParams;
+use hpop_netsim::attacks::{AttackConfig, AttackPlan, CampaignKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Client-id base for colluding (non-Sybil) signing identities; far
+/// above honest ids and distinct from the Sybil base.
+const COLLUDER_CLIENT_BASE: u64 = 1 << 41;
+
+/// Synthetic page views each Sybil identity mints.
+const VIEWS_PER_SYBIL: u64 = 2;
+
+/// One campaign run's parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Recruited peer population.
+    pub peers: usize,
+    /// Honest clients loading pages (each loads one page).
+    pub honest_clients: usize,
+    /// Who colludes and how (see [`hpop_netsim::attacks`]).
+    pub attack: AttackConfig,
+    /// Whether the accountability-puzzle defense is on.
+    pub defense_on: bool,
+    /// A lazy attacker fabricates without touching data (profitable
+    /// only if unbacked records settle); a diligent one fetches the
+    /// content and solves every puzzle honestly.
+    pub lazy_attacker: bool,
+    /// Seed for peer selection and page traffic.
+    pub seed: u64,
+}
+
+/// What one campaign extracted and what it cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CampaignOutcome {
+    /// Payable bytes credited to honest peers.
+    pub honest_payable: u64,
+    /// Payable bytes credited to colluding peers (honest serves too).
+    pub attacker_payable: u64,
+    /// Payable bytes the attacker gained from *fabricated* records.
+    pub fabricated_accepted_bytes: u64,
+    /// Data bytes colluders actually moved or walked during the attack
+    /// (origin fills + puzzle solving) — the attacker's real work.
+    pub attacker_data_work: u64,
+    /// Fabricated records attempted / accepted / rejected.
+    pub fabricated_attempted: u64,
+    /// Fabricated records the provider credited.
+    pub fabricated_accepted: u64,
+    /// Fabricated records the provider rejected.
+    pub fabricated_rejected: u64,
+    /// Honest-path records rejected (must stay 0: no collateral damage).
+    pub honest_false_rejects: u64,
+    /// Colluding peers the anomaly detector flagged.
+    pub colluders_flagged: usize,
+    /// Honest peers the anomaly detector flagged (false accusations).
+    pub honest_flagged: usize,
+    /// Confirmed (puzzle-rejected) violations fed to the reputation
+    /// ledger.
+    pub confirmed_violations: u32,
+    /// Data bytes the provider spent verifying proofs (defense cost).
+    pub provider_verify_bytes: u64,
+}
+
+impl CampaignOutcome {
+    /// Payable bytes extracted per byte of real attacker work, the
+    /// CAPnet headline metric. Work is floored at one byte so the
+    /// defense-off "free money" regime shows up as a huge ratio rather
+    /// than a division by zero.
+    pub fn profit_per_work(&self) -> f64 {
+        self.fabricated_accepted_bytes as f64 / self.attacker_data_work.max(1) as f64
+    }
+}
+
+/// The page every client (real or synthetic) loads.
+fn catalog(provider: &mut ContentProvider) {
+    provider.put_object("/index.html", vec![b'h'; 2_000]);
+    provider.put_object("/app.css", vec![b'c'; 10_000]);
+    provider.put_object("/hero.jpg", vec![b'j'; 40_000]);
+    provider.put_page(PageSpec {
+        container: "/index.html".into(),
+        embedded: vec!["/app.css".into(), "/hero.jpg".into()],
+    });
+}
+
+const PAGE_OBJECTS: [&str; 3] = ["/index.html", "/app.css", "/hero.jpg"];
+const PAGE_BYTES: u64 = 52_000;
+
+/// Runs one campaign to completion. Deterministic in `cfg`.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
+    let master: [u8; 32] = [0x5a; 32];
+    let mut provider = ContentProvider::new("news.example");
+    catalog(&mut provider);
+
+    let plan = AttackPlan::generate(cfg.peers, cfg.attack);
+    let mut peers: BTreeMap<PeerId, NoCdnPeer> = (0..cfg.peers as u32)
+        .map(|i| {
+            let behavior = if plan.is_colluder(i as usize) {
+                PeerBehavior::Colluding
+            } else {
+                PeerBehavior::Honest
+            };
+            (PeerId(i), NoCdnPeer::with_behavior(PeerId(i), behavior))
+        })
+        .collect();
+    let mut directory = PeerDirectory::new();
+    for i in 0..cfg.peers as u32 {
+        directory.recruit(
+            PeerId(i),
+            PeerInfo {
+                rtt_ms: 10.0 + i as f64,
+                violations: 0,
+            },
+        );
+    }
+
+    let mut acct = Accounting::new();
+    let spec = PuzzleSpec::for_epoch(&master, 1, PuzzleParams::default());
+    if cfg.defense_on {
+        acct.set_puzzle(spec);
+    }
+
+    let objects: Vec<String> = PAGE_OBJECTS.iter().map(|s| s.to_string()).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xe25);
+    let mut outcome = CampaignOutcome::default();
+
+    // ---- Honest phase: real clients load the page via the directory's
+    // randomized assignment (the paper's collusion mitigation).
+    for client in 1..=cfg.honest_clients as u64 {
+        let assignments = directory.assign(&objects, SelectionPolicy::Random, &mut rng);
+        let wrapper = WrapperPage::generate(
+            &mut provider,
+            "/index.html",
+            client,
+            &assignments,
+            &mut acct,
+            &master,
+            client == 1,
+        );
+        let mut loader = PageLoader::new(client);
+        let _ = loader.load(&wrapper, &mut peers, &mut provider);
+    }
+    // Honest settlement: any rejection here is collateral damage.
+    let provider_snapshot = provider.clone();
+    for peer in peers.values_mut() {
+        for record in peer.upload_records() {
+            if acct
+                .settle_with(&record, |p| provider_snapshot.peek_object(p).cloned())
+                .is_err()
+            {
+                outcome.honest_false_rejects += 1;
+            }
+        }
+    }
+
+    // ---- Attack phase. Colluders' real work so far (serving honest
+    // traffic, proving honest serves) is legitimate — snapshot it so
+    // the campaign is charged only its own data bytes.
+    let work_before: u64 = plan
+        .colluders()
+        .iter()
+        .map(|&n| {
+            let p = &peers[&PeerId(n as u32)];
+            p.bytes_served + p.puzzle_work_bytes
+        })
+        .sum();
+    let honest_payable_before: BTreeMap<PeerId, u64> = plan
+        .colluders()
+        .iter()
+        .map(|&n| (PeerId(n as u32), acct.payable_bytes(PeerId(n as u32))))
+        .collect();
+
+    for &node in plan.colluders() {
+        let peer_id = PeerId(node as u32);
+        // How many fabricated page-views this colluder mints.
+        let real_records = honest_payable_before[&peer_id] / PAGE_BYTES.max(1);
+        let signing_clients: Vec<u64> = match plan.campaign() {
+            CampaignKind::SybilSwarm { .. } => plan
+                .sybil_clients(node)
+                .into_iter()
+                .flat_map(|c| std::iter::repeat_n(c, VIEWS_PER_SYBIL as usize))
+                .collect(),
+            _ => (0..plan.fabricated_records(node, real_records.max(1)))
+                .map(|k| COLLUDER_CLIENT_BASE + (node as u64) * 100_000 + k)
+                .collect(),
+        };
+        let mut nonce_counter = 0u64;
+        for client in signing_clients {
+            // The attacker controls its clients, so it shops wrapper
+            // requests until the issuance lands on its own peer —
+            // modeled as a directed assignment.
+            let assignments: BTreeMap<String, PeerId> =
+                objects.iter().map(|o| (o.clone(), peer_id)).collect();
+            let wrapper = WrapperPage::generate(
+                &mut provider,
+                "/index.html",
+                client,
+                &assignments,
+                &mut acct,
+                &master,
+                false,
+            );
+            let key = wrapper.peer_keys[&peer_id];
+            nonce_counter += 1;
+            let nonce = Nonce::from_parts(client, nonce_counter);
+            outcome.fabricated_attempted += 1;
+
+            // Lazy: sign the full claim, move no bytes. Diligent (only
+            // worth it with the defense on): fetch the content once,
+            // then walk it for every record's puzzle.
+            let proof = if cfg.defense_on && !cfg.lazy_attacker {
+                let peer = peers.get_mut(&peer_id).expect("colluder exists");
+                for path in &objects {
+                    if peer.serve("news.example", path, &mut provider).is_none() {
+                        break;
+                    }
+                }
+                let challenge = spec.challenge(client, peer_id, nonce);
+                peer.prove_serve("news.example", &objects, &challenge, &spec.params)
+            } else {
+                None
+            };
+            let record =
+                UsageRecord::sign_with_proof(&key, peer_id, client, PAGE_BYTES, 3, nonce, proof);
+            match acct.settle_with(&record, |p| provider_snapshot.peek_object(p).cloned()) {
+                Ok(()) => {
+                    outcome.fabricated_accepted += 1;
+                    outcome.fabricated_accepted_bytes += record.bytes;
+                }
+                Err(reason) => {
+                    outcome.fabricated_rejected += 1;
+                    debug_assert!(
+                        reason == RejectReason::UnbackedServe,
+                        "unexpected rejection {reason:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    // ---- Measurement.
+    let work_after: u64 = plan
+        .colluders()
+        .iter()
+        .map(|&n| {
+            let p = &peers[&PeerId(n as u32)];
+            p.bytes_served + p.puzzle_work_bytes
+        })
+        .sum();
+    outcome.attacker_data_work = work_after - work_before;
+    for i in 0..cfg.peers as u32 {
+        let payable = acct.payable_bytes(PeerId(i));
+        if plan.is_colluder(i as usize) {
+            outcome.attacker_payable += payable;
+        } else {
+            outcome.honest_payable += payable;
+        }
+    }
+    for flagged in acct.flag_anomalies(3.0) {
+        if plan.is_colluder(flagged.0 as usize) {
+            outcome.colluders_flagged += 1;
+        } else {
+            outcome.honest_flagged += 1;
+        }
+    }
+    // Confirmed fabrication is cryptographic evidence: feed it to the
+    // fabric reputation ledger so trust-weighted selection shuns the
+    // peer in future epochs.
+    for (peer, count) in acct.confirmed_offenders() {
+        directory.record_accounting_violations(peer, count);
+        outcome.confirmed_violations += count;
+    }
+    outcome.provider_verify_bytes = acct.puzzle_verify_bytes();
+    hpop_obs::metrics()
+        .counter("nocdn.attack.fabricated_attempted")
+        .add(outcome.fabricated_attempted);
+    hpop_obs::metrics()
+        .counter("nocdn.attack.fabricated_accepted")
+        .add(outcome.fabricated_accepted);
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base(defense_on: bool, lazy: bool) -> CampaignConfig {
+        CampaignConfig {
+            peers: 20,
+            honest_clients: 30,
+            attack: AttackConfig::sybil_preset(11),
+            defense_on,
+            lazy_attacker: lazy,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let a = run_campaign(&base(true, false));
+        let b = run_campaign(&base(true, false));
+        assert_eq!(a.attacker_payable, b.attacker_payable);
+        assert_eq!(a.attacker_data_work, b.attacker_data_work);
+        assert_eq!(a.fabricated_accepted, b.fabricated_accepted);
+    }
+
+    #[test]
+    fn defense_off_sybils_farm_for_free() {
+        let out = run_campaign(&base(false, true));
+        assert!(out.fabricated_attempted > 0);
+        // Every fabrication settles: the protocol cannot tell.
+        assert_eq!(out.fabricated_accepted, out.fabricated_attempted);
+        assert_eq!(out.attacker_data_work, 0, "no real work was done");
+        assert!(out.profit_per_work() > 1_000.0);
+        assert_eq!(out.honest_false_rejects, 0);
+    }
+
+    #[test]
+    fn defense_on_rejects_lazy_attacker_and_confirms() {
+        let out = run_campaign(&base(true, true));
+        assert!(out.fabricated_attempted > 0);
+        assert_eq!(out.fabricated_accepted, 0, "unbacked records all bounced");
+        assert_eq!(out.fabricated_rejected, out.fabricated_attempted);
+        assert_eq!(out.confirmed_violations as u64, out.fabricated_rejected);
+        assert_eq!(out.honest_false_rejects, 0, "no collateral damage");
+    }
+
+    #[test]
+    fn defense_on_bounds_diligent_attacker_profit() {
+        let out = run_campaign(&base(true, false));
+        assert!(out.fabricated_accepted > 0, "diligent records do settle");
+        assert!(out.attacker_data_work > 0);
+        // CAPnet's bound: payable-per-work pinned to a small constant.
+        assert!(
+            out.profit_per_work() < 1.5,
+            "profit/work {}",
+            out.profit_per_work()
+        );
+        assert_eq!(out.honest_false_rejects, 0);
+    }
+
+    #[test]
+    fn laundering_campaign_stays_under_detector_but_not_under_puzzle() {
+        let cfg = CampaignConfig {
+            attack: AttackConfig {
+                campaign: CampaignKind::RecordLaundering {
+                    fabricated_fraction_bp: 2_000,
+                },
+                attacker_fraction: 0.25,
+                seed: 5,
+            },
+            ..base(true, true)
+        };
+        let out = run_campaign(&cfg);
+        assert_eq!(out.colluders_flagged, 0, "laundering dodges the detector");
+        assert!(out.fabricated_attempted > 0);
+        assert_eq!(out.fabricated_accepted, 0, "the puzzle still catches it");
+    }
+}

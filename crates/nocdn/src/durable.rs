@@ -8,7 +8,7 @@
 //! paths ([`Accounting::issue`] and [`Accounting::settle`]) so the full
 //! anti-fraud state survives power loss.
 //!
-//! Two properties this module is careful about:
+//! Three properties this module is careful about:
 //!
 //! - **The master secret never touches stable storage.** `issue` logs
 //!   the *derived* short-term key (see
@@ -21,11 +21,19 @@
 //!   when power failed is absent after recovery, and the retry then
 //!   settles normally — exactly the at-most-once contract the paper's
 //!   nonce scheme promises.
+//! - **Puzzle verdicts replay without the object store.** The
+//!   accountability-puzzle proof is verified *before* the settle is
+//!   logged, and the verdict byte is part of the logged op — recovery
+//!   re-applies the verdict deterministically instead of needing the
+//!   authentic object bytes (which live outside the WAL) again.
 
-use crate::accounting::{Accounting, RejectReason, UsageRecord};
+use crate::accounting::{Accounting, PuzzleCheck, RejectReason, UsageRecord};
 use crate::peer::PeerId;
+use crate::puzzle::PuzzleSpec;
+use bytes::Bytes;
 use hpop_crypto::hmac::HmacTag;
 use hpop_crypto::nonce::{Nonce, NonceRegistry};
+use hpop_crypto::puzzle::PuzzleProof;
 use hpop_durability::codec::{ByteReader, ByteWriter};
 use hpop_durability::{DurabilityConfig, Durable, Persistent, RecoveryReport};
 use hpop_netsim::storage::{DiskError, SimDisk};
@@ -37,6 +45,7 @@ fn reject_to_u8(r: RejectReason) -> u8 {
         RejectReason::Replay => 1,
         RejectReason::ExceedsIssuedWork => 2,
         RejectReason::UnknownIssuance => 3,
+        RejectReason::UnbackedServe => 4,
     }
 }
 
@@ -46,6 +55,55 @@ fn reject_from_u8(v: u8) -> Option<RejectReason> {
         1 => Some(RejectReason::Replay),
         2 => Some(RejectReason::ExceedsIssuedWork),
         3 => Some(RejectReason::UnknownIssuance),
+        4 => Some(RejectReason::UnbackedServe),
+        _ => None,
+    }
+}
+
+fn check_to_u8(c: PuzzleCheck) -> u8 {
+    match c {
+        PuzzleCheck::NotRequired => 0,
+        PuzzleCheck::Verified => 1,
+        PuzzleCheck::Unbacked => 2,
+    }
+}
+
+fn check_from_u8(v: u8) -> Option<PuzzleCheck> {
+    match v {
+        0 => Some(PuzzleCheck::NotRequired),
+        1 => Some(PuzzleCheck::Verified),
+        2 => Some(PuzzleCheck::Unbacked),
+        _ => None,
+    }
+}
+
+fn encode_proof(w: &mut ByteWriter, proof: Option<&PuzzleProof>) {
+    match proof {
+        None => {
+            w.u8(0);
+        }
+        Some(p) => {
+            w.u8(1).bytes(&p.tag).u64(p.checkpoints.len() as u64);
+            for cp in &p.checkpoints {
+                w.bytes(cp);
+            }
+        }
+    }
+}
+
+fn decode_proof(r: &mut ByteReader) -> Option<Option<PuzzleProof>> {
+    match r.u8()? {
+        0 => Some(None),
+        1 => {
+            let tag: [u8; 32] = r.bytes()?.try_into().ok()?;
+            let n = r.u64()?;
+            let mut checkpoints = Vec::with_capacity(n.min(1 << 16) as usize);
+            for _ in 0..n {
+                let cp: [u8; 32] = r.bytes()?.try_into().ok()?;
+                checkpoints.push(cp);
+            }
+            Some(Some(PuzzleProof { tag, checkpoints }))
+        }
         _ => None,
     }
 }
@@ -53,15 +111,18 @@ fn reject_from_u8(v: u8) -> Option<RejectReason> {
 /// One logged accounting mutation.
 #[derive(Clone, Debug)]
 enum AcctOp {
-    /// An issuance with its already-derived short-term key.
+    /// An issuance with its already-derived short-term key and the
+    /// object paths mapped to the peer.
     Issue {
         client: u64,
         peer: PeerId,
         max_bytes: u64,
+        objects: Vec<String>,
         key: [u8; 32],
     },
-    /// One uploaded usage record, tag and all.
-    Settle { record: UsageRecord },
+    /// One uploaded usage record, tag, proof, and the puzzle verdict
+    /// computed *before* logging (so replay needs no object store).
+    Settle { record: UsageRecord, verdict: u8 },
 }
 
 impl AcctOp {
@@ -72,18 +133,26 @@ impl AcctOp {
                 client,
                 peer,
                 max_bytes,
+                objects,
                 key,
             } => {
-                w.u8(1).u64(*client).u32(peer.0).u64(*max_bytes).bytes(key);
+                w.u8(1).u64(*client).u32(peer.0).u64(*max_bytes);
+                w.u64(objects.len() as u64);
+                for path in objects {
+                    w.str(path);
+                }
+                w.bytes(key);
             }
-            AcctOp::Settle { record } => {
+            AcctOp::Settle { record, verdict } => {
                 w.u8(2)
                     .u32(record.peer.0)
                     .u64(record.client)
                     .u64(record.bytes)
                     .u32(record.objects)
                     .u128(record.nonce.0)
-                    .bytes(&record.tag().0);
+                    .u8(*verdict);
+                encode_proof(&mut w, record.proof.as_ref());
+                w.bytes(&record.tag().0);
             }
         }
         w.into_bytes()
@@ -96,11 +165,17 @@ impl AcctOp {
                 let client = r.u64()?;
                 let peer = PeerId(r.u32()?);
                 let max_bytes = r.u64()?;
+                let n = r.u64()?;
+                let mut objects = Vec::with_capacity(n.min(1 << 16) as usize);
+                for _ in 0..n {
+                    objects.push(r.str()?);
+                }
                 let key: [u8; 32] = r.bytes()?.try_into().ok()?;
                 AcctOp::Issue {
                     client,
                     peer,
                     max_bytes,
+                    objects,
                     key,
                 }
             }
@@ -110,6 +185,9 @@ impl AcctOp {
                 let bytes_served = r.u64()?;
                 let objects = r.u32()?;
                 let nonce = Nonce(r.u128()?);
+                let verdict = r.u8()?;
+                check_from_u8(verdict)?;
+                let proof = decode_proof(&mut r)?;
                 let tag: [u8; 32] = r.bytes()?.try_into().ok()?;
                 AcctOp::Settle {
                     record: UsageRecord::from_parts(
@@ -118,8 +196,10 @@ impl AcctOp {
                         bytes_served,
                         objects,
                         nonce,
+                        proof,
                         HmacTag(tag),
                     ),
+                    verdict,
                 }
             }
             _ => return None,
@@ -153,7 +233,12 @@ impl Durable for AcctState {
         let mut w = ByteWriter::new();
         w.u64(issuances.len() as u64);
         for ((client, peer), iss) in issuances {
-            w.u64(*client).u32(*peer).u64(iss.max_bytes).bytes(&iss.key);
+            w.u64(*client).u32(*peer).u64(iss.max_bytes);
+            w.u64(iss.objects.len() as u64);
+            for path in &iss.objects {
+                w.str(path);
+            }
+            w.bytes(&iss.key);
         }
         // Nonce registry: capacity sentinel (u64::MAX = unbounded),
         // rejected count, then entries in the registry's deterministic
@@ -188,10 +273,19 @@ impl Durable for AcctState {
             let client = r.u64()?;
             let peer = r.u32()?;
             let max_bytes = r.u64()?;
+            let n_obj = r.u64()?;
+            let mut objects = Vec::with_capacity(n_obj.min(1 << 16) as usize);
+            for _ in 0..n_obj {
+                objects.push(r.str()?);
+            }
             let key: [u8; 32] = r.bytes()?.try_into().ok()?;
             issuances.insert(
                 (client, peer),
-                crate::accounting::Issuance { key, max_bytes },
+                crate::accounting::Issuance {
+                    key,
+                    max_bytes,
+                    objects,
+                },
             );
         }
         let capacity = match r.u64()? {
@@ -238,12 +332,14 @@ impl Durable for AcctState {
                 client,
                 peer,
                 max_bytes,
+                objects,
                 key,
             }) => {
-                self.acct.apply_issue(client, peer, max_bytes, key);
+                self.acct.apply_issue(client, peer, max_bytes, objects, key);
             }
-            Some(AcctOp::Settle { record }) => {
-                self.last_settle = Some(self.acct.settle(&record));
+            Some(AcctOp::Settle { record, verdict }) => {
+                let check = check_from_u8(verdict).expect("decode validated the verdict");
+                self.last_settle = Some(self.acct.settle_checked(&record, check));
             }
             None => {}
         }
@@ -256,6 +352,9 @@ impl Durable for AcctState {
 #[derive(Debug)]
 pub struct DurableAccounting {
     inner: Persistent<AcctState>,
+    /// The accountability-puzzle policy. Provider configuration, not
+    /// payment state: re-set after every open, like the master secret.
+    puzzle: Option<PuzzleSpec>,
 }
 
 impl DurableAccounting {
@@ -263,7 +362,16 @@ impl DurableAccounting {
     pub fn open(disk: SimDisk, dir: &str, cfg: DurabilityConfig) -> Result<Self, DiskError> {
         Ok(DurableAccounting {
             inner: Persistent::open(disk, dir, cfg)?,
+            puzzle: None,
         })
+    }
+
+    /// Turns the accountability-puzzle defense on for subsequent
+    /// settlements. Configuration, not logged state — call it again
+    /// after each open (recovery replays logged *verdicts*, so past
+    /// settlements do not depend on this being set).
+    pub fn set_puzzle(&mut self, spec: PuzzleSpec) {
+        self.puzzle = Some(spec);
     }
 
     /// Durable [`Accounting::issue`]: derives the short-term key, logs
@@ -276,12 +384,26 @@ impl DurableAccounting {
         max_bytes: u64,
         master: &[u8; 32],
     ) -> Result<[u8; 32], DiskError> {
+        self.issue_with_objects(client, peer, max_bytes, &[], master)
+    }
+
+    /// [`DurableAccounting::issue`] recording the object paths mapped
+    /// to the peer, so puzzle proofs can be verified at settle time.
+    pub fn issue_with_objects(
+        &mut self,
+        client: u64,
+        peer: PeerId,
+        max_bytes: u64,
+        objects: &[String],
+        master: &[u8; 32],
+    ) -> Result<[u8; 32], DiskError> {
         let key = crate::accounting::derive_issue_key(master, client, peer, max_bytes);
         self.inner.execute(
             &AcctOp::Issue {
                 client,
                 peer,
                 max_bytes,
+                objects: objects.to_vec(),
                 key,
             }
             .encode(),
@@ -292,11 +414,34 @@ impl DurableAccounting {
     /// Durable [`Accounting::settle`]. The inner result is the normal
     /// accept/reject verdict; it is recorded only after the record is
     /// committed, so a crash-retry of an accepted record is rejected as
-    /// a [`RejectReason::Replay`] instead of double-crediting.
+    /// a [`RejectReason::Replay`] instead of double-crediting. With the
+    /// puzzle policy on, this no-resolver form fails closed
+    /// ([`RejectReason::UnbackedServe`]) — use
+    /// [`DurableAccounting::settle_with`].
     pub fn settle(&mut self, record: &UsageRecord) -> Result<Result<(), RejectReason>, DiskError> {
+        self.settle_with(record, |_| None)
+    }
+
+    /// Durable [`Accounting::settle_with`]: the puzzle proof is checked
+    /// against the authentic bytes *before* the op is logged, and the
+    /// verdict travels in the op — so recovery replays deterministically
+    /// without the object store.
+    pub fn settle_with<F>(
+        &mut self,
+        record: &UsageRecord,
+        resolve: F,
+    ) -> Result<Result<(), RejectReason>, DiskError>
+    where
+        F: FnMut(&str) -> Option<Bytes>,
+    {
+        let check = match self.puzzle {
+            None => PuzzleCheck::NotRequired,
+            Some(spec) => self.accounting().check_puzzle(record, &spec, resolve).0,
+        };
         self.inner.execute(
             &AcctOp::Settle {
                 record: record.clone(),
+                verdict: check_to_u8(check),
             }
             .encode(),
         )?;
@@ -341,6 +486,7 @@ impl DurableAccounting {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpop_crypto::puzzle::{self, PuzzleParams};
     use hpop_durability::crash_matrix;
 
     const MASTER: [u8; 32] = [42u8; 32];
@@ -410,8 +556,52 @@ mod tests {
         assert_eq!(acct.accounting().payable_bytes(PeerId(6)), 1500);
     }
 
+    /// Puzzle-backed settlement survives restart, and its verdict
+    /// replays deterministically *without* the resolver — the verdict
+    /// travels in the WAL op.
+    #[test]
+    fn puzzle_verdict_replays_without_resolver() {
+        let spec = PuzzleSpec::for_epoch(&MASTER, 1, PuzzleParams::default());
+        let body = Bytes::from(vec![9u8; 10_000]);
+        let paths = vec!["/a.bin".to_owned()];
+
+        let mut acct = DurableAccounting::open(SimDisk::new(11), "acct", cfg()).unwrap();
+        acct.set_puzzle(spec);
+        let key = acct
+            .issue_with_objects(1, PeerId(5), 10_000, &paths, &MASTER)
+            .unwrap();
+        let nonce = Nonce(42);
+        let challenge = spec.challenge(1, PeerId(5), nonce);
+        let (proof, _) = puzzle::solve(&challenge, &body, &spec.params);
+        let backed =
+            UsageRecord::sign_with_proof(&key, PeerId(5), 1, 10_000, 1, nonce, Some(proof));
+        let body2 = body.clone();
+        assert_eq!(
+            acct.settle_with(&backed, |_| Some(body2.clone())).unwrap(),
+            Ok(())
+        );
+        // A fabricated (proof-less) record from the same issuance.
+        let fake = UsageRecord::sign(&key, PeerId(5), 1, 9_000, 1, Nonce(43));
+        assert_eq!(
+            acct.settle_with(&fake, |_| Some(body.clone())).unwrap(),
+            Err(RejectReason::UnbackedServe)
+        );
+
+        // Restart WITHOUT re-supplying the resolver or the policy:
+        // recovery replays logged verdicts, not live verification.
+        let mut disk = acct.into_disk();
+        disk.restart();
+        let acct = DurableAccounting::open(disk, "acct", cfg()).unwrap();
+        assert_eq!(acct.accounting().payable_bytes(PeerId(5)), 10_000);
+        assert_eq!(
+            acct.accounting().confirmed_offenders(),
+            vec![(PeerId(5), 1)]
+        );
+    }
+
     /// Exhaustive crash matrix over an issue/settle workload, including
-    /// a rejected replay (failed ops replay deterministically too).
+    /// a rejected replay (failed ops replay deterministically too) and
+    /// a puzzle-rejected record (verdict byte in the op).
     #[test]
     fn crash_matrix_over_accounting_workload() {
         let mut ops: Vec<Vec<u8>> = Vec::new();
@@ -423,20 +613,27 @@ mod tests {
                     client: i,
                     peer,
                     max_bytes: 1000,
+                    objects: vec![format!("/obj-{i}.bin")],
                     key,
                 }
                 .encode(),
             );
             let record = UsageRecord::sign(&key, peer, i, 400 + i * 100, 2, Nonce(i as u128));
+            let verdict = if i == 2 {
+                check_to_u8(PuzzleCheck::Unbacked)
+            } else {
+                check_to_u8(PuzzleCheck::NotRequired)
+            };
             ops.push(
                 AcctOp::Settle {
                     record: record.clone(),
+                    verdict,
                 }
                 .encode(),
             );
             if i == 1 {
                 // A replay attempt mid-workload.
-                ops.push(AcctOp::Settle { record }.encode());
+                ops.push(AcctOp::Settle { record, verdict }.encode());
             }
         }
         let outcome = crash_matrix::<AcctState>(17, cfg(), &ops);

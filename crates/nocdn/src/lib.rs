@@ -27,6 +27,14 @@
 //! - [`durable`] — crash-consistent accounting: issuances and the
 //!   nonce replay registry behind a write-ahead log, so a provider
 //!   restart cannot be exploited for double settlement.
+//! - [`puzzle`] — the provider-side accountability-puzzle policy
+//!   (CAPnet-style): per-epoch seeds and challenge binding, so a usage
+//!   record is payable only with a verified data-dependent proof of
+//!   serving.
+//! - [`attack`] — adversarial accounting campaigns (Sybil swarms,
+//!   collusion at scale, record laundering, adaptive throttling) and
+//!   the executor that measures attacker profit with the defense on
+//!   and off (experiment E25).
 //! - [`select`] — peer-selection policies (random / round-robin /
 //!   proximity / trust-weighted) — the ablation §IV-B calls an open
 //!   problem.
@@ -42,11 +50,13 @@
 mod proptests;
 
 pub mod accounting;
+pub mod attack;
 pub mod chunked;
 pub mod durable;
 pub mod loader;
 pub mod origin;
 pub mod peer;
+pub mod puzzle;
 pub mod select;
 pub mod wrapper;
 
@@ -56,5 +66,6 @@ pub use durable::DurableAccounting;
 pub use loader::{LoaderReport, PageLoader};
 pub use origin::{ContentProvider, PageSpec};
 pub use peer::{NoCdnPeer, PeerBehavior, PeerId};
+pub use puzzle::PuzzleSpec;
 pub use select::SelectionPolicy;
 pub use wrapper::WrapperPage;

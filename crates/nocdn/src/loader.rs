@@ -117,24 +117,37 @@ impl PageLoader {
 
         // Usage records: one per peer that served verified bytes, signed
         // with the provider-issued short-term key, nonce'd against replay.
+        // With the puzzle policy on, the peer must first solve the
+        // accountability puzzle over its issued objects — an honest peer
+        // just served them, so they are in its cache.
         for (&peer_raw, &bytes) in &report.bytes_from_peers {
             let peer_id = PeerId(peer_raw);
             let Some(key) = wrapper.peer_keys.get(&peer_id) else {
                 continue;
             };
             self.nonce_counter += 1;
-            let objects = wrapper
+            let issued_paths: Vec<String> = wrapper
                 .object_map
-                .values()
-                .filter(|&&p| p == peer_id)
-                .count() as u32;
-            let record = UsageRecord::sign(
+                .iter()
+                .filter(|&(_, &p)| p == peer_id)
+                .map(|(path, _)| path.clone())
+                .collect();
+            let objects = issued_paths.len() as u32;
+            let nonce = Nonce::from_parts(self.client, self.nonce_counter);
+            let proof = wrapper.puzzle.as_ref().and_then(|spec| {
+                let challenge = spec.challenge(self.client, peer_id, nonce);
+                peers
+                    .get_mut(&peer_id)
+                    .and_then(|p| p.prove_serve(&host, &issued_paths, &challenge, &spec.params))
+            });
+            let record = UsageRecord::sign_with_proof(
                 key,
                 peer_id,
                 self.client,
                 bytes,
                 objects,
-                Nonce::from_parts(self.client, self.nonce_counter),
+                nonce,
+                proof,
             );
             if let Some(p) = peers.get_mut(&peer_id) {
                 p.accept_record(record);
@@ -272,6 +285,60 @@ mod tests {
         // The inflating peer is paid nothing.
         assert_eq!(acct.payable_bytes(PeerId(0)), 0);
         assert!(acct.payable_bytes(PeerId(1)) > 0);
+    }
+
+    /// With the accountability-puzzle defense on, honest loads settle
+    /// with zero false rejections: the loader gathers proofs from the
+    /// serving peers and the provider verifies them against its own
+    /// bytes.
+    #[test]
+    fn puzzle_policy_honest_path_settles() {
+        use crate::puzzle::PuzzleSpec;
+        use hpop_crypto::puzzle::PuzzleParams;
+
+        let mut p = ContentProvider::new("news.example");
+        p.put_object("/index.html", vec![b'h'; 1_000]);
+        p.put_object("/a.css", vec![b'a'; 10_000]);
+        p.put_page(PageSpec {
+            container: "/index.html".into(),
+            embedded: vec!["/a.css".into()],
+        });
+        let mut peers: BTreeMap<PeerId, NoCdnPeer> = (0..2u32)
+            .map(|i| (PeerId(i), NoCdnPeer::new(PeerId(i))))
+            .collect();
+        let assignments: BTreeMap<String, PeerId> = [
+            ("/index.html".to_owned(), PeerId(0)),
+            ("/a.css".to_owned(), PeerId(1)),
+        ]
+        .into();
+        let mut acct = Accounting::new();
+        acct.set_puzzle(PuzzleSpec::for_epoch(&MASTER, 1, PuzzleParams::default()));
+        let w = WrapperPage::generate(
+            &mut p,
+            "/index.html",
+            1,
+            &assignments,
+            &mut acct,
+            &MASTER,
+            true,
+        );
+        assert!(w.puzzle.is_some());
+        let mut loader = PageLoader::new(1);
+        let (report, _) = loader.load(&w, &mut peers, &mut p);
+        assert!(report.complete());
+        for (_, peer) in peers.iter_mut() {
+            assert!(peer.puzzle_work_bytes > 0, "honest peers solved puzzles");
+            for r in peer.upload_records() {
+                assert!(r.proof.is_some());
+                acct.settle_with(&r, |path| p.peek_object(path).cloned())
+                    .unwrap();
+            }
+        }
+        assert_eq!(
+            acct.payable_bytes(PeerId(0)) + acct.payable_bytes(PeerId(1)),
+            11_000
+        );
+        assert!(acct.rejections().is_empty(), "zero honest false rejections");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::accounting::UsageRecord;
 use crate::origin::ContentProvider;
 use bytes::Bytes;
+use hpop_crypto::puzzle::{self, PuzzleChallenge, PuzzleParams, PuzzleProof};
 use std::collections::BTreeMap;
 
 /// Identifies a recruited peer.
@@ -38,6 +39,14 @@ pub enum PeerBehavior {
     /// Serves only the first half of every object (truncation fault:
     /// same-prefix bytes, so only length/hash checks reveal it).
     Truncates,
+    /// Serves honestly to real clients, but also participates in an
+    /// attack campaign: it countersigns fabricated usage records that
+    /// colluding (often Sybil) clients mint for traffic that never
+    /// happened. The serving path is indistinguishable from
+    /// [`PeerBehavior::Honest`] — the fraud is entirely in the
+    /// accounting plane, which is what makes the campaign hard to catch
+    /// without the accountability puzzle (experiment E25).
+    Colluding,
 }
 
 /// A recruited HPoP acting as an edge server.
@@ -57,6 +66,9 @@ pub struct NoCdnPeer {
     pub cache_hits: u64,
     /// Cache misses (origin fills).
     pub cache_misses: u64,
+    /// Data bytes this peer walked solving accountability puzzles (the
+    /// attacker/honest work currency experiment E25 budgets).
+    pub puzzle_work_bytes: u64,
 }
 
 impl NoCdnPeer {
@@ -70,6 +82,7 @@ impl NoCdnPeer {
             bytes_served: 0,
             cache_hits: 0,
             cache_misses: 0,
+            puzzle_work_bytes: 0,
         }
     }
 
@@ -143,6 +156,31 @@ impl NoCdnPeer {
             }
         }
         records
+    }
+
+    /// Solves the accountability puzzle over the peer's cached copies
+    /// of `paths` (sorted order, the provider's canonical concatenation)
+    /// under `challenge`. Returns `None` when any object is not cached
+    /// — a peer that never held the bytes cannot produce a proof, which
+    /// is the entire defense. The data bytes walked are charged to
+    /// [`NoCdnPeer::puzzle_work_bytes`].
+    pub fn prove_serve(
+        &mut self,
+        host: &str,
+        paths: &[String],
+        challenge: &PuzzleChallenge,
+        params: &PuzzleParams,
+    ) -> Option<PuzzleProof> {
+        let mut sorted: Vec<&String> = paths.iter().collect();
+        sorted.sort();
+        let mut data = Vec::new();
+        for path in sorted {
+            let body = self.cache.get(&(host.to_owned(), path.clone()))?;
+            data.extend_from_slice(body);
+        }
+        let (proof, work) = puzzle::solve(challenge, &data, params);
+        self.puzzle_work_bytes += work.data_bytes;
+        Some(proof)
     }
 
     /// Number of cached objects.
@@ -219,6 +257,26 @@ mod tests {
         let mut peer = NoCdnPeer::with_behavior(PeerId(3), PeerBehavior::Unresponsive);
         assert!(peer.serve("news.example", "/a.css", &mut o).is_none());
         assert_eq!(o.origin_requests, 0);
+    }
+
+    #[test]
+    fn prove_serve_requires_cached_bytes() {
+        let mut o = origin();
+        let mut peer = NoCdnPeer::new(PeerId(5));
+        let chal = PuzzleChallenge([7u8; 32]);
+        let params = PuzzleParams::default();
+        let paths = vec!["/a.css".to_owned()];
+        // Never served → nothing cached → no proof possible.
+        assert!(peer
+            .prove_serve("news.example", &paths, &chal, &params)
+            .is_none());
+        peer.serve("news.example", "/a.css", &mut o).unwrap();
+        let proof = peer
+            .prove_serve("news.example", &paths, &chal, &params)
+            .unwrap();
+        assert!(peer.puzzle_work_bytes > 0);
+        let (ok, _) = puzzle::verify(&chal, &[1u8; 100], &proof, &params);
+        assert!(ok, "proof verifies against the authentic bytes");
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Provider-side puzzle policy: epoch seeds and challenge binding.
+//!
+//! CAPnet's defense (PAPERS.md) slots into NoCDN between serving and
+//! settlement: before a usage record is *payable*, the serving peer
+//! must solve a [cache accountability puzzle](hpop_crypto::puzzle) over
+//! the exact bytes the record claims, under a challenge derived from a
+//! **provider-issued per-epoch seed** and the record's identity. The
+//! seed is published in the wrapper page (clients and peers both need
+//! it), rotates per epoch so solutions cannot be stockpiled, and binds
+//! each proof to its single-use nonce so one solution pays exactly
+//! once.
+//!
+//! The provider verifies proofs against its own authentic copies of the
+//! issued objects ([`crate::accounting::Accounting::settle_with`]), so
+//! a colluding client+peer pair that *fabricates* a retrieval without
+//! holding the bytes is rejected outright
+//! ([`crate::accounting::RejectReason::UnbackedServe`]), and one that
+//! does hold the bytes must spend a data-sized pass of work per record
+//! — which is the whole point: payable bytes per unit of attacker work
+//! are bounded by a constant, no matter how many Sybil clients the
+//! attacker mints (experiment E25).
+
+use crate::peer::PeerId;
+use hpop_crypto::hmac::hmac_sha256;
+use hpop_crypto::nonce::Nonce;
+use hpop_crypto::puzzle::{PuzzleChallenge, PuzzleParams};
+
+/// Derives the public per-epoch puzzle seed from the provider's master
+/// secret. Publishing a seed reveals nothing about the master or about
+/// other epochs' seeds.
+pub fn epoch_seed(master: &[u8; 32], epoch: u64) -> [u8; 32] {
+    hmac_sha256(master, format!("puzzle-epoch|{epoch}").as_bytes()).0
+}
+
+/// The puzzle configuration one wrapper page carries: which epoch seed
+/// to solve under and how hard the walk is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PuzzleSpec {
+    /// The accounting epoch this seed is valid for.
+    pub epoch: u64,
+    /// The provider-issued per-epoch seed (public to participants).
+    pub seed: [u8; 32],
+    /// Walk difficulty and verification sampling.
+    pub params: PuzzleParams,
+}
+
+impl PuzzleSpec {
+    /// Builds the spec for `epoch` from the provider's master secret.
+    pub fn for_epoch(master: &[u8; 32], epoch: u64, params: PuzzleParams) -> PuzzleSpec {
+        PuzzleSpec {
+            epoch,
+            seed: epoch_seed(master, epoch),
+            params,
+        }
+    }
+
+    /// The challenge binding a puzzle instance to one usage record:
+    /// seed x (client, peer, nonce). The nonce is single-use, so a
+    /// solution can neither be replayed across records nor shared
+    /// between Sybil identities.
+    pub fn challenge(&self, client: u64, peer: PeerId, nonce: Nonce) -> PuzzleChallenge {
+        PuzzleChallenge(
+            hmac_sha256(
+                &self.seed,
+                format!("cap|{client}|{}|{}", peer.0, nonce.0).as_bytes(),
+            )
+            .0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MASTER: [u8; 32] = [42u8; 32];
+
+    #[test]
+    fn seeds_differ_per_epoch_and_master() {
+        let a = epoch_seed(&MASTER, 1);
+        let b = epoch_seed(&MASTER, 2);
+        let c = epoch_seed(&[1u8; 32], 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, epoch_seed(&MASTER, 1));
+    }
+
+    #[test]
+    fn challenge_binds_every_identity_component() {
+        let spec = PuzzleSpec::for_epoch(&MASTER, 3, PuzzleParams::default());
+        let base = spec.challenge(1, PeerId(2), Nonce(3));
+        assert_eq!(base, spec.challenge(1, PeerId(2), Nonce(3)));
+        assert_ne!(base, spec.challenge(9, PeerId(2), Nonce(3)));
+        assert_ne!(base, spec.challenge(1, PeerId(9), Nonce(3)));
+        assert_ne!(base, spec.challenge(1, PeerId(2), Nonce(9)));
+        let other_epoch = PuzzleSpec::for_epoch(&MASTER, 4, PuzzleParams::default());
+        assert_ne!(base, other_epoch.challenge(1, PeerId(2), Nonce(3)));
+    }
+}

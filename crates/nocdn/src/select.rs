@@ -100,6 +100,20 @@ impl PeerDirectory {
         }
     }
 
+    /// Records `count` confirmed accounting violations against a peer —
+    /// the feed from [`crate::accounting::Accounting::confirmed_offenders`]:
+    /// each puzzle-rejected (fabricated) usage record is cryptographic
+    /// evidence, so it lands on the fabric ledger as
+    /// [`Violation::Accounting`] and the trust-weighted selection policy
+    /// stops routing traffic to the peer.
+    pub fn record_accounting_violations(&mut self, id: PeerId, count: u32) {
+        if self.membership.get(fid(id)).is_some() {
+            for _ in 0..count {
+                self.ledger.record_violation(fid(id), Violation::Accounting);
+            }
+        }
+    }
+
     /// Number of recruited peers (any liveness state).
     pub fn len(&self) -> usize {
         self.membership.len()
@@ -312,6 +326,20 @@ mod tests {
         assert_eq!(d.info(PeerId(0)).unwrap().violations, 2);
         // The violation landed on the fabric ledger, not a private count.
         assert_eq!(d.ledger().violations(hpop_fabric::PeerId(0)), 2);
+    }
+
+    #[test]
+    fn accounting_violations_demote_trust() {
+        let mut d = directory(3);
+        d.record_accounting_violations(PeerId(1), 3);
+        assert_eq!(d.trusted_count(), 2);
+        assert_eq!(d.info(PeerId(1)).unwrap().violations, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = d.assign(&objects(10), SelectionPolicy::TrustWeighted, &mut rng);
+        assert!(a.values().all(|p| p.0 != 1));
+        // Unrecruited peers are ignored, not phantom-recorded.
+        d.record_accounting_violations(PeerId(99), 5);
+        assert_eq!(d.ledger().violations(hpop_fabric::PeerId(99)), 0);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use crate::accounting::Accounting;
 use crate::origin::ContentProvider;
 use crate::peer::PeerId;
+use crate::puzzle::PuzzleSpec;
 use hpop_crypto::sha256::{Digest, Sha256};
 use std::collections::BTreeMap;
 
@@ -36,6 +37,10 @@ pub struct WrapperPage {
     pub hashes: BTreeMap<String, Digest>,
     /// Peer → short-term secret key for usage-record signing.
     pub peer_keys: BTreeMap<PeerId, [u8; 32]>,
+    /// The provider's accountability-puzzle policy for this epoch, when
+    /// the defense is on: peers must attach a proof of serving to every
+    /// usage record (see [`crate::puzzle`]).
+    pub puzzle: Option<PuzzleSpec>,
     /// Whether the (cacheable) loader script was included this time.
     pub includes_loader: bool,
 }
@@ -68,6 +73,7 @@ impl WrapperPage {
         let mut object_map = BTreeMap::new();
         let mut hashes = BTreeMap::new();
         let mut per_peer_bytes: BTreeMap<PeerId, u64> = BTreeMap::new();
+        let mut per_peer_objects: BTreeMap<PeerId, Vec<String>> = BTreeMap::new();
         for obj in page.objects() {
             let peer = *assignments
                 .get(obj)
@@ -78,10 +84,20 @@ impl WrapperPage {
             object_map.insert(obj.to_owned(), peer);
             hashes.insert(obj.to_owned(), Sha256::digest(body));
             *per_peer_bytes.entry(peer).or_default() += body.len() as u64;
+            per_peer_objects
+                .entry(peer)
+                .or_default()
+                .push(obj.to_owned());
         }
         let mut peer_keys = BTreeMap::new();
         for (&peer, &max_bytes) in &per_peer_bytes {
-            let key = accounting.issue(client, peer, max_bytes, master_key);
+            let key = accounting.issue_with_objects(
+                client,
+                peer,
+                max_bytes,
+                &per_peer_objects[&peer],
+                master_key,
+            );
             peer_keys.insert(peer, key);
         }
         let wrapper = WrapperPage {
@@ -90,6 +106,7 @@ impl WrapperPage {
             object_map,
             hashes,
             peer_keys,
+            puzzle: accounting.puzzle_spec().copied(),
             includes_loader: first_visit,
         };
         provider.count_wrapper(wrapper.wire_size());
