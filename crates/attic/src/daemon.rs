@@ -44,6 +44,16 @@ pub struct DaemonConfig {
     /// Wall-clock budget per connection; when it runs out the
     /// connection is closed after the in-flight response.
     pub connection_budget: SimDuration,
+    /// Concurrent connections served at once. Connections over the cap
+    /// are answered `503 Service Unavailable` + `Retry-After` and
+    /// closed — never silently stalled in the accept backlog.
+    pub max_connections: usize,
+    /// Complete pipelined requests one connection may have queued.
+    /// A deeper pipeline gets a `503` + `Retry-After` and the
+    /// connection is closed (bounded work per handler thread).
+    pub max_queued_requests: usize,
+    /// The `Retry-After` hint stamped on overload `503`s.
+    pub retry_after: SimDuration,
 }
 
 impl Default for DaemonConfig {
@@ -51,6 +61,9 @@ impl Default for DaemonConfig {
         DaemonConfig {
             bind: "127.0.0.1:0".to_owned(),
             connection_budget: SimDuration::from_secs(30),
+            max_connections: 64,
+            max_queued_requests: 32,
+            retry_after: SimDuration::from_secs(1),
         }
     }
 }
@@ -64,15 +77,50 @@ pub struct DaemonStats {
     pub requests: u64,
     /// Connections dropped on framing errors.
     pub bad_frames: u64,
+    /// Connections or pipelines refused with `503` + `Retry-After`
+    /// because a cap ([`DaemonConfig::max_connections`] /
+    /// [`DaemonConfig::max_queued_requests`]) was hit.
+    pub overload_rejects: u64,
 }
 
 struct Shared<B: AtticBackend> {
     core: Mutex<DavCore<B>>,
+    cfg: DaemonConfig,
     stop: AtomicBool,
     connections: AtomicU64,
+    live: AtomicU64,
     requests: AtomicU64,
     bad_frames: AtomicU64,
+    overload_rejects: AtomicU64,
     epoch: Instant,
+}
+
+/// The overload answer: `503` with an honest `Retry-After` (seconds,
+/// rounded up so the hint is never zero).
+fn overloaded_response(retry_after: SimDuration) -> Response {
+    let secs = (retry_after.as_secs_f64().ceil() as u64).max(1);
+    Response::new(StatusCode::SERVICE_UNAVAILABLE).with_header("retry-after", secs.to_string())
+}
+
+/// How many complete requests are sitting in `buf` right now.
+fn pipelined_depth(buf: &[u8]) -> usize {
+    let mut depth = 0;
+    let mut off = 0;
+    while let Ok(Some((_req, consumed))) = h1::decode_request(&buf[off..]) {
+        depth += 1;
+        off += consumed;
+    }
+    depth
+}
+
+/// Decrements the live-connection gauge even if the handler panics, so
+/// the connection cap can never wedge shut.
+struct LiveGuard<'a>(&'a AtomicU64);
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// A running attic daemon; dropping the handle without calling
@@ -100,25 +148,43 @@ impl AtticDaemon {
         let listener = TcpListener::bind(&cfg.bind)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let max_connections = cfg.max_connections.max(1) as u64;
+        let retry_after = cfg.retry_after;
         let shared = Arc::new(Shared {
             core: Mutex::new(core),
+            cfg,
             stop: AtomicBool::new(false),
             connections: AtomicU64::new(0),
+            live: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             bad_frames: AtomicU64::new(0),
+            overload_rejects: AtomicU64::new(0),
             epoch: Instant::now(),
         });
         let accept_shared = shared.clone();
-        let budget = cfg.connection_budget;
         let accept_thread = std::thread::spawn(move || {
             let mut handlers: Vec<JoinHandle<()>> = Vec::new();
             loop {
                 match listener.accept() {
-                    Ok((stream, _peer)) => {
+                    Ok((mut stream, _peer)) => {
                         accept_shared.connections.fetch_add(1, Ordering::SeqCst);
+                        if accept_shared.live.load(Ordering::SeqCst) >= max_connections {
+                            // Over the cap: an explicit refusal the
+                            // client can act on, not a silent stall.
+                            accept_shared
+                                .overload_rejects
+                                .fetch_add(1, Ordering::SeqCst);
+                            let resp = overloaded_response(retry_after);
+                            let _ = stream.write_all(&h1::encode_response(&resp));
+                            let _ = stream.flush();
+                            handlers.retain(|h| !h.is_finished());
+                            continue;
+                        }
+                        accept_shared.live.fetch_add(1, Ordering::SeqCst);
                         let conn_shared = accept_shared.clone();
                         handlers.push(std::thread::spawn(move || {
-                            handle_connection(stream, &conn_shared, budget);
+                            let _live = LiveGuard(&conn_shared.live);
+                            handle_connection(stream, &conn_shared);
                         }));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -166,6 +232,7 @@ impl<B: AtticBackend> DaemonHandle<B> {
             connections: self.shared.connections.load(Ordering::SeqCst),
             requests: self.shared.requests.load(Ordering::SeqCst),
             bad_frames: self.shared.bad_frames.load(Ordering::SeqCst),
+            overload_rejects: self.shared.overload_rejects.load(Ordering::SeqCst),
         }
     }
 }
@@ -183,13 +250,10 @@ fn request_time<B: AtticBackend>(shared: &Shared<B>, req: &hpop_http::message::R
     SimTime::from_nanos(shared.epoch.elapsed().as_nanos() as u64)
 }
 
-fn handle_connection<B: AtticBackend>(
-    mut stream: TcpStream,
-    shared: &Shared<B>,
-    budget: SimDuration,
-) {
+fn handle_connection<B: AtticBackend>(mut stream: TcpStream, shared: &Shared<B>) {
     let started = Instant::now();
-    let deadline = Deadline::after(SimTime::ZERO, budget);
+    let deadline = Deadline::after(SimTime::ZERO, shared.cfg.connection_budget);
+    let max_queued = shared.cfg.max_queued_requests.max(1);
     let mut buf: Vec<u8> = Vec::with_capacity(4096);
     let mut scratch = [0u8; 4096];
     loop {
@@ -207,6 +271,16 @@ fn handle_connection<B: AtticBackend>(
         // of the buffer, read more bytes when incomplete.
         match h1::decode_request(&buf) {
             Ok(Some((req, consumed))) => {
+                // Bounded pipeline: a client that has queued more
+                // complete requests than the cap is refused with a
+                // retryable 503 instead of pinning this thread.
+                if pipelined_depth(&buf) > max_queued {
+                    shared.overload_rejects.fetch_add(1, Ordering::SeqCst);
+                    let resp = overloaded_response(shared.cfg.retry_after);
+                    let _ = stream.write_all(&h1::encode_response(&resp));
+                    let _ = stream.flush();
+                    return;
+                }
                 buf.drain(..consumed);
                 let origin = match req.headers.get("x-attic-origin") {
                     Some("external") => Origin::External,
@@ -327,6 +401,95 @@ mod tests {
         assert_eq!(resp.status, StatusCode::BAD_REQUEST);
         let stats = handle.stop();
         assert_eq!(stats.bad_frames, 1);
+    }
+
+    fn spawn_with(cfg: DaemonConfig) -> DaemonHandle<VolatileBackend> {
+        let core = DavCore::new(VolatileBackend::new(), TokenVerifier::new([7u8; 32]));
+        AtticDaemon::spawn(cfg, core).expect("bind loopback")
+    }
+
+    /// Reads until EOF and decodes every response on the wire.
+    fn drain_responses(stream: &mut TcpStream) -> Vec<Response> {
+        let mut buf = Vec::new();
+        let mut scratch = [0u8; 4096];
+        loop {
+            match stream.read(&mut scratch) {
+                Ok(0) => break,
+                Ok(n) => buf.extend_from_slice(&scratch[..n]),
+                Err(_) => break,
+            }
+        }
+        let mut out = Vec::new();
+        let mut off = 0;
+        while let Ok(Some((resp, consumed))) = h1::decode_response(&buf[off..]) {
+            out.push(resp);
+            off += consumed;
+        }
+        out
+    }
+
+    #[test]
+    fn connection_cap_answers_503_with_retry_after() {
+        let handle = spawn_with(DaemonConfig {
+            max_connections: 1,
+            retry_after: SimDuration::from_secs(3),
+            ..DaemonConfig::default()
+        });
+
+        // Fill the single slot and prove it is live with a request.
+        let mut first = TcpStream::connect(handle.addr()).unwrap();
+        let put = Request::put(url("/slot"), &b"x"[..]).with_header("x-sim-time", "0");
+        assert_eq!(round_trip(&mut first, &put).status, StatusCode::CREATED);
+
+        // The second connection is refused explicitly, not stalled.
+        let mut second = TcpStream::connect(handle.addr()).unwrap();
+        let responses = drain_responses(&mut second);
+        assert_eq!(responses.len(), 1, "exactly one refusal then close");
+        assert_eq!(responses[0].status, StatusCode::SERVICE_UNAVAILABLE);
+        assert_eq!(responses[0].headers.get("retry-after"), Some("3"));
+
+        // Releasing the slot lets a later client in.
+        drop(first);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut retry = TcpStream::connect(handle.addr()).unwrap();
+            let get = Request::get(url("/slot")).with_header("x-sim-time", "1");
+            retry.write_all(&h1::encode_request(&get)).unwrap();
+            let responses = drain_responses(&mut retry);
+            if responses.first().map(|r| r.status) == Some(StatusCode::OK) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "slot never freed after close");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        let stats = handle.stop();
+        assert!(stats.overload_rejects >= 1);
+    }
+
+    #[test]
+    fn pipeline_cap_answers_503_and_closes() {
+        let handle = spawn_with(DaemonConfig {
+            max_queued_requests: 2,
+            ..DaemonConfig::default()
+        });
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        // Six pipelined requests in one write: far over the cap of 2.
+        let mut wire = Vec::new();
+        for i in 0..6 {
+            let get = Request::get(url("/pipelined")).with_header("x-sim-time", i.to_string());
+            wire.extend_from_slice(&h1::encode_request(&get));
+        }
+        stream.write_all(&wire).unwrap();
+        let responses = drain_responses(&mut stream);
+        let last = responses.last().expect("a refusal came back");
+        assert_eq!(last.status, StatusCode::SERVICE_UNAVAILABLE);
+        assert!(last.headers.get("retry-after").is_some());
+        // At most `max_queued_requests` requests were ever served
+        // before the refusal (fewer if the burst landed in one read).
+        assert!(responses.len() <= 3, "served {} responses", responses.len());
+        let stats = handle.stop();
+        assert_eq!(stats.overload_rejects, 1);
     }
 
     #[test]

@@ -1,0 +1,23 @@
+//! E26: overload robustness — the same metro flash crowd driven twice,
+//! controls off (unbounded queues, collapse) and controls on (the full
+//! admission / backpressure / brownout / shedding stack), reporting
+//! epicenter goodput, burst p99, and shed accounting (see DESIGN.md
+//! experiment index).
+//!
+//! `--smoke` runs the CI preset (10k homes) under the experiment name
+//! `overload_smoke`. Every budgeted counter is a ratio, a p99 of
+//! simulated latencies, or an exact zero/floor — scale-free — so the
+//! same `BENCH_BUDGETS.txt` bounds bind both forms. Both forms are
+//! fully deterministic; the committed artifact is produced with
+//! `--stable` only to pin the wall-clock gauge.
+
+use hpop_bench::experiments::e26_overload;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        hpop_bench::harness::run("overload_smoke", e26_overload::run_smoke);
+    } else {
+        hpop_bench::harness::run("overload", e26_overload::run_default);
+    }
+}

@@ -1,4 +1,4 @@
-//! The per-experiment implementations (DESIGN.md index E1–E25).
+//! The per-experiment implementations (DESIGN.md index E1–E26).
 
 pub mod e01_ccz_utilization;
 pub mod e02_tcp_rampup;
@@ -25,6 +25,7 @@ pub mod e22_trace_attribution;
 pub mod e23_attic_webdav;
 pub mod e24_scale;
 pub mod e25_accounting_attacks;
+pub mod e26_overload;
 
 use crate::table::Table;
 
@@ -72,5 +73,9 @@ pub fn run_all() -> Vec<Table> {
     // simulates a million-home city. It runs only via `exp_scale`
     // (`--smoke` for the CI preset).
     out.extend(e25_accounting_attacks::run_default());
+    // E26 is deliberately absent: its full form drives two 100k-home
+    // cities through a 150-second tick loop, which would dominate the
+    // aggregate run. It runs only via `exp_overload` (`--smoke` for
+    // the CI preset; both forms are deterministic).
     out
 }

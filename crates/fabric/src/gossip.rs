@@ -548,6 +548,76 @@ impl Fabric {
         }
     }
 
+    /// Re-announces `id`'s advertisement at a bumped incarnation while
+    /// it stays up — the overload-control hook. A saturated appliance
+    /// derates its advertised capacity
+    /// ([`Advertisement::derated`]) so [`PeerView`] capacity ranking
+    /// routes *new* work around it, then restores the full
+    /// advertisement when the flash crowd passes. The incarnation bump
+    /// is what makes the new advertisement win SWIM merge precedence
+    /// on every observer — the exact mechanism rejoin refutation
+    /// already uses, so no wire-format change is needed.
+    ///
+    /// No-op for peers that are down or never joined (a down peer's
+    /// next `set_up` re-announces whatever its table holds).
+    ///
+    /// [`PeerView`]: crate::view::PeerView
+    pub fn re_advertise(&mut self, id: PeerId, advert: Advertisement) {
+        if !self.truth.up.contains(&id) {
+            return;
+        }
+        let persisted = self.inc_store.as_ref().map_or(0, |s| s.get(id));
+        let lambda = self.cfg.retransmit_factor;
+        let Some(node) = self.nodes.get_mut(&id) else {
+            return;
+        };
+        let mut me = node
+            .table
+            .get(id)
+            .copied()
+            .unwrap_or_else(|| PeerRecord::alive(id, advert, self.now));
+        me.incarnation = me.incarnation.max(persisted) + 1;
+        me.state = PeerState::Alive;
+        me.advert = advert;
+        me.updated_at = self.now;
+        let new_inc = me.incarnation;
+        node.table.upsert(me);
+        if self.cfg.mode == GossipMode::Delta {
+            enqueue_delta(node, id, lambda);
+        }
+        self.persist_incarnation(id, new_inc);
+        // Push the update through every up peer immediately: an
+        // overload signal that trickles out over many rounds arrives
+        // after the crowd it was meant to deflect.
+        let mut intros = std::mem::take(&mut self.scratch.introducers);
+        intros.clear();
+        intros.extend(self.truth.up.iter().copied().filter(|&p| p != id));
+        for &target in intros.iter() {
+            match self.cfg.mode {
+                GossipMode::Delta => self.probe(id, target),
+                GossipMode::FullSync => self.full_sync_exchange(id, target),
+            }
+        }
+        self.scratch.introducers = intros;
+    }
+
+    /// Convenience wrapper: re-announces `id` at `factor` of its
+    /// *currently advertised* capacity. Escalating overload can call
+    /// this repeatedly (the derating compounds); recovery should call
+    /// [`Fabric::re_advertise`] with the appliance's full configured
+    /// advertisement.
+    pub fn derate(&mut self, id: PeerId, factor: f64) {
+        let Some(current) = self
+            .nodes
+            .get(&id)
+            .and_then(|n| n.table.get(id))
+            .map(|r| r.advert)
+        else {
+            return;
+        };
+        self.re_advertise(id, current.derated(factor));
+    }
+
     /// Simulates a power-loss crash: the appliance goes down AND loses
     /// every piece of in-memory state — membership table, detectors,
     /// suspicion clocks, piggyback queue, its own incarnation. Only
@@ -745,6 +815,15 @@ impl Fabric {
         lambda: u32,
     ) {
         let now = self.now;
+        // Deltas merge BEFORE the header heartbeat. The header carries
+        // only an incarnation; synthesizing an alive record from it
+        // copies the advertisement we already hold, and doing that
+        // first would let the copy win merge precedence over a
+        // same-incarnation delta carrying the sender's *new*
+        // advertisement (re-announced capacity would never propagate).
+        for rec in deltas {
+            self.apply_record(dst, *rec, lambda);
+        }
         if let Some(node) = self.nodes.get_mut(&dst) {
             // The header proves the sender alive at `sender_inc`. A
             // sender we have never heard of carries no advertisement,
@@ -763,9 +842,6 @@ impl Fabric {
                 }
                 node.suspect_since.remove(&sender);
             }
-        }
-        for rec in deltas {
-            self.apply_record(dst, *rec, lambda);
         }
     }
 
@@ -1283,6 +1359,42 @@ mod tests {
             }
         }
         assert_eq!(seen_alive, 10, "rejoin should spread to every node");
+    }
+
+    #[test]
+    fn derated_peer_is_demoted_by_capacity_ranking() {
+        use crate::view::RankBy;
+        let mut f = fabric_of(8);
+        f.run_rounds(8);
+        let overloaded = PeerId(5);
+        let observer = PeerId(0);
+        let before = f.view(observer).ranked(RankBy::Capacity);
+        assert!(before.contains(&overloaded));
+
+        // The saturated appliance re-announces at 10% capacity; the
+        // incarnation bump makes it win merge precedence everywhere.
+        f.derate(overloaded, 0.1);
+        f.run_rounds(8);
+        let ranked = f.view(observer).ranked(RankBy::Capacity);
+        assert_eq!(
+            ranked.last(),
+            Some(&overloaded),
+            "derated peer should sink to the bottom of capacity ranking"
+        );
+        assert!(
+            ranked.contains(&overloaded),
+            "derated, not dead: it stays selectable"
+        );
+        let seen = f.view(observer);
+        let entry = seen.entries().iter().find(|e| e.id == overloaded).unwrap();
+        assert!((entry.advert.uplink_mbps - 100.0).abs() < 1e-6);
+
+        // Recovery restores the full advertisement and the ranking.
+        f.re_advertise(overloaded, Advertisement::default());
+        f.run_rounds(8);
+        let seen = f.view(observer);
+        let entry = seen.entries().iter().find(|e| e.id == overloaded).unwrap();
+        assert!((entry.advert.uplink_mbps - 1000.0).abs() < 1e-6);
     }
 
     #[test]

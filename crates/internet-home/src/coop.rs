@@ -22,8 +22,11 @@
 use hpop_crypto::sha256::Sha256;
 use hpop_fabric::PeerView;
 use hpop_http::url::Url;
-use hpop_netsim::time::SimTime;
-use hpop_resilience::{BreakerBank, BreakerConfig, BreakerState};
+use hpop_netsim::time::{SimDuration, SimTime};
+use hpop_resilience::{
+    Admission, AdmissionConfig, BreakerBank, BreakerConfig, BreakerState, Brownout, BrownoutConfig,
+    BrownoutLevel, LoadShedder, Overloaded, SaturationSignal, ShedThresholds, WorkClass,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Maps a coop member id into the fabric namespace (offset to avoid
@@ -77,6 +80,70 @@ impl CoopStats {
     }
 }
 
+/// Overload-control tuning for a neighborhood cache (see
+/// [`CoopCache::enable_overload`]).
+#[derive(Clone, Copy, Debug)]
+pub struct CoopOverloadConfig {
+    /// Admission controller (token-bucket rate + AIMD concurrency).
+    pub admission: AdmissionConfig,
+    /// The brownout degradation ladder.
+    pub brownout: BrownoutConfig,
+    /// Priority-shed thresholds for background work.
+    pub shed: ShedThresholds,
+    /// Requests within [`hot_window`](CoopOverloadConfig::hot_window)
+    /// that make an object *hot* (rising Zipf head): hot objects get
+    /// temporary extra replicas so the owner stops being a bottleneck.
+    pub hot_threshold: u32,
+    /// The popularity-counting window.
+    pub hot_window: SimDuration,
+}
+
+impl Default for CoopOverloadConfig {
+    fn default() -> CoopOverloadConfig {
+        CoopOverloadConfig {
+            admission: AdmissionConfig::default(),
+            brownout: BrownoutConfig::default(),
+            shed: ShedThresholds::default(),
+            hot_threshold: 8,
+            hot_window: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// The overload-control runtime attached to a [`CoopCache`] by
+/// [`CoopCache::enable_overload`].
+#[derive(Clone, Debug)]
+struct CoopOverload {
+    admission: Admission,
+    brownout: Brownout,
+    shedder: LoadShedder,
+    /// Published saturation; the NoCDN hedge gate and fabric derating
+    /// read this without borrowing the cache.
+    signal: SaturationSignal,
+    hot_threshold: u32,
+    hot_window: SimDuration,
+    /// url → (window start, requests seen in window).
+    hot_counts: BTreeMap<Url, (SimTime, u32)>,
+    /// Interactive requests refused with `Overloaded`.
+    rejected: u64,
+    /// `retry_after` hint when the `Reject` rung refuses (the ladder's
+    /// dwell time: the soonest the rung could possibly step down).
+    reject_retry_after: SimDuration,
+}
+
+impl CoopOverload {
+    /// Bumps the popularity counter and reports whether `url` is hot
+    /// (rising-head object under flash-crowd demand).
+    fn note_request(&mut self, url: &Url, now: SimTime) -> bool {
+        let entry = self.hot_counts.entry(url.clone()).or_insert((now, 0));
+        if now.saturating_since(entry.0) > self.hot_window {
+            *entry = (now, 0);
+        }
+        entry.1 += 1;
+        entry.1 >= self.hot_threshold
+    }
+}
+
 /// A neighborhood of cooperating HPoP caches.
 ///
 /// ```
@@ -107,6 +174,10 @@ pub struct CoopCache {
     /// Where the last origin fetch was cached (member, object) — the
     /// write-through hook [`crate::durable::DurableCoop`] journals.
     last_fill: Option<(u32, Url)>,
+    /// Overload controls (admission, brownout, shedding, hot-object
+    /// replication) — absent by default, enabled by
+    /// [`CoopCache::enable_overload`].
+    overload: Option<CoopOverload>,
 }
 
 impl CoopCache {
@@ -124,6 +195,7 @@ impl CoopCache {
             breakers: BreakerBank::new(BreakerConfig::default()),
             stats: CoopStats::default(),
             last_fill: None,
+            overload: None,
         }
     }
 
@@ -148,6 +220,7 @@ impl CoopCache {
             breakers: BreakerBank::new(BreakerConfig::default()),
             stats: CoopStats::default(),
             last_fill: None,
+            overload: None,
         }
     }
 
@@ -167,6 +240,83 @@ impl CoopCache {
     pub fn independent(mut self) -> CoopCache {
         self.cooperative = false;
         self
+    }
+
+    /// Attaches overload controls: admission (token-bucket + AIMD),
+    /// the brownout ladder, priority shedding, and hot-object
+    /// replication. Interactive requests then go through
+    /// [`CoopCache::try_request_at`], background work through
+    /// [`CoopCache::offer_background`].
+    pub fn enable_overload(&mut self, cfg: CoopOverloadConfig, now: SimTime) {
+        self.overload = Some(CoopOverload {
+            admission: Admission::new(cfg.admission, now),
+            brownout: Brownout::new(cfg.brownout),
+            shedder: LoadShedder::new(cfg.shed),
+            signal: SaturationSignal::new(),
+            hot_threshold: cfg.hot_threshold.max(1),
+            hot_window: cfg.hot_window,
+            hot_counts: BTreeMap::new(),
+            rejected: 0,
+            reject_retry_after: cfg.brownout.min_dwell,
+        });
+    }
+
+    /// The shared saturation signal published by the overload
+    /// controller — wire it to [`hpop_resilience::Hedge`] gates or
+    /// fabric capacity derating. `None` until
+    /// [`CoopCache::enable_overload`].
+    pub fn saturation_signal(&self) -> Option<SaturationSignal> {
+        self.overload.as_ref().map(|ov| ov.signal.clone())
+    }
+
+    /// The brownout rung currently in force (`Full` when overload
+    /// controls are off).
+    pub fn brownout_level(&self) -> BrownoutLevel {
+        self.overload
+            .as_ref()
+            .map_or(BrownoutLevel::Full, |ov| ov.brownout.level())
+    }
+
+    /// The overload controller's measured saturation at `now` (0.0
+    /// when controls are off).
+    pub fn saturation(&self, now: SimTime) -> f64 {
+        self.overload
+            .as_ref()
+            .map_or(0.0, |ov| ov.admission.saturation(now))
+    }
+
+    /// Feeds the serving queue's fill fraction into the admission
+    /// saturation signal — the backpressure input from a
+    /// [`hpop_resilience::BoundedQueue`] in front of the cache.
+    pub fn set_queue_pressure(&mut self, pressure: f64) {
+        if let Some(ov) = self.overload.as_mut() {
+            ov.admission.set_queue_pressure(pressure);
+        }
+    }
+
+    /// Interactive requests refused with [`Overloaded`] so far.
+    pub fn overload_rejected(&self) -> u64 {
+        self.overload.as_ref().map_or(0, |ov| ov.rejected)
+    }
+
+    /// The priority shedder's accounting (None while controls are off).
+    pub fn shedder(&self) -> Option<&LoadShedder> {
+        self.overload.as_ref().map(|ov| &ov.shedder)
+    }
+
+    /// Offers one unit of *background* work (prefetch, shard repair,
+    /// anti-entropy) to the overload controller. Returns `true` when
+    /// the work may run now, `false` when it was shed — background
+    /// classes shed strictly before interactive traffic is touched.
+    /// Without overload controls everything runs.
+    pub fn offer_background(&mut self, class: WorkClass, now: SimTime) -> bool {
+        match self.overload.as_mut() {
+            None => true,
+            Some(ov) => {
+                let sat = ov.admission.saturation(now);
+                !ov.shedder.admit(class, sat)
+            }
+        }
     }
 
     /// Number of member HPoPs.
@@ -301,10 +451,74 @@ impl CoopCache {
     ///
     /// Panics for unknown members.
     pub fn request_at(&mut self, member: u32, url: &Url, bytes: u64, now: SimTime) -> FetchTier {
-        let tier = self.resolve_at(member, url, bytes, now);
-        // Cache resolution is instantaneous in sim time, so the ladder
-        // trace is zero-width: it records *which* tier served the
-        // request on the causal path, not invented latency.
+        let tier = self.resolve_with(member, url, bytes, now, BrownoutLevel::Full, false);
+        self.record_request_span(tier, now);
+        tier
+    }
+
+    /// [`CoopCache::request_at`] under admission control: the overload
+    /// path for flash crowds. The admission controller may refuse with
+    /// a typed [`Overloaded`] (token bucket dry, concurrency limit
+    /// full, or the brownout ladder at its `Reject` rung); admitted
+    /// requests are resolved under the current brownout level —
+    /// `StaleAllowed` serves stale lateral copies as a *load* rung
+    /// (not only a failure fallback), `RedirectOrigin` skips lateral
+    /// work entirely. Rising-head (hot) objects picked up by the
+    /// popularity tracker get temporary extra replicas at their
+    /// requesters so the HRW owner stops being a bottleneck.
+    ///
+    /// Without [`CoopCache::enable_overload`] this is exactly
+    /// [`CoopCache::request_at`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown members.
+    pub fn try_request_at(
+        &mut self,
+        member: u32,
+        url: &Url,
+        bytes: u64,
+        now: SimTime,
+    ) -> Result<FetchTier, Overloaded> {
+        if self.overload.is_none() {
+            return Ok(self.request_at(member, url, bytes, now));
+        }
+        let (level, hot) = {
+            let ov = self.overload.as_mut().expect("checked above");
+            let sat = ov.admission.saturation(now);
+            let level = ov.brownout.observe(sat, now);
+            ov.signal.publish(sat);
+            if level == BrownoutLevel::Reject {
+                ov.rejected += 1;
+                hpop_obs::metrics().counter("coop.overload.rejected").incr();
+                return Err(Overloaded {
+                    retry_after: ov.reject_retry_after,
+                });
+            }
+            if let Err(over) = ov.admission.try_admit(now) {
+                ov.rejected += 1;
+                hpop_obs::metrics().counter("coop.overload.rejected").incr();
+                return Err(over);
+            }
+            (level, ov.note_request(url, now))
+        };
+        let tier = self.resolve_with(member, url, bytes, now, level, hot);
+        self.record_request_span(tier, now);
+        // Cache resolution is instantaneous in sim time: the permit is
+        // returned immediately, and the AIMD window treats every
+        // resolved request as a success (refusals never got a permit).
+        self.overload
+            .as_mut()
+            .expect("checked above")
+            .admission
+            .complete(false);
+        Ok(tier)
+    }
+
+    /// Cache resolution is instantaneous in sim time, so the ladder
+    /// trace is zero-width: it records *which* tier served the
+    /// request on the causal path, not invented latency.
+    fn record_request_span(&self, tier: FetchTier, now: SimTime) {
         let spans = hpop_obs::spans();
         let root = spans.root();
         if root.is_sampled() {
@@ -316,10 +530,17 @@ impl CoopCache {
             spans.record_child(&root, "coop", stage, t_us, t_us);
             spans.record(&root, "coop", "request", t_us, t_us);
         }
-        tier
     }
 
-    fn resolve_at(&mut self, member: u32, url: &Url, bytes: u64, now: SimTime) -> FetchTier {
+    fn resolve_with(
+        &mut self,
+        member: u32,
+        url: &Url,
+        bytes: u64,
+        now: SimTime,
+        level: BrownoutLevel,
+        hot: bool,
+    ) -> FetchTier {
         assert!(
             self.members.contains_key(&member),
             "unknown member {member}"
@@ -339,18 +560,67 @@ impl CoopCache {
             self.last_fill = Some((member, url.clone()));
             return FetchTier::Origin;
         }
+        // RedirectOrigin and above: the neighborhood is too saturated
+        // for lateral work — a local miss goes straight to the origin
+        // (the CDN is provisioned for crowds; the neighbor links are
+        // not) and the fill lands locally, costing no lateral bytes.
+        if level >= BrownoutLevel::RedirectOrigin {
+            hpop_obs::metrics()
+                .counter("coop.overload.redirects")
+                .incr();
+            self.stats.origin_fetches += 1;
+            self.stats.uplink_bytes += bytes;
+            self.members
+                .get_mut(&member)
+                .expect("member exists")
+                .insert(url.clone());
+            self.last_fill = Some((member, url.clone()));
+            return FetchTier::Origin;
+        }
         let owner = self.owner_usable_at(url, now);
         if let Some(owner) = owner {
             if owner != member && self.members[&owner].contains(url) {
                 self.stats.neighbor_hits += 1;
                 self.stats.lateral_bytes += bytes;
+                if hot {
+                    // Rising-head object: replicate to the requester so
+                    // the next wave finds it locally and the HRW owner
+                    // stops being the single hot spot.
+                    self.members
+                        .get_mut(&member)
+                        .expect("member exists")
+                        .insert(url.clone());
+                    hpop_obs::metrics().counter("coop.hot.replicas").incr();
+                }
                 return FetchTier::Neighbor;
             }
         }
-        // Stale-then-origin: while degraded, any other usable member
-        // holding a (possibly outdated) copy serves it laterally
-        // before the request is allowed to cross the uplink.
-        if self.is_degraded(now) {
+        // Hot objects may be served by *any* usable holder — the
+        // temporary replicas made above form an ad-hoc serving set
+        // wider than the single HRW owner.
+        if hot {
+            let holder = self
+                .members
+                .iter()
+                .find(|(&m, objs)| m != member && self.usable(m, now) && objs.contains(url))
+                .map(|(&m, _)| m);
+            if holder.is_some() {
+                self.stats.neighbor_hits += 1;
+                self.stats.lateral_bytes += bytes;
+                self.members
+                    .get_mut(&member)
+                    .expect("member exists")
+                    .insert(url.clone());
+                hpop_obs::metrics().counter("coop.hot.replicas").incr();
+                return FetchTier::Neighbor;
+            }
+        }
+        // Stale-then-origin: while degraded — or while the brownout
+        // ladder has opened the StaleAllowed rung under load — any
+        // other usable member holding a (possibly outdated) copy
+        // serves it laterally before the request is allowed to cross
+        // the uplink.
+        if self.is_degraded(now) || level >= BrownoutLevel::StaleAllowed {
             let stale_holder = self
                 .members
                 .iter()
@@ -688,6 +958,141 @@ mod tests {
         // The request still succeeds — origin fill cached locally.
         assert_eq!(coop.request_at(0, &url, 500, t0), FetchTier::Origin);
         assert_eq!(coop.request_at(0, &url, 500, t0), FetchTier::Local);
+    }
+
+    #[test]
+    fn overload_rejects_with_typed_retry_after() {
+        use hpop_resilience::AdmissionConfig;
+        let mut coop = CoopCache::new(4);
+        coop.enable_overload(
+            CoopOverloadConfig {
+                admission: AdmissionConfig {
+                    rate_per_sec: 1.0,
+                    burst: 2.0,
+                    ..AdmissionConfig::default()
+                },
+                ..CoopOverloadConfig::default()
+            },
+            SimTime::ZERO,
+        );
+        let t0 = SimTime::ZERO;
+        // Burst of 2 admitted, third refused with a concrete hint.
+        assert!(coop.try_request_at(0, &u(1), 100, t0).is_ok());
+        assert!(coop.try_request_at(1, &u(1), 100, t0).is_ok());
+        let err = coop.try_request_at(2, &u(1), 100, t0).unwrap_err();
+        assert!(err.retry_after > SimDuration::ZERO);
+        assert_eq!(coop.overload_rejected(), 1);
+        // After the hinted wait the request is admitted again.
+        let later = t0 + err.retry_after + SimDuration::from_millis(1);
+        assert!(coop.try_request_at(2, &u(1), 100, later).is_ok());
+    }
+
+    #[test]
+    fn stale_allowed_rung_serves_stale_without_failures() {
+        let mut coop = CoopCache::new(3);
+        let url = u(11);
+        let owner = coop.owner_of(&url);
+        // Same topology as the degraded-stale test, but nothing fails:
+        // the brownout rung alone licenses the stale serve.
+        coop.set_member_up(owner, false);
+        let heir = coop.owner_usable_at(&url, SimTime::ZERO).unwrap();
+        coop.set_member_up(owner, true);
+        let holder = (0..3).find(|&m| m != owner && m != heir).unwrap();
+        seed_copy_at(&mut coop, holder, &url, 700);
+        coop.enable_overload(CoopOverloadConfig::default(), SimTime::ZERO);
+        // Saturation from queue pressure pushes the ladder to
+        // StaleAllowed (0.7 <= 0.75 < 0.85).
+        coop.set_queue_pressure(0.75);
+        let tier = coop.try_request_at(heir, &url, 700, SimTime::ZERO).unwrap();
+        assert_eq!(coop.brownout_level(), BrownoutLevel::StaleAllowed);
+        assert_eq!(tier, FetchTier::Stale, "stale as a load rung");
+        assert_eq!(coop.stats().uplink_bytes, 700, "no extra uplink crossing");
+    }
+
+    #[test]
+    fn redirect_rung_skips_lateral_work() {
+        let mut coop = CoopCache::new(3);
+        let url = u(21);
+        let owner = coop.owner_of(&url);
+        // Warm the owner: a healthy request would be a Neighbor hit.
+        seed_copy_at(&mut coop, owner, &url, 500);
+        coop.enable_overload(CoopOverloadConfig::default(), SimTime::ZERO);
+        coop.set_queue_pressure(0.9);
+        let requester = (0..3).find(|&m| m != owner).unwrap();
+        let tier = coop
+            .try_request_at(requester, &url, 500, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(coop.brownout_level(), BrownoutLevel::RedirectOrigin);
+        assert_eq!(tier, FetchTier::Origin, "lateral work skipped");
+        // The fill landed locally: the next request is a Local hit
+        // even while redirecting.
+        let again = coop
+            .try_request_at(requester, &url, 500, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(again, FetchTier::Local);
+    }
+
+    #[test]
+    fn hot_objects_get_extra_replicas() {
+        let mut coop = CoopCache::new(4);
+        coop.enable_overload(
+            CoopOverloadConfig {
+                hot_threshold: 3,
+                ..CoopOverloadConfig::default()
+            },
+            SimTime::ZERO,
+        );
+        let url = u(30);
+        let t0 = SimTime::from_secs(1);
+        let owner = coop.owner_of(&url);
+        // First request seeds the owner; the crowd then converges.
+        let others: Vec<u32> = (0..4).filter(|&m| m != owner).collect();
+        coop.try_request_at(others[0], &url, 900, t0).unwrap();
+        // Requests 2 and 3 cross the hot threshold: replicas spread.
+        coop.try_request_at(others[0], &url, 900, t0).unwrap();
+        coop.try_request_at(others[1], &url, 900, t0).unwrap();
+        coop.try_request_at(others[2], &url, 900, t0).unwrap();
+        // The object now lives at more members than just the owner.
+        let holders = coop
+            .contents()
+            .values()
+            .filter(|objs| objs.contains(&url))
+            .count();
+        assert!(holders >= 3, "hot object replicated to {holders} members");
+        // A fresh hot requester is served laterally, never the origin.
+        assert_eq!(coop.stats().origin_fetches, 1);
+    }
+
+    #[test]
+    fn background_sheds_before_interactive_in_coop() {
+        let mut coop = CoopCache::new(3);
+        coop.enable_overload(CoopOverloadConfig::default(), SimTime::ZERO);
+        let t0 = SimTime::ZERO;
+        // Moderate saturation: anti-entropy shed, interactive flows.
+        coop.set_queue_pressure(0.65);
+        assert!(!coop.offer_background(WorkClass::AntiEntropy, t0));
+        assert!(coop.offer_background(WorkClass::Prefetch, t0));
+        assert!(coop.try_request_at(0, &u(40), 100, t0).is_ok());
+        // Heavy saturation: all background shed, interactive refused
+        // only via typed admission (never silently shed).
+        coop.set_queue_pressure(0.95);
+        assert!(!coop.offer_background(WorkClass::Prefetch, t0));
+        assert!(!coop.offer_background(WorkClass::Repair, t0));
+        let s = coop.shedder().unwrap();
+        assert!(s.background_shed() >= 3);
+        assert_eq!(s.shed_count(WorkClass::Interactive), 0);
+    }
+
+    #[test]
+    fn overload_disabled_is_transparent() {
+        let mut coop = CoopCache::new(3);
+        let url = u(50);
+        let tier = coop.try_request_at(0, &url, 100, SimTime::ZERO).unwrap();
+        assert_eq!(tier, FetchTier::Origin);
+        assert_eq!(coop.brownout_level(), BrownoutLevel::Full);
+        assert_eq!(coop.overload_rejected(), 0);
+        assert!(coop.saturation_signal().is_none());
+        assert!(coop.offer_background(WorkClass::AntiEntropy, SimTime::ZERO));
     }
 
     #[test]

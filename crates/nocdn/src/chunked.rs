@@ -13,7 +13,10 @@ use hpop_crypto::sha256::{Digest, Sha256};
 use hpop_http::range::ByteRange;
 use hpop_netsim::time::{SimDuration, SimTime};
 use hpop_obs::{event, SpanScope, SpanTracer};
-use hpop_resilience::{BreakerBank, BreakerConfig, Deadline, Hedge, HedgeConfig, RetryPolicy};
+use hpop_resilience::{
+    AdmissionBank, AdmissionConfig, BreakerBank, BreakerConfig, Deadline, Hedge, HedgeConfig,
+    RetryPolicy, SaturationSignal,
+};
 use std::collections::BTreeMap;
 
 /// The outcome of a chunked fetch.
@@ -168,17 +171,27 @@ fn slice_range(body: &Bytes, range: &ByteRange) -> Bytes {
 }
 
 /// A chunked-fetch client with the full resilience stack: per-peer
-/// circuit breakers gate selection, failed range requests retry with
-/// budgeted backoff under a [`Deadline`], tail-latency stragglers get a
-/// hedged second request to another peer, and any chunk no admitted
-/// peer can deliver falls back to the origin — a page load never fails,
-/// it only degrades to origin bytes.
+/// circuit breakers gate selection, per-peer admission controllers cap
+/// the rate and concurrency any single peer is asked for, failed range
+/// requests retry with budgeted backoff under a [`Deadline`],
+/// tail-latency stragglers get a hedged second request to another peer
+/// (suppressed while the system is saturated, so hedges cannot amplify
+/// a flash crowd), and any chunk no admitted peer can deliver falls
+/// back to the origin — a page load never fails, it only degrades to
+/// origin bytes.
 #[derive(Clone, Debug)]
 pub struct ResilientFetcher {
     /// Per-peer circuit breakers (keyed by raw peer id). Feed
     /// reputation scores in via [`BreakerBank::set_reputation`].
     pub breakers: BreakerBank<u32>,
+    /// Per-peer admission: token-bucket rate + AIMD concurrency caps,
+    /// so one saturated peer is routed around instead of queued on.
+    pub admission: AdmissionBank<u32>,
     /// The p99-informed hedge trigger, warmed by observed latencies.
+    /// Attach a shared [`SaturationSignal`] (e.g. the coop cache's)
+    /// via [`Hedge::attach_saturation`] to gate hedging off under
+    /// load; the fetcher additionally gates on its own breaker-bank
+    /// and admission saturation.
     pub hedge: Hedge,
     /// Backoff policy for failed range requests.
     pub retry: RetryPolicy,
@@ -202,18 +215,35 @@ impl Default for ResilientFetcher {
 
 impl ResilientFetcher {
     /// A fetcher with the given policies (all breakers closed, hedge
-    /// cold).
+    /// cold, per-peer admission at [`AdmissionConfig::default`]).
     pub fn new(
         breakers: BreakerConfig,
         hedge: HedgeConfig,
         retry: RetryPolicy,
     ) -> ResilientFetcher {
+        ResilientFetcher::with_admission(breakers, AdmissionConfig::default(), hedge, retry)
+    }
+
+    /// A fetcher with explicit per-peer admission tuning.
+    pub fn with_admission(
+        breakers: BreakerConfig,
+        admission: AdmissionConfig,
+        hedge: HedgeConfig,
+        retry: RetryPolicy,
+    ) -> ResilientFetcher {
         ResilientFetcher {
             breakers: BreakerBank::new(breakers),
+            admission: AdmissionBank::new(admission),
             hedge: Hedge::new(hedge),
             retry,
             spans: SpanTracer::new(1),
         }
+    }
+
+    /// Wires the hedge to a shared saturation signal (see
+    /// [`Hedge::attach_saturation`]).
+    pub fn attach_saturation(&mut self, signal: SaturationSignal) {
+        self.hedge.attach_saturation(signal);
     }
 
     /// Fetches one object in `n_chunks` range requests with breakers,
@@ -257,6 +287,7 @@ impl ResilientFetcher {
         let mut sources: Vec<(ByteRange, Option<PeerId>)> = Vec::new();
         let ResilientFetcher {
             breakers,
+            admission,
             hedge,
             retry,
             spans,
@@ -278,15 +309,22 @@ impl ResilientFetcher {
                 for _ in 0..peer_order.len() {
                     let pid = peer_order[cursor % peer_order.len()];
                     cursor += 1;
-                    if breakers.allow(pid.0, at) {
-                        primary = Some(pid);
-                        break;
+                    if !breakers.allow(pid.0, at) {
+                        continue;
                     }
+                    // Per-peer admission: a peer at its rate or
+                    // concurrency cap is rotated past, not queued on.
+                    if admission.try_admit(pid.0, at).is_err() {
+                        continue;
+                    }
+                    primary = Some(pid);
+                    break;
                 }
                 let Some(p) = primary else {
-                    // No admitted peer this attempt (all circuits open
-                    // or none recruited) — let the retry policy decide
-                    // whether a breaker half-opens before giving up.
+                    // No admitted peer this attempt (all circuits open,
+                    // all caps hit, or none recruited) — let the retry
+                    // policy decide whether a breaker half-opens or a
+                    // bucket refills before giving up.
                     return Err(());
                 };
                 let body_p = peers
@@ -294,9 +332,11 @@ impl ResilientFetcher {
                     .and_then(|peer| peer.serve(&host, path, origin));
                 let Some(body) = body_p else {
                     breakers.record(p.0, at, false);
+                    admission.complete(p.0, true);
                     return Err(());
                 };
                 breakers.record(p.0, at, true);
+                admission.complete(p.0, false);
                 let lat_p = latency_of(p);
                 let trigger = hedge.trigger();
                 let mut elapsed = lat_p;
@@ -307,12 +347,21 @@ impl ResilientFetcher {
                 // whichever completes first, charging the loser's bytes
                 // as hedge waste.
                 let mut fired_this_attempt = false;
-                if lat_p >= trigger {
+                // The hedge is a load amplifier: before firing, check
+                // the saturation this fetcher can see locally (breaker
+                // trips + admission pressure) on top of any attached
+                // shared signal — a saturated neighborhood gets no
+                // second requests.
+                let local_sat = breakers.saturation(at).max(admission.saturation(at));
+                if lat_p >= trigger && hedge.allow_fire(local_sat) {
                     let mut secondary = None;
                     for _ in 0..peer_order.len() {
                         let pid = peer_order[cursor % peer_order.len()];
                         cursor += 1;
-                        if pid != p && breakers.allow(pid.0, at) {
+                        if pid != p
+                            && breakers.allow(pid.0, at)
+                            && admission.try_admit(pid.0, at).is_ok()
+                        {
                             secondary = Some(pid);
                             break;
                         }
@@ -326,6 +375,7 @@ impl ResilientFetcher {
                         match body_s {
                             Some(bs) => {
                                 breakers.record(s.0, at, true);
+                                admission.complete(s.0, false);
                                 let completion_s = trigger + latency_of(s);
                                 if completion_s < elapsed {
                                     hedge.account_fired(range.len());
@@ -338,6 +388,7 @@ impl ResilientFetcher {
                             }
                             None => {
                                 breakers.record(s.0, at, false);
+                                admission.complete(s.0, true);
                                 hedge.account_fired(0);
                             }
                         }
@@ -718,6 +769,111 @@ mod tests {
         // The hedge capped the slow peer's chunk latency: total elapsed
         // is far below 2 chunks x 5 s.
         assert!(now < SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn hedged_load_stays_flat_during_burst() {
+        // Regression for hedging amplification: with the saturation
+        // gate engaged, a burst of slow fetches must not fire a single
+        // hedge — the second-request load stays flat at zero instead
+        // of doubling exactly when the system can least afford it.
+        let (mut origin, mut peers, digest) = setup(&[PeerBehavior::Honest; 3]);
+        let slow = |_: PeerId| SimDuration::from_secs(5); // >> cold trigger
+        let sig = SaturationSignal::new();
+        let mut f = resilient();
+        f.attach_saturation(sig.clone());
+
+        // Idle system: the slow peers are hedged as usual.
+        let mut now = SimTime::ZERO;
+        let (idle, _) = f.fetch(
+            "/big.bin",
+            6,
+            &digest,
+            &order(3),
+            &mut peers,
+            &mut origin,
+            Deadline::UNBOUNDED,
+            &mut now,
+            &slow,
+        );
+        assert!(idle.hedged_chunks >= 1, "{idle:?}");
+
+        // Flash crowd: the overload controller publishes saturation.
+        sig.publish(0.95);
+        let mut hedged_during_burst = 0;
+        for _ in 0..5 {
+            let (r, body) = f.fetch(
+                "/big.bin",
+                6,
+                &digest,
+                &order(3),
+                &mut peers,
+                &mut origin,
+                Deadline::UNBOUNDED,
+                &mut now,
+                &slow,
+            );
+            assert!(r.verified);
+            assert_eq!(body.len(), 100_000);
+            hedged_during_burst += r.hedged_chunks;
+        }
+        assert_eq!(hedged_during_burst, 0, "hedges fired into a burst");
+
+        // Recovery: hedging resumes.
+        sig.publish(0.1);
+        let (after, _) = f.fetch(
+            "/big.bin",
+            6,
+            &digest,
+            &order(3),
+            &mut peers,
+            &mut origin,
+            Deadline::UNBOUNDED,
+            &mut now,
+            &slow,
+        );
+        assert!(after.hedged_chunks >= 1, "{after:?}");
+    }
+
+    #[test]
+    fn admission_caps_rotate_past_saturated_peer() {
+        use hpop_resilience::AdmissionConfig;
+        let (mut origin, mut peers, digest) = setup(&[PeerBehavior::Honest; 3]);
+        // Peer buckets: 2-token burst, glacial refill — after two
+        // serves a peer is rate-capped and must be rotated past.
+        let mut f = ResilientFetcher::with_admission(
+            hpop_resilience::BreakerConfig::default(),
+            AdmissionConfig {
+                rate_per_sec: 0.1,
+                burst: 2.0,
+                ..AdmissionConfig::default()
+            },
+            HedgeConfig::default(),
+            RetryPolicy::default(),
+        );
+        let mut now = SimTime::ZERO;
+        let (report, body) = f.fetch(
+            "/big.bin",
+            6,
+            &digest,
+            &order(3),
+            &mut peers,
+            &mut origin,
+            Deadline::UNBOUNDED,
+            &mut now,
+            &flat_latency,
+        );
+        assert!(report.verified);
+        assert_eq!(body.len(), 100_000);
+        // 6 chunks across 3 peers with a per-peer burst of 2: every
+        // peer served at most 2 chunks, nobody was hammered past its
+        // cap.
+        assert_eq!(report.fallback_chunks, 0);
+        assert_eq!(report.bytes_per_peer.len(), 3);
+        let max_chunk = 100_000u64.div_ceil(6) + 6;
+        for (&p, &b) in &report.bytes_per_peer {
+            assert!(b <= 2 * max_chunk, "peer {p} over its 2-chunk cap: {b}");
+        }
     }
 
     #[test]

@@ -200,6 +200,23 @@ impl<K: Ord + Copy> BreakerBank<K> {
             .map_or(BreakerState::Closed, |b| b.state(now))
     }
 
+    /// The fraction of known peers whose circuit is not closed, in
+    /// `[0, 1]` — a cheap saturation proxy: when a third of the
+    /// neighborhood's breakers are open, the neighborhood is in
+    /// trouble and load amplifiers (hedging, retries) should stand
+    /// down. 0.0 when no breakers exist yet.
+    pub fn saturation(&self, now: SimTime) -> f64 {
+        if self.breakers.is_empty() {
+            return 0.0;
+        }
+        let tripped = self
+            .breakers
+            .values()
+            .filter(|b| b.state(now) != BreakerState::Closed)
+            .count();
+        tripped as f64 / self.breakers.len() as f64
+    }
+
     /// Keys whose circuit is currently not closed (open or half-open).
     pub fn tripped(&self, now: SimTime) -> Vec<K> {
         self.breakers
@@ -295,5 +312,20 @@ mod tests {
         assert_eq!(bank.tripped(t(3)), vec![7]);
         bank.record(7, t(20), true);
         assert!(bank.tripped(t(20)).is_empty());
+    }
+
+    #[test]
+    fn bank_saturation_is_tripped_fraction() {
+        let mut bank: BreakerBank<u32> = BreakerBank::new(cfg());
+        assert_eq!(bank.saturation(t(0)), 0.0, "empty bank is idle");
+        bank.record(1, t(0), true);
+        bank.record(2, t(0), true);
+        for i in 0..3 {
+            bank.record(3, t(i), false);
+            bank.record(4, t(i), false);
+        }
+        assert!((bank.saturation(t(3)) - 0.5).abs() < 1e-12);
+        bank.record(3, t(20), true);
+        assert!((bank.saturation(t(20)) - 0.25).abs() < 1e-12);
     }
 }

@@ -7,7 +7,18 @@
 //! copy of the request against a different peer — whichever answer
 //! arrives first wins and the loser's bytes are accounted as waste
 //! (`resilience.hedge.wasted_bytes`), the metric E20 budgets.
+//!
+//! **Overload gate.** Hedging is a load *amplifier*: every fired hedge
+//! is a second full request, and under a flash crowd slow responses
+//! are caused by saturation — exactly when a doubled request makes
+//! things worse. A hedge can therefore be wired to a
+//! [`SaturationSignal`] (via [`Hedge::attach_saturation`]): once the
+//! published saturation reaches `saturation_gate`, `should_hedge`
+//! answers `false` and suppressed hedges are counted under
+//! `resilience.hedge.suppressed`. Detached (the default), behavior is
+//! unchanged.
 
+use crate::admission::SaturationSignal;
 use hpop_netsim::time::{SimDuration, SimTime};
 
 /// Hedge tuning.
@@ -22,6 +33,9 @@ pub struct HedgeConfig {
     pub cold_trigger: SimDuration,
     /// Samples needed before the measured quantile is trusted.
     pub min_samples: usize,
+    /// Saturation at or above which hedging is suppressed (only
+    /// effective once a [`SaturationSignal`] is attached).
+    pub saturation_gate: f64,
 }
 
 impl Default for HedgeConfig {
@@ -31,6 +45,7 @@ impl Default for HedgeConfig {
             min_trigger: SimDuration::from_millis(20),
             cold_trigger: SimDuration::from_millis(500),
             min_samples: 32,
+            saturation_gate: 0.7,
         }
     }
 }
@@ -41,6 +56,8 @@ pub struct Hedge {
     cfg: HedgeConfig,
     /// Completed-fetch latencies in nanoseconds (kept sorted).
     samples_ns: Vec<u64>,
+    /// Published system saturation; hedging suppressed at the gate.
+    saturation: Option<SaturationSignal>,
 }
 
 impl Hedge {
@@ -49,6 +66,44 @@ impl Hedge {
         Hedge {
             cfg,
             samples_ns: Vec::new(),
+            saturation: None,
+        }
+    }
+
+    /// Wires the hedge to a shared saturation signal: once the
+    /// published value reaches `cfg.saturation_gate`,
+    /// [`should_hedge`](Hedge::should_hedge) answers `false` — the
+    /// amplification fix for flash crowds.
+    pub fn attach_saturation(&mut self, signal: SaturationSignal) {
+        self.saturation = Some(signal);
+    }
+
+    /// Whether hedging is currently suppressed by the overload gate.
+    pub fn gated(&self) -> bool {
+        self.saturation
+            .as_ref()
+            .is_some_and(|s| s.get() >= self.cfg.saturation_gate)
+    }
+
+    /// The saturation threshold at which hedging stands down.
+    pub fn saturation_gate(&self) -> f64 {
+        self.cfg.saturation_gate
+    }
+
+    /// Gate check at fire time: may a hedge launch given
+    /// `extra_saturation` (a locally-measured signal — e.g. the
+    /// caller's breaker-bank or admission saturation — combined with
+    /// any attached [`SaturationSignal`])? Suppressions are counted
+    /// under `resilience.hedge.suppressed`.
+    pub fn allow_fire(&self, extra_saturation: f64) -> bool {
+        let attached = self.saturation.as_ref().map_or(0.0, |s| s.get());
+        if extra_saturation.max(attached) >= self.cfg.saturation_gate {
+            hpop_obs::metrics()
+                .counter("resilience.hedge.suppressed")
+                .incr();
+            false
+        } else {
+            true
         }
     }
 
@@ -77,9 +132,21 @@ impl Hedge {
     }
 
     /// Whether a request issued at `issued_at` should be hedged at
-    /// `now` (it has outlived the trigger without completing).
+    /// `now` (it has outlived the trigger without completing). Always
+    /// `false` while the saturation gate is engaged — a hedge is a
+    /// second request, and launching extra load into a saturated
+    /// system is how retry storms start.
     pub fn should_hedge(&self, issued_at: SimTime, now: SimTime) -> bool {
-        now.saturating_since(issued_at) >= self.trigger()
+        if now.saturating_since(issued_at) < self.trigger() {
+            return false;
+        }
+        if self.gated() {
+            hpop_obs::metrics()
+                .counter("resilience.hedge.suppressed")
+                .incr();
+            return false;
+        }
+        true
     }
 
     /// Accounts a fired hedge whose loser transferred `wasted_bytes`.
@@ -104,6 +171,7 @@ mod tests {
             min_trigger: ms(5),
             cold_trigger: ms(200),
             min_samples: 10,
+            saturation_gate: 0.7,
         }
     }
 
@@ -137,6 +205,24 @@ mod tests {
             h.record(SimDuration::from_nanos(10));
         }
         assert_eq!(h.trigger(), ms(5));
+    }
+
+    #[test]
+    fn saturation_gate_suppresses_hedging() {
+        use crate::admission::SaturationSignal;
+        let mut h = Hedge::new(HedgeConfig {
+            saturation_gate: 0.7,
+            ..cfg()
+        });
+        let sig = SaturationSignal::new();
+        h.attach_saturation(sig.clone());
+        let late = SimTime::ZERO + ms(500); // well past the cold trigger
+        assert!(h.should_hedge(SimTime::ZERO, late), "idle system hedges");
+        sig.publish(0.9);
+        assert!(h.gated());
+        assert!(!h.should_hedge(SimTime::ZERO, late), "saturated: gated");
+        sig.publish(0.3);
+        assert!(h.should_hedge(SimTime::ZERO, late), "recovered: hedges");
     }
 
     #[test]

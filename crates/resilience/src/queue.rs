@@ -1,0 +1,133 @@
+//! Bounded work queues whose depth *is* the backpressure signal.
+//!
+//! An unbounded queue converts overload into latency: work keeps being
+//! accepted and simply waits longer, which during a flash crowd means
+//! every request eventually misses its deadline — the classic collapse
+//! E26 demonstrates with controls off. A [`BoundedQueue`] refuses at a
+//! fixed depth instead, and continuously reports its fill fraction
+//! ([`pressure`](BoundedQueue::pressure)) so an upstream
+//! [`Admission`](crate::Admission) controller starts refusing *before*
+//! the queue is full and a [`Brownout`](crate::brownout::Brownout)
+//! ladder can start degrading at the configured thresholds.
+
+use std::collections::VecDeque;
+
+/// A FIFO work queue with a hard depth cap.
+#[derive(Clone, Debug)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    cap: usize,
+    /// Pushes refused because the queue was full.
+    refused: u64,
+    /// High-water mark of the depth.
+    peak: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `cap` items (floored at 1).
+    pub fn new(cap: usize) -> BoundedQueue<T> {
+        let cap = cap.max(1);
+        BoundedQueue {
+            items: VecDeque::with_capacity(cap),
+            cap,
+            refused: 0,
+            peak: 0,
+        }
+    }
+
+    /// Enqueues `item`, or hands it back when the queue is at cap —
+    /// the caller decides whether that means shed, reject, or retry.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.cap {
+            self.refused += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.peak = self.peak.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The depth cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Fill fraction in `[0, 1]` — the backpressure signal fed to
+    /// [`Admission::set_queue_pressure`](crate::Admission::set_queue_pressure).
+    pub fn pressure(&self) -> f64 {
+        self.items.len() as f64 / self.cap as f64
+    }
+
+    /// Pushes refused at cap since construction.
+    pub fn refused(&self) -> u64 {
+        self.refused
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Drops everything queued (e.g. entering the `Reject` brownout
+    /// rung), returning how many items were discarded.
+    pub fn clear(&mut self) -> usize {
+        let n = self.items.len();
+        self.items.clear();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refuses_at_cap_and_hands_item_back() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.refused(), 1);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok());
+    }
+
+    #[test]
+    fn pressure_is_fill_fraction() {
+        let mut q = BoundedQueue::new(4);
+        assert_eq!(q.pressure(), 0.0);
+        q.push(()).unwrap();
+        q.push(()).unwrap();
+        assert!((q.pressure() - 0.5).abs() < 1e-12);
+        q.push(()).unwrap();
+        q.push(()).unwrap();
+        assert_eq!(q.pressure(), 1.0);
+        assert_eq!(q.peak(), 4);
+        assert_eq!(q.clear(), 4);
+        assert_eq!(q.pressure(), 0.0);
+        assert_eq!(q.peak(), 4, "peak survives a clear");
+    }
+
+    #[test]
+    fn zero_cap_is_floored_to_one() {
+        let mut q = BoundedQueue::new(0);
+        assert_eq!(q.cap(), 1);
+        assert!(q.push(7).is_ok());
+        assert!(q.push(8).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! Flash-crowd demand shaping.
+//!
+//! A flash crowd is not "more of the same traffic": the overall
+//! request rate jumps ~10× in seconds, the popularity head *shifts*
+//! (the crowd converges on a handful of objects nobody had cached
+//! yesterday — a breaking-news page, a viral clip), and the onset is
+//! regionally skewed (it starts where the event is local and spreads).
+//! [`FlashCrowd`] models all three as a deterministic modulation
+//! *composed with* the existing [`DiurnalCurve`] and Zipf universe, so
+//! E26 can drive the same generators the steady-state experiments use
+//! and flip only the crowd on and off.
+//!
+//! The burst envelope is trapezoidal: zero before `start`, a linear
+//! ramp over `ramp`, a plateau of `hold` at full `magnitude`, then a
+//! linear decay over `decay` back to baseline. The *rising head* is a
+//! set of brand-new object ranks appended past the steady-state
+//! universe — their novelty (no cache anywhere holds them at onset) is
+//! exactly what makes flash crowds hard for a cooperative cache.
+
+use crate::diurnal::DiurnalCurve;
+use hpop_netsim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Shape of one flash-crowd episode.
+#[derive(Clone, Copy, Debug)]
+pub struct FlashCrowdParams {
+    /// Burst onset.
+    pub start: SimTime,
+    /// Linear ramp-up duration (seconds-scale: crowds arrive fast).
+    pub ramp: SimDuration,
+    /// Plateau duration at full magnitude.
+    pub hold: SimDuration,
+    /// Linear decay back to baseline.
+    pub decay: SimDuration,
+    /// Peak request-rate multiplier over baseline (the paper-scale
+    /// stress case is 10×).
+    pub magnitude: f64,
+    /// How many brand-new rising-head objects the crowd converges on.
+    pub head_size: usize,
+    /// Fraction of burst-attributable requests aimed at the rising
+    /// head at full intensity.
+    pub head_mass: f64,
+    /// Number of regions (neighborhoods / aggregation domains).
+    pub regions: u32,
+    /// Region where the crowd starts.
+    pub epicenter: u32,
+    /// Fraction of burst-attributable requests originating in the
+    /// epicenter region at full intensity (the rest stay uniform).
+    pub regional_bias: f64,
+}
+
+impl Default for FlashCrowdParams {
+    fn default() -> FlashCrowdParams {
+        FlashCrowdParams {
+            start: SimTime::from_secs(30),
+            ramp: SimDuration::from_secs(10),
+            hold: SimDuration::from_secs(60),
+            decay: SimDuration::from_secs(30),
+            magnitude: 10.0,
+            head_size: 8,
+            head_mass: 0.7,
+            regions: 16,
+            epicenter: 0,
+            regional_bias: 0.5,
+        }
+    }
+}
+
+/// A deterministic flash-crowd modulator over an existing workload.
+#[derive(Clone, Debug)]
+pub struct FlashCrowd {
+    params: FlashCrowdParams,
+    /// Rank of the first rising-head object: the steady-state universe
+    /// occupies `0..base_ranks`, the crowd's new objects
+    /// `base_ranks..base_ranks + head_size`.
+    base_ranks: usize,
+}
+
+impl FlashCrowd {
+    /// A crowd over a steady-state universe of `base_ranks` objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical shapes (magnitude < 1, empty head while
+    /// `head_mass > 0`, no regions, epicenter out of range).
+    pub fn new(params: FlashCrowdParams, base_ranks: usize) -> FlashCrowd {
+        assert!(params.magnitude >= 1.0, "magnitude must amplify");
+        assert!(params.regions > 0, "need at least one region");
+        assert!(params.epicenter < params.regions, "epicenter out of range");
+        assert!(
+            params.head_size > 0 || params.head_mass == 0.0,
+            "head_mass needs a non-empty head"
+        );
+        assert!(
+            (0.0..=1.0).contains(&params.head_mass),
+            "head_mass in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&params.regional_bias),
+            "regional_bias in [0,1]"
+        );
+        FlashCrowd { params, base_ranks }
+    }
+
+    /// The shape parameters.
+    pub fn params(&self) -> &FlashCrowdParams {
+        &self.params
+    }
+
+    /// Burst intensity at `now` in `[0, 1]`: the trapezoid envelope
+    /// (0 outside the episode, 1 on the plateau).
+    pub fn intensity(&self, now: SimTime) -> f64 {
+        let p = &self.params;
+        if now < p.start {
+            return 0.0;
+        }
+        let into = now.since(p.start);
+        if into < p.ramp {
+            return into.as_secs_f64() / p.ramp.as_secs_f64().max(1e-12);
+        }
+        let after_ramp = into - p.ramp;
+        if after_ramp < p.hold {
+            return 1.0;
+        }
+        let after_hold = after_ramp - p.hold;
+        if after_hold < p.decay {
+            return 1.0 - after_hold.as_secs_f64() / p.decay.as_secs_f64().max(1e-12);
+        }
+        0.0
+    }
+
+    /// The request-rate multiplier at `now`: 1 at baseline, up to
+    /// `magnitude` on the plateau.
+    pub fn rate_multiplier(&self, now: SimTime) -> f64 {
+        1.0 + (self.params.magnitude - 1.0) * self.intensity(now)
+    }
+
+    /// The composed demand weight at `now`: diurnal rhythm × burst
+    /// multiplier. This is the one number a request-arrival loop needs.
+    pub fn demand_weight(&self, now: SimTime, diurnal: &DiurnalCurve) -> f64 {
+        diurnal.weight_at(now) * self.rate_multiplier(now)
+    }
+
+    /// Whether `rank` is one of the crowd's rising-head objects.
+    pub fn is_head_rank(&self, rank: usize) -> bool {
+        rank >= self.base_ranks && rank < self.base_ranks + self.params.head_size
+    }
+
+    /// Total ranks including the rising head (size a cache/universe to
+    /// this so head objects exist).
+    pub fn total_ranks(&self) -> usize {
+        self.base_ranks + self.params.head_size
+    }
+
+    /// Samples an object rank at `now`: with probability
+    /// `head_mass × intensity` one of the rising-head ranks (uniform —
+    /// the crowd converges on all of them), otherwise whatever the
+    /// steady-state sampler picks via `base`.
+    pub fn sample_rank(
+        &self,
+        now: SimTime,
+        rng: &mut StdRng,
+        base: impl FnOnce(&mut StdRng) -> usize,
+    ) -> usize {
+        let p_head = self.params.head_mass * self.intensity(now);
+        if p_head > 0.0 && rng.gen::<f64>() < p_head {
+            self.base_ranks + rng.gen_range(0..self.params.head_size)
+        } else {
+            base(rng)
+        }
+    }
+
+    /// Samples the originating region at `now`: with probability
+    /// `regional_bias × intensity` the epicenter, otherwise uniform
+    /// over all regions.
+    pub fn sample_region(&self, now: SimTime, rng: &mut StdRng) -> u32 {
+        let p_epi = self.params.regional_bias * self.intensity(now);
+        if p_epi > 0.0 && rng.gen::<f64>() < p_epi {
+            self.params.epicenter
+        } else {
+            rng.gen_range(0..self.params.regions)
+        }
+    }
+
+    /// When the episode is fully over (envelope back to zero).
+    pub fn end(&self) -> SimTime {
+        self.params.start + self.params.ramp + self.params.hold + self.params.decay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn crowd() -> FlashCrowd {
+        FlashCrowd::new(FlashCrowdParams::default(), 1000)
+    }
+
+    #[test]
+    fn envelope_is_trapezoidal() {
+        let c = crowd();
+        assert_eq!(c.intensity(SimTime::from_secs(0)), 0.0);
+        assert_eq!(c.intensity(SimTime::from_secs(29)), 0.0);
+        let mid_ramp = c.intensity(SimTime::from_secs(35));
+        assert!((0.0..1.0).contains(&mid_ramp) && mid_ramp > 0.0);
+        assert_eq!(c.intensity(SimTime::from_secs(60)), 1.0);
+        assert_eq!(c.intensity(SimTime::from_secs(99)), 1.0);
+        let mid_decay = c.intensity(SimTime::from_secs(115));
+        assert!((0.0..1.0).contains(&mid_decay));
+        assert_eq!(c.intensity(c.end()), 0.0);
+        assert_eq!(c.intensity(SimTime::from_secs(1000)), 0.0);
+    }
+
+    #[test]
+    fn rate_multiplier_peaks_at_magnitude() {
+        let c = crowd();
+        assert_eq!(c.rate_multiplier(SimTime::ZERO), 1.0);
+        assert_eq!(c.rate_multiplier(SimTime::from_secs(70)), 10.0);
+    }
+
+    #[test]
+    fn composes_with_diurnal_curve() {
+        let c = crowd();
+        let d = DiurnalCurve::residential();
+        // Baseline (hour 0, weight 0.2): the burst multiplies it.
+        let pre = c.demand_weight(SimTime::from_secs(0), &d);
+        let peak = c.demand_weight(SimTime::from_secs(70), &d);
+        assert!((pre - 0.2).abs() < 1e-9);
+        assert!((peak - 2.0).abs() < 1e-9, "0.2 diurnal × 10 burst");
+    }
+
+    #[test]
+    fn head_share_rises_during_burst() {
+        let c = crowd();
+        let mut rng = StdRng::seed_from_u64(7);
+        let share = |c: &FlashCrowd, at: SimTime, rng: &mut StdRng| {
+            let n = 4000;
+            let head = (0..n)
+                .filter(|_| {
+                    let r = c.sample_rank(at, rng, |rng| rng.gen_range(0..1000));
+                    c.is_head_rank(r)
+                })
+                .count();
+            head as f64 / n as f64
+        };
+        let before = share(&c, SimTime::from_secs(0), &mut rng);
+        let during = share(&c, SimTime::from_secs(70), &mut rng);
+        assert_eq!(before, 0.0, "no head traffic before onset");
+        assert!((0.6..0.8).contains(&during), "head share {during}");
+        // Head ranks are all brand-new (past the base universe).
+        assert_eq!(c.total_ranks(), 1008);
+    }
+
+    #[test]
+    fn regional_skew_follows_envelope() {
+        let c = crowd();
+        let mut rng = StdRng::seed_from_u64(11);
+        let epi_share = |at: SimTime, rng: &mut StdRng| {
+            let n = 4000;
+            let hits = (0..n)
+                .filter(|_| c.sample_region(at, rng) == c.params().epicenter)
+                .count();
+            hits as f64 / n as f64
+        };
+        let before = epi_share(SimTime::from_secs(0), &mut rng);
+        let during = epi_share(SimTime::from_secs(70), &mut rng);
+        // 1/16 uniform before; 0.5 + 0.5/16 ≈ 0.53 at full skew.
+        assert!((0.03..0.12).contains(&before), "before {before}");
+        assert!((0.45..0.62).contains(&during), "during {during}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let c = crowd();
+        let at = SimTime::from_secs(70);
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let sa: Vec<usize> = (0..64)
+            .map(|_| c.sample_rank(at, &mut a, |rng| rng.gen_range(0..1000)))
+            .collect();
+        let sb: Vec<usize> = (0..64)
+            .map(|_| c.sample_rank(at, &mut b, |rng| rng.gen_range(0..1000)))
+            .collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "magnitude must amplify")]
+    fn sub_unit_magnitude_rejected() {
+        let _ = FlashCrowd::new(
+            FlashCrowdParams {
+                magnitude: 0.5,
+                ..FlashCrowdParams::default()
+            },
+            10,
+        );
+    }
+}

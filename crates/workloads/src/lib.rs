@@ -11,14 +11,19 @@
 //! - [`traffic`] — flow-level session traffic (exponential think times,
 //!   object picks from a universe) in the shape the CCZ study reports.
 //! - [`diurnal`] — hour-of-day demand weighting.
+//! - [`flashcrowd`] — flash-crowd modulation (sudden rate spike, a
+//!   rising popularity head of brand-new objects, regional skew)
+//!   composed over the diurnal and Zipf generators for E26.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diurnal;
+pub mod flashcrowd;
 pub mod traffic;
 pub mod zipf;
 
 pub use diurnal::DiurnalCurve;
+pub use flashcrowd::{FlashCrowd, FlashCrowdParams};
 pub use traffic::{FlowEvent, SessionTraffic, TrafficParams};
 pub use zipf::{WebObject, WebUniverse, Zipf};
